@@ -1,0 +1,75 @@
+"""Shared fixtures for the benchmark suite.
+
+Scale is controlled by ``REPRO_BENCH_SF`` (default 1.0 ≈ 1 000 persons;
+the paper ran SF300 on a 10-node EC2 cluster — set a few hundred here
+only if you have the patience). Results tables are printed at session
+teardown so ``pytest benchmarks/ --benchmark-only`` emits the textual
+equivalent of each paper figure.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import BenchResult, compare_table, figure2_session, figure3_contexts
+from repro.bench.workloads import Figure2Setup, Figure3Setup
+
+SCALE = float(os.environ.get("REPRO_BENCH_SF", "2.0"))
+THREADS = int(os.environ.get("REPRO_BENCH_THREADS", "4"))
+
+
+@pytest.fixture(scope="session")
+def fig2_setup() -> Figure2Setup:
+    setup = figure2_session(scale_factor=SCALE, threads=THREADS)
+    yield setup
+    setup.session.stop()
+
+
+@pytest.fixture(scope="session")
+def fig3_setup() -> Figure3Setup:
+    setup = figure3_contexts(scale_factor=SCALE, threads=THREADS)
+    yield setup
+    setup.session.stop()
+
+
+class ResultSink:
+    """Collects (figure, label, system) → median ms and prints tables."""
+
+    def __init__(self) -> None:
+        self.measurements: dict[str, dict[str, dict[str, float]]] = {}
+
+    def record(self, figure: str, label: str, system: str, ms: float) -> None:
+        self.measurements.setdefault(figure, {}).setdefault(label, {})[system] = ms
+
+    def tables(self) -> list[str]:
+        out = []
+        for figure, rows in self.measurements.items():
+            results = []
+            for label, systems in rows.items():
+                if "indexed" in systems and "vanilla" in systems:
+                    results.append(
+                        BenchResult(label, systems["indexed"], systems["vanilla"])
+                    )
+            if results:
+                out.append(compare_table(figure, results))
+        return out
+
+
+@pytest.fixture(scope="session")
+def result_sink() -> ResultSink:
+    sink = ResultSink()
+    yield sink
+    tables = sink.tables()
+    if not tables:
+        return
+    text = "\n\n".join(tables)
+    # Bypass pytest's capture so the tables reach the terminal, and
+    # persist them for EXPERIMENTS.md.
+    import sys
+
+    sys.__stdout__.write("\n" + text + "\n")
+    path = os.path.join(os.path.dirname(__file__), "figures.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")

@@ -1,0 +1,64 @@
+"""Ablation A1 — row-batch size sweep (paper §2 design knob).
+
+*"Both the batch and row sizes are configurable parameters."* Smaller
+batches allocate more often and fragment chains across buffers; larger
+batches amortize allocation. Appends and lookups are measured across a
+64 KiB → 4 MiB sweep; times should vary modestly (the design is
+batch-size-robust), with very small batches paying an allocation tax
+on append.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.partition import IndexedPartition
+from repro.core.pointers import PointerLayout
+from repro.sql.types import LongType, StringType, StructField, StructType
+
+BATCH_SIZES = [64 * 1024, 256 * 1024, 1024 * 1024, 4 * 1024 * 1024]
+ROWS = 20_000
+
+SCHEMA = StructType(
+    [
+        StructField("id", LongType(), nullable=False),
+        StructField("payload", StringType()),
+    ]
+)
+
+
+def _build(batch_size: int) -> IndexedPartition:
+    layout = PointerLayout.for_geometry(batch_size, 1024)
+    partition = IndexedPartition(SCHEMA, 0, layout, batch_size, 1024)
+    return partition
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_append_throughput(benchmark, batch_size):
+    rows = [(i, f"payload-{i:08d}" * 3) for i in range(ROWS)]
+
+    def append_all():
+        partition = _build(batch_size)
+        partition.append_many(rows)
+        return partition.row_count
+
+    assert append_all() == ROWS
+    benchmark.pedantic(append_all, rounds=3, warmup_rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_lookup_latency(benchmark, batch_size):
+    partition = _build(batch_size)
+    # 10 versions per key → 10-hop backward chains across batches.
+    partition.append_many(
+        [(i % (ROWS // 10), f"v{j}") for j, i in enumerate(range(ROWS))]
+    )
+    snapshot = partition.snapshot()
+    key = (ROWS // 10) // 2
+
+    result = list(snapshot.lookup(key))
+    assert len(result) == 10
+
+    benchmark.pedantic(
+        lambda: list(snapshot.lookup(key)), rounds=30, warmup_rounds=3, iterations=1
+    )

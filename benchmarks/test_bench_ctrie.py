@@ -1,0 +1,73 @@
+"""Ablation A6 — cTrie microbenchmarks (substrate of the index).
+
+Prokopec et al. claim O(log32 n) inserts/lookups and **O(1)
+snapshots**. We benchmark each op and assert that snapshot cost does
+not grow with trie size (the property MVCC versioning relies on:
+``append_rows`` mints a version per micro-batch).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.ctrie import CTrie
+
+SIZES = [1_000, 100_000]
+
+
+@pytest.fixture(scope="module", params=SIZES, ids=lambda s: f"n={s}")
+def filled(request):
+    trie = CTrie()
+    for i in range(request.param):
+        trie.insert(i, i)
+    return request.param, trie
+
+
+def test_insert_throughput(benchmark):
+    def build():
+        trie = CTrie()
+        for i in range(10_000):
+            trie.insert(i, i)
+        return trie
+
+    benchmark.pedantic(build, rounds=3, warmup_rounds=1, iterations=1)
+
+
+def test_lookup_latency(benchmark, filled):
+    size, trie = filled
+    keys = [size // 4, size // 2, 3 * size // 4]
+
+    def probe():
+        for key in keys:
+            assert trie.lookup(key) == key
+
+    benchmark.pedantic(probe, rounds=50, warmup_rounds=5, iterations=1)
+
+
+def test_snapshot_cost(benchmark, filled):
+    _size, trie = filled
+    benchmark.pedantic(trie.readonly_snapshot, rounds=50, warmup_rounds=5, iterations=1)
+
+
+def test_snapshot_is_constant_time():
+    """Snapshot latency must not scale with trie size (O(1) claim)."""
+
+    def best_of(trie, repeats=200):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            trie.readonly_snapshot()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    small = CTrie()
+    for i in range(1_000):
+        small.insert(i, i)
+    large = CTrie()
+    for i in range(200_000):
+        large.insert(i, i)
+
+    ratio = best_of(large) / max(best_of(small), 1e-9)
+    assert ratio < 20, f"snapshot cost grew {ratio:.1f}x for 200x more entries"

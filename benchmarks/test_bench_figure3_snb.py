@@ -1,0 +1,46 @@
+"""Figure 3 — SNB simple read queries SQ1..SQ7 (log-scale in paper).
+
+Paper §3: *"The Indexed DataFrame speeds up all queries, with the
+exception of Q5 and Q6, which cannot make use of the index."* The same
+query functions run against the vanilla (cached columnar) and indexed
+contexts; equivalence is asserted before timing.
+
+Run: ``pytest benchmarks/test_bench_figure3_snb.py --benchmark-only``
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.snb import ALL_QUERIES, run_query
+
+QUERY_NAMES = list(ALL_QUERIES)
+
+
+def _param(setup, name: str):
+    return setup.person_param if ALL_QUERIES[name][1] == "person" else setup.message_param
+
+
+@pytest.mark.parametrize("query", QUERY_NAMES)
+@pytest.mark.parametrize("system", ["indexed", "vanilla"])
+def test_figure3_query(benchmark, fig3_setup, result_sink, query, system):
+    parameter = _param(fig3_setup, query)
+    ctx = fig3_setup.indexed if system == "indexed" else fig3_setup.vanilla
+
+    # Equivalence: both systems answer identically.
+    expected = sorted(map(tuple, run_query(fig3_setup.vanilla, query, parameter)))
+    actual = sorted(map(tuple, run_query(ctx, query, parameter)))
+    assert actual == expected
+
+    benchmark.pedantic(
+        lambda: run_query(ctx, query, parameter),
+        rounds=5,
+        warmup_rounds=1,
+        iterations=1,
+    )
+    result_sink.record(
+        "Figure 3: SNB simple reads (IndexedDF vs Spark)",
+        query,
+        system,
+        benchmark.stats.stats.median * 1000.0,
+    )

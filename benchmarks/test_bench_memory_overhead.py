@@ -1,0 +1,70 @@
+"""Ablation A4 — memory overhead of the index.
+
+Paper §1: the Indexed DataFrame *"has a relatively low memory overhead
+in addition to the original data"*. This bench accounts bytes per row
+for (a) the binary row batches alone, (b) batches + cTrie + backward
+pointers, and (c) the vanilla columnar cache, and asserts the index's
+*overhead* stays within a small multiple of the raw data.
+
+(Caveat: Python object overheads inflate everything equally; the
+*ratios* are the meaningful output.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import Config
+from repro.core import create_index, enable_indexing
+from repro.sql import Session
+
+ROWS = 50_000
+
+
+@pytest.fixture(scope="module")
+def session():
+    s = Session(Config(executor_threads=2, shuffle_partitions=4))
+    enable_indexing(s)
+    yield s
+    s.stop()
+
+
+@pytest.fixture(scope="module")
+def frames(session):
+    df = session.create_dataframe(
+        [(i, f"user{i}", i % 100) for i in range(ROWS)],
+        [("id", "long"), ("name", "string"), ("grp", "long")],
+        validate=False,
+    )
+    return df.cache(), create_index(df, "id")
+
+
+def test_memory_accounting(frames, capsys):
+    cached, indexed = frames
+    stats = indexed.memory_stats()
+    data = stats["data_bytes"]
+    headers = stats["header_bytes"]
+    index = stats["index_bytes"]
+    columnar = cached.cached_bytes()
+
+    per_row_data = data / ROWS
+    per_row_total = (data + index) / ROWS
+    overhead_ratio = (headers + index) / max(1, data - headers)
+
+    print(
+        f"\nrows={ROWS}  batches={per_row_data:.1f} B/row "
+        f"(incl. {headers / ROWS:.1f} B/row backward ptrs)  "
+        f"index={index / ROWS:.1f} B/row  total={per_row_total:.1f} B/row  "
+        f"columnar cache={columnar / ROWS:.1f} B/row  "
+        f"index overhead={overhead_ratio:.2f}x of raw data"
+    )
+    # "Relatively low memory overhead": the index + pointer structures
+    # must not dwarf the data itself (Python dict/trie overheads make
+    # this looser than the JVM original).
+    assert overhead_ratio < 4.0
+
+
+def test_memory_bench(benchmark, frames):
+    """Benchmark snapshot+stats collection itself (cheap, O(partitions))."""
+    _cached, indexed = frames
+    benchmark.pedantic(indexed.memory_stats, rounds=10, warmup_rounds=1, iterations=1)

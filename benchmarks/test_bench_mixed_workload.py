@@ -1,0 +1,87 @@
+"""Ablation A8 — the demo's operating point: concurrent reads + writes.
+
+Paper §4: the demo *"concurrently handl[es] the update workload of the
+Social Network Benchmark, and transparently run[s] SNB queries"*. This
+bench drives exactly that: a writer thread ingests SNB update batches
+while the measured thread answers short reads against the freshest
+version. Reported: per-query latency with the writer active.
+
+The indexed context appends in place (cheap versions); the vanilla
+context must rebuild its cached tables per batch, so its queries also
+contend with much heavier writer work.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.config import Config
+from repro.core import enable_indexing
+from repro.snb import generate, load_indexed, load_vanilla, sq1, sq2, update_stream
+from repro.sql.session import Session
+
+BATCHES = 60
+
+
+@pytest.fixture(scope="module")
+def world():
+    session = Session(
+        Config(
+            executor_threads=4,
+            shuffle_partitions=4,
+            batch_size_bytes=1024 * 1024,
+            broadcast_threshold=10_000,
+        )
+    )
+    enable_indexing(session)
+    dataset = generate(scale_factor=1.0, seed=17)
+    yield session, dataset
+    session.stop()
+
+
+@pytest.mark.parametrize("system", ["indexed", "vanilla"])
+def test_queries_under_update_load(benchmark, world, system):
+    session, dataset = world
+    context = (
+        load_indexed(session, dataset)
+        if system == "indexed"
+        else load_vanilla(session, dataset)
+    )
+    state = {"ctx": context}
+    lock = threading.Lock()
+    stop = threading.Event()
+    batches = iter(update_stream(dataset, BATCHES, rows_per_batch=100, seed=23))
+
+    def writer() -> None:
+        while not stop.is_set():
+            try:
+                batch = next(batches)
+            except StopIteration:
+                return
+            fresh = state["ctx"].with_appended(
+                persons=batch.persons, knows=batch.knows, messages=batch.messages
+            )
+            with lock:
+                state["ctx"] = fresh
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    person = dataset.person_ids()[3]
+
+    def read_query():
+        with lock:
+            ctx = state["ctx"]
+        profile = sq1(ctx, person)
+        recent = sq2(ctx, person, limit=5)
+        return len(profile) + len(recent)
+
+    try:
+        result = benchmark.pedantic(
+            read_query, rounds=10, warmup_rounds=1, iterations=1
+        )
+        assert result >= 1
+    finally:
+        stop.set()
+        thread.join()

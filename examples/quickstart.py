@@ -1,0 +1,76 @@
+"""Quickstart: the Indexed DataFrame API from paper Listing 1.
+
+Run::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Config, Session, enable_indexing
+from repro.sql.functions import col
+
+
+def main() -> None:
+    # A session is the SparkSession analogue; enable_indexing injects
+    # the index-aware optimizer rule + planner strategy and adds the
+    # DataFrame.create_index method (the implicit-conversion analogue).
+    session = Session(Config(executor_threads=4, shuffle_partitions=8))
+    enable_indexing(session)
+
+    print("== build a regular DataFrame ==")
+    people = session.create_dataframe(
+        [(i, f"user{i}", 20 + i % 50) for i in range(10_000)],
+        [("id", "long"), ("name", "string"), ("age", "long")],
+    )
+    people.show(3)
+
+    print("== create the index (Listing 1: regularDF.createIndex(colNo)) ==")
+    indexed = people.create_index("id").cache()
+    print(indexed)
+
+    print("== point lookup (indexedDF.getRows(key)) ==")
+    indexed.get_rows(1234).show()
+    print("physical plan:")
+    print(indexed.get_rows(1234).explain().split("== Physical ==")[1])
+
+    print("== appends do NOT invalidate the cache (appendRows) ==")
+    updates = session.create_dataframe(
+        [(1234, "user1234-moved", 99)], [("id", "long"), ("name", "string"), ("age", "long")]
+    )
+    v2 = indexed.append_rows(updates)
+    print(f"old version rows for 1234: {indexed.get_rows_local(1234)}")
+    print(f"new version rows for 1234: {v2.get_rows_local(1234)}  (newest first)")
+
+    print("== index-powered join (indexedDF.join(regularDF, ...)) ==")
+    purchases = session.create_dataframe(
+        [(i, i % 10_000, float(i % 97)) for i in range(2_000)],
+        [("order_id", "long"), ("user_id", "long"), ("amount", "double")],
+    )
+    joined = v2.join(purchases, on=v2.col("id") == purchases.col("user_id"))
+    print("physical plan:")
+    print(joined.explain().split("== Physical ==")[1])
+    print(f"joined rows: {joined.count()}")
+
+    print("== plain SQL over the indexed view ==")
+    v2.create_or_replace_temp_view("people")
+    session.sql(
+        "SELECT name, age FROM people WHERE id IN (1, 2, 3) ORDER BY id"
+    ).show()
+
+    print("== everything else falls back to regular execution ==")
+    by_age = (
+        v2.to_df()
+        .filter(col("age") > 60)
+        .group_by("age")
+        .count()
+        .order_by(col("age").asc())
+    )
+    by_age.show(5)
+
+    session.stop()
+    print("quickstart done.")
+
+
+if __name__ == "__main__":
+    main()

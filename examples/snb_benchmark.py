@@ -1,0 +1,81 @@
+"""Reproduce the paper's evaluation figures as terminal tables.
+
+Runs both experiments from §3 at a configurable scale and prints the
+textual equivalents of Figure 2 (SQL operators) and Figure 3 (SNB
+simple reads), including the §5 headline max-speedup line.
+
+Run::
+
+    python examples/snb_benchmark.py [scale_factor]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import (
+    BenchResult,
+    compare_table,
+    figure2_session,
+    figure3_contexts,
+    median_ms,
+    operator_workload,
+)
+from repro.snb import ALL_QUERIES, run_query
+
+
+def figure2(scale: float) -> None:
+    print(f"building Figure 2 workload at SF {scale}...")
+    setup = figure2_session(scale_factor=scale)
+    try:
+        results = []
+        for name, (indexed_fn, vanilla_fn) in operator_workload(setup).items():
+            assert indexed_fn() == vanilla_fn(), f"{name} results diverge"
+            results.append(
+                BenchResult(
+                    name,
+                    median_ms(indexed_fn, repeats=5),
+                    median_ms(vanilla_fn, repeats=5),
+                )
+            )
+        print()
+        print(compare_table("Figure 2: SQL operators on person_knows_person", results))
+    finally:
+        setup.session.stop()
+
+
+def figure3(scale: float) -> None:
+    print(f"\nbuilding Figure 3 workload at SF {scale}...")
+    setup = figure3_contexts(scale_factor=scale)
+    try:
+        results = []
+        for name, (_fn, kind) in ALL_QUERIES.items():
+            param = setup.person_param if kind == "person" else setup.message_param
+            vanilla_rows = sorted(map(tuple, run_query(setup.vanilla, name, param)))
+            indexed_rows = sorted(map(tuple, run_query(setup.indexed, name, param)))
+            assert vanilla_rows == indexed_rows, f"{name} results diverge"
+            results.append(
+                BenchResult(
+                    name,
+                    median_ms(lambda: run_query(setup.indexed, name, param), repeats=5),
+                    median_ms(lambda: run_query(setup.vanilla, name, param), repeats=5),
+                )
+            )
+        print()
+        print(compare_table("Figure 3: SNB simple reads SQ1..SQ7", results))
+        print(
+            "\n(expected shape: SQ1-SQ4 and SQ7 sped up; SQ5/SQ6 cannot "
+            "use the index — paper §3)"
+        )
+    finally:
+        setup.session.stop()
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 2.0
+    figure2(scale)
+    figure3(scale)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Benchmark support: timing harness and workload builders.
+
+Shared by the ``benchmarks/`` suite so each table/figure script stays
+a thin driver: :mod:`repro.bench.harness` measures and formats,
+:mod:`repro.bench.workloads` builds the datasets/sessions each
+experiment runs against.
+"""
+
+from repro.bench.harness import BenchResult, Timer, compare_table, median_ms, time_fn
+from repro.bench.workloads import (
+    figure2_session,
+    figure3_contexts,
+    operator_workload,
+)
+
+__all__ = [
+    "BenchResult",
+    "Timer",
+    "median_ms",
+    "time_fn",
+    "compare_table",
+    "figure2_session",
+    "figure3_contexts",
+    "operator_workload",
+]

@@ -1,0 +1,90 @@
+"""Timing harness: repeated measurement, medians, comparison tables.
+
+The paper reports wall-clock times per operator/query for IndexedDF vs
+vanilla Spark (Figures 2 and 3). :func:`time_fn` measures a callable
+with warmup + repeats and returns the median; :func:`compare_table`
+prints the two-system table the benchmark scripts emit, including the
+headline "up to NX speedup" line matching the paper's §5 claim.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+
+class Timer:
+    """Context-manager stopwatch in milliseconds."""
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed_ms = (time.perf_counter() - self.start) * 1000.0
+
+
+def time_fn(
+    fn: Callable[[], Any],
+    repeats: int = 5,
+    warmup: int = 1,
+) -> list[float]:
+    """Run ``fn`` ``warmup + repeats`` times; return per-run ms timings
+    (warmup excluded)."""
+    for _ in range(warmup):
+        fn()
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        timings.append((time.perf_counter() - start) * 1000.0)
+    return timings
+
+
+def median_ms(fn: Callable[[], Any], repeats: int = 5, warmup: int = 1) -> float:
+    return statistics.median(time_fn(fn, repeats, warmup))
+
+
+@dataclass
+class BenchResult:
+    """One labelled measurement pair (the two bars of a figure group)."""
+
+    label: str
+    indexed_ms: float
+    vanilla_ms: float
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        if self.indexed_ms <= 0:
+            return float("inf")
+        return self.vanilla_ms / self.indexed_ms
+
+
+def compare_table(
+    title: str,
+    results: Sequence[BenchResult],
+    indexed_name: str = "IndexedDF",
+    vanilla_name: str = "Spark",
+) -> str:
+    """Format results as the textual equivalent of a paper figure."""
+    label_width = max(12, max((len(r.label) for r in results), default=12))
+    lines = [
+        title,
+        "=" * len(title),
+        f"{'':{label_width}}  {indexed_name:>12}  {vanilla_name:>12}  {'speedup':>8}",
+    ]
+    for r in results:
+        lines.append(
+            f"{r.label:{label_width}}  {r.indexed_ms:>10.1f}ms  "
+            f"{r.vanilla_ms:>10.1f}ms  {r.speedup:>7.2f}x"
+        )
+    best = max(results, key=lambda r: r.speedup, default=None)
+    if best is not None:
+        lines.append(
+            f"max speedup: {best.speedup:.1f}x on {best.label} "
+            f"(paper reports up to 8x)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,196 @@
+"""Workload builders for the paper's experiments.
+
+* :func:`figure2_session` + :func:`operator_workload` — the SQL
+  operator microbenchmark of Figure 2 (join, filter, equality filter,
+  aggregation, projection, scan over cached ``person_knows_person``,
+  joined against ``person``);
+* :func:`figure3_contexts` — the SNB short-read setup of Figure 3.
+
+Every workload returns *callables per system*, so the benchmark
+scripts measure identical logical work on the indexed and vanilla
+paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.config import Config
+from repro.core import create_index, enable_indexing
+from repro.core.indexed_df import IndexedDataFrame
+from repro.snb import SNBContext, generate, load_indexed, load_vanilla
+from repro.snb.datagen import SNBDataset
+from repro.sql import Session
+from repro.sql.dataframe import DataFrame
+from repro.sql.functions import col, count
+from repro.snb.datagen import EPOCH_START_MS
+
+
+def _session(
+    threads: int, shuffle_partitions: int, broadcast_threshold: int = 200
+) -> Session:
+    # A low broadcast threshold mirrors the paper's cluster setting:
+    # at SF300 neither SNB side fits in a broadcast, so vanilla joins
+    # shuffle. (Leave the default 10k and small probes broadcast in
+    # both systems instead.)
+    session = Session(
+        Config(
+            executor_threads=threads,
+            shuffle_partitions=shuffle_partitions,
+            default_parallelism=shuffle_partitions,
+            batch_size_bytes=1024 * 1024,
+            broadcast_threshold=broadcast_threshold,
+        )
+    )
+    enable_indexing(session)
+    return session
+
+
+@dataclass
+class Figure2Setup:
+    """Everything the operator microbenchmark needs."""
+
+    session: Session
+    dataset: SNBDataset
+    knows_vanilla: DataFrame
+    person_vanilla: DataFrame
+    knows_indexed: IndexedDataFrame
+    person_indexed: IndexedDataFrame
+    probe_person_id: int
+
+
+def figure2_session(
+    scale_factor: float = 1.0, threads: int = 4, shuffle_partitions: int = 8
+) -> Figure2Setup:
+    """Build the cached/indexed ``knows`` + ``person`` tables.
+
+    ``knows`` is indexed on ``person1_id`` (the equality-filter and
+    join key), ``person`` on ``id`` — the layout paper §3 implies.
+    """
+    session = _session(threads, shuffle_partitions)
+    dataset = generate(scale_factor=scale_factor)
+
+    from repro.snb import schema as snb_schema
+
+    person_df = session.create_dataframe(
+        dataset.persons, snb_schema.PERSON_SCHEMA, validate=False
+    )
+    knows_df = session.create_dataframe(
+        dataset.knows, snb_schema.KNOWS_SCHEMA, validate=False
+    )
+
+    return Figure2Setup(
+        session=session,
+        dataset=dataset,
+        knows_vanilla=knows_df.cache(),
+        person_vanilla=person_df.cache(),
+        knows_indexed=create_index(knows_df, "person1_id"),
+        person_indexed=create_index(person_df, "id"),
+        probe_person_id=dataset.person_ids()[len(dataset.persons) // 2],
+    )
+
+
+def operator_workload(setup: Figure2Setup) -> dict[str, tuple[Callable, Callable]]:
+    """Figure 2's six operators as ``name → (indexed_fn, vanilla_fn)``.
+
+    Each callable runs the complete query (plan + execute) and forces
+    full materialization, mirroring an action on a cached DataFrame.
+    """
+    pid = setup.probe_person_id
+    cutoff = EPOCH_START_MS + 180 * 24 * 3600 * 1000
+
+    knows_ix = setup.knows_indexed.to_df()
+    knows_v = setup.knows_vanilla
+    person_ix = setup.person_indexed
+    person_v = setup.person_vanilla
+
+    knows_idx_handle = setup.knows_indexed
+
+    def join_indexed() -> int:
+        # knows (big, indexed on person1_id) is the pre-built build
+        # side; the regular person DataFrame is the probe (Listing 1:
+        # indexedDF.join(regularDF, ...)).
+        return knows_idx_handle.join(
+            person_v, on=knows_idx_handle.col("person1_id") == person_v.col("id")
+        ).count()
+
+    def join_vanilla() -> int:
+        return knows_v.join(
+            person_v, on=knows_v.col("person1_id") == person_v.col("id")
+        ).count()
+
+    def filter_indexed() -> int:  # non-equality: index cannot help
+        return knows_ix.filter(col("creation_date") > cutoff).count()
+
+    def filter_vanilla() -> int:
+        return knows_v.filter(col("creation_date") > cutoff).count()
+
+    def eq_filter_indexed() -> int:  # equality on the indexed key
+        return knows_ix.filter(col("person1_id") == pid).count()
+
+    def eq_filter_vanilla() -> int:
+        return knows_v.filter(col("person1_id") == pid).count()
+
+    def agg_indexed() -> int:
+        return knows_ix.group_by("person1_id").agg(count().alias("n")).count()
+
+    def agg_vanilla() -> int:
+        return knows_v.group_by("person1_id").agg(count().alias("n")).count()
+
+    def project_indexed() -> int:  # row store must decode every row
+        return knows_ix.select("person2_id").count()
+
+    def project_vanilla() -> int:  # columnar cache reads one vector
+        return knows_v.select("person2_id").count()
+
+    def scan_indexed() -> int:
+        return knows_ix.count()
+
+    def scan_vanilla() -> int:
+        return knows_v.count()
+
+    return {
+        "Join": (join_indexed, join_vanilla),
+        "Filter": (filter_indexed, filter_vanilla),
+        "Equality Filter": (eq_filter_indexed, eq_filter_vanilla),
+        "Aggregation": (agg_indexed, agg_vanilla),
+        "Projection": (project_indexed, project_vanilla),
+        "Scan": (scan_indexed, scan_vanilla),
+    }
+
+
+@dataclass
+class Figure3Setup:
+    session: Session
+    dataset: SNBDataset
+    vanilla: SNBContext
+    indexed: SNBContext
+    person_param: int
+    message_param: int
+
+
+def figure3_contexts(
+    scale_factor: float = 1.0, threads: int = 4, shuffle_partitions: int = 8
+) -> Figure3Setup:
+    """Load the SNB dataset twice: cached vanilla and indexed.
+
+    Unlike the Figure-2 session, the broadcast threshold stays high:
+    real Spark broadcasts small filtered sides in both systems, so the
+    short-read speedups must come from index lookups alone, not from
+    join-mode asymmetry.
+    """
+    session = _session(threads, shuffle_partitions, broadcast_threshold=10_000)
+    dataset = generate(scale_factor=scale_factor)
+    vanilla = load_vanilla(session, dataset)
+    indexed = load_indexed(session, dataset)
+    person_ids = dataset.person_ids()
+    message_ids = dataset.message_ids()
+    return Figure3Setup(
+        session=session,
+        dataset=dataset,
+        vanilla=vanilla,
+        indexed=indexed,
+        person_param=person_ids[len(person_ids) // 2],
+        message_param=message_ids[len(message_ids) // 2],
+    )

@@ -1,0 +1,83 @@
+"""Engine and Indexed-DataFrame configuration.
+
+A single :class:`Config` object travels from the user through the
+:class:`~repro.sql.session.Session` into the engine and the indexed
+core. It mirrors the handful of Spark knobs the paper's evaluation
+depends on:
+
+* ``shuffle_partitions`` — number of reduce-side partitions created by
+  an exchange (``spark.sql.shuffle.partitions``);
+* ``broadcast_threshold`` — estimated probe-relation size (in rows)
+  below which an indexed or vanilla join falls back to a broadcast join
+  instead of a shuffle (``spark.sql.autoBroadcastJoinThreshold``);
+* ``batch_size_bytes`` / ``max_row_bytes`` — the row-batch geometry of
+  the Indexed Row-Batch RDD (paper §2: 4 MB batches, rows up to 1 KB);
+* ``executor_threads`` — degree of task parallelism (stand-in for the
+  paper's 10-node cluster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.errors import CapacityError
+
+#: Paper §2: row batches of 4 MB.
+DEFAULT_BATCH_SIZE = 4 * 1024 * 1024
+#: Paper §2: rows of up to 1 KB.
+DEFAULT_MAX_ROW_BYTES = 1024
+
+
+@dataclass(frozen=True)
+class Config:
+    """Immutable configuration for an engine/session.
+
+    Use :meth:`with_options` to derive a modified copy, mirroring the
+    builder style of ``SparkConf``.
+    """
+
+    #: Number of partitions produced by shuffle exchanges.
+    shuffle_partitions: int = 8
+    #: Default parallelism used when creating RDDs without an explicit
+    #: partition count.
+    default_parallelism: int = 4
+    #: Worker threads in the executor pool. ``1`` gives fully
+    #: deterministic single-threaded execution (useful in tests).
+    executor_threads: int = 4
+    #: Probe relations at most this many rows are broadcast rather than
+    #: shuffled in joins.
+    broadcast_threshold: int = 10_000
+    #: Capacity of the block-manager cache in bytes before LRU eviction.
+    cache_capacity_bytes: int = 512 * 1024 * 1024
+    #: Size of one indexed row batch in bytes.
+    batch_size_bytes: int = DEFAULT_BATCH_SIZE
+    #: Maximum encoded row size in bytes.
+    max_row_bytes: int = DEFAULT_MAX_ROW_BYTES
+    #: Extra free-form options (namespaced strings, like Spark conf keys).
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.shuffle_partitions < 1:
+            raise ValueError("shuffle_partitions must be >= 1")
+        if self.default_parallelism < 1:
+            raise ValueError("default_parallelism must be >= 1")
+        if self.executor_threads < 1:
+            raise ValueError("executor_threads must be >= 1")
+        if self.batch_size_bytes < 1024:
+            raise CapacityError("batch_size_bytes must be at least 1 KiB")
+        if self.max_row_bytes < 16:
+            raise CapacityError("max_row_bytes must be at least 16 bytes")
+        if self.max_row_bytes > self.batch_size_bytes:
+            raise CapacityError(
+                "max_row_bytes cannot exceed batch_size_bytes: "
+                f"{self.max_row_bytes} > {self.batch_size_bytes}"
+            )
+
+    def with_options(self, **changes: Any) -> "Config":
+        """Return a copy of this config with the given fields replaced."""
+        return replace(self, **changes)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Look up a free-form option from :attr:`extra`."""
+        return self.extra.get(key, default)

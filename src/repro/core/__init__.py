@@ -1,0 +1,32 @@
+"""The Indexed DataFrame — the paper's contribution.
+
+An Indexed DataFrame is a hash-partitioned, cached, *updatable*
+DataFrame whose partitions each hold (paper §2):
+
+1. **row batches** — append-only binary buffers (default 4 MB) storing
+   rows encoded by :mod:`repro.core.rowcodec`;
+2. a **cTrie** index mapping each key to a packed 64-bit pointer
+   (:mod:`repro.core.pointers`) to the *latest* row for that key;
+3. **backward pointers** — an 8-byte header per row linking to the
+   previous row with the same key, forming a per-key list.
+
+Appends never invalidate the cache; queries run against O(1) MVCC
+snapshots; Catalyst-style rules (:mod:`repro.core.rules`) plan index
+lookups and indexed joins transparently for SQL and DataFrame queries.
+
+Quickstart::
+
+    from repro.sql import Session
+    from repro.core import enable_indexing, create_index
+
+    session = Session()
+    enable_indexing(session)
+    indexed = create_index(df, "id").cache()
+    indexed.get_rows(1234).show()
+    bigger = indexed.append_rows(new_rows_df)
+"""
+
+from repro.core.indexed_df import IndexedDataFrame, create_index
+from repro.core.rules import enable_indexing
+
+__all__ = ["IndexedDataFrame", "create_index", "enable_indexing"]

@@ -1,0 +1,319 @@
+"""IndexedDataFrame: the public API of the paper (Listing 1).
+
+Scala (paper)                         →  Python (this library)
+------------------------------------------------------------------
+``regularDF.createIndex(colNo)``      →  ``create_index(df, col)`` or
+                                         ``df.create_index(col)`` once
+                                         :func:`~repro.core.rules.enable_indexing`
+                                         has patched DataFrame (the
+                                         implicit-conversion analogue)
+``indexedDF.cache()``                 →  ``indexed.cache()`` (a no-op:
+                                         indexed storage is resident by
+                                         construction; kept for parity)
+``indexedDF.getRows(key)``            →  ``indexed.get_rows(key)``
+``indexedDF.appendRows(df)``          →  ``indexed.append_rows(df)``
+``indexedDF.join(df, cond)``          →  ``indexed.join(df, on=cond)``
+
+Every handle is bound to one MVCC version; ``append_rows`` returns a
+*new* handle at the next version while this handle keeps reading its
+snapshot — queries racing with appends see stable data.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
+
+from repro.core.mvcc import Version, VersionedStore
+from repro.core.partition import IndexedPartition
+from repro.core.pointers import PointerLayout
+from repro.core.relation import IndexedRelation
+from repro.engine.partitioner import HashPartitioner
+from repro.errors import IndexError_, SchemaError
+from repro.sql.column import Column
+from repro.sql.dataframe import DataFrame
+from repro.sql.expressions import EqualTo, Literal
+from repro.sql.logical import Filter
+from repro.sql.types import Row, StructType
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sql.session import Session
+
+
+def create_index(
+    df: DataFrame,
+    column: str | int,
+    num_partitions: int | None = None,
+) -> "IndexedDataFrame":
+    """Build an Indexed DataFrame from a regular DataFrame.
+
+    The rows are hash-partitioned on the indexed column (shuffled
+    through the engine, as in the paper's *Index Creation*) and loaded
+    into per-partition cTrie + row-batch storage.
+    """
+    session = df.session
+    schema = df.schema
+    if isinstance(column, int):
+        if not 0 <= column < len(schema):
+            raise IndexError_(f"column ordinal {column} out of range")
+        key_ordinal = column
+    else:
+        key_ordinal = schema.field_index(column)
+
+    n = num_partitions or session.config.shuffle_partitions
+    layout = PointerLayout.for_geometry(
+        session.config.batch_size_bytes, session.config.max_row_bytes
+    )
+    partitions = [
+        IndexedPartition(
+            schema,
+            key_ordinal,
+            layout,
+            session.config.batch_size_bytes,
+            session.config.max_row_bytes,
+        )
+        for _ in range(n)
+    ]
+    store = VersionedStore(partitions)
+    indexed = IndexedDataFrame(session, schema, key_ordinal, store, store.capture())
+    return indexed.append_rows(df)
+
+
+class IndexedDataFrame:
+    """A cached, updatable, indexed DataFrame (one MVCC version)."""
+
+    def __init__(
+        self,
+        session: "Session",
+        schema: StructType,
+        key_ordinal: int,
+        store: VersionedStore,
+        version: Version,
+    ):
+        self.session = session
+        self.schema = schema
+        self.key_ordinal = key_ordinal
+        self.store = store
+        self.version = version
+        self._df: DataFrame | None = None
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+
+    @property
+    def key_column(self) -> str:
+        return self.schema[self.key_ordinal].name
+
+    @property
+    def num_partitions(self) -> int:
+        return self.store.num_partitions
+
+    @property
+    def version_id(self) -> int:
+        return self.version.version_id
+
+    def count(self) -> int:
+        """Rows visible at this version (O(partitions))."""
+        return self.version.row_count()
+
+    @property
+    def columns(self) -> list[str]:
+        return self.schema.names
+
+    def memory_stats(self) -> dict[str, int]:
+        """Aggregate storage accounting across partitions."""
+        return self.store.memory_stats()
+
+    # ------------------------------------------------------------------
+    # Paper API
+    # ------------------------------------------------------------------
+
+    def cache(self) -> "IndexedDataFrame":
+        """Paper-API parity: indexed storage already lives in (executor)
+        memory, so caching is inherent; returns self."""
+        return self
+
+    def get_rows(self, key: Any) -> DataFrame:
+        """All rows whose indexed column equals ``key``, as a DataFrame.
+
+        Planned through the optimizer: with indexing enabled this
+        becomes an :class:`~repro.core.physical.IndexLookupExec`;
+        without it, the plan falls back to scan + filter and still
+        returns the same rows.
+        """
+        relation = IndexedRelation(self, self.version)
+        condition = EqualTo(relation.key_attribute, Literal(key))
+        return DataFrame(self.session, Filter(condition, relation))
+
+    def get_rows_local(self, key: Any) -> list[tuple]:
+        """Direct sub-millisecond lookup bypassing the planner.
+
+        The raw cTrie + backward-chain walk; what a latency-critical
+        dashboard calls in a tight loop.
+        """
+        if key is None:
+            return []
+        partition = HashPartitioner(self.num_partitions).partition(key)
+        return list(self.version.snapshots[partition].lookup(key))
+
+    def lookup_latest(self, key: Any) -> tuple | None:
+        """The most recently appended row for ``key`` (or None)."""
+        if key is None:
+            return None
+        partition = HashPartitioner(self.num_partitions).partition(key)
+        return self.version.snapshots[partition].lookup_head(key)
+
+    def append_rows(
+        self, rows: DataFrame | Sequence[Sequence[Any]]
+    ) -> "IndexedDataFrame":
+        """Append rows (fine-grained or batch) and return the handle for
+        the next version. This handle continues to see the old data.
+        """
+        if isinstance(rows, DataFrame):
+            if rows.schema.names != self.schema.names:
+                raise SchemaError(
+                    f"appended schema {rows.schema.names} does not match "
+                    f"indexed schema {self.schema.names}"
+                )
+            self._load_from_dataframe(rows)
+        else:
+            self._load_from_rows(rows)
+        return IndexedDataFrame(
+            self.session, self.schema, self.key_ordinal, self.store,
+            self.store.capture(),
+        )
+
+    def join(
+        self,
+        other: DataFrame,
+        on: "Column | str | Sequence[str] | None" = None,
+        how: str = "inner",
+    ) -> DataFrame:
+        """Index-powered join: the indexed relation is the (pre-built)
+        build side, the regular DataFrame is the probe side."""
+        return self.to_df().join(other, on=on, how=how)
+
+    def compact(self, keep_history: bool = False) -> "IndexedDataFrame":
+        """Rewrite storage, reclaiming space from superseded versions.
+
+        Extension beyond the demo paper (its storage is append-only
+        forever): builds a *fresh* store containing, per key, either
+        only the latest row (``keep_history=False``) or every row
+        visible at this version (``keep_history=True``, which still
+        drops rows appended after this version and compacts batch
+        fragmentation). Existing handles keep reading the old store —
+        compaction is itself just a new-version event.
+        """
+        from repro.core.partition import IndexedPartition
+        from repro.core.pointers import PointerLayout
+
+        config = self.session.config
+        layout = PointerLayout.for_geometry(
+            config.batch_size_bytes, config.max_row_bytes
+        )
+        partitions = [
+            IndexedPartition(
+                self.schema,
+                self.key_ordinal,
+                layout,
+                config.batch_size_bytes,
+                config.max_row_bytes,
+            )
+            for _ in range(self.num_partitions)
+        ]
+        for fresh, snapshot in zip(partitions, self.version.snapshots):
+            if keep_history:
+                fresh.append_many(list(snapshot.scan()))
+            else:
+                # Oldest-first per key so chains stay newest-first;
+                # here each key keeps exactly its head row.
+                fresh.append_many(
+                    [row for key in snapshot.keys()
+                     for row in [snapshot.lookup_head(key)] if row is not None]
+                )
+        store = VersionedStore(partitions)
+        return IndexedDataFrame(
+            self.session, self.schema, self.key_ordinal, store, store.capture()
+        )
+
+    # ------------------------------------------------------------------
+    # Interop with the DataFrame/SQL world
+    # ------------------------------------------------------------------
+
+    def to_df(self) -> DataFrame:
+        """A DataFrame view of this version (composable with any SQL or
+        DataFrame operation; indexed rules apply when enabled).
+
+        The view is stable per handle, so ``indexed.col("id")`` and
+        ``indexed.to_df()`` refer to the same attributes — required for
+        building join conditions.
+        """
+        if self._df is None:
+            self._df = DataFrame(self.session, IndexedRelation(self, self.version))
+        return self._df
+
+    def col(self, name: str) -> Column:
+        """A column of this Indexed DataFrame (for join conditions)."""
+        return self.to_df().col(name)
+
+    def create_or_replace_temp_view(self, name: str) -> None:
+        self.session.catalog.register(name, IndexedRelation(self, self.version))
+
+    def collect(self) -> list[Row]:
+        return self.to_df().collect()
+
+    def take(self, n: int) -> list[Row]:
+        return self.to_df().take(n)
+
+    def show(self, n: int = 20) -> None:
+        self.to_df().show(n)
+
+    def scan_tuples(self) -> Iterator[tuple]:
+        """Iterate raw tuples at this version without the planner."""
+        for snapshot in self.version.snapshots:
+            yield from snapshot.scan()
+
+    def keys(self) -> Iterator[Any]:
+        """Distinct indexed keys at this version."""
+        for snapshot in self.version.snapshots:
+            yield from snapshot.keys()
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    def _load_from_dataframe(self, df: DataFrame) -> None:
+        """Shuffle the DataFrame's rows to their index partitions and
+        append (paper §2: hash partitioning + shuffle on create/append)."""
+        key_ordinal = self.key_ordinal
+        partitions = self.store.partitions
+        partitioner = HashPartitioner(len(partitions))
+        keyed = df._execute().key_by(lambda row: row[key_ordinal])
+        shuffled = keyed.partition_by(partitioner)
+
+        def load(index: int, records: Iterator[tuple[Any, tuple]]) -> list[int]:
+            rows = [row for _key, row in records]
+            return [partitions[index].append_many(rows)]
+
+        shuffled.map_partitions_with_index(load).collect()
+
+    def _load_from_rows(self, rows: Sequence[Sequence[Any]]) -> None:
+        """Driver-side fine-grained append (the low-latency path for
+        small update batches, e.g. one Kafka micro-batch)."""
+        partitions = self.store.partitions
+        partitioner = HashPartitioner(len(partitions))
+        buckets: list[list[tuple]] = [[] for _ in partitions]
+        for row in rows:
+            t = tuple(row)
+            self.schema.validate_row(t)
+            buckets[partitioner.partition(t[self.key_ordinal])].append(t)
+        for partition, bucket in zip(partitions, buckets):
+            if bucket:
+                partition.append_many(bucket)
+
+    def __repr__(self) -> str:
+        return (
+            f"IndexedDataFrame[key={self.key_column}, "
+            f"version={self.version_id}, rows={self.count()}, "
+            f"partitions={self.num_partitions}]"
+        )

@@ -1,0 +1,76 @@
+"""Multi-version concurrency bookkeeping for Indexed DataFrames.
+
+Every :class:`~repro.core.indexed_df.IndexedDataFrame` handle is bound
+to one immutable :class:`Version`: a list of per-partition snapshots
+(cTrie read-only snapshot + batch watermark). ``append_rows`` writes to
+the shared live partitions and mints the next version; older handles
+keep reading their own snapshots untouched — the paper's
+*"updates with multi-version concurrency"*.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Sequence
+
+from repro.core.partition import IndexedPartition, PartitionSnapshot
+
+_version_ids = itertools.count(1)
+
+
+class Version:
+    """An immutable point-in-time view across all partitions."""
+
+    __slots__ = ("version_id", "snapshots")
+
+    def __init__(self, snapshots: Sequence[PartitionSnapshot]):
+        self.version_id = next(_version_ids)
+        self.snapshots = list(snapshots)
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.snapshots)
+
+    def row_count(self) -> int:
+        return sum(len(s) for s in self.snapshots)
+
+    def __repr__(self) -> str:
+        return f"Version(id={self.version_id}, rows={self.row_count()})"
+
+
+class VersionedStore:
+    """The shared, live partition array plus version minting.
+
+    Appends from any version handle land here; :meth:`capture` takes a
+    consistent snapshot across partitions. Capturing while appends are
+    in flight is safe — each partition snapshot is internally
+    consistent, and cross-partition atomicity is not required by the
+    append-only model (a row is visible in version *v* iff it was fully
+    appended before *v*'s capture of its partition).
+    """
+
+    def __init__(self, partitions: Sequence[IndexedPartition]):
+        if not partitions:
+            raise ValueError("a versioned store needs at least one partition")
+        self.partitions = list(partitions)
+        self._capture_lock = threading.Lock()
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    def capture(self) -> Version:
+        """Mint a new version from the current partition states."""
+        with self._capture_lock:
+            return Version([p.snapshot() for p in self.partitions])
+
+    def total_rows(self) -> int:
+        return sum(p.row_count for p in self.partitions)
+
+    def memory_stats(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for partition in self.partitions:
+            for key, value in partition.memory_stats().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals

@@ -1,0 +1,193 @@
+"""IndexedPartition: one partition of the Indexed Row-Batch RDD.
+
+Combines the three per-partition structures of paper §2 — the cTrie
+index, the row batches, and the backward pointers — and implements the
+two operations the paper describes:
+
+* **append**: encode the row, look up the key's current head pointer,
+  store the row with that pointer as its backward link, and point the
+  cTrie at the new row;
+* **lookup**: read the cTrie, then walk the backward chain to collect
+  every row sharing the key.
+
+:class:`PartitionSnapshot` captures an O(1) consistent view (cTrie
+read-only snapshot + batch watermark) — the MVCC mechanism that lets
+queries run at a stable version while appends continue.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator, Sequence
+
+from repro.core.pointers import NULL_POINTER, PointerLayout
+from repro.core.rowbatch import HEADER_SIZE, BatchManager
+from repro.core.rowcodec import RowCodec
+from repro.ctrie import CTrie
+from repro.sql.types import StructType
+
+
+class PartitionSnapshot:
+    """A consistent, immutable view of a partition at one version."""
+
+    __slots__ = ("partition", "trie", "watermark", "row_count", "distinct_keys")
+
+    def __init__(
+        self,
+        partition: "IndexedPartition",
+        trie: CTrie,
+        watermark: tuple[int, int],
+        row_count: int,
+        distinct_keys: int = 0,
+    ):
+        self.partition = partition
+        self.trie = trie
+        self.watermark = watermark
+        self.row_count = row_count
+        self.distinct_keys = distinct_keys
+
+    # -- reads -----------------------------------------------------------
+
+    def lookup(self, key: Any) -> Iterator[tuple]:
+        """All rows for ``key`` at this version, newest first."""
+        head = self.trie.get(key, NULL_POINTER)
+        if head == NULL_POINTER:
+            return
+        codec = self.partition.codec
+        for payload in self.partition.batches.chain(head):
+            yield codec.decode(payload)
+
+    def lookup_head(self, key: Any) -> tuple | None:
+        """The most recently appended row for ``key``, or None."""
+        head = self.trie.get(key, NULL_POINTER)
+        if head == NULL_POINTER:
+            return None
+        _prev, payload = self.partition.batches.read(head)
+        return self.partition.codec.decode(payload)
+
+    def contains(self, key: Any) -> bool:
+        return key in self.trie
+
+    def scan(self) -> Iterator[tuple]:
+        """Every row at this version, in append order."""
+        codec = self.partition.codec
+        for payload in self.partition.batches.scan(self.watermark):
+            yield codec.decode(payload)
+
+    def keys(self) -> Iterator[Any]:
+        return iter(self.trie.keys())
+
+    def __len__(self) -> int:
+        return self.row_count
+
+
+class IndexedPartition:
+    """Mutable (append-only) storage for one hash partition.
+
+    Appends are serialized with a short lock (matching Spark's
+    one-task-per-partition model); reads are lock-free against
+    snapshots.
+    """
+
+    def __init__(
+        self,
+        schema: StructType,
+        key_ordinal: int,
+        layout: PointerLayout,
+        batch_size_bytes: int,
+        max_row_bytes: int,
+    ):
+        self.schema = schema
+        self.key_ordinal = key_ordinal
+        self.codec = RowCodec(schema, max_row_bytes)
+        self.batches = BatchManager(layout, batch_size_bytes)
+        self.trie = CTrie()
+        self._append_lock = threading.Lock()
+        self._row_count = 0
+        self._distinct_keys = 0
+
+    # -- writes ------------------------------------------------------------
+
+    def append(self, row: Sequence[Any]) -> int:
+        """Append one row; returns its packed pointer."""
+        payload = self.codec.encode(row)
+        key = row[self.key_ordinal]
+        with self._append_lock:
+            prev = self.trie.get(key, NULL_POINTER)
+            pointer = self.batches.append(payload, prev)
+            self.trie.insert(key, pointer)
+            self._row_count += 1
+            if prev == NULL_POINTER:
+                self._distinct_keys += 1
+        return pointer
+
+    def append_many(self, rows: Sequence[Sequence[Any]]) -> int:
+        """Append a batch of rows; returns how many were stored."""
+        count = 0
+        codec = self.codec
+        key_ordinal = self.key_ordinal
+        with self._append_lock:
+            trie = self.trie
+            batches = self.batches
+            fresh_keys = 0
+            for row in rows:
+                payload = codec.encode(row)
+                key = row[key_ordinal]
+                prev = trie.get(key, NULL_POINTER)
+                pointer = batches.append(payload, prev)
+                trie.insert(key, pointer)
+                count += 1
+                if prev == NULL_POINTER:
+                    fresh_keys += 1
+            self._row_count += count
+            self._distinct_keys += fresh_keys
+        return count
+
+    # -- versioning -----------------------------------------------------------
+
+    def snapshot(self) -> PartitionSnapshot:
+        """Capture a consistent point-in-time view (O(1))."""
+        with self._append_lock:
+            trie = self.trie.readonly_snapshot()
+            watermark = self.batches.watermark()
+            count = self._row_count
+            distinct = self._distinct_keys
+        return PartitionSnapshot(self, trie, watermark, count, distinct)
+
+    # -- live reads (latest version) --------------------------------------------
+
+    def lookup(self, key: Any) -> Iterator[tuple]:
+        return self.snapshot().lookup(key)
+
+    def scan(self) -> Iterator[tuple]:
+        return self.snapshot().scan()
+
+    @property
+    def row_count(self) -> int:
+        return self._row_count
+
+    def key_count(self) -> int:
+        """Distinct keys currently indexed (O(1), tracked on append)."""
+        return self._distinct_keys
+
+    # -- accounting ---------------------------------------------------------------
+
+    def memory_stats(self) -> dict[str, int]:
+        """Byte accounting for the memory-overhead benchmark."""
+        from repro.engine.cache import estimate_size
+
+        data_bytes = self.batches.used_bytes()
+        return {
+            "rows": self._row_count,
+            "data_bytes": data_bytes,
+            "allocated_bytes": self.batches.allocated_bytes(),
+            "header_bytes": self._row_count * HEADER_SIZE,
+            "index_entries": self.key_count(),
+            "index_bytes": estimate_size(self.trie.to_dict()),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"IndexedPartition(rows={self._row_count}, "
+            f"keys≈{self.key_count()}, {self.batches!r})"
+        )

@@ -1,0 +1,179 @@
+"""Indexed physical operators (paper Figure 1, "Indexed Execution").
+
+* :class:`IndexedScanExec` — full or column-pruned decode of the row
+  batches (the ``transformToRowRDD`` fallback);
+* :class:`IndexLookupExec` — cTrie point lookup(s) for equality
+  filters and ``getRows``;
+* :class:`IndexedJoinExec` — the indexed equi-join: the index is the
+  pre-built build side; the probe side is shuffled to the index's hash
+  partitions, or streamed directly when small (the broadcast fallback
+  of paper §2, "Indexed Join").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.core.indexed_rdd import IndexedRowBatchRDD, IndexLookupRDD
+from repro.core.mvcc import Version
+from repro.engine.context import EngineContext
+from repro.engine.partitioner import HashPartitioner
+from repro.engine.rdd import RDD
+from repro.sql.expressions import Attribute, Expression
+from repro.sql.physical import PhysicalPlan, bind_expression
+
+
+class IndexedScanExec(PhysicalPlan):
+    """Scan of an Indexed DataFrame version, optionally pruned.
+
+    Pruned or not, a row store must walk every stored row — which is
+    why Figure 2 shows projection *slower* than the columnar cache.
+    """
+
+    def __init__(
+        self,
+        ctx: EngineContext,
+        version: Version,
+        output: Sequence[Attribute],
+        columns: Sequence[int] | None = None,
+    ):
+        super().__init__(ctx, output)
+        self.version = version
+        self.columns = list(columns) if columns is not None else None
+
+    def execute(self) -> RDD:
+        return IndexedRowBatchRDD(self.ctx, self.version.snapshots, self.columns)
+
+    def describe(self) -> str:
+        cols = "all" if self.columns is None else self.columns
+        return f"IndexedScan[version={self.version.version_id}, columns={cols}]"
+
+
+class IndexLookupExec(PhysicalPlan):
+    """Point lookups for literal keys on the indexed column."""
+
+    def __init__(
+        self,
+        ctx: EngineContext,
+        version: Version,
+        keys: Sequence[Any],
+        output: Sequence[Attribute],
+    ):
+        super().__init__(ctx, output)
+        self.version = version
+        self.keys = list(keys)
+
+    def execute(self) -> RDD:
+        return IndexLookupRDD(self.ctx, self.version.snapshots, self.keys)
+
+    def describe(self) -> str:
+        return f"IndexLookup[keys={self.keys!r}]"
+
+
+class IndexedJoinExec(PhysicalPlan):
+    """Equi-join with the Indexed DataFrame as the build side.
+
+    ``build_on_left`` records whether the indexed relation was the left
+    operand of the logical join, so output column order matches the
+    logical plan. Probe rows whose key is NULL never match (inner-join
+    SQL semantics).
+    """
+
+    def __init__(
+        self,
+        ctx: EngineContext,
+        version: Version,
+        build_output: Sequence[Attribute],
+        probe: PhysicalPlan,
+        probe_key: Expression,
+        build_on_left: bool,
+        extra_condition: Expression | None = None,
+        broadcast_threshold: int = 0,
+        probe_rows_estimate: int | None = None,
+        build_columns: Sequence[int] | None = None,
+    ):
+        if build_on_left:
+            output = list(build_output) + list(probe.output)
+            combined = list(build_output) + list(probe.output)
+        else:
+            output = list(probe.output) + list(build_output)
+            combined = list(probe.output) + list(build_output)
+        super().__init__(ctx, output)
+        self.children = (probe,)
+        self.version = version
+        self.build_on_left = build_on_left
+        self.probe_key = bind_expression(probe_key, probe.output)
+        self.extra = (
+            bind_expression(extra_condition, combined)
+            if extra_condition is not None
+            else None
+        )
+        self.broadcast_threshold = broadcast_threshold
+        self.probe_rows_estimate = probe_rows_estimate
+        # When the logical build side was column-pruned, emit only the
+        # selected ordinals of each decoded build row.
+        self.build_columns = list(build_columns) if build_columns is not None else None
+
+    # ------------------------------------------------------------------
+
+    def _emit(
+        self,
+        snapshots: Sequence,
+        partition_of,
+        records: Iterator[tuple[Any, tuple]],
+    ) -> Iterator[tuple]:
+        build_on_left = self.build_on_left
+        extra = self.extra
+        build_columns = self.build_columns
+        for key, probe_row in records:
+            if key is None:
+                continue
+            snapshot = snapshots[partition_of(key)]
+            for build_row in snapshot.lookup(key):
+                if build_columns is not None:
+                    build_row = tuple(build_row[c] for c in build_columns)
+                combined = (
+                    build_row + probe_row if build_on_left else probe_row + build_row
+                )
+                if extra is None or extra.eval(combined) is True:
+                    yield combined
+
+    def execute(self) -> RDD:
+        snapshots = self.version.snapshots
+        n = len(snapshots)
+        partitioner = HashPartitioner(n)
+        key_expr = self.probe_key
+        keyed = self.children[0].execute().map(
+            lambda row: (key_expr.eval(row), row)
+        )
+
+        small_probe = (
+            self.probe_rows_estimate is not None
+            and self.probe_rows_estimate <= self.broadcast_threshold
+        )
+        if small_probe:
+            # Broadcast fallback: no shuffle; every probe task reaches
+            # straight into the (in-process) index partitions.
+            return keyed.map_partitions(
+                lambda records: self._emit(
+                    snapshots, partitioner.partition, records
+                )
+            )
+
+        # Shuffle the probe side to the index's hash partitions; probes
+        # are then purely partition-local.
+        shuffled = keyed.filter(lambda kv: kv[0] is not None).partition_by(partitioner)
+
+        def probe_partition(
+            index: int, records: Iterator[tuple[Any, tuple]]
+        ) -> Iterator[tuple]:
+            return self._emit(snapshots, lambda _key: index, records)
+
+        return shuffled.map_partitions_with_index(probe_partition)
+
+    def describe(self) -> str:
+        side = "left" if self.build_on_left else "right"
+        return (
+            f"IndexedJoin[build={side}, version={self.version.version_id}, "
+            f"probe_est={self.probe_rows_estimate}]"
+        )

@@ -1,0 +1,124 @@
+"""Packed 64-bit row pointers.
+
+Paper §2: *"The pointers stored both in the cTrie and in the backward
+pointer data structure are packed, dense 64-bit numbers, each
+containing the row batch number, the offset within a row batch, and
+the size of the previous row indexed on the given key."*
+
+With the paper's defaults (4 MB batches, rows up to 1 KB) the layout is
+
+    [ batch : 31 bits | offset : 22 bits | size : 11 bits ]
+
+giving 2³¹ batches per partition — the figure the paper quotes. The
+layout adapts to the configured batch/row sizes and always totals 64
+bits; the all-ones word is reserved as the NULL pointer (end of a
+backward chain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CapacityError
+
+#: End-of-chain sentinel (never a valid packed pointer).
+NULL_POINTER = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class PointerLayout:
+    """Bit widths of the three packed fields (must total ≤ 64)."""
+
+    batch_bits: int
+    offset_bits: int
+    size_bits: int
+
+    def __post_init__(self) -> None:
+        total = self.batch_bits + self.offset_bits + self.size_bits
+        if total > 64:
+            raise CapacityError(
+                f"pointer layout needs {total} bits, only 64 available "
+                f"(batch={self.batch_bits}, offset={self.offset_bits}, "
+                f"size={self.size_bits})"
+            )
+        if min(self.batch_bits, self.offset_bits, self.size_bits) < 1:
+            raise CapacityError("every pointer field needs at least one bit")
+
+    @classmethod
+    def for_geometry(cls, batch_size_bytes: int, max_row_bytes: int) -> "PointerLayout":
+        """Derive a layout from the configured batch/row geometry.
+
+        Offsets must address any byte in a batch; sizes must represent
+        any value up to ``max_row_bytes`` inclusive; the batch field
+        receives all remaining bits.
+        """
+        offset_bits = max(1, (batch_size_bytes - 1).bit_length())
+        size_bits = max(1, max_row_bytes.bit_length())
+        batch_bits = 64 - offset_bits - size_bits
+        if batch_bits < 8:
+            raise CapacityError(
+                f"batch geometry too large to pack: offset needs {offset_bits} "
+                f"bits, size needs {size_bits} bits"
+            )
+        return cls(batch_bits, offset_bits, size_bits)
+
+    # -- field limits -----------------------------------------------------
+
+    @property
+    def max_batch(self) -> int:
+        return (1 << self.batch_bits) - 2  # top value is reserved for NULL
+
+    @property
+    def max_offset(self) -> int:
+        return (1 << self.offset_bits) - 1
+
+    @property
+    def max_size(self) -> int:
+        return (1 << self.size_bits) - 1
+
+    # -- pack / unpack -----------------------------------------------------
+
+    def pack(self, batch: int, offset: int, size: int) -> int:
+        """Pack three fields into one 64-bit word."""
+        if not 0 <= batch <= self.max_batch:
+            raise CapacityError(
+                f"batch {batch} exceeds {self.batch_bits}-bit field "
+                f"(max {self.max_batch})"
+            )
+        if not 0 <= offset <= self.max_offset:
+            raise CapacityError(
+                f"offset {offset} exceeds {self.offset_bits}-bit field "
+                f"(max {self.max_offset})"
+            )
+        if not 0 <= size <= self.max_size:
+            raise CapacityError(
+                f"size {size} exceeds {self.size_bits}-bit field "
+                f"(max {self.max_size})"
+            )
+        return (
+            (batch << (self.offset_bits + self.size_bits))
+            | (offset << self.size_bits)
+            | size
+        )
+
+    def unpack(self, pointer: int) -> tuple[int, int, int]:
+        """Unpack to ``(batch, offset, size)``."""
+        if pointer == NULL_POINTER:
+            raise CapacityError("cannot unpack the NULL pointer")
+        size = pointer & self.max_size
+        offset = (pointer >> self.size_bits) & self.max_offset
+        batch = pointer >> (self.offset_bits + self.size_bits)
+        return batch, offset, size
+
+    def batch_of(self, pointer: int) -> int:
+        return pointer >> (self.offset_bits + self.size_bits)
+
+    def offset_of(self, pointer: int) -> int:
+        return (pointer >> self.size_bits) & self.max_offset
+
+    def size_of(self, pointer: int) -> int:
+        return pointer & self.max_size
+
+
+#: The paper's layout: 4 MB batches, 1 KB rows → 31/22/11 bits.
+PAPER_LAYOUT = PointerLayout.for_geometry(4 * 1024 * 1024, 1024)

@@ -1,0 +1,72 @@
+"""IndexedRelation: the logical leaf for Indexed DataFrame scans.
+
+This is the *"Indexed Catalyst Tree Node extends Catalyst Tree Node"*
+of paper Figure 1: a logical plan leaf that regular rules treat like
+any relation (so vanilla execution always remains possible), while the
+injected index-aware rules recognize it and plan indexed operators.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.mvcc import Version
+from repro.sql.expressions import Attribute
+from repro.sql.logical import LogicalPlan, ScannableLeaf
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.indexed_df import IndexedDataFrame
+
+
+class IndexedRelation(ScannableLeaf):
+    """Leaf over one MVCC version of an Indexed DataFrame.
+
+    Fresh attribute ids are minted per instantiation (like
+    :class:`~repro.sql.logical.Relation`) so self-joins disambiguate.
+    The indexed key's attribute is exposed for the planner rules.
+    """
+
+    def __init__(
+        self,
+        indexed_df: "IndexedDataFrame",
+        version: Version,
+        attributes: Sequence[Attribute] | None = None,
+    ):
+        self.indexed_df = indexed_df
+        self.version = version
+        if attributes is None:
+            attributes = [
+                Attribute(f.name, f.dtype, None, None, f.nullable)
+                for f in indexed_df.schema
+            ]
+        self._attributes = list(attributes)
+
+    def output(self) -> list[Attribute]:
+        return list(self._attributes)
+
+    @property
+    def key_attribute(self) -> Attribute:
+        return self._attributes[self.indexed_df.key_ordinal]
+
+    def estimated_rows(self) -> int:
+        return self.version.row_count()
+
+    def with_new_children(self, children: Sequence[LogicalPlan]) -> "IndexedRelation":
+        return self
+
+    def fresh_copy(self) -> "IndexedRelation":
+        """Same version, fresh attribute ids (new scan instance)."""
+        return IndexedRelation(self.indexed_df, self.version)
+
+    def scan_exec(self, ctx: "object"):
+        """Regular-execution fallback: decode the row batches (the
+        transformToRowRDD path of paper Figure 1)."""
+        from repro.core.physical import IndexedScanExec
+
+        return IndexedScanExec(ctx, self.version, self.output())
+
+    def describe(self) -> str:
+        return (
+            f"IndexedRelation[key={self.key_attribute!r}, "
+            f"version={self.version.version_id}, rows={self.estimated_rows()}]"
+        )

@@ -1,0 +1,142 @@
+"""Row batches: append-only binary buffers holding encoded rows.
+
+Each stored row occupies::
+
+    [ prev pointer : 8 bytes ]  backward pointer (packed, NULL at chain end)
+    [ length       : 2 bytes ]  payload size
+    [ payload      : n bytes ]  RowCodec-encoded row
+
+The 8-byte header *is* the paper's backward-pointer structure: a
+per-key linked list threaded through the batches.
+
+Batches are **preallocated** byte arrays written through a cursor —
+they never resize, so concurrent readers can safely hold memoryviews
+of regions below their snapshot watermark while appends continue
+beyond it. Only the append path mutates, and it is serialized by the
+owning partition (Spark runs one task per partition).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from repro.core.pointers import NULL_POINTER, PointerLayout
+from repro.errors import CapacityError
+
+_HEADER = struct.Struct("<QH")  # (prev_pointer, payload_length)
+HEADER_SIZE = _HEADER.size  # 10 bytes
+
+
+class BatchManager:
+    """A growable sequence of fixed-capacity byte buffers.
+
+    ``append`` returns the packed pointer of the stored row; ``read``
+    resolves a packed pointer back to (prev_pointer, payload memoryview).
+    """
+
+    def __init__(self, layout: PointerLayout, batch_size_bytes: int):
+        self.layout = layout
+        self.batch_size = batch_size_bytes
+        self._batches: list[bytearray] = [bytearray(batch_size_bytes)]
+        self._lengths: list[int] = [0]
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_batches(self) -> int:
+        return len(self._batches)
+
+    def used_bytes(self) -> int:
+        return sum(self._lengths)
+
+    def allocated_bytes(self) -> int:
+        return len(self._batches) * self.batch_size
+
+    # ------------------------------------------------------------------
+
+    def append(self, payload: bytes, prev_pointer: int = NULL_POINTER) -> int:
+        """Store one encoded row; returns its packed pointer.
+
+        NOT thread-safe — the owning partition serializes appends,
+        matching Spark's one-task-per-partition execution model.
+        """
+        record_size = HEADER_SIZE + len(payload)
+        if record_size > self.batch_size:
+            raise CapacityError(
+                f"record of {record_size} bytes exceeds batch size {self.batch_size}"
+            )
+        if len(payload) > self.layout.max_size:
+            raise CapacityError(
+                f"payload of {len(payload)} bytes exceeds the pointer size field"
+            )
+        used = self._lengths[-1]
+        if used + record_size > self.batch_size:
+            self._batches.append(bytearray(self.batch_size))
+            self._lengths.append(0)
+            used = 0
+            if len(self._batches) - 1 > self.layout.max_batch:
+                raise CapacityError("partition exceeded the addressable batch count")
+        batch_no = len(self._batches) - 1
+        batch = self._batches[batch_no]
+        offset = used
+        _HEADER.pack_into(batch, offset, prev_pointer, len(payload))
+        batch[offset + HEADER_SIZE : offset + record_size] = payload
+        # Publish the new length only after the bytes are in place, so a
+        # racing watermark never covers a half-written record.
+        self._lengths[batch_no] = offset + record_size
+        return self.layout.pack(batch_no, offset, len(payload))
+
+    def read(self, pointer: int) -> tuple[int, memoryview]:
+        """Resolve a packed pointer to ``(prev_pointer, payload_view)``."""
+        batch_no, offset, size = self.layout.unpack(pointer)
+        batch = self._batches[batch_no]
+        prev_pointer, length = _HEADER.unpack_from(batch, offset)
+        if length != size:
+            raise CapacityError(
+                f"pointer size {size} disagrees with stored length {length} "
+                f"(batch {batch_no}, offset {offset})"
+            )
+        start = offset + HEADER_SIZE
+        return prev_pointer, memoryview(batch)[start : start + length]
+
+    def chain(self, head: int) -> Iterator[memoryview]:
+        """Walk a backward-pointer chain from ``head`` (newest first)."""
+        pointer = head
+        while pointer != NULL_POINTER:
+            pointer, payload = self.read(pointer)
+            yield payload
+
+    def watermark(self) -> tuple[int, int]:
+        """Current append frontier: ``(batch_count, last_batch_length)``.
+
+        Records at or beyond the watermark were appended later; a
+        snapshot scan stops there.
+        """
+        count = len(self._batches)
+        return count, self._lengths[count - 1]
+
+    def scan(self, watermark: tuple[int, int] | None = None) -> Iterator[memoryview]:
+        """Yield every payload in append order, bounded by ``watermark``."""
+        if watermark is None:
+            watermark = self.watermark()
+        batch_count, last_length = watermark
+        for batch_no in range(batch_count):
+            batch = self._batches[batch_no]
+            if batch_no == batch_count - 1:
+                end = last_length
+            else:
+                end = self._lengths[batch_no]
+            view = memoryview(batch)
+            offset = 0
+            while offset < end:
+                _prev, length = _HEADER.unpack_from(batch, offset)
+                start = offset + HEADER_SIZE
+                yield view[start : start + length]
+                offset = start + length
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchManager({self.num_batches} batches, "
+            f"{self.used_bytes()} bytes used)"
+        )

@@ -1,0 +1,179 @@
+"""Binary row encoding (the "unsafe array" format of the row batches).
+
+Layout of one encoded row, in the family of Spark's UnsafeRow::
+
+    [ null bitmap : ceil(n/8) bytes ]
+    [ fixed region: one slot per field ]
+    [ variable region: string/bytes payloads ]
+
+Fixed-width fields (ints, doubles, booleans, timestamps) occupy their
+natural width in the fixed region. Variable-width fields (strings,
+bytes) occupy a 4-byte slot — ``(offset:u16, length:u16)`` relative to
+the row start — pointing into the variable region.
+
+A :class:`RowCodec` is built once per schema and reused for every
+row; encoding and decoding are symmetric and round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Sequence
+
+from repro.errors import CapacityError, SchemaError
+from repro.sql.types import BinaryType, DataType, StringType, StructType
+
+_VAR_SLOT = struct.Struct("<HH")  # (offset, length) for var-width fields
+
+
+class RowCodec:
+    """Schema-driven encoder/decoder for row tuples."""
+
+    def __init__(self, schema: StructType, max_row_bytes: int = 1024):
+        self.schema = schema
+        self.max_row_bytes = max_row_bytes
+        self._n = len(schema)
+        self._bitmap_bytes = (self._n + 7) // 8
+
+        self._is_var: list[bool] = []
+        self._structs: list[struct.Struct | None] = []
+        self._slots: list[int] = []
+        cursor = self._bitmap_bytes
+        for field in schema:
+            dtype: DataType = field.dtype
+            if isinstance(dtype, (StringType, BinaryType)):
+                self._is_var.append(True)
+                self._structs.append(None)
+                self._slots.append(cursor)
+                cursor += _VAR_SLOT.size
+            else:
+                if dtype.struct_code is None or dtype.fixed_width is None:
+                    raise SchemaError(f"type {dtype!r} is not encodable")
+                self._is_var.append(False)
+                self._structs.append(struct.Struct("<" + dtype.struct_code))
+                self._slots.append(cursor)
+                cursor += dtype.fixed_width
+        self._fixed_end = cursor
+        self._string_fields = [
+            i for i, f in enumerate(schema) if isinstance(f.dtype, StringType)
+        ]
+
+        # Fast path: with no var-width fields, the whole fixed region
+        # decodes with ONE struct call when the null bitmap is clear —
+        # the moral equivalent of Spark's word-aligned UnsafeRow reads.
+        if not any(self._is_var):
+            fmt = "<" + "".join(
+                f.dtype.struct_code for f in schema  # type: ignore[misc]
+            )
+            self._fast_struct: struct.Struct | None = struct.Struct(fmt)
+        else:
+            self._fast_struct = None
+        self._zero_bitmap = bytes(self._bitmap_bytes)
+
+    @property
+    def fixed_size(self) -> int:
+        """Encoded size of a row with empty variable region."""
+        return self._fixed_end
+
+    # ------------------------------------------------------------------
+
+    def encode(self, row: Sequence[Any]) -> bytes:
+        """Encode a tuple; raises :class:`CapacityError` beyond the
+        configured maximum row size."""
+        if len(row) != self._n:
+            raise SchemaError(
+                f"row has {len(row)} values, codec expects {self._n}"
+            )
+        if self._fast_struct is not None and None not in row:
+            buf = bytearray(self._fixed_end)
+            try:
+                self._fast_struct.pack_into(buf, self._bitmap_bytes, *row)
+            except struct.error as exc:
+                raise SchemaError(f"row {row!r} does not fit schema: {exc}") from exc
+            return bytes(buf)
+        # Variable payloads first, to know the total size.
+        var_payloads: list[bytes | None] = [None] * self._n
+        var_total = 0
+        for i, value in enumerate(row):
+            if self._is_var[i] and value is not None:
+                payload = value.encode("utf-8") if isinstance(value, str) else bytes(value)
+                var_payloads[i] = payload
+                var_total += len(payload)
+
+        total = self._fixed_end + var_total
+        if total > self.max_row_bytes:
+            raise CapacityError(
+                f"encoded row is {total} bytes, exceeding the configured "
+                f"maximum of {self.max_row_bytes}"
+            )
+        if total > 0xFFFF:
+            raise CapacityError("row exceeds 64 KiB addressing of var slots")
+
+        buf = bytearray(total)
+        var_cursor = self._fixed_end
+        for i, value in enumerate(row):
+            if value is None:
+                buf[i >> 3] |= 1 << (i & 7)
+                continue
+            slot = self._slots[i]
+            if self._is_var[i]:
+                payload = var_payloads[i]
+                assert payload is not None
+                _VAR_SLOT.pack_into(buf, slot, var_cursor, len(payload))
+                buf[var_cursor : var_cursor + len(payload)] = payload
+                var_cursor += len(payload)
+            else:
+                packer = self._structs[i]
+                assert packer is not None
+                try:
+                    packer.pack_into(buf, slot, value)
+                except struct.error as exc:
+                    raise SchemaError(
+                        f"value {value!r} does not fit field "
+                        f"{self.schema[i].name!r}: {exc}"
+                    ) from exc
+        return bytes(buf)
+
+    def decode(self, buffer: bytes | bytearray | memoryview, base: int = 0) -> tuple:
+        """Decode one row starting at ``base`` in ``buffer``."""
+        if self._fast_struct is not None and (
+            buffer[base : base + self._bitmap_bytes] == self._zero_bitmap
+        ):
+            return self._fast_struct.unpack_from(buffer, base + self._bitmap_bytes)
+        out: list[Any] = [None] * self._n
+        for i in range(self._n):
+            if buffer[base + (i >> 3)] & (1 << (i & 7)):
+                continue
+            slot = base + self._slots[i]
+            if self._is_var[i]:
+                offset, length = _VAR_SLOT.unpack_from(buffer, slot)
+                raw = bytes(buffer[base + offset : base + offset + length])
+                out[i] = raw.decode("utf-8") if i in self._string_set else raw
+            else:
+                unpacker = self._structs[i]
+                assert unpacker is not None
+                out[i] = unpacker.unpack_from(buffer, slot)[0]
+        return tuple(out)
+
+    def decode_field(
+        self, buffer: bytes | bytearray | memoryview, base: int, index: int
+    ) -> Any:
+        """Decode a single field without materializing the whole row."""
+        if buffer[base + (index >> 3)] & (1 << (index & 7)):
+            return None
+        slot = base + self._slots[index]
+        if self._is_var[index]:
+            offset, length = _VAR_SLOT.unpack_from(buffer, slot)
+            raw = bytes(buffer[base + offset : base + offset + length])
+            return raw.decode("utf-8") if index in self._string_set else raw
+        unpacker = self._structs[index]
+        assert unpacker is not None
+        return unpacker.unpack_from(buffer, slot)[0]
+
+    @property
+    def _string_set(self) -> frozenset[int]:
+        cached = getattr(self, "_string_set_cache", None)
+        if cached is None:
+            cached = frozenset(self._string_fields)
+            self._string_set_cache = cached
+        return cached

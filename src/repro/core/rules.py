@@ -1,0 +1,246 @@
+"""Catalyst integration: index-aware optimizer rule and planner strategy.
+
+Paper §2, *Integration with Catalyst*: the library adds optimization
+rules so that regular SQL / DataFrame queries become index-aware —
+equality filters on the indexed column turn into cTrie lookups,
+equi-joins against an indexed relation turn into indexed joins with
+the index as the pre-built build side, and everything else falls back
+to vanilla execution on top of the row-batch scan.
+
+:func:`enable_indexing` performs the whole injection on a session —
+the Python analogue of importing the library's Scala implicits.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.indexed_df import create_index
+from repro.core.physical import IndexedJoinExec, IndexedScanExec, IndexLookupExec
+from repro.core.relation import IndexedRelation
+from repro.sql.expressions import (
+    Attribute,
+    EqualTo,
+    Expression,
+    In,
+    Literal,
+    combine_conjuncts,
+    split_conjuncts,
+    strip_alias,
+)
+from repro.sql.logical import Filter, Join, LogicalPlan, Project
+from repro.sql.physical import FilterExec, PhysicalPlan
+from repro.sql.planner import Planner, estimate_rows, extract_equi_join_keys
+
+
+class IndexLookup(LogicalPlan):
+    """Logical point lookup: ``key IN literals`` on the indexed column.
+
+    Produced by :func:`index_lookup_rewrite`; lowered to
+    :class:`~repro.core.physical.IndexLookupExec` by the strategy.
+    """
+
+    def __init__(self, relation: IndexedRelation, keys: Sequence[object]):
+        self.relation = relation
+        self.keys = list(keys)
+
+    def output(self) -> list[Attribute]:
+        return self.relation.output()
+
+    def estimated_rows(self) -> int:
+        """Keys × average chain length (rows per distinct key)."""
+        total = self.relation.version.row_count()
+        distinct = sum(
+            snapshot.distinct_keys for snapshot in self.relation.version.snapshots
+        )
+        average_chain = max(1, total // max(1, distinct))
+        return len(self.keys) * average_chain
+
+    def with_new_children(self, children: Sequence[LogicalPlan]) -> "IndexLookup":
+        return self
+
+    def describe(self) -> str:
+        return f"IndexLookup[{self.relation.key_attribute!r} IN {self.keys!r}]"
+
+
+# ----------------------------------------------------------------------
+# Logical rule
+# ----------------------------------------------------------------------
+
+
+def _literal_keys(conjunct: Expression, key: Attribute) -> list[object] | None:
+    """Keys if ``conjunct`` is an equality/IN on the indexed column."""
+    if isinstance(conjunct, EqualTo):
+        left, right = conjunct.left, conjunct.right
+        if isinstance(left, Attribute) and left.expr_id == key.expr_id and isinstance(
+            right, Literal
+        ):
+            return [right.value]
+        if isinstance(right, Attribute) and right.expr_id == key.expr_id and isinstance(
+            left, Literal
+        ):
+            return [left.value]
+    if isinstance(conjunct, In):
+        if (
+            isinstance(conjunct.value, Attribute)
+            and conjunct.value.expr_id == key.expr_id
+            and all(isinstance(o, Literal) for o in conjunct.options)
+        ):
+            return [o.value for o in conjunct.options]  # type: ignore[union-attr]
+    return None
+
+
+def index_lookup_rewrite(plan: LogicalPlan) -> LogicalPlan:
+    """Rewrite ``Filter(key = lit, IndexedRelation)`` into a logical
+    :class:`IndexLookup` (plus a residual filter if needed)."""
+
+    def rewrite(node: LogicalPlan) -> LogicalPlan:
+        if not (isinstance(node, Filter) and isinstance(node.child, IndexedRelation)):
+            return node
+        relation = node.child
+        key = relation.key_attribute
+        keys: list[object] | None = None
+        residual: list[Expression] = []
+        for conjunct in split_conjuncts(node.condition):
+            found = _literal_keys(conjunct, key) if keys is None else None
+            if found is not None:
+                keys = found
+            else:
+                residual.append(conjunct)
+        if keys is None:
+            return node
+        lookup: LogicalPlan = IndexLookup(relation, [k for k in keys if k is not None])
+        rest = combine_conjuncts(residual)
+        return Filter(rest, lookup) if rest is not None else lookup
+
+    return plan.transform_up(rewrite)
+
+
+# ----------------------------------------------------------------------
+# Planner strategy
+# ----------------------------------------------------------------------
+
+
+def _unwrap_indexed(
+    plan: LogicalPlan,
+) -> tuple[IndexedRelation, list[int] | None] | None:
+    """Recognize an IndexedRelation, possibly under a column-pruning
+    Project; returns (relation, selected ordinals or None)."""
+    if isinstance(plan, IndexedRelation):
+        return plan, None
+    if isinstance(plan, Project) and isinstance(plan.child, IndexedRelation):
+        relation = plan.child
+        positions = {a.expr_id: i for i, a in enumerate(relation.output())}
+        columns: list[int] = []
+        for expr in plan.project_list:
+            if not isinstance(expr, Attribute) or expr.expr_id not in positions:
+                return None
+            columns.append(positions[expr.expr_id])
+        return relation, columns
+    return None
+
+
+def _plan_indexed_join(join: Join, planner: Planner) -> PhysicalPlan | None:
+    if join.how != "inner":
+        return None
+    keys = extract_equi_join_keys(join)
+    if keys is None:
+        return None
+    left_keys, right_keys, extra = keys
+
+    for build_on_left in (True, False):
+        side = join.left if build_on_left else join.right
+        probe_side = join.right if build_on_left else join.left
+        unwrapped = _unwrap_indexed(side)
+        if unwrapped is None:
+            continue
+        relation, build_columns = unwrapped
+        key_attr = relation.key_attribute
+        own_keys = left_keys if build_on_left else right_keys
+        other_keys = right_keys if build_on_left else left_keys
+
+        probe_key: Expression | None = None
+        residual_pairs: list[Expression] = []
+        for own, other in zip(own_keys, other_keys):
+            stripped = strip_alias(own)
+            if (
+                probe_key is None
+                and isinstance(stripped, Attribute)
+                and stripped.expr_id == key_attr.expr_id
+            ):
+                probe_key = other
+            else:
+                residual_pairs.append(EqualTo(own, other))
+        if probe_key is None:
+            continue
+
+        conditions = list(residual_pairs)
+        if extra is not None:
+            conditions.append(extra)
+        extra_condition = combine_conjuncts(conditions)
+
+        probe_plan = planner.plan(probe_side)
+        build_output = side.output()
+        return IndexedJoinExec(
+            planner.ctx,
+            relation.version,
+            build_output,
+            probe_plan,
+            probe_key,
+            build_on_left,
+            extra_condition,
+            broadcast_threshold=planner.config.broadcast_threshold,
+            probe_rows_estimate=estimate_rows(probe_side),
+            build_columns=build_columns,
+        )
+    return None
+
+
+def indexed_strategy(plan: LogicalPlan, planner: Planner) -> PhysicalPlan | None:
+    """Lower indexed logical nodes; return None to fall back to the
+    vanilla strategy (paper Figure 1's dual execution paths)."""
+    if isinstance(plan, IndexLookup):
+        return IndexLookupExec(
+            planner.ctx, plan.relation.version, plan.keys, plan.output()
+        )
+    if isinstance(plan, Filter) and isinstance(plan.child, IndexLookup):
+        child = indexed_strategy(plan.child, planner)
+        assert child is not None
+        return FilterExec(plan.condition, child)
+    if isinstance(plan, IndexedRelation):
+        return IndexedScanExec(planner.ctx, plan.version, plan.output())
+    if isinstance(plan, Project):
+        unwrapped = _unwrap_indexed(plan)
+        if unwrapped is not None:
+            relation, columns = unwrapped
+            return IndexedScanExec(planner.ctx, relation.version, plan.output(), columns)
+        return None
+    if isinstance(plan, Join):
+        return _plan_indexed_join(plan, planner)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Session wiring
+# ----------------------------------------------------------------------
+
+
+def enable_indexing(session: "object") -> None:
+    """Inject the indexed rule + strategy into a session and add the
+    ``DataFrame.create_index`` method (the implicit-conversion analogue
+    of Listing 1's ``regularDF.createIndex``)."""
+    from repro.sql.dataframe import DataFrame
+    from repro.sql.session import Session
+
+    assert isinstance(session, Session)
+    if index_lookup_rewrite not in session.extensions.optimizer_rules:
+        session.extensions.inject_optimizer_rule(index_lookup_rewrite)
+    if indexed_strategy not in session.extensions.planner_strategies:
+        session.extensions.inject_planner_strategy(indexed_strategy)
+    session._rebuild_pipeline()
+
+    if not hasattr(DataFrame, "create_index"):
+        def _create_index(self: DataFrame, column: str | int, num_partitions: int | None = None):
+            return create_index(self, column, num_partitions)
+
+        DataFrame.create_index = _create_index  # type: ignore[attr-defined]

@@ -1,0 +1,53 @@
+"""Atomic reference cells with compare-and-set.
+
+CPython has no user-level CAS instruction, so we emulate one with a
+per-cell lock. The lock is held only for the pointer comparison and
+swap — the algorithms built on top (GCAS, RDCSS) retain their retry
+structure and their semantics; only the progress guarantee weakens from
+lock-free to fine-grained blocking, which is invisible to the paper's
+evaluation (single process, GIL).
+
+Comparison is by identity (``is``), exactly like a hardware CAS on a
+pointer.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+
+class AtomicReference:
+    """A mutable cell supporting get / set / compare_and_set."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, value: Any = None):
+        self._value = value
+        self._lock = threading.Lock()
+
+    def get(self) -> Any:
+        # A plain read is atomic under the GIL.
+        return self._value
+
+    def set(self, value: Any) -> None:
+        with self._lock:
+            self._value = value
+
+    def compare_and_set(self, expect: Any, update: Any) -> bool:
+        """Atomically set to ``update`` iff the current value *is*
+        ``expect``. Returns True on success."""
+        with self._lock:
+            if self._value is expect:
+                self._value = update
+                return True
+            return False
+
+    def get_and_set(self, value: Any) -> Any:
+        with self._lock:
+            old = self._value
+            self._value = value
+            return old
+
+    def __repr__(self) -> str:
+        return f"AtomicReference({self._value!r})"

@@ -1,0 +1,33 @@
+"""Spark-core substrate: RDDs, DAG scheduler, shuffle, cache, broadcast.
+
+This package is a faithful, single-process analogue of the Spark core
+execution model the paper builds on:
+
+* :class:`~repro.engine.rdd.RDD` — lazy, partitioned, immutable
+  collections with narrow and shuffle dependencies;
+* :class:`~repro.engine.scheduler.DAGScheduler` — splits the dependency
+  graph into stages at shuffle boundaries and runs each stage's tasks on
+  a thread pool (our stand-in for a cluster of executors);
+* :class:`~repro.engine.shuffle.ShuffleManager` — in-memory map-output
+  registry used by wide dependencies;
+* :class:`~repro.engine.cache.BlockManager` — per-partition cache with
+  LRU eviction, the substrate the Indexed DataFrame "stays cached" in;
+* :class:`~repro.engine.context.EngineContext` — the ``SparkContext``
+  analogue tying the pieces together.
+"""
+
+from repro.engine.accumulators import Accumulator, list_accumulator, long_accumulator
+from repro.engine.context import EngineContext
+from repro.engine.partitioner import HashPartitioner, Partitioner, RangePartitioner
+from repro.engine.rdd import RDD
+
+__all__ = [
+    "Accumulator",
+    "long_accumulator",
+    "list_accumulator",
+    "EngineContext",
+    "HashPartitioner",
+    "Partitioner",
+    "RangePartitioner",
+    "RDD",
+]

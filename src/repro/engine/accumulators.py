@@ -1,0 +1,60 @@
+"""Accumulators: write-only shared counters for tasks.
+
+The Spark primitive for side-channel metrics (rows seen, bad records,
+bytes read). Tasks only ``add``; the driver reads ``value``. Thread
+safe, since tasks of one stage run concurrently on the pool.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Callable, Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class Accumulator(Generic[T]):
+    """A commutative, associative accumulator."""
+
+    _ids = itertools.count()
+
+    def __init__(self, zero: T, op: Callable[[T, T], T], name: str | None = None):
+        self.accumulator_id = next(Accumulator._ids)
+        self.name = name or f"accumulator_{self.accumulator_id}"
+        self._zero = zero
+        self._op = op
+        self._value = zero
+        self._lock = threading.Lock()
+
+    def add(self, amount: T) -> None:
+        """Fold ``amount`` into the accumulator (callable from tasks)."""
+        with self._lock:
+            self._value = self._op(self._value, amount)
+
+    def __iadd__(self, amount: T) -> "Accumulator[T]":
+        self.add(amount)
+        return self
+
+    @property
+    def value(self) -> T:
+        """Driver-side read of the current total."""
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = self._zero
+
+    def __repr__(self) -> str:
+        return f"Accumulator({self.name}={self.value!r})"
+
+
+def long_accumulator(name: str | None = None) -> Accumulator[int]:
+    """A counting accumulator starting at 0."""
+    return Accumulator(0, lambda a, b: a + b, name)
+
+
+def list_accumulator(name: str | None = None) -> Accumulator[list]:
+    """Collects items (e.g. sampled bad records)."""
+    return Accumulator([], lambda a, b: a + [b], name)

@@ -1,0 +1,103 @@
+"""EngineContext: the ``SparkContext`` analogue.
+
+Owns the shuffle manager, the block-manager cache, the executor thread
+pool, and the DAG scheduler, and is the factory for source RDDs and
+broadcast variables. One context per :class:`~repro.sql.session.Session`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Iterator, Sequence, TypeVar
+
+from repro.config import Config
+from repro.engine.accumulators import Accumulator, list_accumulator, long_accumulator
+from repro.engine.broadcast import Broadcast
+from repro.engine.cache import BlockManager
+from repro.engine.rdd import RDD, ParallelCollectionRDD
+from repro.engine.scheduler import DAGScheduler
+from repro.engine.shuffle import ShuffleManager
+
+T = TypeVar("T")
+
+
+class EngineContext:
+    """Entry point to the execution engine.
+
+    Typical use::
+
+        ctx = EngineContext(Config(executor_threads=4))
+        rdd = ctx.parallelize(range(1000), 8)
+        total = rdd.map(lambda x: x * x).sum()
+        ctx.stop()
+
+    Contexts are also context managers, closing the pool on exit.
+    """
+
+    def __init__(self, config: Config | None = None):
+        self.config = config or Config()
+        self.shuffle_manager = ShuffleManager()
+        self.block_manager = BlockManager(self.config.cache_capacity_bytes)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.executor_threads,
+            thread_name_prefix="repro-executor",
+        )
+        self.scheduler = DAGScheduler(self.shuffle_manager, self._pool)
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # RDD and broadcast factories
+    # ------------------------------------------------------------------
+
+    def parallelize(self, data: Sequence[Any], num_slices: int | None = None) -> RDD:
+        """Create an RDD from a local sequence."""
+        n = num_slices or self.config.default_parallelism
+        return ParallelCollectionRDD(self, data, n)
+
+    def empty_rdd(self) -> RDD:
+        return ParallelCollectionRDD(self, [], 1)
+
+    def broadcast(self, value: T) -> Broadcast[T]:
+        """Share a read-only value with every task."""
+        return Broadcast(value)
+
+    def long_accumulator(self, name: str | None = None) -> Accumulator[int]:
+        """A shared counter tasks can add to (driver reads .value)."""
+        return long_accumulator(name)
+
+    def list_accumulator(self, name: str | None = None) -> Accumulator[list]:
+        """A shared collector (e.g. for sampled bad records)."""
+        return list_accumulator(name)
+
+    # ------------------------------------------------------------------
+    # Job submission
+    # ------------------------------------------------------------------
+
+    def run_job(
+        self,
+        rdd: RDD,
+        func: Callable[[Iterator[Any]], Any],
+        partitions: Sequence[int] | None = None,
+    ) -> list[Any]:
+        if self._stopped:
+            raise RuntimeError("EngineContext is stopped")
+        return self.scheduler.run_job(rdd, func, partitions)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def stop(self) -> None:
+        if not self._stopped:
+            self._stopped = True
+            self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "EngineContext":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        state = "stopped" if self._stopped else "running"
+        return f"EngineContext(threads={self.config.executor_threads}, {state})"

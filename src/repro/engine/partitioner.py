@@ -1,0 +1,130 @@
+"""Partitioners: deciding which reduce partition a key lands in.
+
+The Indexed DataFrame is hash-partitioned on its indexed column (paper
+§2, "Index Creation"), so :class:`HashPartitioner` equality is what lets
+the planner elide a shuffle when the probe side of an indexed join is
+already co-partitioned with the index.
+"""
+
+from __future__ import annotations
+
+import bisect
+from abc import ABC, abstractmethod
+from typing import Any, Sequence
+
+
+def portable_hash(key: Any) -> int:
+    """Deterministic, non-negative hash for partitioning.
+
+    Python's built-in ``hash`` is salted per-process for strings; we
+    need a stable value so that re-partitioning the same key always
+    lands in the same partition (and so tests are reproducible). Small
+    fixed-width mixing of the repr-independent value.
+    """
+    if key is None:
+        return 0
+    if isinstance(key, int):
+        # bools intentionally take this path too: True == 1 in Python,
+        # so equal keys must hash equally.
+        # splitmix64 finalizer: consecutive ids spread across partitions.
+        h = (key * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        h = ((h ^ (h >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        h = ((h ^ (h >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+        return (h ^ (h >> 31)) & 0x7FFFFFFFFFFFFFFF
+    if isinstance(key, float):
+        if key.is_integer():
+            return portable_hash(int(key))
+        return hash(key) & 0x7FFFFFFFFFFFFFFF
+    if isinstance(key, str):
+        h = 0xCBF29CE484222325
+        for ch in key.encode("utf-8"):
+            h ^= ch
+            h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        return h & 0x7FFFFFFFFFFFFFFF
+    if isinstance(key, bytes):
+        h = 0xCBF29CE484222325
+        for ch in key:
+            h ^= ch
+            h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        return h & 0x7FFFFFFFFFFFFFFF
+    if isinstance(key, tuple):
+        h = 0x345678
+        for item in key:
+            h = (h * 1000003) ^ portable_hash(item)
+            h &= 0xFFFFFFFFFFFFFFFF
+        return h & 0x7FFFFFFFFFFFFFFF
+    return hash(key) & 0x7FFFFFFFFFFFFFFF
+
+
+class Partitioner(ABC):
+    """Maps keys to partition indices in ``[0, num_partitions)``."""
+
+    def __init__(self, num_partitions: int):
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        self.num_partitions = num_partitions
+
+    @abstractmethod
+    def partition(self, key: Any) -> int:
+        """Return the partition index for ``key``."""
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(self) is type(other)
+            and self.num_partitions == other.num_partitions  # type: ignore[attr-defined]
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.num_partitions))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.num_partitions})"
+
+
+class HashPartitioner(Partitioner):
+    """Partition by ``portable_hash(key) % num_partitions``."""
+
+    def partition(self, key: Any) -> int:
+        return portable_hash(key) % self.num_partitions
+
+
+class RangePartitioner(Partitioner):
+    """Partition by key range, given sorted split bounds.
+
+    ``bounds`` has ``num_partitions - 1`` entries; keys ``<= bounds[i]``
+    go to partition ``i``, keys above the last bound go to the final
+    partition. Used by sort-based operators.
+    """
+
+    def __init__(self, bounds: Sequence[Any]):
+        super().__init__(len(bounds) + 1)
+        self.bounds = list(bounds)
+
+    @classmethod
+    def from_sample(cls, sample: Sequence[Any], num_partitions: int) -> "RangePartitioner":
+        """Build bounds from a sample of keys (Spark's reservoir trick,
+        simplified to a sort + evenly spaced picks)."""
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        ordered = sorted(sample)
+        if num_partitions == 1 or not ordered:
+            return cls([])
+        step = len(ordered) / num_partitions
+        bounds = []
+        for i in range(1, num_partitions):
+            bounds.append(ordered[min(int(i * step), len(ordered) - 1)])
+        # Dedupe while preserving order; fewer bounds = fewer partitions.
+        unique: list[Any] = []
+        for b in bounds:
+            if not unique or b != unique[-1]:
+                unique.append(b)
+        return cls(unique)
+
+    def partition(self, key: Any) -> int:
+        return bisect.bisect_left(self.bounds, key)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RangePartitioner) and self.bounds == other.bounds
+
+    def __hash__(self) -> int:
+        return hash(("RangePartitioner", tuple(self.bounds)))

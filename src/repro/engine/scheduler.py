@@ -1,0 +1,183 @@
+"""DAG scheduler: stages split at shuffle boundaries, tasks on a pool.
+
+Given an action on a target RDD, the scheduler
+
+1. walks the lineage graph and collects every *incomplete* shuffle
+   dependency reachable from the target;
+2. topologically orders those shuffles (a shuffle can only run once the
+   shuffles *it* depends on have produced their map outputs);
+3. runs one *map stage* per shuffle — a task per parent partition that
+   writes bucketed map output into the shuffle manager;
+4. runs the *result stage* — a task per requested target partition that
+   applies the action's function to the partition iterator.
+
+Tasks of one stage run concurrently on the executor pool; stages run
+in sequence, exactly as in Spark.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
+
+from repro.engine.rdd import RDD, ShuffleDependencyEdge
+from repro.engine.shuffle import ShuffleDependency, ShuffleManager
+from repro.errors import TaskError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.context import EngineContext
+
+
+@dataclass
+class JobMetrics:
+    """Per-job counters surfaced by the benchmark harness."""
+
+    job_id: int
+    stages: int = 0
+    tasks: int = 0
+    shuffle_records: int = 0
+
+
+@dataclass
+class SchedulerMetrics:
+    """Cumulative scheduler counters."""
+
+    jobs: int = 0
+    stages: int = 0
+    tasks: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record_job(self, job: JobMetrics) -> None:
+        with self._lock:
+            self.jobs += 1
+            self.stages += job.stages
+            self.tasks += job.tasks
+
+
+class DAGScheduler:
+    """Runs jobs for an :class:`~repro.engine.context.EngineContext`."""
+
+    _job_ids = itertools.count()
+
+    def __init__(self, shuffle_manager: ShuffleManager, pool: ThreadPoolExecutor):
+        self._shuffles = shuffle_manager
+        self._pool = pool
+        # Serialize whole jobs: tasks within a stage are parallel, but two
+        # concurrent jobs sharing lineage would race on map-output state.
+        self._job_lock = threading.RLock()
+        self.metrics = SchedulerMetrics()
+
+    # ------------------------------------------------------------------
+
+    def run_job(
+        self,
+        rdd: RDD,
+        func: Callable[[Iterator[Any]], Any],
+        partitions: Sequence[int] | None = None,
+    ) -> list[Any]:
+        """Run ``func`` over the given partitions of ``rdd``; returns the
+        per-partition results in partition order."""
+        if partitions is None:
+            partitions = range(rdd.num_partitions)
+        job = JobMetrics(job_id=next(DAGScheduler._job_ids))
+        with self._job_lock:
+            for dep in self._missing_shuffles(rdd):
+                self._run_map_stage(dep, job)
+            results = self._run_result_stage(rdd, func, partitions, job)
+        self.metrics.record_job(job)
+        return results
+
+    # ------------------------------------------------------------------
+
+    def _missing_shuffles(self, rdd: RDD) -> list[ShuffleDependency]:
+        """Incomplete shuffles reachable from ``rdd`` in execution order
+        (parents before children)."""
+        ordered: list[ShuffleDependency] = []
+        seen_rdds: set[int] = set()
+        seen_shuffles: set[int] = set()
+
+        def visit(node: RDD) -> None:
+            if node.rdd_id in seen_rdds:
+                return
+            seen_rdds.add(node.rdd_id)
+            # A cached RDD whose every partition is stored needs no
+            # upstream recomputation: its shuffles can be skipped.
+            if node.is_cached and self._fully_cached(node):
+                return
+            for edge in node.dependencies:
+                visit(edge.rdd)
+                if isinstance(edge, ShuffleDependencyEdge):
+                    dep = edge.shuffle
+                    if dep.shuffle_id in seen_shuffles:
+                        continue
+                    seen_shuffles.add(dep.shuffle_id)
+                    if not self._shuffles.is_complete(dep.shuffle_id):
+                        ordered.append(dep)
+
+        visit(rdd)
+        return ordered
+
+    def _fully_cached(self, rdd: RDD) -> bool:
+        bm = rdd.context.block_manager
+        return all(bm.contains((rdd.rdd_id, p)) for p in range(rdd.num_partitions))
+
+    def _run_map_stage(self, dep: ShuffleDependency, job: JobMetrics) -> None:
+        parent: RDD = dep.rdd
+        num_maps = parent.num_partitions
+        self._shuffles.register_shuffle(dep.shuffle_id, num_maps)
+        stage_id = job.stages
+        job.stages += 1
+
+        def map_task(map_index: int) -> None:
+            try:
+                records = parent.iterator(map_index)
+                self._shuffles.write_map_output(dep, map_index, records)
+            except TaskError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - wrap any task failure
+                raise TaskError(stage_id, map_index, exc) from exc
+
+        job.tasks += num_maps
+        self._run_all(map_task, range(num_maps))
+
+    def _run_result_stage(
+        self,
+        rdd: RDD,
+        func: Callable[[Iterator[Any]], Any],
+        partitions: Sequence[int],
+        job: JobMetrics,
+    ) -> list[Any]:
+        stage_id = job.stages
+        job.stages += 1
+        job.tasks += len(partitions)
+
+        def result_task(split: int) -> Any:
+            try:
+                return func(rdd.iterator(split))
+            except TaskError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - wrap any task failure
+                raise TaskError(stage_id, split, exc) from exc
+
+        return self._run_all(result_task, partitions)
+
+    def _run_all(self, task: Callable[[int], Any], splits: Sequence[int]) -> list[Any]:
+        splits = list(splits)
+        if len(splits) <= 1:
+            return [task(s) for s in splits]
+        futures = [self._pool.submit(task, s) for s in splits]
+        results = []
+        first_error: BaseException | None = None
+        for fut in futures:
+            try:
+                results.append(fut.result())
+            except BaseException as exc:  # noqa: BLE001 - propagate after drain
+                if first_error is None:
+                    first_error = exc
+                results.append(None)
+        if first_error is not None:
+            raise first_error
+        return results

@@ -1,0 +1,149 @@
+"""In-memory shuffle: map-output registry and fetch API.
+
+A :class:`ShuffleDependency` marks a stage boundary. During the map
+stage each map task partitions its key-value output into
+``num_partitions`` buckets and registers them here; reduce tasks fetch
+the bucket with their index from every map output. This mirrors Spark's
+hash shuffle with all blocks held in process memory.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.engine.partitioner import Partitioner
+from repro.errors import EngineError
+
+
+@dataclass
+class Aggregator:
+    """Optional map-side combine, as in ``reduceByKey``.
+
+    ``create`` builds an accumulator from the first value, ``merge``
+    folds another value in, and ``combine`` merges two accumulators on
+    the reduce side.
+    """
+
+    create: Callable[[Any], Any]
+    merge: Callable[[Any, Any], Any]
+    combine: Callable[[Any, Any], Any]
+
+
+class ShuffleDependency:
+    """Wide dependency on ``rdd``, partitioned by ``partitioner``.
+
+    The parent RDD must produce ``(key, value)`` pairs.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        rdd: "Any",
+        partitioner: Partitioner,
+        aggregator: Aggregator | None = None,
+        map_side_combine: bool = False,
+    ):
+        if map_side_combine and aggregator is None:
+            raise EngineError("map_side_combine requires an aggregator")
+        self.shuffle_id = next(ShuffleDependency._ids)
+        self.rdd = rdd
+        self.partitioner = partitioner
+        self.aggregator = aggregator
+        self.map_side_combine = map_side_combine
+
+
+@dataclass
+class _ShuffleState:
+    """Map outputs for one shuffle: ``outputs[map_idx][reduce_idx]``."""
+
+    num_maps: int
+    outputs: dict[int, list[list[Any]]] = field(default_factory=dict)
+
+    def complete(self) -> bool:
+        return len(self.outputs) == self.num_maps
+
+
+class ShuffleManager:
+    """Registry of map outputs keyed by shuffle id.
+
+    Thread-safe: map tasks from one stage register concurrently.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._shuffles: dict[int, _ShuffleState] = {}
+
+    def register_shuffle(self, shuffle_id: int, num_maps: int) -> None:
+        """Declare a shuffle before its map stage runs (idempotent)."""
+        with self._lock:
+            if shuffle_id not in self._shuffles:
+                self._shuffles[shuffle_id] = _ShuffleState(num_maps=num_maps)
+
+    def is_complete(self, shuffle_id: int) -> bool:
+        with self._lock:
+            state = self._shuffles.get(shuffle_id)
+            return state is not None and state.complete()
+
+    def write_map_output(
+        self,
+        dep: ShuffleDependency,
+        map_index: int,
+        records: Iterable[tuple[Any, Any]],
+    ) -> None:
+        """Partition one map task's records into reduce buckets."""
+        n = dep.partitioner.num_partitions
+        buckets: list[list[Any]] = [[] for _ in range(n)]
+        if dep.map_side_combine and dep.aggregator is not None:
+            agg = dep.aggregator
+            combined: list[dict[Any, Any]] = [dict() for _ in range(n)]
+            for key, value in records:
+                bucket = combined[dep.partitioner.partition(key)]
+                if key in bucket:
+                    bucket[key] = agg.merge(bucket[key], value)
+                else:
+                    bucket[key] = agg.create(value)
+            for i, bucket in enumerate(combined):
+                buckets[i] = list(bucket.items())
+        else:
+            for key, value in records:
+                buckets[dep.partitioner.partition(key)].append((key, value))
+        with self._lock:
+            state = self._shuffles.get(dep.shuffle_id)
+            if state is None:
+                raise EngineError(f"shuffle {dep.shuffle_id} was never registered")
+            state.outputs[map_index] = buckets
+
+    def fetch(self, shuffle_id: int, reduce_index: int) -> Iterator[tuple[Any, Any]]:
+        """Yield all records destined for ``reduce_index``."""
+        with self._lock:
+            state = self._shuffles.get(shuffle_id)
+            if state is None:
+                raise EngineError(f"shuffle {shuffle_id} was never registered")
+            if not state.complete():
+                missing = state.num_maps - len(state.outputs)
+                raise EngineError(
+                    f"shuffle {shuffle_id} incomplete: {missing} map outputs missing"
+                )
+            outputs = [state.outputs[i][reduce_index] for i in sorted(state.outputs)]
+        for bucket in outputs:
+            yield from bucket
+
+    def remove_shuffle(self, shuffle_id: int) -> None:
+        """Drop all map outputs for a shuffle (GC after a job)."""
+        with self._lock:
+            self._shuffles.pop(shuffle_id, None)
+
+    def stats(self) -> dict[str, int]:
+        """Counters for tests and the benchmark harness."""
+        with self._lock:
+            records = sum(
+                len(bucket)
+                for state in self._shuffles.values()
+                for buckets in state.outputs.values()
+                for bucket in buckets
+            )
+            return {"shuffles": len(self._shuffles), "records": records}

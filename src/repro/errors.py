@@ -1,0 +1,72 @@
+"""Exception hierarchy for the repro engine.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class. The sub-classes mirror the
+layers of the system: engine (RDD/scheduler), SQL (analysis/parsing/
+planning), and the indexed-dataframe core.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class EngineError(ReproError):
+    """Error in the RDD / scheduler / shuffle layer."""
+
+
+class TaskError(EngineError):
+    """A task failed while executing on an executor thread.
+
+    Wraps the original exception and records which partition failed so
+    that the scheduler can report a precise failure location.
+    """
+
+    def __init__(self, stage_id: int, partition: int, cause: BaseException):
+        self.stage_id = stage_id
+        self.partition = partition
+        self.cause = cause
+        super().__init__(
+            f"task failed in stage {stage_id}, partition {partition}: {cause!r}"
+        )
+
+
+class AnalysisError(ReproError):
+    """The SQL analyzer could not resolve or type-check a query."""
+
+
+class ParseError(ReproError):
+    """The SQL parser rejected the query text."""
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class PlanningError(ReproError):
+    """No physical plan could be produced for a logical plan."""
+
+
+class SchemaError(ReproError):
+    """Rows do not conform to the expected schema."""
+
+
+class IndexError_(ReproError):
+    """Error in the indexed-dataframe core (named to avoid shadowing
+    the builtin :class:`IndexError`)."""
+
+
+class CapacityError(IndexError_):
+    """A row, batch, or pointer field exceeded its addressable capacity."""
+
+
+class ConcurrencyError(ReproError):
+    """An invariant of the concurrent trie / MVCC machinery was violated."""
+
+
+class StreamingError(ReproError):
+    """Error in the in-process broker / ingestion layer."""

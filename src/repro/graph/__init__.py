@@ -1,0 +1,31 @@
+"""Graph analytics over the engine (the paper's motivating workload).
+
+The paper positions the Indexed DataFrame for *"queries on updatable
+graphs"* and *"real-time social network monitoring"* [5]. This package
+provides the GraphX-style substrate those workloads assume:
+
+* :class:`~repro.graph.graph.Graph` — property graph over vertex/edge
+  RDDs (buildable straight from DataFrames, including indexed ones);
+* :func:`~repro.graph.pregel.pregel` — bulk-synchronous vertex programs;
+* :mod:`repro.graph.algorithms` — PageRank, connected components,
+  triangle counting, and BFS shortest paths, all expressed on the
+  engine's RDD operators.
+"""
+
+from repro.graph.algorithms import (
+    connected_components,
+    pagerank,
+    shortest_paths,
+    triangle_count,
+)
+from repro.graph.graph import Graph
+from repro.graph.pregel import pregel
+
+__all__ = [
+    "Graph",
+    "pregel",
+    "pagerank",
+    "connected_components",
+    "triangle_count",
+    "shortest_paths",
+]

@@ -1,0 +1,182 @@
+"""Property graph: vertex and edge RDDs with graph operators.
+
+Mirrors GraphX's data model: a vertex RDD of ``(vid, attr)`` pairs and
+an edge RDD of ``(src, dst, attr)`` triples. Graphs are immutable;
+operators return new graphs. Construction from DataFrames means an
+*Indexed* DataFrame version can serve as a consistent graph snapshot
+while the underlying social network keeps growing — the combination
+the paper's demo dashboard visualizes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.engine.context import EngineContext
+from repro.engine.rdd import RDD
+from repro.errors import EngineError
+
+
+class Graph:
+    """An immutable property graph."""
+
+    def __init__(self, ctx: EngineContext, vertices: RDD, edges: RDD):
+        self.ctx = ctx
+        self.vertices = vertices
+        self.edges = edges
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edge_list(
+        cls,
+        ctx: EngineContext,
+        edges: Iterable[tuple],
+        default_vertex_attr: Any = None,
+        num_partitions: int | None = None,
+    ) -> "Graph":
+        """Build from ``(src, dst)`` or ``(src, dst, attr)`` tuples;
+        vertices are inferred from edge endpoints."""
+        normalized = []
+        for edge in edges:
+            if len(edge) == 2:
+                normalized.append((edge[0], edge[1], None))
+            elif len(edge) == 3:
+                normalized.append(tuple(edge))
+            else:
+                raise EngineError(f"edge must be (src, dst[, attr]): {edge!r}")
+        n = num_partitions or ctx.config.default_parallelism
+        edge_rdd = ctx.parallelize(normalized, n)
+        vertex_ids = sorted(
+            {e[0] for e in normalized} | {e[1] for e in normalized}
+        )
+        vertex_rdd = ctx.parallelize(
+            [(vid, default_vertex_attr) for vid in vertex_ids], n
+        )
+        return cls(ctx, vertex_rdd, edge_rdd)
+
+    @classmethod
+    def from_dataframes(
+        cls,
+        vertices_df: "Any",
+        edges_df: "Any",
+        vertex_id: str = "id",
+        src: str = "src",
+        dst: str = "dst",
+    ) -> "Graph":
+        """Build from DataFrames (vanilla or indexed views).
+
+        Vertex attributes become tuples of the remaining columns.
+        """
+        ctx = vertices_df.session.ctx
+        vid_ordinal = vertices_df.schema.field_index(vertex_id)
+        src_ordinal = edges_df.schema.field_index(src)
+        dst_ordinal = edges_df.schema.field_index(dst)
+
+        vertex_rdd = vertices_df._execute().map(
+            lambda row: (
+                row[vid_ordinal],
+                tuple(v for i, v in enumerate(row) if i != vid_ordinal),
+            )
+        )
+        edge_rdd = edges_df._execute().map(
+            lambda row: (
+                row[src_ordinal],
+                row[dst_ordinal],
+                tuple(
+                    v
+                    for i, v in enumerate(row)
+                    if i not in (src_ordinal, dst_ordinal)
+                ),
+            )
+        )
+        return cls(ctx, vertex_rdd, edge_rdd)
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+
+    def num_vertices(self) -> int:
+        return self.vertices.count()
+
+    def num_edges(self) -> int:
+        return self.edges.count()
+
+    def cache(self) -> "Graph":
+        self.vertices.cache()
+        self.edges.cache()
+        return self
+
+    # ------------------------------------------------------------------
+    # Degrees
+    # ------------------------------------------------------------------
+
+    def out_degrees(self) -> RDD:
+        """``(vid, out_degree)`` for every vertex (0 included)."""
+        counted = self.edges.map(lambda e: (e[0], 1)).reduce_by_key(
+            lambda a, b: a + b
+        )
+        return self._with_default(counted, 0)
+
+    def in_degrees(self) -> RDD:
+        counted = self.edges.map(lambda e: (e[1], 1)).reduce_by_key(
+            lambda a, b: a + b
+        )
+        return self._with_default(counted, 0)
+
+    def degrees(self) -> RDD:
+        """Total degree (in + out)."""
+        counted = self.edges.flat_map(lambda e: [(e[0], 1), (e[1], 1)]).reduce_by_key(
+            lambda a, b: a + b
+        )
+        return self._with_default(counted, 0)
+
+    def _with_default(self, counted: RDD, default: Any) -> RDD:
+        paired = self.vertices.map(lambda v: (v[0], None)).cogroup(counted)
+
+        def fill(kv: tuple) -> tuple:
+            vid, (_present, counts) = kv
+            return (vid, counts[0] if counts else default)
+
+        return paired.map(fill)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+
+    def map_vertices(self, fn: Callable[[Any, Any], Any]) -> "Graph":
+        return Graph(
+            self.ctx,
+            self.vertices.map(lambda v: (v[0], fn(v[0], v[1]))),
+            self.edges,
+        )
+
+    def reverse(self) -> "Graph":
+        return Graph(
+            self.ctx,
+            self.vertices,
+            self.edges.map(lambda e: (e[1], e[0], e[2])),
+        )
+
+    def subgraph(
+        self,
+        vertex_pred: Callable[[Any, Any], bool] | None = None,
+        edge_pred: Callable[[Any, Any, Any], bool] | None = None,
+    ) -> "Graph":
+        """Keep vertices/edges passing the predicates; edges to removed
+        vertices are dropped too (GraphX semantics)."""
+        vertices = self.vertices
+        if vertex_pred is not None:
+            vertices = vertices.filter(lambda v: vertex_pred(v[0], v[1]))
+        kept_ids = set(vertices.map(lambda v: v[0]).collect())
+        edges = self.edges.filter(
+            lambda e: e[0] in kept_ids and e[1] in kept_ids
+        )
+        if edge_pred is not None:
+            edges = edges.filter(lambda e: edge_pred(e[0], e[1], e[2]))
+        return Graph(self.ctx, vertices, edges)
+
+    def __repr__(self) -> str:
+        return f"Graph({self.num_vertices()} vertices, {self.num_edges()} edges)"

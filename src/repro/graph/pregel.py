@@ -1,0 +1,80 @@
+"""Pregel: bulk-synchronous vertex programs over the engine.
+
+The GraphX/Pregel execution model: per superstep,
+
+1. every vertex with an incoming message runs ``vprog`` to update its
+   attribute;
+2. ``send_msg`` runs on every edge whose source was just updated,
+   emitting messages to destinations;
+3. messages to the same vertex combine with ``merge_msg``;
+4. iteration stops when no messages flow or ``max_iterations`` is hit.
+
+Each superstep is a join + shuffle on the engine — exactly how GraphX
+compiles to Spark stages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.graph.graph import Graph
+
+
+def pregel(
+    graph: Graph,
+    initial_msg: Any,
+    vprog: Callable[[Any, Any, Any], Any],
+    send_msg: Callable[[Any, Any, Any, Any, Any], list[tuple[Any, Any]]],
+    merge_msg: Callable[[Any, Any], Any],
+    max_iterations: int = 20,
+) -> Graph:
+    """Run a vertex program to quiescence.
+
+    ``vprog(vid, attr, msg) -> new_attr`` updates a vertex;
+    ``send_msg(src, src_attr, dst, dst_attr, edge_attr) ->
+    [(target_vid, msg), ...]`` emits messages along an edge (may target
+    either endpoint); ``merge_msg`` combines concurrent messages.
+    """
+    ctx = graph.ctx
+    # (vid, (attr, changed_last_round))
+    state = graph.vertices.map(lambda v: (v[0], (vprog(v[0], v[1], initial_msg), True)))
+    edges = graph.edges.cache()
+
+    for _ in range(max_iterations):
+        state = state.cache()
+        # Attach endpoint attributes to each edge (two joins).
+        by_src = edges.map(lambda e: (e[0], (e[1], e[2])))
+        with_src = by_src.join_pairs(state)
+        # → (src, ((dst, eattr), (src_attr, src_changed)))
+        by_dst = with_src.map(
+            lambda kv: (
+                kv[1][0][0],
+                (kv[0], kv[1][1][0], kv[1][1][1], kv[1][0][1]),
+            )
+        )
+        # → (dst, (src, src_attr, src_changed, eattr))
+        with_both = by_dst.join_pairs(state)
+
+        def emit(kv: tuple) -> list[tuple[Any, Any]]:
+            dst, ((src, src_attr, src_changed, eattr), (dst_attr, dst_changed)) = kv
+            if not (src_changed or dst_changed):
+                return []
+            return send_msg(src, src_attr, dst, dst_attr, eattr)
+
+        messages = with_both.flat_map(emit).reduce_by_key(merge_msg)
+        if messages.count() == 0:
+            break
+
+        grouped = state.cogroup(messages)
+
+        def step(kv: tuple) -> tuple:
+            vid, (attrs, msgs) = kv
+            attr = attrs[0][0] if attrs else None
+            if msgs:
+                return (vid, (vprog(vid, attr, msgs[0]), True))
+            return (vid, (attr, False))
+
+        state = grouped.map(step)
+
+    final_vertices = state.map(lambda kv: (kv[0], kv[1][0]))
+    return Graph(ctx, final_vertices, graph.edges)

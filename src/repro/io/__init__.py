@@ -1,0 +1,25 @@
+"""DataFrame I/O: CSV and JSON-lines readers/writers.
+
+The paper's demo keeps its base SNB data *"stored on Amazon S3"* and
+loads it into Spark; this package is the local-filesystem equivalent:
+
+* :mod:`repro.io.csv_io` — schema-driven CSV (header row, RFC-4180
+  quoting; empty unquoted fields read back as NULL);
+* :mod:`repro.io.jsonl_io` — JSON lines (exact round-trip including
+  the NULL / empty-string distinction);
+* :mod:`repro.io.snb_io` — save/load a whole
+  :class:`~repro.snb.datagen.SNBDataset` as a directory of CSVs.
+"""
+
+from repro.io.csv_io import read_csv, write_csv
+from repro.io.jsonl_io import read_jsonl, write_jsonl
+from repro.io.snb_io import load_dataset, save_dataset
+
+__all__ = [
+    "read_csv",
+    "write_csv",
+    "read_jsonl",
+    "write_jsonl",
+    "save_dataset",
+    "load_dataset",
+]

@@ -1,0 +1,96 @@
+"""CSV reader/writer for DataFrames.
+
+Format: one header row with column names, RFC-4180 quoting via the
+stdlib ``csv`` module. NULL is written as an empty field; because CSV
+cannot distinguish an empty *quoted* string from an empty field after
+parsing, empty strings read back as NULL (documented limitation — use
+JSONL for exact round-trips).
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import SchemaError
+from repro.sql.types import (
+    BooleanType,
+    DataType,
+    DoubleType,
+    StructType,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sql.dataframe import DataFrame
+    from repro.sql.session import Session
+
+
+def write_csv(df: "DataFrame", path: str) -> int:
+    """Write a DataFrame to one CSV file; returns the row count."""
+    names = df.columns
+    count = 0
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(names)
+        for row in df.collect_tuples():
+            writer.writerow(["" if v is None else v for v in row])
+            count += 1
+    return count
+
+
+def _parse(value: str, dtype: DataType) -> Any:
+    if value == "":
+        return None
+    if isinstance(dtype, BooleanType):
+        lowered = value.lower()
+        if lowered in ("true", "1"):
+            return True
+        if lowered in ("false", "0"):
+            return False
+        raise SchemaError(f"cannot parse boolean from {value!r}")
+    if isinstance(dtype, DoubleType):
+        return float(value)
+    if dtype.struct_code in ("q", "i"):
+        return int(value)
+    return value  # strings
+
+
+def read_csv(
+    session: "Session",
+    path: str,
+    schema: StructType | list[tuple[str, Any]],
+    num_partitions: int | None = None,
+) -> "DataFrame":
+    """Read a CSV written by :func:`write_csv` (or compatible).
+
+    The header must contain every schema column (extra file columns
+    are ignored); values parse according to the schema types.
+    """
+    if not isinstance(schema, StructType):
+        schema = StructType.from_pairs(schema)
+    rows: list[tuple] = []
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path}: empty file, expected a header row") from None
+        try:
+            positions = [header.index(f.name) for f in schema]
+        except ValueError as exc:
+            raise SchemaError(
+                f"{path}: header {header} is missing schema column ({exc})"
+            ) from None
+        for line_number, record in enumerate(reader, start=2):
+            try:
+                rows.append(
+                    tuple(
+                        _parse(record[pos], field.dtype)
+                        for pos, field in zip(positions, schema)
+                    )
+                )
+            except (IndexError, ValueError) as exc:
+                raise SchemaError(f"{path}:{line_number}: {exc}") from exc
+    return session.create_dataframe(
+        rows, schema, num_partitions=num_partitions, validate=False
+    )

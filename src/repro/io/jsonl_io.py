@@ -1,0 +1,78 @@
+"""JSON-lines reader/writer: exact round-trips for DataFrames.
+
+One JSON object per line, keyed by column name. NULL, empty strings,
+and unicode all survive unchanged; binary columns are base64-encoded.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import SchemaError
+from repro.sql.types import BinaryType, StructType
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sql.dataframe import DataFrame
+    from repro.sql.session import Session
+
+
+def write_jsonl(df: "DataFrame", path: str) -> int:
+    """Write a DataFrame as JSON lines; returns the row count."""
+    names = df.columns
+    binary_columns = {
+        i for i, f in enumerate(df.schema) if isinstance(f.dtype, BinaryType)
+    }
+    count = 0
+    with open(path, "w") as fh:
+        for row in df.collect_tuples():
+            record = {}
+            for i, (name, value) in enumerate(zip(names, row)):
+                if i in binary_columns and value is not None:
+                    value = base64.b64encode(value).decode("ascii")
+                record[name] = value
+            fh.write(json.dumps(record, ensure_ascii=False) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl(
+    session: "Session",
+    path: str,
+    schema: StructType | list[tuple[str, Any]],
+    num_partitions: int | None = None,
+) -> "DataFrame":
+    """Read JSON lines into a DataFrame with the given schema.
+
+    Missing keys become NULL; extra keys are ignored.
+    """
+    if not isinstance(schema, StructType):
+        schema = StructType.from_pairs(schema)
+    binary_fields = {
+        f.name for f in schema if isinstance(f.dtype, BinaryType)
+    }
+    rows: list[tuple] = []
+    with open(path) as fh:
+        for line_number, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SchemaError(f"{path}:{line_number}: invalid JSON: {exc}") from exc
+            if not isinstance(record, dict):
+                raise SchemaError(
+                    f"{path}:{line_number}: expected an object, got {type(record).__name__}"
+                )
+            values = []
+            for field in schema:
+                value = record.get(field.name)
+                if field.name in binary_fields and value is not None:
+                    value = base64.b64decode(value)
+                values.append(value)
+            rows.append(tuple(values))
+    return session.create_dataframe(
+        rows, schema, num_partitions=num_partitions, validate=False
+    )

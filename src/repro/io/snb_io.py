@@ -1,0 +1,98 @@
+"""Persist / reload generated SNB datasets as directories of CSVs.
+
+Mirrors the layout of the real SNB Datagen output (one file per
+table), so generating once and reloading across benchmark runs is
+cheap and deterministic.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+
+from repro.errors import SchemaError
+from repro.snb import schema as snb_schema
+from repro.snb.datagen import SNBDataset
+from repro.sql.types import StructType
+
+_TABLES: dict[str, StructType] = {
+    "person": snb_schema.PERSON_SCHEMA,
+    "knows": snb_schema.KNOWS_SCHEMA,
+    "message": snb_schema.MESSAGE_SCHEMA,
+    "forum": snb_schema.FORUM_SCHEMA,
+    "forum_member": snb_schema.FORUM_MEMBER_SCHEMA,
+    "likes": snb_schema.LIKES_SCHEMA,
+}
+
+_ATTRS = {
+    "person": "persons",
+    "knows": "knows",
+    "message": "messages",
+    "forum": "forums",
+    "forum_member": "forum_members",
+    "likes": "likes",
+}
+
+
+def save_dataset(dataset: SNBDataset, directory: str) -> None:
+    """Write every table plus a manifest into ``directory``."""
+    os.makedirs(directory, exist_ok=True)
+    for table, schema in _TABLES.items():
+        path = os.path.join(directory, f"{table}.csv")
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(schema.names)
+            for row in getattr(dataset, _ATTRS[table]):
+                writer.writerow(["" if v is None else v for v in row])
+    manifest = {
+        "scale_factor": dataset.scale_factor,
+        "seed": dataset.seed,
+        "sizes": dataset.table_sizes(),
+    }
+    with open(os.path.join(directory, "manifest.json"), "w") as fh:
+        json.dump(manifest, fh, indent=2)
+
+
+def load_dataset(directory: str) -> SNBDataset:
+    """Reload a dataset saved by :func:`save_dataset`."""
+    manifest_path = os.path.join(directory, "manifest.json")
+    if not os.path.exists(manifest_path):
+        raise SchemaError(f"{directory}: no manifest.json — not a saved dataset")
+    with open(manifest_path) as fh:
+        manifest = json.load(fh)
+    dataset = SNBDataset(
+        scale_factor=manifest["scale_factor"], seed=manifest["seed"]
+    )
+    for table, schema in _TABLES.items():
+        path = os.path.join(directory, f"{table}.csv")
+        rows: list[tuple] = []
+        with open(path, newline="") as fh:
+            reader = csv.reader(fh)
+            header = next(reader)
+            if header != schema.names:
+                raise SchemaError(
+                    f"{path}: header {header} does not match schema {schema.names}"
+                )
+            for record in reader:
+                values = []
+                for raw, field in zip(record, schema):
+                    if raw == "":
+                        values.append(None)
+                    elif field.dtype.name == "boolean":
+                        values.append(raw == "True")
+                    elif field.dtype.struct_code in ("q", "i"):
+                        values.append(int(raw))
+                    elif field.dtype.name == "double":
+                        values.append(float(raw))
+                    else:
+                        values.append(raw)
+                rows.append(tuple(values))
+        setattr(dataset, _ATTRS[table], rows)
+    expected = manifest["sizes"]
+    actual = dataset.table_sizes()
+    if expected != actual:
+        raise SchemaError(
+            f"{directory}: manifest sizes {expected} do not match files {actual}"
+        )
+    return dataset

@@ -1,0 +1,41 @@
+"""LDBC Social Network Benchmark substrate (paper §3).
+
+The paper generates its datasets with the SNB Datagen [Erling et al.,
+SIGMOD '15] and runs the 7 *simple read* (short read) queries plus an
+update stream. This package provides laptop-scale equivalents:
+
+* :mod:`repro.snb.datagen` — a seeded generator producing the SNB
+  graph tables (persons, knows edges with power-law degrees, messages,
+  forums, memberships, likes) at a configurable scale factor;
+* :mod:`repro.snb.loader` — loads a dataset into a session as cached
+  vanilla DataFrames or as Indexed DataFrames;
+* :mod:`repro.snb.queries` — SQ1..SQ7, each written once against a
+  :class:`~repro.snb.loader.SNBContext` so the identical query text
+  runs on both vanilla and indexed tables;
+* :mod:`repro.snb.updates` — the continuously-growing update stream
+  that the demo feeds through Kafka.
+"""
+
+from repro.snb.datagen import SNBDataset, generate
+from repro.snb.loader import SNBContext, load_indexed, load_vanilla
+from repro.snb.queries import ALL_QUERIES, run_query, sq1, sq2, sq3, sq4, sq5, sq6, sq7
+from repro.snb.updates import UpdateBatch, update_stream
+
+__all__ = [
+    "SNBDataset",
+    "generate",
+    "SNBContext",
+    "load_vanilla",
+    "load_indexed",
+    "ALL_QUERIES",
+    "run_query",
+    "sq1",
+    "sq2",
+    "sq3",
+    "sq4",
+    "sq5",
+    "sq6",
+    "sq7",
+    "UpdateBatch",
+    "update_stream",
+]

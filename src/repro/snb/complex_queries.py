@@ -1,0 +1,115 @@
+"""Complex (multi-hop) SNB-style reads — an extension experiment.
+
+The demo paper evaluates only the 7 *short* reads; the LDBC interactive
+workload it cites also contains multi-hop "complex reads". Three
+representative shapes are implemented here over the same
+:class:`~repro.snb.loader.SNBContext`, so the indexed-vs-vanilla
+comparison extends to deeper navigation:
+
+* **CQ1 friends-of-friends** — two hops over ``knows``, then profile
+  join; exercises chained indexed joins;
+* **CQ2 friends' recent messages** — 1 hop + message navigation with
+  Top-K ordering (LDBC IC2's shape);
+* **CQ3 top likers of a person's content** — 1 hop + 2 joins through
+  the un-indexed ``likes`` table (partially index-resistant, like
+  SQ5/SQ6).
+"""
+
+from __future__ import annotations
+
+from repro.snb.loader import SNBContext
+from repro.sql.functions import col, count
+from repro.sql.types import Row
+
+
+def cq1_friends_of_friends(ctx: SNBContext, person_id: int, limit: int = 20) -> list[Row]:
+    """Distinct friends-of-friends (excluding self and direct friends),
+    with names, ordered by id."""
+    knows = ctx.knows
+    person = ctx.person
+
+    friends = knows.filter(col("person1_id") == person_id).select(
+        knows.col("person2_id").alias("friend_id")
+    )
+    second_hop = ctx.knows
+    fof = (
+        second_hop.join(
+            friends, on=second_hop.col("person1_id") == friends.col("friend_id")
+        )
+        .select(second_hop.col("person2_id").alias("fof_id"))
+        .distinct()
+    )
+    direct = set(r["friend_id"] for r in friends.collect())
+    direct.add(person_id)
+    candidates = fof.filter(~col("fof_id").isin(list(direct)))
+    return (
+        person.join(candidates, on=person.col("id") == candidates.col("fof_id"))
+        .select(person.col("id"), col("first_name"), col("last_name"))
+        .order_by(col("id").asc())
+        .limit(limit)
+        .collect()
+    )
+
+
+def cq2_friends_recent_messages(
+    ctx: SNBContext, person_id: int, limit: int = 20
+) -> list[Row]:
+    """Most recent messages written by direct friends (LDBC IC2 shape)."""
+    knows = ctx.knows
+    messages = ctx.message_by_creator
+    person = ctx.person
+
+    friends = knows.filter(col("person1_id") == person_id).select(
+        knows.col("person2_id").alias("friend_id")
+    )
+    authored = messages.join(
+        friends, on=messages.col("creator_id") == friends.col("friend_id")
+    )
+    with_names = person.join(
+        authored, on=person.col("id") == authored.col("creator_id")
+    )
+    return (
+        with_names.select(
+            authored.col("id").alias("message_id"),
+            col("content"),
+            authored.col("creation_date").alias("sent_at"),
+            person.col("id").alias("author_id"),
+            col("first_name"),
+            col("last_name"),
+        )
+        .order_by(col("sent_at").desc(), col("message_id").asc())
+        .limit(limit)
+        .collect()
+    )
+
+
+def cq3_top_likers(ctx: SNBContext, person_id: int, limit: int = 10) -> list[Row]:
+    """People who like this person's content the most (via un-indexed
+    ``likes``), with like counts."""
+    messages = ctx.message_by_creator
+    likes = ctx.likes
+    person = ctx.person
+
+    mine = messages.filter(col("creator_id") == person_id).select(
+        messages.col("id").alias("mid")
+    )
+    liked = likes.join(mine, on=likes.col("message_id") == mine.col("mid"))
+    counts = (
+        liked.group_by("person_id")
+        .agg(count().alias("num_likes"))
+        .with_column_renamed("person_id", "fan_id")
+    )
+    return (
+        person.join(counts, on=person.col("id") == counts.col("fan_id"))
+        .select("fan_id", "first_name", "last_name", "num_likes")
+        .order_by(col("num_likes").desc(), col("fan_id").asc())
+        .limit(limit)
+        .collect()
+    )
+
+
+COMPLEX_QUERIES = {
+    "CQ1": (cq1_friends_of_friends, "person"),
+    "CQ2": (cq2_friends_recent_messages, "person"),
+    "CQ3": (cq3_top_likers, "person"),
+}

@@ -1,0 +1,221 @@
+"""Seeded SNB-style social network generator.
+
+Stands in for the LDBC SNB Datagen (paper: *"datasets generated using
+the Datagen tool provided by the SNB benchmark"*, run at SF300 on a
+cluster — far beyond one process). The generator reproduces the
+properties the evaluation depends on:
+
+* **power-law friendship degrees** — a few hubs with many ``knows``
+  edges, a long tail with few, so per-key row chains have skewed
+  lengths (exercising the backward-pointer lists);
+* **correlated timestamps** — creation dates increase over simulated
+  days; messages postdate their creators;
+* **disjoint id spaces** per entity, as in the real datagen;
+* **determinism** — same seed, same dataset, byte for byte.
+
+``scale_factor=1.0`` ≈ 1 000 persons, ~20 knows edges and ~10 messages
+per person; sizes scale linearly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.snb.schema import (
+    FORUM_ID_BASE,
+    MESSAGE_ID_BASE,
+)
+
+_FIRST_NAMES = (
+    "Jan", "Maria", "Chen", "Amir", "Olga", "Raj", "Sofia", "Liam",
+    "Noor", "Kai", "Ana", "Ivan", "Mei", "Tariq", "Eva", "Jonas",
+)
+_LAST_NAMES = (
+    "Smith", "Garcia", "Müller", "Tanaka", "Kowalski", "Okafor",
+    "Johansson", "Rossi", "Novak", "Silva", "Petrov", "Dubois",
+)
+_BROWSERS = ("Firefox", "Chrome", "Safari", "Edge", "Opera")
+_WORDS = (
+    "graph", "query", "spark", "index", "stream", "social", "photo",
+    "travel", "music", "coffee", "deadline", "demo", "update", "cache",
+    "latency", "benchmark", "friend", "forum", "post", "reply",
+)
+
+#: Simulated epoch start (2018-01-01 UTC) in epoch-milliseconds.
+EPOCH_START_MS = 1_514_764_800_000
+_DAY_MS = 24 * 3600 * 1000
+
+
+@dataclass
+class SNBDataset:
+    """All generated tables as lists of row tuples (schema order)."""
+
+    scale_factor: float
+    seed: int
+    persons: list[tuple] = field(default_factory=list)
+    knows: list[tuple] = field(default_factory=list)
+    messages: list[tuple] = field(default_factory=list)
+    forums: list[tuple] = field(default_factory=list)
+    forum_members: list[tuple] = field(default_factory=list)
+    likes: list[tuple] = field(default_factory=list)
+
+    @property
+    def num_persons(self) -> int:
+        return len(self.persons)
+
+    def person_ids(self) -> list[int]:
+        return [p[0] for p in self.persons]
+
+    def message_ids(self) -> list[int]:
+        return [m[0] for m in self.messages]
+
+    def table_sizes(self) -> dict[str, int]:
+        return {
+            "person": len(self.persons),
+            "knows": len(self.knows),
+            "message": len(self.messages),
+            "forum": len(self.forums),
+            "forum_member": len(self.forum_members),
+            "likes": len(self.likes),
+        }
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(f"{k}={v}" for k, v in self.table_sizes().items())
+        return f"SNBDataset(sf={self.scale_factor}, {sizes})"
+
+
+def _content(rng: random.Random, min_words: int = 3, max_words: int = 12) -> str:
+    n = rng.randint(min_words, max_words)
+    return " ".join(rng.choice(_WORDS) for _ in range(n))
+
+
+def _ip(rng: random.Random) -> str:
+    return ".".join(str(rng.randint(1, 254)) for _ in range(4))
+
+
+def _powerlaw_degree(rng: random.Random, mean: float, maximum: int) -> int:
+    """Pareto-ish degree with the given rough mean, capped."""
+    degree = int(rng.paretovariate(1.6))  # heavy tail
+    scaled = max(1, int(degree * mean / 2.7))  # E[pareto(1.6)] ≈ 2.67
+    return min(scaled, maximum)
+
+
+def generate(
+    scale_factor: float = 1.0,
+    seed: int = 42,
+    knows_per_person: float = 20.0,
+    messages_per_person: float = 10.0,
+    likes_per_message: float = 2.0,
+) -> SNBDataset:
+    """Generate a dataset; all knob defaults match SF semantics above."""
+    if scale_factor <= 0:
+        raise ValueError("scale_factor must be positive")
+    rng = random.Random(seed)
+    dataset = SNBDataset(scale_factor=scale_factor, seed=seed)
+
+    num_persons = max(10, int(1000 * scale_factor))
+    num_cities = max(5, num_persons // 100)
+    num_forums = max(2, num_persons // 10)
+    sim_days = 365
+
+    # -- persons ---------------------------------------------------------
+    for pid in range(1, num_persons + 1):
+        creation = EPOCH_START_MS + rng.randint(0, sim_days * _DAY_MS)
+        birthday = EPOCH_START_MS - rng.randint(18 * 365, 70 * 365) * _DAY_MS
+        dataset.persons.append(
+            (
+                pid,
+                rng.choice(_FIRST_NAMES),
+                rng.choice(_LAST_NAMES),
+                rng.choice(("male", "female")),
+                birthday,
+                creation,
+                _ip(rng),
+                rng.choice(_BROWSERS),
+                rng.randint(1, num_cities),
+            )
+        )
+    creation_of = {p[0]: p[5] for p in dataset.persons}
+
+    # -- knows edges (power-law, symmetric) --------------------------------
+    seen_edges: set[tuple[int, int]] = set()
+    for pid in range(1, num_persons + 1):
+        degree = _powerlaw_degree(rng, knows_per_person / 2, num_persons - 1)
+        for _ in range(degree):
+            friend = rng.randint(1, num_persons)
+            if friend == pid:
+                continue
+            edge = (min(pid, friend), max(pid, friend))
+            if edge in seen_edges:
+                continue
+            seen_edges.add(edge)
+            since = max(creation_of[pid], creation_of[friend]) + rng.randint(
+                0, 30 * _DAY_MS
+            )
+            dataset.knows.append((pid, friend, since))
+            dataset.knows.append((friend, pid, since))
+
+    # -- forums ------------------------------------------------------------
+    for i in range(num_forums):
+        forum_id = FORUM_ID_BASE + i + 1
+        moderator = rng.randint(1, num_persons)
+        dataset.forums.append(
+            (
+                forum_id,
+                f"Forum about {rng.choice(_WORDS)} {i}",
+                creation_of[moderator] + rng.randint(0, 10 * _DAY_MS),
+                moderator,
+            )
+        )
+        members = rng.sample(
+            range(1, num_persons + 1), min(num_persons, rng.randint(5, 40))
+        )
+        for person in members:
+            dataset.forum_members.append(
+                (forum_id, person, creation_of[person] + rng.randint(0, 60 * _DAY_MS))
+            )
+
+    # -- messages (posts then comments replying to earlier messages) --------
+    next_message = MESSAGE_ID_BASE + 1
+    all_message_ids: list[int] = []
+    for pid in range(1, num_persons + 1):
+        count = rng.randint(0, int(2 * messages_per_person))
+        for _ in range(count):
+            message_id = next_message
+            next_message += 1
+            created = creation_of[pid] + rng.randint(0, 90 * _DAY_MS)
+            content = _content(rng)
+            is_post = not all_message_ids or rng.random() < 0.4
+            if is_post:
+                forum = FORUM_ID_BASE + rng.randint(1, num_forums)
+                reply_of = None
+            else:
+                forum = None
+                reply_of = rng.choice(all_message_ids)
+            dataset.messages.append(
+                (
+                    message_id,
+                    pid,
+                    created,
+                    content,
+                    len(content),
+                    is_post,
+                    forum,
+                    reply_of,
+                    _ip(rng),
+                    rng.choice(_BROWSERS),
+                )
+            )
+            all_message_ids.append(message_id)
+
+    # -- likes ----------------------------------------------------------------
+    for message in dataset.messages:
+        count = rng.randint(0, int(2 * likes_per_message))
+        for _ in range(count):
+            fan = rng.randint(1, num_persons)
+            dataset.likes.append(
+                (fan, message[0], message[2] + rng.randint(0, 7 * _DAY_MS))
+            )
+
+    return dataset

@@ -1,0 +1,210 @@
+"""Loading SNB datasets into a session, vanilla or indexed.
+
+Both loaders return an :class:`SNBContext` — the query functions in
+:mod:`repro.snb.queries` are written once against it, so the same
+query logic runs on cached vanilla DataFrames and on Indexed
+DataFrames (where the injected rules kick in transparently).
+
+Index configuration of the demo scenario (documented deviation: the
+paper does not state its exact index set; this one is chosen so that,
+as in Figure 3, queries SQ5 and SQ6 cannot exploit any index — their
+access paths are keyed on non-indexed columns):
+
+* ``person``  indexed on ``id``            (SQ1, SQ3's join build side)
+* ``knows``   indexed on ``person1_id``    (SQ3)
+* ``message`` indexed on ``creator_id``    (SQ2; also SQ5/SQ6's message
+  table, where the key does not help)
+* ``message`` indexed on ``id``            (SQ4)
+* ``message`` indexed on ``reply_of_id``   (SQ7)
+* ``forum``, ``forum_member``, ``likes``   never indexed
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.indexed_df import IndexedDataFrame, create_index
+from repro.snb import schema as snb_schema
+from repro.snb.datagen import SNBDataset
+from repro.sql.dataframe import DataFrame
+from repro.sql.session import Session
+
+
+@dataclass
+class SNBContext:
+    """Uniform handle on the SNB tables a query needs.
+
+    The three ``message_by_*`` members are *views keyed for a specific
+    access path*: in the vanilla context they are all the same cached
+    DataFrame; in the indexed context each is an Indexed DataFrame view
+    with the corresponding index key.
+    """
+
+    session: Session
+    indexed: bool
+    person: DataFrame
+    knows: DataFrame
+    message_by_creator: DataFrame
+    message_by_id: DataFrame
+    message_by_reply: DataFrame
+    forum: DataFrame
+    forum_member: DataFrame
+    likes: DataFrame
+    # Indexed handles (None in the vanilla context), for appends.
+    person_idx: IndexedDataFrame | None = None
+    knows_idx: IndexedDataFrame | None = None
+    message_by_creator_idx: IndexedDataFrame | None = None
+    message_by_id_idx: IndexedDataFrame | None = None
+    message_by_reply_idx: IndexedDataFrame | None = None
+
+    def with_appended(
+        self,
+        persons: list[tuple] | None = None,
+        knows: list[tuple] | None = None,
+        messages: list[tuple] | None = None,
+    ) -> "SNBContext":
+        """Apply an update batch; returns the next-version context.
+
+        Indexed contexts append in place (cache survives); the vanilla
+        context must rebuild and re-cache every touched table — the
+        exact asymmetry benchmark A3 measures.
+        """
+        if self.indexed:
+            person_idx = self.person_idx
+            knows_idx = self.knows_idx
+            by_creator = self.message_by_creator_idx
+            by_id = self.message_by_id_idx
+            by_reply = self.message_by_reply_idx
+            assert person_idx and knows_idx and by_creator and by_id and by_reply
+            if persons:
+                person_idx = person_idx.append_rows(persons)
+            if knows:
+                knows_idx = knows_idx.append_rows(knows)
+            if messages:
+                by_creator = by_creator.append_rows(messages)
+                by_id = by_id.append_rows(messages)
+                by_reply = by_reply.append_rows(messages)
+            return SNBContext(
+                session=self.session,
+                indexed=True,
+                person=person_idx.to_df(),
+                knows=knows_idx.to_df(),
+                message_by_creator=by_creator.to_df(),
+                message_by_id=by_id.to_df(),
+                message_by_reply=by_reply.to_df(),
+                forum=self.forum,
+                forum_member=self.forum_member,
+                likes=self.likes,
+                person_idx=person_idx,
+                knows_idx=knows_idx,
+                message_by_creator_idx=by_creator,
+                message_by_id_idx=by_id,
+                message_by_reply_idx=by_reply,
+            )
+
+        # Vanilla: append = union with new rows, then re-cache (the
+        # cached columnar relation is invalidated by any update).
+        session = self.session
+        person_df = self.person
+        knows_df = self.knows
+        message_df = self.message_by_id
+        if persons:
+            person_df = person_df.union(
+                session.create_dataframe(persons, snb_schema.PERSON_SCHEMA)
+            ).cache()
+        if knows:
+            knows_df = knows_df.union(
+                session.create_dataframe(knows, snb_schema.KNOWS_SCHEMA)
+            ).cache()
+        if messages:
+            message_df = message_df.union(
+                session.create_dataframe(messages, snb_schema.MESSAGE_SCHEMA)
+            ).cache()
+        return SNBContext(
+            session=session,
+            indexed=False,
+            person=person_df,
+            knows=knows_df,
+            message_by_creator=message_df,
+            message_by_id=message_df,
+            message_by_reply=message_df,
+            forum=self.forum,
+            forum_member=self.forum_member,
+            likes=self.likes,
+        )
+
+
+def _base_frames(session: Session, dataset: SNBDataset) -> dict[str, DataFrame]:
+    return {
+        "person": session.create_dataframe(
+            dataset.persons, snb_schema.PERSON_SCHEMA, validate=False
+        ),
+        "knows": session.create_dataframe(
+            dataset.knows, snb_schema.KNOWS_SCHEMA, validate=False
+        ),
+        "message": session.create_dataframe(
+            dataset.messages, snb_schema.MESSAGE_SCHEMA, validate=False
+        ),
+        "forum": session.create_dataframe(
+            dataset.forums, snb_schema.FORUM_SCHEMA, validate=False
+        ),
+        "forum_member": session.create_dataframe(
+            dataset.forum_members, snb_schema.FORUM_MEMBER_SCHEMA, validate=False
+        ),
+        "likes": session.create_dataframe(
+            dataset.likes, snb_schema.LIKES_SCHEMA, validate=False
+        ),
+    }
+
+
+def load_vanilla(session: Session, dataset: SNBDataset) -> SNBContext:
+    """Cached (columnar) vanilla DataFrames — the paper's baseline."""
+    frames = _base_frames(session, dataset)
+    person = frames["person"].cache()
+    knows = frames["knows"].cache()
+    message = frames["message"].cache()
+    forum = frames["forum"].cache()
+    forum_member = frames["forum_member"].cache()
+    likes = frames["likes"].cache()
+    return SNBContext(
+        session=session,
+        indexed=False,
+        person=person,
+        knows=knows,
+        message_by_creator=message,
+        message_by_id=message,
+        message_by_reply=message,
+        forum=forum,
+        forum_member=forum_member,
+        likes=likes,
+    )
+
+
+def load_indexed(session: Session, dataset: SNBDataset) -> SNBContext:
+    """Indexed DataFrames per the demo's index configuration."""
+    frames = _base_frames(session, dataset)
+    person_idx = create_index(frames["person"], "id")
+    knows_idx = create_index(frames["knows"], "person1_id")
+    message_by_creator_idx = create_index(frames["message"], "creator_id")
+    message_by_id_idx = create_index(frames["message"], "id")
+    message_by_reply_idx = create_index(frames["message"], "reply_of_id")
+    forum = frames["forum"].cache()
+    forum_member = frames["forum_member"].cache()
+    likes = frames["likes"].cache()
+    return SNBContext(
+        session=session,
+        indexed=True,
+        person=person_idx.to_df(),
+        knows=knows_idx.to_df(),
+        message_by_creator=message_by_creator_idx.to_df(),
+        message_by_id=message_by_id_idx.to_df(),
+        message_by_reply=message_by_reply_idx.to_df(),
+        forum=forum,
+        forum_member=forum_member,
+        likes=likes,
+        person_idx=person_idx,
+        knows_idx=knows_idx,
+        message_by_creator_idx=message_by_creator_idx,
+        message_by_id_idx=message_by_id_idx,
+        message_by_reply_idx=message_by_reply_idx,
+    )

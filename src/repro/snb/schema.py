@@ -1,0 +1,89 @@
+"""Table schemas of the SNB-style social graph.
+
+Simplified from the LDBC SNB interactive schema to the columns the
+short reads and the paper's operator microbenchmarks touch. Messages
+(posts and comments) are unified into one table with an ``is_post``
+flag, as in several SNB SQL reference implementations.
+"""
+
+from __future__ import annotations
+
+from repro.sql.types import (
+    BooleanType,
+    LongType,
+    StringType,
+    StructField,
+    StructType,
+    TimestampType,
+)
+
+PERSON_SCHEMA = StructType(
+    [
+        StructField("id", LongType(), nullable=False),
+        StructField("first_name", StringType()),
+        StructField("last_name", StringType()),
+        StructField("gender", StringType()),
+        StructField("birthday", TimestampType()),
+        StructField("creation_date", TimestampType()),
+        StructField("location_ip", StringType()),
+        StructField("browser_used", StringType()),
+        StructField("city_id", LongType()),
+    ]
+)
+
+#: person-knows-person edge table (stored in both directions, as the
+#: LDBC datagen does for the interactive workload).
+KNOWS_SCHEMA = StructType(
+    [
+        StructField("person1_id", LongType(), nullable=False),
+        StructField("person2_id", LongType(), nullable=False),
+        StructField("creation_date", TimestampType()),
+    ]
+)
+
+#: Unified messages: posts (is_post, forum_id set) and comments
+#: (reply_of_id set).
+MESSAGE_SCHEMA = StructType(
+    [
+        StructField("id", LongType(), nullable=False),
+        StructField("creator_id", LongType(), nullable=False),
+        StructField("creation_date", TimestampType()),
+        StructField("content", StringType()),
+        StructField("length", LongType()),
+        StructField("is_post", BooleanType()),
+        StructField("forum_id", LongType()),
+        StructField("reply_of_id", LongType()),
+        StructField("location_ip", StringType()),
+        StructField("browser_used", StringType()),
+    ]
+)
+
+FORUM_SCHEMA = StructType(
+    [
+        StructField("id", LongType(), nullable=False),
+        StructField("title", StringType()),
+        StructField("creation_date", TimestampType()),
+        StructField("moderator_id", LongType()),
+    ]
+)
+
+FORUM_MEMBER_SCHEMA = StructType(
+    [
+        StructField("forum_id", LongType(), nullable=False),
+        StructField("person_id", LongType(), nullable=False),
+        StructField("join_date", TimestampType()),
+    ]
+)
+
+LIKES_SCHEMA = StructType(
+    [
+        StructField("person_id", LongType(), nullable=False),
+        StructField("message_id", LongType(), nullable=False),
+        StructField("creation_date", TimestampType()),
+    ]
+)
+
+#: ID spaces, mirroring the disjoint id ranges of the LDBC datagen.
+PERSON_ID_BASE = 0
+FORUM_ID_BASE = 10_000_000
+MESSAGE_ID_BASE = 100_000_000

@@ -1,0 +1,113 @@
+"""SNB update stream: the continuously-growing graph of the demo.
+
+The paper's demo feeds SNB updates through Kafka so the graph mutates
+while queries run. :func:`update_stream` produces deterministic batches
+of *new* persons, knows edges, and messages whose ids continue the
+dataset's id spaces — suitable both for direct
+``IndexedDataFrame.append_rows`` calls and for publication through
+:mod:`repro.streaming`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.snb.datagen import EPOCH_START_MS, SNBDataset, _content, _ip  # noqa: F401
+from repro.snb.datagen import _BROWSERS, _DAY_MS, _FIRST_NAMES, _LAST_NAMES
+from repro.snb.schema import FORUM_ID_BASE, MESSAGE_ID_BASE
+
+
+@dataclass
+class UpdateBatch:
+    """One micro-batch of graph growth."""
+
+    sequence: int
+    persons: list[tuple] = field(default_factory=list)
+    knows: list[tuple] = field(default_factory=list)
+    messages: list[tuple] = field(default_factory=list)
+
+    def total_rows(self) -> int:
+        return len(self.persons) + len(self.knows) + len(self.messages)
+
+
+def update_stream(
+    dataset: SNBDataset,
+    num_batches: int,
+    rows_per_batch: int = 100,
+    seed: int = 1337,
+    person_fraction: float = 0.1,
+    knows_fraction: float = 0.3,
+) -> Iterator[UpdateBatch]:
+    """Yield ``num_batches`` deterministic update batches.
+
+    Each batch is roughly ``rows_per_batch`` rows split between new
+    persons, new knows edges, and new messages (the rest). New entities
+    may reference both original and previously streamed ids — the graph
+    genuinely grows rather than being replayed.
+    """
+    if not 0 <= person_fraction + knows_fraction <= 1:
+        raise ValueError("fractions must sum to at most 1")
+    rng = random.Random(seed)
+    person_ids = list(dataset.person_ids())
+    message_ids = list(dataset.message_ids())
+    next_person = max(person_ids, default=0) + 1
+    next_message = max(message_ids, default=MESSAGE_ID_BASE) + 1
+    num_forums = max(1, len(dataset.forums))
+    now = EPOCH_START_MS + 365 * _DAY_MS
+
+    for sequence in range(num_batches):
+        batch = UpdateBatch(sequence=sequence)
+        for _ in range(rows_per_batch):
+            draw = rng.random()
+            now += rng.randint(1, 1000)  # stream time advances
+            if draw < person_fraction:
+                pid = next_person
+                next_person += 1
+                person_ids.append(pid)
+                batch.persons.append(
+                    (
+                        pid,
+                        rng.choice(_FIRST_NAMES),
+                        rng.choice(_LAST_NAMES),
+                        rng.choice(("male", "female")),
+                        EPOCH_START_MS - rng.randint(6570, 25550) * _DAY_MS,
+                        now,
+                        _ip(rng),
+                        rng.choice(_BROWSERS),
+                        rng.randint(1, 50),
+                    )
+                )
+            elif draw < person_fraction + knows_fraction and len(person_ids) >= 2:
+                a, b = rng.sample(person_ids, 2)
+                batch.knows.append((a, b, now))
+                batch.knows.append((b, a, now))
+            else:
+                message_id = next_message
+                next_message += 1
+                creator = rng.choice(person_ids)
+                content = _content(rng)
+                is_post = not message_ids or rng.random() < 0.4
+                if is_post:
+                    forum = FORUM_ID_BASE + rng.randint(1, num_forums)
+                    reply_of = None
+                else:
+                    forum = None
+                    reply_of = rng.choice(message_ids)
+                batch.messages.append(
+                    (
+                        message_id,
+                        creator,
+                        now,
+                        content,
+                        len(content),
+                        is_post,
+                        forum,
+                        reply_of,
+                        _ip(rng),
+                        rng.choice(_BROWSERS),
+                    )
+                )
+                message_ids.append(message_id)
+        yield batch

@@ -1,0 +1,66 @@
+"""Spark-SQL substrate: DataFrame API, Catalyst-style optimizer, SQL.
+
+Layers, mirroring Figure 1 of the paper:
+
+* **analysis layer** — :mod:`repro.sql.analysis` resolves names/types;
+* **logical optimization layer** — :mod:`repro.sql.optimizer` runs
+  rule batches to a fixed point;
+* **physical planning layer** — :mod:`repro.sql.planner` applies
+  strategies (including *injected* ones — the extension point the
+  Indexed DataFrame uses) to produce executable operators;
+* **physical execution layer** — :mod:`repro.sql.physical` operators
+  compile to RDDs on the engine.
+"""
+
+from repro.sql.dataframe import DataFrame, GroupedData
+from repro.sql.functions import (
+    avg,
+    coalesce,
+    col,
+    count,
+    count_distinct,
+    lit,
+    max_,
+    min_,
+    sum_,
+    when,
+)
+from repro.sql.session import Session
+from repro.sql.types import (
+    BooleanType,
+    DataType,
+    DoubleType,
+    IntegerType,
+    LongType,
+    Row,
+    StringType,
+    StructField,
+    StructType,
+    TimestampType,
+)
+
+__all__ = [
+    "DataFrame",
+    "GroupedData",
+    "Session",
+    "Row",
+    "DataType",
+    "BooleanType",
+    "DoubleType",
+    "IntegerType",
+    "LongType",
+    "StringType",
+    "TimestampType",
+    "StructField",
+    "StructType",
+    "col",
+    "lit",
+    "when",
+    "count",
+    "count_distinct",
+    "sum_",
+    "avg",
+    "min_",
+    "max_",
+    "coalesce",
+]

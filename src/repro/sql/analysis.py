@@ -1,0 +1,336 @@
+"""The analyzer: name resolution and semantic checks.
+
+Runs resolution rules to a fixed point over the logical plan, exactly
+like Catalyst's analysis layer (paper Figure 1, "Analysis Layer"):
+
+* expand ``*`` / ``alias.*`` in select lists;
+* resolve column names (optionally qualified) to :class:`Attribute`
+  references from child outputs;
+* resolve function calls by name into scalar or aggregate expressions;
+* give every select-list expression a name;
+* rewrite HAVING predicates that contain aggregates;
+* re-attach ORDER BY columns that a SELECT pruned away;
+* finally, type-check filters/joins and verify aggregate semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import AnalysisError
+from repro.sql.expressions import (
+    AggregateExpression,
+    Alias,
+    Attribute,
+    Expression,
+    SortOrder,
+    UnresolvedAttribute,
+    UnresolvedFunction,
+    UnresolvedStar,
+    make_scalar_function,
+    strip_alias,
+)
+from repro.sql.logical import (
+    Aggregate,
+    Distinct,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Sort,
+    SubqueryAlias,
+    Union,
+    expression_name,
+)
+from repro.sql.types import BooleanType
+
+_MAX_PASSES = 25
+
+
+def resolve_name(
+    name: str, qualifier: str | None, attrs: Sequence[Attribute]
+) -> Attribute | None:
+    """Match a (possibly qualified) name against candidate attributes."""
+    matches = [
+        a
+        for a in attrs
+        if a.name == name and (qualifier is None or a.qualifier == qualifier)
+    ]
+    if len(matches) > 1:
+        # Identical attribute reached via multiple paths is not ambiguous.
+        ids = {a.expr_id for a in matches}
+        if len(ids) > 1:
+            raise AnalysisError(
+                f"ambiguous column {qualifier + '.' if qualifier else ''}{name}: "
+                f"candidates {matches}"
+            )
+    return matches[0] if matches else None
+
+
+class Analyzer:
+    """Resolves a raw logical plan produced by the parser or the
+    DataFrame API."""
+
+    def analyze(self, plan: LogicalPlan) -> LogicalPlan:
+        for _ in range(_MAX_PASSES):
+            before = plan
+            plan = plan.transform_up(self._resolve_node)
+            if plan.resolved and plan is before:
+                break
+        if not plan.resolved:
+            unresolved = self._find_unresolved(plan)
+            raise AnalysisError(f"could not resolve: {unresolved}\nplan:\n{plan.pretty()}")
+        self._check(plan)
+        return plan
+
+    # ------------------------------------------------------------------
+
+    def _resolve_node(self, plan: LogicalPlan) -> LogicalPlan:
+        plan = self._expand_stars(plan)
+        plan = self._resolve_references(plan)
+        plan = self._resolve_functions(plan)
+        plan = self._name_select_list(plan)
+        plan = self._global_aggregates(plan)
+        plan = self._rewrite_having(plan)
+        plan = self._recover_sort_columns(plan)
+        return plan
+
+    def _child_attributes(self, plan: LogicalPlan) -> list[Attribute]:
+        attrs: list[Attribute] = []
+        for child in plan.children:
+            try:
+                attrs.extend(child.output())
+            except AnalysisError:
+                return []
+        return attrs
+
+    def _expand_stars(self, plan: LogicalPlan) -> LogicalPlan:
+        if not isinstance(plan, (Project, Aggregate)):
+            return plan
+        exprs = plan.project_list if isinstance(plan, Project) else plan.aggregate_list
+        if not any(isinstance(e, UnresolvedStar) for e in exprs):
+            return plan
+        child_attrs = self._child_attributes(plan)
+        if not child_attrs:
+            return plan
+        expanded: list[Expression] = []
+        for expr in exprs:
+            if isinstance(expr, UnresolvedStar):
+                if expr.qualifier is None:
+                    expanded.extend(child_attrs)
+                else:
+                    matching = [a for a in child_attrs if a.qualifier == expr.qualifier]
+                    if not matching:
+                        raise AnalysisError(f"unknown qualifier {expr.qualifier!r} in *")
+                    expanded.extend(matching)
+            else:
+                expanded.append(expr)
+        if isinstance(plan, Project):
+            return Project(expanded, plan.child)
+        return Aggregate(plan.grouping, expanded, plan.child)
+
+    def _resolve_references(self, plan: LogicalPlan) -> LogicalPlan:
+        attrs = self._child_attributes(plan)
+        if not attrs:
+            return plan
+
+        def resolve(expr: Expression) -> Expression:
+            if isinstance(expr, UnresolvedAttribute):
+                found = resolve_name(expr.name, expr.qualifier, attrs)
+                return found if found is not None else expr
+            return expr
+
+        return plan.map_expressions(lambda e: e.transform_up(resolve))
+
+    def _resolve_functions(self, plan: LogicalPlan) -> LogicalPlan:
+        def resolve(expr: Expression) -> Expression:
+            if not isinstance(expr, UnresolvedFunction):
+                return expr
+            if any(not c.resolved for c in expr.children):
+                return expr
+            name = expr.name.lower()
+            if name in AggregateExpression.FUNCTIONS or (
+                name == "count" and expr.distinct
+            ):
+                if name == "count" and expr.distinct:
+                    name = "count_distinct"
+                child = expr.children[0] if expr.children else None
+                return AggregateExpression(name, child, expr.distinct)
+            return make_scalar_function(name, list(expr.children))
+
+        return plan.map_expressions(lambda e: e.transform_up(resolve))
+
+    def _name_select_list(self, plan: LogicalPlan) -> LogicalPlan:
+        if isinstance(plan, Project):
+            exprs, changed = self._named(plan.project_list)
+            return Project(exprs, plan.child) if changed else plan
+        if isinstance(plan, Aggregate):
+            exprs, changed = self._named(plan.aggregate_list)
+            return Aggregate(plan.grouping, exprs, plan.child) if changed else plan
+        return plan
+
+    @staticmethod
+    def _named(exprs: Sequence[Expression]) -> tuple[list[Expression], bool]:
+        out: list[Expression] = []
+        changed = False
+        for expr in exprs:
+            if isinstance(expr, (Attribute, Alias)) or not expr.resolved:
+                out.append(expr)
+            else:
+                out.append(Alias(expr, expression_name(expr)))
+                changed = True
+        return out, changed
+
+    def _global_aggregates(self, plan: LogicalPlan) -> LogicalPlan:
+        """``SELECT count(*) FROM t`` (no GROUP BY) → global Aggregate."""
+        if not isinstance(plan, Project):
+            return plan
+        has_agg = any(
+            True
+            for e in plan.project_list
+            for _ in e.collect(lambda x: isinstance(x, AggregateExpression))
+        )
+        if not has_agg:
+            return plan
+        return Aggregate([], plan.project_list, plan.child)
+
+    def _rewrite_having(self, plan: LogicalPlan) -> LogicalPlan:
+        """``HAVING sum(x) > 5`` → extend the aggregate list with the
+        aggregate, filter on it, and project the original columns."""
+        if not (isinstance(plan, Filter) and isinstance(plan.child, Aggregate)):
+            return plan
+        aggs_in_condition = list(
+            plan.condition.collect(lambda e: isinstance(e, AggregateExpression))
+        )
+        if not aggs_in_condition:
+            return plan
+        agg = plan.child
+        if not (agg.resolved and plan.condition.resolved):
+            return plan
+        extra: list[Alias] = []
+
+        def hoist(expr: Expression) -> Expression:
+            if isinstance(expr, AggregateExpression):
+                alias = Alias(expr, f"_having_{len(extra)}")
+                extra.append(alias)
+                return alias.to_attribute()
+            return expr
+
+        condition = plan.condition.transform_up(hoist)
+        widened = Aggregate(agg.grouping, [*agg.aggregate_list, *extra], agg.child)
+        original = [a for a in agg.output()]
+        return Project(original, Filter(condition, widened))
+
+    def _recover_sort_columns(self, plan: LogicalPlan) -> LogicalPlan:
+        """ORDER BY referencing columns the SELECT dropped: widen the
+        project, sort, then re-project (Spark's ResolveMissingReferences)."""
+        if not (isinstance(plan, Sort) and isinstance(plan.child, Project)):
+            return plan
+        project = plan.child
+        if not project.resolved:
+            return plan
+        available = {a.expr_id for a in project.output()}
+        below = project.child.output()
+
+        missing: list[Attribute] = []
+        unresolved_fixable = True
+
+        def fix(expr: Expression) -> Expression:
+            nonlocal unresolved_fixable
+            if isinstance(expr, UnresolvedAttribute):
+                found = resolve_name(expr.name, expr.qualifier, below)
+                if found is not None:
+                    if found.expr_id not in available:
+                        missing.append(found)
+                    return found
+                unresolved_fixable = False
+            elif isinstance(expr, Attribute) and expr.expr_id not in available:
+                if any(a.expr_id == expr.expr_id for a in below):
+                    missing.append(expr)
+                else:
+                    unresolved_fixable = False
+            return expr
+
+        orders = [
+            SortOrder(o.child.transform_up(fix), o.ascending, o.nulls_first)
+            for o in plan.orders
+        ]
+        if not missing or not unresolved_fixable:
+            if any(not o.resolved for o in plan.orders) and unresolved_fixable:
+                return Sort(orders, project)
+            return plan
+        unique_missing: list[Attribute] = []
+        seen = set(available)
+        for attr in missing:
+            if attr.expr_id not in seen:
+                unique_missing.append(attr)
+                seen.add(attr.expr_id)
+        widened = Project([*project.project_list, *unique_missing], project.child)
+        return Project(project.output(), Sort(orders, widened))
+
+    # ------------------------------------------------------------------
+
+    def _find_unresolved(self, plan: LogicalPlan) -> list[str]:
+        out = []
+        for node in plan.collect_plans(lambda _p: True):
+            for expr in node.expressions():
+                for sub in expr.collect(lambda e: not e.resolved and not e.children):
+                    out.append(repr(sub))
+        return out or ["<unknown>"]
+
+    def _check(self, plan: LogicalPlan) -> None:
+        for node in plan.collect_plans(lambda _p: True):
+            if isinstance(node, Filter):
+                if node.condition.data_type() != BooleanType():
+                    raise AnalysisError(
+                        f"filter condition is not boolean: {node.condition!r}"
+                    )
+                self._no_aggregates(node.condition, "a WHERE clause")
+            elif isinstance(node, Join) and node.condition is not None:
+                if node.condition.data_type() != BooleanType():
+                    raise AnalysisError(
+                        f"join condition is not boolean: {node.condition!r}"
+                    )
+            elif isinstance(node, Aggregate):
+                self._check_aggregate(node)
+            elif isinstance(node, Project):
+                for expr in node.project_list:
+                    self._no_aggregates(expr, "a SELECT without GROUP BY")
+            elif isinstance(node, Union):
+                lhs, rhs = node.left.output(), node.right.output()
+                if len(lhs) != len(rhs):
+                    raise AnalysisError(
+                        f"UNION arity mismatch: {len(lhs)} vs {len(rhs)} columns"
+                    )
+                for a, b in zip(lhs, rhs):
+                    if a.dtype != b.dtype:
+                        raise AnalysisError(
+                            f"UNION type mismatch on {a.name}: {a.dtype!r} vs {b.dtype!r}"
+                        )
+
+    @staticmethod
+    def _no_aggregates(expr: Expression, where: str) -> None:
+        if any(True for _ in expr.collect(lambda e: isinstance(e, AggregateExpression))):
+            raise AnalysisError(f"aggregate function not allowed in {where}: {expr!r}")
+
+    @staticmethod
+    def _check_aggregate(node: Aggregate) -> None:
+        grouping = [strip_alias(g) for g in node.grouping]
+        grouping_ids = {
+            g.expr_id for g in grouping if isinstance(g, Attribute)
+        }
+        for expr in node.aggregate_list:
+            inner = strip_alias(expr)
+            if isinstance(inner, AggregateExpression):
+                continue
+            # Non-aggregate output is legal if it *is* a grouping
+            # expression, or is built purely from grouping columns.
+            if any(inner.semantic_equals(g) for g in grouping):
+                continue
+            for ref in inner.references:
+                if ref.expr_id not in grouping_ids:
+                    raise AnalysisError(
+                        f"column {ref!r} must appear in GROUP BY or inside an "
+                        f"aggregate function"
+                    )

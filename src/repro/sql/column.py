@@ -1,0 +1,199 @@
+"""The Column wrapper: operator-overloaded expression builder.
+
+``df.col("age") > 21`` builds an expression tree without evaluating
+anything; DataFrame operations consume the wrapped expression. Mirrors
+``pyspark.sql.Column``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.sql.expressions import (
+    Add,
+    Alias,
+    And,
+    CaseWhen,
+    Cast,
+    Divide,
+    EqualTo,
+    Expression,
+    GreaterThan,
+    GreaterThanOrEqual,
+    In,
+    IsNotNull,
+    IsNull,
+    LessThan,
+    LessThanOrEqual,
+    Like,
+    Literal,
+    Modulo,
+    Multiply,
+    Not,
+    NotEqualTo,
+    Or,
+    SortOrder,
+    Subtract,
+    UnaryMinus,
+    UnresolvedAttribute,
+)
+from repro.sql.types import DataType, type_for_name
+
+
+class Column:
+    """A named or computed column expression."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expression):
+        self.expr = expr
+
+    # -- construction helpers -------------------------------------------
+
+    @staticmethod
+    def _to_expr(other: Any) -> Expression:
+        if isinstance(other, Column):
+            return other.expr
+        if isinstance(other, str):
+            # Bare strings name columns in comparison positions only when
+            # explicitly wrapped by col(); as operands they are literals.
+            return Literal(other)
+        return Literal(other)
+
+    @staticmethod
+    def _name(name: str) -> "Column":
+        if "." in name:
+            qualifier, _, base = name.partition(".")
+            return Column(UnresolvedAttribute(base, qualifier))
+        return Column(UnresolvedAttribute(name))
+
+    def _binary(self, other: Any, node: type) -> "Column":
+        return Column(node(self.expr, self._to_expr(other)))
+
+    def _rbinary(self, other: Any, node: type) -> "Column":
+        return Column(node(self._to_expr(other), self.expr))
+
+    # -- comparisons ------------------------------------------------------
+
+    def __eq__(self, other: Any) -> "Column":  # type: ignore[override]
+        return self._binary(other, EqualTo)
+
+    def __ne__(self, other: Any) -> "Column":  # type: ignore[override]
+        return self._binary(other, NotEqualTo)
+
+    def __lt__(self, other: Any) -> "Column":
+        return self._binary(other, LessThan)
+
+    def __le__(self, other: Any) -> "Column":
+        return self._binary(other, LessThanOrEqual)
+
+    def __gt__(self, other: Any) -> "Column":
+        return self._binary(other, GreaterThan)
+
+    def __ge__(self, other: Any) -> "Column":
+        return self._binary(other, GreaterThanOrEqual)
+
+    # -- arithmetic -------------------------------------------------------
+
+    def __add__(self, other: Any) -> "Column":
+        return self._binary(other, Add)
+
+    def __radd__(self, other: Any) -> "Column":
+        return self._rbinary(other, Add)
+
+    def __sub__(self, other: Any) -> "Column":
+        return self._binary(other, Subtract)
+
+    def __rsub__(self, other: Any) -> "Column":
+        return self._rbinary(other, Subtract)
+
+    def __mul__(self, other: Any) -> "Column":
+        return self._binary(other, Multiply)
+
+    def __rmul__(self, other: Any) -> "Column":
+        return self._rbinary(other, Multiply)
+
+    def __truediv__(self, other: Any) -> "Column":
+        return self._binary(other, Divide)
+
+    def __rtruediv__(self, other: Any) -> "Column":
+        return self._rbinary(other, Divide)
+
+    def __mod__(self, other: Any) -> "Column":
+        return self._binary(other, Modulo)
+
+    def __neg__(self) -> "Column":
+        return Column(UnaryMinus(self.expr))
+
+    # -- boolean ----------------------------------------------------------
+
+    def __and__(self, other: Any) -> "Column":
+        return self._binary(other, And)
+
+    def __or__(self, other: Any) -> "Column":
+        return self._binary(other, Or)
+
+    def __invert__(self) -> "Column":
+        return Column(Not(self.expr))
+
+    # -- predicates --------------------------------------------------------
+
+    def is_null(self) -> "Column":
+        return Column(IsNull(self.expr))
+
+    def is_not_null(self) -> "Column":
+        return Column(IsNotNull(self.expr))
+
+    def isin(self, *values: Any) -> "Column":
+        if len(values) == 1 and isinstance(values[0], (list, tuple, set)):
+            values = tuple(values[0])
+        return Column(In(self.expr, [self._to_expr(v) for v in values]))
+
+    def like(self, pattern: str) -> "Column":
+        return Column(Like(self.expr, Literal(pattern)))
+
+    def between(self, low: Any, high: Any) -> "Column":
+        return (self >= low) & (self <= high)
+
+    # -- naming / casting ---------------------------------------------------
+
+    def alias(self, name: str) -> "Column":
+        return Column(Alias(self.expr, name))
+
+    def cast(self, dtype: DataType | str) -> "Column":
+        if isinstance(dtype, str):
+            dtype = type_for_name(dtype)
+        return Column(Cast(self.expr, dtype))
+
+    # -- ordering ------------------------------------------------------------
+
+    def asc(self) -> "Column":
+        return Column(SortOrder(self.expr, ascending=True))
+
+    def desc(self) -> "Column":
+        return Column(SortOrder(self.expr, ascending=False))
+
+    # -- case/when -------------------------------------------------------------
+
+    @classmethod
+    def _case_when(cls, condition: "Column", value: Any) -> "Column":
+        return Column(CaseWhen([(condition.expr, cls._to_expr(value))]))
+
+    def when(self, condition: "Column", value: Any) -> "Column":
+        if not isinstance(self.expr, CaseWhen) or self.expr.else_value is not None:
+            raise ValueError("when() must follow when() without otherwise()")
+        branches = [*self.expr.branches, (condition.expr, self._to_expr(value))]
+        return Column(CaseWhen(branches))
+
+    def otherwise(self, value: Any) -> "Column":
+        if not isinstance(self.expr, CaseWhen) or self.expr.else_value is not None:
+            raise ValueError("otherwise() must follow when()")
+        return Column(CaseWhen(self.expr.branches, self._to_expr(value)))
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "Columns build expression trees; use & | ~ instead of and/or/not"
+        )
+
+    def __repr__(self) -> str:
+        return f"Column({self.expr!r})"

@@ -1,0 +1,862 @@
+"""Expression trees: literals, attributes, predicates, arithmetic.
+
+Lifecycle of an expression (same as Catalyst):
+
+1. the parser / DataFrame API produces *unresolved* nodes
+   (:class:`UnresolvedAttribute`, :class:`UnresolvedStar`);
+2. the analyzer resolves them into :class:`Attribute` references with
+   globally unique ``expr_id``\\ s (so self-joins stay unambiguous) and
+   checks types;
+3. the optimizer rewrites resolved trees (folding, simplification);
+4. physical planning *binds* attributes to tuple ordinals
+   (:class:`BoundReference`), after which :meth:`Expression.eval` is
+   executable against raw row tuples.
+
+SQL three-valued logic is respected throughout: comparisons involving
+NULL yield NULL, AND/OR use Kleene semantics, and filters keep only
+rows whose predicate is exactly True.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.errors import AnalysisError
+from repro.sql.types import (
+    BooleanType,
+    DataType,
+    DoubleType,
+    LongType,
+    StringType,
+    common_type,
+    infer_type,
+)
+
+_expr_ids = itertools.count(1)
+
+
+def next_expr_id() -> int:
+    return next(_expr_ids)
+
+
+class Expression:
+    """Base class for all expression nodes."""
+
+    children: tuple["Expression", ...] = ()
+
+    # -- resolution ----------------------------------------------------
+
+    @property
+    def resolved(self) -> bool:
+        return all(c.resolved for c in self.children)
+
+    @property
+    def foldable(self) -> bool:
+        """True if the expression can be evaluated at plan time."""
+        return bool(self.children) and all(c.foldable for c in self.children)
+
+    def data_type(self) -> DataType:
+        raise AnalysisError(f"{type(self).__name__} has no data type before resolution")
+
+    @property
+    def nullable(self) -> bool:
+        return True
+
+    # -- evaluation ----------------------------------------------------
+
+    def eval(self, row: tuple) -> Any:
+        raise AnalysisError(f"{type(self).__name__} cannot be evaluated (unbound?)")
+
+    # -- tree machinery --------------------------------------------------
+
+    def with_new_children(self, children: Sequence["Expression"]) -> "Expression":
+        if not children and not self.children:
+            return self
+        raise NotImplementedError(type(self).__name__)
+
+    def transform_up(self, fn: Callable[["Expression"], "Expression"]) -> "Expression":
+        """Bottom-up rewrite; ``fn`` may return the node unchanged."""
+        if self.children:
+            new_children = [c.transform_up(fn) for c in self.children]
+            if any(n is not o for n, o in zip(new_children, self.children)):
+                node = self.with_new_children(new_children)
+            else:
+                node = self
+        else:
+            node = self
+        return fn(node)
+
+    def collect(self, pred: Callable[["Expression"], bool]) -> Iterator["Expression"]:
+        if pred(self):
+            yield self
+        for c in self.children:
+            yield from c.collect(pred)
+
+    @property
+    def references(self) -> set["Attribute"]:
+        out: set[Attribute] = set()
+        for node in self.collect(lambda e: isinstance(e, Attribute)):
+            out.add(node)  # type: ignore[arg-type]
+        return out
+
+    def semantic_equals(self, other: "Expression") -> bool:
+        """Structural equality ignoring aliases and cosmetic wrappers."""
+        a, b = strip_alias(self), strip_alias(other)
+        if isinstance(a, Attribute) and isinstance(b, Attribute):
+            return a.expr_id == b.expr_id
+        if type(a) is not type(b) or len(a.children) != len(b.children):
+            return False
+        if isinstance(a, Literal):
+            return a.value == b.value and a.dtype == b.dtype  # type: ignore[attr-defined]
+        return all(x.semantic_equals(y) for x, y in zip(a.children, b.children))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(c) for c in self.children)
+        return f"{type(self).__name__}({inner})"
+
+
+def strip_alias(expr: Expression) -> Expression:
+    while isinstance(expr, Alias):
+        expr = expr.child
+    return expr
+
+
+# ----------------------------------------------------------------------
+# Leaves
+# ----------------------------------------------------------------------
+
+
+class Literal(Expression):
+    """A constant value with a fixed type."""
+
+    def __init__(self, value: Any, dtype: DataType | None = None):
+        self.value = value
+        if dtype is None:
+            dtype = StringType() if value is None else infer_type(value)
+        self.dtype = dtype
+
+    @property
+    def resolved(self) -> bool:
+        return True
+
+    @property
+    def foldable(self) -> bool:
+        return True
+
+    @property
+    def nullable(self) -> bool:
+        return self.value is None
+
+    def data_type(self) -> DataType:
+        return self.dtype
+
+    def eval(self, row: tuple) -> Any:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Literal({self.value!r})"
+
+
+class UnresolvedAttribute(Expression):
+    """A column name not yet matched to a relation's output."""
+
+    def __init__(self, name: str, qualifier: str | None = None):
+        self.name = name
+        self.qualifier = qualifier
+
+    @property
+    def resolved(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        q = f"{self.qualifier}." if self.qualifier else ""
+        return f"'{q}{self.name}"
+
+
+class UnresolvedStar(Expression):
+    """``*`` or ``alias.*`` in a select list."""
+
+    def __init__(self, qualifier: str | None = None):
+        self.qualifier = qualifier
+
+    @property
+    def resolved(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"'{self.qualifier}.*" if self.qualifier else "'*"
+
+
+class UnresolvedFunction(Expression):
+    """A function call by name, not yet resolved to scalar/aggregate."""
+
+    def __init__(self, name: str, args: Sequence["Expression"], distinct: bool = False):
+        self.name = name
+        self.children = tuple(args)
+        self.distinct = distinct
+
+    @property
+    def resolved(self) -> bool:
+        return False
+
+    def with_new_children(self, children: Sequence["Expression"]) -> "UnresolvedFunction":
+        return UnresolvedFunction(self.name, children, self.distinct)
+
+    def __repr__(self) -> str:
+        distinct = "DISTINCT " if self.distinct else ""
+        return f"'{self.name}({distinct}{', '.join(map(repr, self.children))})"
+
+
+class Attribute(Expression):
+    """A resolved column reference with a globally unique id."""
+
+    def __init__(
+        self,
+        name: str,
+        dtype: DataType,
+        expr_id: int | None = None,
+        qualifier: str | None = None,
+        nullable: bool = True,
+    ):
+        self.name = name
+        self.dtype = dtype
+        self.expr_id = expr_id if expr_id is not None else next_expr_id()
+        self.qualifier = qualifier
+        self._nullable = nullable
+
+    @property
+    def resolved(self) -> bool:
+        return True
+
+    @property
+    def foldable(self) -> bool:
+        return False
+
+    @property
+    def nullable(self) -> bool:
+        return self._nullable
+
+    def data_type(self) -> DataType:
+        return self.dtype
+
+    def with_qualifier(self, qualifier: str | None) -> "Attribute":
+        return Attribute(self.name, self.dtype, self.expr_id, qualifier, self._nullable)
+
+    def renamed(self, name: str) -> "Attribute":
+        return Attribute(name, self.dtype, self.expr_id, self.qualifier, self._nullable)
+
+    def fresh(self) -> "Attribute":
+        """Same name/type, new identity (used by aliasing relations)."""
+        return Attribute(self.name, self.dtype, None, self.qualifier, self._nullable)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Attribute) and self.expr_id == other.expr_id
+
+    def __hash__(self) -> int:
+        return hash(self.expr_id)
+
+    def __repr__(self) -> str:
+        q = f"{self.qualifier}." if self.qualifier else ""
+        return f"{q}{self.name}#{self.expr_id}"
+
+
+class BoundReference(Expression):
+    """An attribute bound to a tuple ordinal — directly executable."""
+
+    def __init__(self, ordinal: int, dtype: DataType, name: str = "?"):
+        self.ordinal = ordinal
+        self.dtype = dtype
+        self.name = name
+
+    @property
+    def resolved(self) -> bool:
+        return True
+
+    @property
+    def foldable(self) -> bool:
+        return False
+
+    def data_type(self) -> DataType:
+        return self.dtype
+
+    def eval(self, row: tuple) -> Any:
+        return row[self.ordinal]
+
+    def __repr__(self) -> str:
+        return f"input[{self.ordinal}:{self.name}]"
+
+
+# ----------------------------------------------------------------------
+# Unary nodes
+# ----------------------------------------------------------------------
+
+
+class UnaryExpression(Expression):
+    def __init__(self, child: Expression):
+        self.child = child
+        self.children = (child,)
+
+    def with_new_children(self, children: Sequence[Expression]) -> Expression:
+        return type(self)(children[0])
+
+
+class Alias(UnaryExpression):
+    """Names an expression in a select list."""
+
+    def __init__(self, child: Expression, name: str, expr_id: int | None = None):
+        super().__init__(child)
+        self.name = name
+        self.expr_id = expr_id if expr_id is not None else next_expr_id()
+
+    def with_new_children(self, children: Sequence[Expression]) -> "Alias":
+        return Alias(children[0], self.name, self.expr_id)
+
+    def data_type(self) -> DataType:
+        return self.child.data_type()
+
+    @property
+    def nullable(self) -> bool:
+        return self.child.nullable
+
+    def eval(self, row: tuple) -> Any:
+        return self.child.eval(row)
+
+    def to_attribute(self) -> Attribute:
+        return Attribute(
+            self.name, self.child.data_type(), self.expr_id, None, self.child.nullable
+        )
+
+    def __repr__(self) -> str:
+        return f"{self.child!r} AS {self.name}"
+
+
+class Not(UnaryExpression):
+    def data_type(self) -> DataType:
+        return BooleanType()
+
+    def eval(self, row: tuple) -> Any:
+        value = self.child.eval(row)
+        return None if value is None else (not value)
+
+
+class UnaryMinus(UnaryExpression):
+    def data_type(self) -> DataType:
+        return self.child.data_type()
+
+    def eval(self, row: tuple) -> Any:
+        value = self.child.eval(row)
+        return None if value is None else -value
+
+
+class IsNull(UnaryExpression):
+    def data_type(self) -> DataType:
+        return BooleanType()
+
+    @property
+    def nullable(self) -> bool:
+        return False
+
+    def eval(self, row: tuple) -> Any:
+        return self.child.eval(row) is None
+
+
+class IsNotNull(UnaryExpression):
+    def data_type(self) -> DataType:
+        return BooleanType()
+
+    @property
+    def nullable(self) -> bool:
+        return False
+
+    def eval(self, row: tuple) -> Any:
+        return self.child.eval(row) is not None
+
+
+class Cast(UnaryExpression):
+    """Explicit or analyzer-inserted type conversion."""
+
+    _casters: dict[str, Callable[[Any], Any]] = {
+        "boolean": bool,
+        "integer": int,
+        "long": int,
+        "bigint": int,
+        "double": float,
+        "string": str,
+        "timestamp": int,
+        "date": int,
+    }
+
+    def __init__(self, child: Expression, dtype: DataType):
+        super().__init__(child)
+        self.dtype = dtype
+
+    def with_new_children(self, children: Sequence[Expression]) -> "Cast":
+        return Cast(children[0], self.dtype)
+
+    def data_type(self) -> DataType:
+        return self.dtype
+
+    def eval(self, row: tuple) -> Any:
+        value = self.child.eval(row)
+        if value is None:
+            return None
+        caster = self._casters.get(self.dtype.name)
+        if caster is None:
+            raise AnalysisError(f"cannot cast to {self.dtype.name}")
+        try:
+            return caster(value)
+        except (TypeError, ValueError):
+            return None  # SQL CAST semantics: invalid casts produce NULL
+
+    def __repr__(self) -> str:
+        return f"CAST({self.child!r} AS {self.dtype.name})"
+
+
+# ----------------------------------------------------------------------
+# Binary nodes
+# ----------------------------------------------------------------------
+
+
+class BinaryExpression(Expression):
+    symbol = "?"
+
+    def __init__(self, left: Expression, right: Expression):
+        self.left = left
+        self.right = right
+        self.children = (left, right)
+
+    def with_new_children(self, children: Sequence[Expression]) -> Expression:
+        return type(self)(children[0], children[1])
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.symbol} {self.right!r})"
+
+
+class BinaryArithmetic(BinaryExpression):
+    op: Callable[[Any, Any], Any]
+
+    def data_type(self) -> DataType:
+        return common_type(self.left.data_type(), self.right.data_type())
+
+    def eval(self, row: tuple) -> Any:
+        lhs = self.left.eval(row)
+        if lhs is None:
+            return None
+        rhs = self.right.eval(row)
+        if rhs is None:
+            return None
+        return type(self).op(lhs, rhs)
+
+
+class Add(BinaryArithmetic):
+    symbol = "+"
+    op = staticmethod(lambda a, b: a + b)
+
+
+class Subtract(BinaryArithmetic):
+    symbol = "-"
+    op = staticmethod(lambda a, b: a - b)
+
+
+class Multiply(BinaryArithmetic):
+    symbol = "*"
+    op = staticmethod(lambda a, b: a * b)
+
+
+class Divide(BinaryArithmetic):
+    symbol = "/"
+    op = staticmethod(lambda a, b: None if b == 0 else a / b)
+
+    def data_type(self) -> DataType:
+        return DoubleType()
+
+
+class Modulo(BinaryArithmetic):
+    symbol = "%"
+    op = staticmethod(lambda a, b: None if b == 0 else a % b)
+
+
+class BinaryComparison(BinaryExpression):
+    op: Callable[[Any, Any], bool]
+
+    def data_type(self) -> DataType:
+        return BooleanType()
+
+    def eval(self, row: tuple) -> Any:
+        lhs = self.left.eval(row)
+        if lhs is None:
+            return None
+        rhs = self.right.eval(row)
+        if rhs is None:
+            return None
+        return type(self).op(lhs, rhs)
+
+
+class EqualTo(BinaryComparison):
+    symbol = "="
+    op = staticmethod(lambda a, b: a == b)
+
+
+class NotEqualTo(BinaryComparison):
+    symbol = "!="
+    op = staticmethod(lambda a, b: a != b)
+
+
+class LessThan(BinaryComparison):
+    symbol = "<"
+    op = staticmethod(lambda a, b: a < b)
+
+
+class LessThanOrEqual(BinaryComparison):
+    symbol = "<="
+    op = staticmethod(lambda a, b: a <= b)
+
+
+class GreaterThan(BinaryComparison):
+    symbol = ">"
+    op = staticmethod(lambda a, b: a > b)
+
+
+class GreaterThanOrEqual(BinaryComparison):
+    symbol = ">="
+    op = staticmethod(lambda a, b: a >= b)
+
+
+class And(BinaryExpression):
+    symbol = "AND"
+
+    def data_type(self) -> DataType:
+        return BooleanType()
+
+    def eval(self, row: tuple) -> Any:
+        lhs = self.left.eval(row)
+        if lhs is False:
+            return False
+        rhs = self.right.eval(row)
+        if rhs is False:
+            return False
+        if lhs is None or rhs is None:
+            return None
+        return True
+
+
+class Or(BinaryExpression):
+    symbol = "OR"
+
+    def data_type(self) -> DataType:
+        return BooleanType()
+
+    def eval(self, row: tuple) -> Any:
+        lhs = self.left.eval(row)
+        if lhs is True:
+            return True
+        rhs = self.right.eval(row)
+        if rhs is True:
+            return True
+        if lhs is None or rhs is None:
+            return None
+        return False
+
+
+class In(Expression):
+    """``expr IN (e1, e2, ...)`` with SQL null semantics."""
+
+    def __init__(self, value: Expression, options: Sequence[Expression]):
+        self.value = value
+        self.options = tuple(options)
+        self.children = (value, *self.options)
+
+    def with_new_children(self, children: Sequence[Expression]) -> "In":
+        return In(children[0], children[1:])
+
+    def data_type(self) -> DataType:
+        return BooleanType()
+
+    def eval(self, row: tuple) -> Any:
+        needle = self.value.eval(row)
+        if needle is None:
+            return None
+        saw_null = False
+        for option in self.options:
+            candidate = option.eval(row)
+            if candidate is None:
+                saw_null = True
+            elif candidate == needle:
+                return True
+        return None if saw_null else False
+
+    def __repr__(self) -> str:
+        return f"{self.value!r} IN ({', '.join(map(repr, self.options))})"
+
+
+class InSubquery(Expression):
+    """``expr IN (SELECT ...)`` — a parse-time marker.
+
+    Desugared by the session (before analysis) into a left-semi join
+    (or left-anti for ``NOT IN``). Only valid as a WHERE conjunct; the
+    subquery must produce exactly one column. Note: the anti-join
+    rewrite of ``NOT IN`` is null-naive (a NULL-producing subquery does
+    not blank the result as strict SQL would).
+    """
+
+    def __init__(self, value: Expression, plan: "object", negated: bool = False):
+        self.value = value
+        self.plan = plan  # a LogicalPlan; typed loosely to avoid cycles
+        self.negated = negated
+        self.children = (value,)
+
+    @property
+    def resolved(self) -> bool:
+        return False  # must be desugared before analysis completes
+
+    def with_new_children(self, children: Sequence["Expression"]) -> "InSubquery":
+        return InSubquery(children[0], self.plan, self.negated)
+
+    def __repr__(self) -> str:
+        negated = "NOT " if self.negated else ""
+        return f"{self.value!r} {negated}IN (<subquery>)"
+
+
+class Like(BinaryExpression):
+    """SQL LIKE with ``%`` and ``_`` wildcards."""
+
+    symbol = "LIKE"
+
+    def data_type(self) -> DataType:
+        return BooleanType()
+
+    def eval(self, row: tuple) -> Any:
+        value = self.left.eval(row)
+        pattern = self.right.eval(row)
+        if value is None or pattern is None:
+            return None
+        import re
+
+        regex = "^" + re.escape(pattern).replace("%", ".*").replace("_", ".") + "$"
+        return re.match(regex, value) is not None
+
+
+class CaseWhen(Expression):
+    """``CASE WHEN c1 THEN v1 ... ELSE d END``."""
+
+    def __init__(
+        self,
+        branches: Sequence[tuple[Expression, Expression]],
+        else_value: Expression | None = None,
+    ):
+        self.branches = [(c, v) for c, v in branches]
+        self.else_value = else_value
+        flat: list[Expression] = []
+        for cond, value in self.branches:
+            flat.extend((cond, value))
+        if else_value is not None:
+            flat.append(else_value)
+        self.children = tuple(flat)
+
+    def with_new_children(self, children: Sequence[Expression]) -> "CaseWhen":
+        pairs = [
+            (children[i], children[i + 1]) for i in range(0, 2 * len(self.branches), 2)
+        ]
+        else_value = children[-1] if self.else_value is not None else None
+        return CaseWhen(pairs, else_value)
+
+    def data_type(self) -> DataType:
+        return self.branches[0][1].data_type()
+
+    def eval(self, row: tuple) -> Any:
+        for cond, value in self.branches:
+            if cond.eval(row) is True:
+                return value.eval(row)
+        if self.else_value is not None:
+            return self.else_value.eval(row)
+        return None
+
+    def __repr__(self) -> str:
+        parts = " ".join(f"WHEN {c!r} THEN {v!r}" for c, v in self.branches)
+        tail = f" ELSE {self.else_value!r}" if self.else_value is not None else ""
+        return f"CASE {parts}{tail} END"
+
+
+class Coalesce(Expression):
+    """First non-null argument."""
+
+    def __init__(self, args: Sequence[Expression]):
+        self.children = tuple(args)
+        if not self.children:
+            raise AnalysisError("coalesce requires at least one argument")
+
+    def with_new_children(self, children: Sequence[Expression]) -> "Coalesce":
+        return Coalesce(children)
+
+    def data_type(self) -> DataType:
+        return self.children[0].data_type()
+
+    def eval(self, row: tuple) -> Any:
+        for child in self.children:
+            value = child.eval(row)
+            if value is not None:
+                return value
+        return None
+
+
+# ----------------------------------------------------------------------
+# Scalar functions
+# ----------------------------------------------------------------------
+
+
+class ScalarFunction(Expression):
+    """A named scalar function with a Python implementation.
+
+    Null-in/null-out by default: if any argument is NULL the result is
+    NULL without invoking the implementation.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        args: Sequence[Expression],
+        fn: Callable[..., Any],
+        return_type: DataType,
+    ):
+        self.name = name
+        self.children = tuple(args)
+        self.fn = fn
+        self.return_type = return_type
+
+    def with_new_children(self, children: Sequence[Expression]) -> "ScalarFunction":
+        return ScalarFunction(self.name, children, self.fn, self.return_type)
+
+    def data_type(self) -> DataType:
+        return self.return_type
+
+    def eval(self, row: tuple) -> Any:
+        args = []
+        for child in self.children:
+            value = child.eval(row)
+            if value is None:
+                return None
+            args.append(value)
+        return self.fn(*args)
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(map(repr, self.children))})"
+
+
+#: Scalar function registry: name → (implementation, return type factory).
+SCALAR_FUNCTIONS: dict[str, tuple[Callable[..., Any], Callable[[list[DataType]], DataType]]] = {
+    "upper": (lambda s: s.upper(), lambda _ts: StringType()),
+    "lower": (lambda s: s.lower(), lambda _ts: StringType()),
+    "length": (lambda s: len(s), lambda _ts: LongType()),
+    "abs": (lambda x: abs(x), lambda ts: ts[0]),
+    "substring": (lambda s, pos, ln: s[pos - 1 : pos - 1 + ln], lambda _ts: StringType()),
+    "concat": (lambda *xs: "".join(str(x) for x in xs), lambda _ts: StringType()),
+    "year": (lambda ms: 1970 + ms // (365 * 24 * 3600 * 1000), lambda _ts: LongType()),
+    "trim": (lambda s: s.strip(), lambda _ts: StringType()),
+    "ltrim": (lambda s: s.lstrip(), lambda _ts: StringType()),
+    "rtrim": (lambda s: s.rstrip(), lambda _ts: StringType()),
+    "replace": (lambda s, old, new: s.replace(old, new), lambda _ts: StringType()),
+    "round": (lambda x, digits=0: round(x, int(digits)), lambda _ts: DoubleType()),
+    "floor": (lambda x: int(x // 1), lambda _ts: LongType()),
+    "ceil": (lambda x: -int((-x) // 1), lambda _ts: LongType()),
+    "greatest": (lambda *xs: max(xs), lambda ts: ts[0]),
+    "least": (lambda *xs: min(xs), lambda ts: ts[0]),
+    "sqrt": (lambda x: x ** 0.5, lambda _ts: DoubleType()),
+    "pow": (lambda x, y: x ** y, lambda _ts: DoubleType()),
+    "reverse": (lambda s: s[::-1], lambda _ts: StringType()),
+    "startswith": (lambda s, p: s.startswith(p), lambda _ts: BooleanType()),
+    "endswith": (lambda s, p: s.endswith(p), lambda _ts: BooleanType()),
+    "contains": (lambda s, p: p in s, lambda _ts: BooleanType()),
+}
+
+
+def make_scalar_function(name: str, args: Sequence[Expression]) -> ScalarFunction:
+    key = name.lower()
+    if key not in SCALAR_FUNCTIONS:
+        raise AnalysisError(f"unknown function: {name}")
+    fn, type_factory = SCALAR_FUNCTIONS[key]
+    arg_types = [a.data_type() if a.resolved else StringType() for a in args]
+    return ScalarFunction(key, args, fn, type_factory(arg_types))
+
+
+# ----------------------------------------------------------------------
+# Aggregates
+# ----------------------------------------------------------------------
+
+
+class AggregateExpression(Expression):
+    """An aggregate call in a select/agg list (e.g. ``sum(x)``).
+
+    Carries the function name; the physical planner maps it onto a
+    streaming accumulator (:mod:`repro.sql.physical`).
+    """
+
+    FUNCTIONS = ("count", "sum", "avg", "min", "max", "count_distinct", "first")
+
+    def __init__(self, fn_name: str, child: Expression | None, distinct: bool = False):
+        self.fn_name = fn_name.lower()
+        if self.fn_name not in self.FUNCTIONS:
+            raise AnalysisError(f"unknown aggregate function: {fn_name}")
+        self.child = child
+        self.distinct = distinct
+        self.children = (child,) if child is not None else ()
+
+    def with_new_children(self, children: Sequence[Expression]) -> "AggregateExpression":
+        child = children[0] if children else None
+        return AggregateExpression(self.fn_name, child, self.distinct)
+
+    @property
+    def foldable(self) -> bool:
+        return False
+
+    @property
+    def nullable(self) -> bool:
+        return self.fn_name != "count"
+
+    def data_type(self) -> DataType:
+        if self.fn_name in ("count", "count_distinct"):
+            return LongType()
+        if self.fn_name == "avg":
+            return DoubleType()
+        assert self.child is not None
+        return self.child.data_type()
+
+    def __repr__(self) -> str:
+        inner = repr(self.child) if self.child is not None else "*"
+        distinct = "DISTINCT " if self.distinct else ""
+        return f"{self.fn_name}({distinct}{inner})"
+
+
+class SortOrder(Expression):
+    """Sort direction wrapper used by ORDER BY / ``DataFrame.order_by``."""
+
+    def __init__(self, child: Expression, ascending: bool = True, nulls_first: bool = True):
+        self.child = child
+        self.ascending = ascending
+        self.nulls_first = nulls_first
+        self.children = (child,)
+
+    def with_new_children(self, children: Sequence[Expression]) -> "SortOrder":
+        return SortOrder(children[0], self.ascending, self.nulls_first)
+
+    def data_type(self) -> DataType:
+        return self.child.data_type()
+
+    def __repr__(self) -> str:
+        direction = "ASC" if self.ascending else "DESC"
+        return f"{self.child!r} {direction}"
+
+
+def split_conjuncts(expr: Expression) -> list[Expression]:
+    """Flatten a predicate into its AND-ed conjuncts."""
+    if isinstance(expr, And):
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def combine_conjuncts(exprs: Sequence[Expression]) -> Expression | None:
+    """Rebuild a predicate from conjuncts; None for an empty list."""
+    result: Expression | None = None
+    for expr in exprs:
+        result = expr if result is None else And(result, expr)
+    return result

@@ -1,0 +1,120 @@
+"""Column functions: the user-facing expression constructors.
+
+Mirrors ``pyspark.sql.functions``: ``col``/``lit`` build references and
+constants, ``when`` builds conditionals, and the aggregate helpers
+(``count``, ``sum_``, ...) build aggregate expressions for
+``GroupedData.agg`` / ``DataFrame.agg``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.sql.column import Column
+from repro.sql.expressions import (
+    AggregateExpression,
+    Coalesce,
+    Expression,
+    Literal,
+    UnresolvedAttribute,
+    UnresolvedFunction,
+)
+
+__all__ = [
+    "col",
+    "lit",
+    "when",
+    "coalesce",
+    "count",
+    "count_distinct",
+    "sum_",
+    "avg",
+    "min_",
+    "max_",
+    "first",
+    "expr_function",
+]
+
+
+def col(name: str) -> Column:
+    """Reference a column by (optionally qualified) name."""
+    if "." in name:
+        qualifier, _, base = name.partition(".")
+        return Column(UnresolvedAttribute(base, qualifier))
+    return Column(UnresolvedAttribute(name))
+
+
+def lit(value: Any) -> Column:
+    """A literal value column."""
+    if isinstance(value, Column):
+        return value
+    return Column(Literal(value))
+
+
+def when(condition: Column, value: Any) -> Column:
+    """Start a CASE WHEN chain: ``when(c, v).otherwise(d)``."""
+    return Column._case_when(condition, value)
+
+
+def _col_expr(item: Column | str) -> Expression:
+    """Strings name columns here (pyspark convention), not literals."""
+    if isinstance(item, Column):
+        return item.expr
+    if "." in item:
+        qualifier, _, base = item.partition(".")
+        return UnresolvedAttribute(base, qualifier)
+    return UnresolvedAttribute(item)
+
+
+def coalesce(*cols: Column | str) -> Column:
+    exprs = [_col_expr(c) for c in cols]
+    return Column(Coalesce(exprs))
+
+
+def _agg(fn_name: str, column: Column | str | None, distinct: bool = False) -> Column:
+    child: Expression | None
+    if column is None:
+        child = None
+    else:
+        child = _col_expr(column)
+    return Column(AggregateExpression(fn_name, child, distinct))
+
+
+def count(column: Column | str | None = None) -> Column:
+    """``count(col)`` (non-null) or ``count()`` / ``count('*')`` for rows."""
+    if isinstance(column, str) and column == "*":
+        column = None
+    return _agg("count", column)
+
+
+def count_distinct(column: Column | str) -> Column:
+    return _agg("count_distinct", column, distinct=True)
+
+
+def sum_(column: Column | str) -> Column:
+    return _agg("sum", column)
+
+
+def avg(column: Column | str) -> Column:
+    return _agg("avg", column)
+
+
+def min_(column: Column | str) -> Column:
+    return _agg("min", column)
+
+
+def max_(column: Column | str) -> Column:
+    return _agg("max", column)
+
+
+def first(column: Column | str) -> Column:
+    return _agg("first", column)
+
+
+def expr_function(name: str, *args: Column | str) -> Column:
+    """Call a registered scalar function by name (e.g. ``upper``).
+
+    String arguments name columns; wrap constants with :func:`lit`.
+    """
+    exprs: Sequence[Expression] = [_col_expr(a) for a in args]
+    return Column(UnresolvedFunction(name, exprs))

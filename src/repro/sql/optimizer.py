@@ -1,0 +1,481 @@
+"""Logical optimization: rule batches run to a fixed point.
+
+The rules mirror Catalyst's standard batch (paper Figure 1, "Logical
+Optimization Layer"): constant folding, boolean simplification, filter
+pruning/combining, predicate pushdown (through projects, joins, and
+unions), projection collapsing, limit combining, and column pruning.
+
+Column pruning matters doubly here: it is what lets the *vanilla*
+columnar cache win on projection in Figure 2 (a pruned scan touches
+only the projected column vectors), and what the Indexed DataFrame
+cannot exploit because its storage is row-oriented.
+
+Extension point: :class:`Optimizer` accepts ``extra_rules`` so
+libraries (like :mod:`repro.core`) can inject index-aware rewrites
+without modifying this module — the reproduction of the paper's "no
+Spark source modification" claim.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.sql.expressions import (
+    Alias,
+    And,
+    Attribute,
+    Expression,
+    Literal,
+    Not,
+    combine_conjuncts,
+    split_conjuncts,
+    strip_alias,
+)
+from repro.sql.logical import (
+    Aggregate,
+    Distinct,
+    Filter,
+    Join,
+    Limit,
+    LocalRelation,
+    LogicalPlan,
+    Project,
+    Relation,
+    Sort,
+    SubqueryAlias,
+    Union,
+)
+from repro.sql.types import BooleanType
+
+Rule = Callable[[LogicalPlan], LogicalPlan]
+
+
+def substitute_attributes(
+    expr: Expression, mapping: dict[int, Expression]
+) -> Expression:
+    """Replace attribute references by expressions keyed on expr_id."""
+
+    def sub(node: Expression) -> Expression:
+        if isinstance(node, Attribute) and node.expr_id in mapping:
+            return mapping[node.expr_id]
+        return node
+
+    return expr.transform_up(sub)
+
+
+def alias_map(project_list: Sequence[Expression]) -> dict[int, Expression]:
+    """expr_id → defining expression for a project list."""
+    mapping: dict[int, Expression] = {}
+    for expr in project_list:
+        if isinstance(expr, Alias):
+            mapping[expr.expr_id] = expr.child
+        elif isinstance(expr, Attribute):
+            mapping[expr.expr_id] = expr
+    return mapping
+
+
+# ----------------------------------------------------------------------
+# Expression-level rules
+# ----------------------------------------------------------------------
+
+
+def constant_folding(plan: LogicalPlan) -> LogicalPlan:
+    """Evaluate literal-only subtrees at plan time."""
+
+    def fold(expr: Expression) -> Expression:
+        if isinstance(expr, (Literal, Alias)):
+            return expr
+        if expr.foldable and expr.resolved:
+            return Literal(expr.eval(()), expr.data_type())
+        return expr
+
+    return plan.transform_expressions(fold)
+
+
+def boolean_simplification(plan: LogicalPlan) -> LogicalPlan:
+    """Short-circuit AND/OR/NOT with literal operands."""
+
+    def simplify(expr: Expression) -> Expression:
+        if isinstance(expr, And):
+            for side, other in ((expr.left, expr.right), (expr.right, expr.left)):
+                if isinstance(side, Literal):
+                    if side.value is True:
+                        return other
+                    if side.value is False:
+                        return Literal(False, BooleanType())
+        elif isinstance(expr, Not):
+            child = expr.child
+            if isinstance(child, Literal):
+                value = None if child.value is None else (not child.value)
+                return Literal(value, BooleanType())
+            if isinstance(child, Not):
+                return child.child
+        else:
+            from repro.sql.expressions import Or
+
+            if isinstance(expr, Or):
+                for side, other in ((expr.left, expr.right), (expr.right, expr.left)):
+                    if isinstance(side, Literal):
+                        if side.value is False:
+                            return other
+                        if side.value is True:
+                            return Literal(True, BooleanType())
+        return expr
+
+    return plan.transform_expressions(simplify)
+
+
+# ----------------------------------------------------------------------
+# Plan-level rules
+# ----------------------------------------------------------------------
+
+
+def simplify_null_checks(plan: LogicalPlan) -> LogicalPlan:
+    """Fold IS [NOT] NULL on provably non-nullable attributes.
+
+    Nullability flows from schema declarations through the plan, so
+    e.g. ``WHERE id IS NOT NULL`` on a non-nullable key disappears
+    entirely (via prune_filters).
+    """
+    from repro.sql.expressions import IsNotNull, IsNull
+
+    def simplify(expr: Expression) -> Expression:
+        if isinstance(expr, IsNull):
+            child = expr.child
+            if isinstance(child, Attribute) and not child.nullable:
+                return Literal(False, BooleanType())
+            if isinstance(child, Literal):
+                return Literal(child.value is None, BooleanType())
+        elif isinstance(expr, IsNotNull):
+            child = expr.child
+            if isinstance(child, Attribute) and not child.nullable:
+                return Literal(True, BooleanType())
+            if isinstance(child, Literal):
+                return Literal(child.value is not None, BooleanType())
+        return expr
+
+    return plan.transform_expressions(simplify)
+
+
+def eliminate_subquery_aliases(plan: LogicalPlan) -> LogicalPlan:
+    def strip(node: LogicalPlan) -> LogicalPlan:
+        if isinstance(node, SubqueryAlias):
+            return node.child
+        return node
+
+    return plan.transform_up(strip)
+
+
+def prune_filters(plan: LogicalPlan) -> LogicalPlan:
+    """Drop always-true filters; empty out always-false ones."""
+
+    def prune(node: LogicalPlan) -> LogicalPlan:
+        if isinstance(node, Filter) and isinstance(node.condition, Literal):
+            if node.condition.value is True:
+                return node.child
+            return LocalRelation(node.output(), [])
+        return node
+
+    return plan.transform_up(prune)
+
+
+def combine_filters(plan: LogicalPlan) -> LogicalPlan:
+    def combine(node: LogicalPlan) -> LogicalPlan:
+        if isinstance(node, Filter) and isinstance(node.child, Filter):
+            inner = node.child
+            return Filter(And(inner.condition, node.condition), inner.child)
+        return node
+
+    return plan.transform_up(combine)
+
+
+def combine_limits(plan: LogicalPlan) -> LogicalPlan:
+    def combine(node: LogicalPlan) -> LogicalPlan:
+        if isinstance(node, Limit) and isinstance(node.child, Limit):
+            return Limit(min(node.n, node.child.n), node.child.child)
+        return node
+
+    return plan.transform_up(combine)
+
+
+def collapse_projects(plan: LogicalPlan) -> LogicalPlan:
+    """Merge adjacent Projects by inlining the lower select list."""
+
+    def collapse(node: LogicalPlan) -> LogicalPlan:
+        if not (isinstance(node, Project) and isinstance(node.child, Project)):
+            return node
+        lower = node.child
+        mapping = alias_map(lower.project_list)
+        rebuilt: list[Expression] = []
+        for expr in node.project_list:
+            if isinstance(expr, Attribute):
+                defining = mapping.get(expr.expr_id, expr)
+                if isinstance(defining, Attribute):
+                    rebuilt.append(defining if defining.expr_id == expr.expr_id else expr)
+                else:
+                    rebuilt.append(Alias(defining, expr.name, expr.expr_id))
+            elif isinstance(expr, Alias):
+                rebuilt.append(
+                    Alias(
+                        substitute_attributes(expr.child, mapping),
+                        expr.name,
+                        expr.expr_id,
+                    )
+                )
+            else:
+                return node
+        return Project(rebuilt, lower.child)
+
+    return plan.transform_up(collapse)
+
+
+def push_down_predicates(plan: LogicalPlan) -> LogicalPlan:
+    """Move filters closer to the data they reference."""
+
+    def push(node: LogicalPlan) -> LogicalPlan:
+        if not isinstance(node, Filter):
+            return node
+        child = node.child
+
+        if isinstance(child, Project):
+            mapping = alias_map(child.project_list)
+            has_aggregates = False
+            from repro.sql.expressions import AggregateExpression
+
+            for expr in child.project_list:
+                inner = strip_alias(expr)
+                if any(
+                    True
+                    for _ in inner.collect(
+                        lambda e: isinstance(e, AggregateExpression)
+                    )
+                ):
+                    has_aggregates = True
+            if not has_aggregates:
+                pushed = substitute_attributes(node.condition, mapping)
+                return Project(child.project_list, Filter(pushed, child.child))
+            return node
+
+        if isinstance(child, Join):
+            return _push_into_join(node, child)
+
+        if isinstance(child, Union):
+            left_out = child.left.output()
+            right_out = child.right.output()
+            union_out = child.output()
+            left_map = {
+                u.expr_id: l for u, l in zip(union_out, left_out)
+            }
+            right_map = {
+                u.expr_id: r for u, r in zip(union_out, right_out)
+            }
+            left_cond = substitute_attributes(node.condition, left_map)  # type: ignore[arg-type]
+            right_cond = substitute_attributes(node.condition, right_map)  # type: ignore[arg-type]
+            return Union(
+                Filter(left_cond, child.left), Filter(right_cond, child.right)
+            )
+
+        if isinstance(child, (Sort, Limit)):
+            if isinstance(child, Limit):
+                return node  # filtering below a limit changes results
+            return type(child)(child.orders, Filter(node.condition, child.child))  # type: ignore[call-arg]
+
+        return node
+
+    return plan.transform_up(push)
+
+
+def _push_into_join(filter_node: Filter, join: Join) -> LogicalPlan:
+    left_ids = {a.expr_id for a in join.left.output()}
+    right_ids = {a.expr_id for a in join.right.output()}
+    to_left: list[Expression] = []
+    to_right: list[Expression] = []
+    remaining: list[Expression] = []
+    for conjunct in split_conjuncts(filter_node.condition):
+        refs = {a.expr_id for a in conjunct.references}
+        if refs and refs <= left_ids and join.how in ("inner", "left", "semi", "anti", "cross"):
+            to_left.append(conjunct)
+        elif refs and refs <= right_ids and join.how in ("inner", "right", "cross"):
+            to_right.append(conjunct)
+        else:
+            remaining.append(conjunct)
+    if not to_left and not to_right:
+        return filter_node
+    left = join.left
+    right = join.right
+    left_cond = combine_conjuncts(to_left)
+    right_cond = combine_conjuncts(to_right)
+    if left_cond is not None:
+        left = Filter(left_cond, left)
+    if right_cond is not None:
+        right = Filter(right_cond, right)
+    new_join = Join(left, right, join.how, join.condition)
+    rest = combine_conjuncts(remaining)
+    return Filter(rest, new_join) if rest is not None else new_join
+
+
+def prune_columns(plan: LogicalPlan) -> LogicalPlan:
+    """Insert attribute-only Projects so scans read only needed columns."""
+    required = {a.expr_id for a in plan.output()}
+    return _prune(plan, required)
+
+
+def _restrict(plan: LogicalPlan, required: set[int]) -> LogicalPlan:
+    """Wrap ``plan`` in a Project keeping only required attributes."""
+    out = plan.output()
+    keep = [a for a in out if a.expr_id in required]
+    if len(keep) == len(out) or not keep:
+        return plan
+    return Project(keep, plan)
+
+
+def _prune(plan: LogicalPlan, required: set[int]) -> LogicalPlan:
+    if isinstance(plan, Project):
+        keep = [
+            e
+            for e in plan.project_list
+            if isinstance(e, Attribute) and e.expr_id in required
+            or isinstance(e, Alias) and e.expr_id in required
+        ]
+        if not keep:
+            keep = plan.project_list[:1]
+        needed = {r.expr_id for e in keep for r in e.references}
+        return Project(keep, _prune(plan.child, needed))
+    if isinstance(plan, Filter):
+        needed = required | {r.expr_id for r in plan.condition.references}
+        return Filter(plan.condition, _prune(plan.child, needed))
+    if isinstance(plan, Aggregate):
+        needed = {
+            r.expr_id
+            for e in [*plan.grouping, *plan.aggregate_list]
+            for r in e.references
+        }
+        return Aggregate(
+            plan.grouping, plan.aggregate_list, _prune(plan.child, needed)
+        )
+    if isinstance(plan, Join):
+        cond_refs = (
+            {r.expr_id for r in plan.condition.references}
+            if plan.condition is not None
+            else set()
+        )
+        needed = required | cond_refs
+        left = _restrict(_prune(plan.left, needed), needed)
+        right = _restrict(_prune(plan.right, needed), needed)
+        return Join(left, right, plan.how, plan.condition)
+    if isinstance(plan, Sort):
+        needed = required | {
+            r.expr_id for o in plan.orders for r in o.child.references
+        }
+        return Sort(plan.orders, _prune(plan.child, needed))
+    if isinstance(plan, Limit):
+        return Limit(plan.n, _prune(plan.child, required))
+    if isinstance(plan, Distinct):
+        # Distinct dedups whole rows: every child column is semantically
+        # significant, so nothing below it can be pruned away.
+        return plan
+    if isinstance(plan, Union):
+        union_out = plan.output()
+        keep_positions = [
+            i for i, a in enumerate(union_out) if a.expr_id in required
+        ]
+        if len(keep_positions) == len(union_out):
+            left = _prune(plan.left, {a.expr_id for a in plan.left.output()})
+            right = _prune(plan.right, {a.expr_id for a in plan.right.output()})
+            return Union(left, right)
+        left_out = plan.left.output()
+        right_out = plan.right.output()
+        left_keep = [left_out[i] for i in keep_positions]
+        right_keep = [right_out[i] for i in keep_positions]
+        left = Project(left_keep, plan.left)
+        right = Project(right_keep, plan.right)
+        return Union(
+            _prune(left, {a.expr_id for a in left_keep}),
+            _prune(right, {a.expr_id for a in right_keep}),
+        )
+    if isinstance(plan, Relation):
+        return _restrict(plan, required)
+    if plan.children:
+        return plan.with_new_children(
+            [_prune(c, {a.expr_id for a in c.output()}) for c in plan.children]
+        )
+    return plan
+
+
+def remove_redundant_projects(plan: LogicalPlan) -> LogicalPlan:
+    """Drop Projects that merely repeat their child's full output."""
+
+    def remove(node: LogicalPlan) -> LogicalPlan:
+        if isinstance(node, Project):
+            child_out = node.child.output()
+            if len(node.project_list) == len(child_out) and all(
+                isinstance(e, Attribute) and e.expr_id == c.expr_id
+                for e, c in zip(node.project_list, child_out)
+            ):
+                return node.child
+        return node
+
+    return plan.transform_up(remove)
+
+
+# ----------------------------------------------------------------------
+# Rule executor
+# ----------------------------------------------------------------------
+
+
+class Batch:
+    """A named group of rules run repeatedly until the plan stabilizes."""
+
+    def __init__(self, name: str, rules: Sequence[Rule], max_iterations: int = 10):
+        self.name = name
+        self.rules = list(rules)
+        self.max_iterations = max_iterations
+
+    def execute(self, plan: LogicalPlan) -> LogicalPlan:
+        for _ in range(self.max_iterations):
+            before = plan
+            for rule in self.rules:
+                plan = rule(plan)
+            # Rules preserve object identity when they change nothing,
+            # so reaching a fixed point is a pointer comparison.
+            if plan is before:
+                break
+        return plan
+
+
+class Optimizer:
+    """Runs the standard batches plus any injected extra rules.
+
+    ``extra_rules`` run in their own batch *after* the standard ones —
+    the hook :mod:`repro.core.rules` uses to make plans index-aware.
+    """
+
+    def __init__(self, extra_rules: Sequence[Rule] | None = None):
+        self.batches = [
+            Batch("finish analysis", [eliminate_subquery_aliases], max_iterations=1),
+            Batch(
+                "operator optimization",
+                [
+                    constant_folding,
+                    simplify_null_checks,
+                    boolean_simplification,
+                    prune_filters,
+                    combine_filters,
+                    push_down_predicates,
+                    combine_limits,
+                    collapse_projects,
+                    remove_redundant_projects,
+                ],
+            ),
+            # prune_columns rebuilds the tree wholesale (no identity
+            # preservation), so this batch runs exactly once.
+            Batch("column pruning", [prune_columns, collapse_projects,
+                                     remove_redundant_projects], max_iterations=1),
+        ]
+        if extra_rules:
+            self.batches.append(Batch("extensions", list(extra_rules)))
+
+    def optimize(self, plan: LogicalPlan) -> LogicalPlan:
+        for batch in self.batches:
+            plan = batch.execute(plan)
+        return plan

@@ -1,0 +1,15 @@
+"""SQL front-end: lexer and recursive-descent parser.
+
+Supports the query subset the paper's workloads need (and then some):
+``SELECT`` lists with expressions/aliases/stars, ``FROM`` with aliases
+and subqueries, all join types with ``ON``, ``WHERE``, ``GROUP BY`` /
+``HAVING``, ``ORDER BY`` with directions, ``LIMIT``, ``UNION [ALL]``,
+and a full expression grammar (arithmetic, comparisons, boolean logic,
+``IN`` / ``BETWEEN`` / ``LIKE`` / ``IS NULL``, ``CASE WHEN``, function
+calls, ``CAST``, ``DISTINCT`` aggregates).
+"""
+
+from repro.sql.parser.lexer import Lexer, Token, TokenType
+from repro.sql.parser.parser import parse_expression, parse_query
+
+__all__ = ["Lexer", "Token", "TokenType", "parse_expression", "parse_query"]

@@ -1,0 +1,149 @@
+"""SQL lexer: text → token stream.
+
+Keywords are case-insensitive; identifiers keep their original case.
+String literals use single quotes with ``''`` escaping. Numbers lex as
+integers unless they contain ``.`` or an exponent.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ParseError
+
+KEYWORDS = {
+    "select", "from", "where", "group", "by", "having", "order", "limit",
+    "join", "inner", "left", "right", "full", "outer", "cross", "on",
+    "as", "and", "or", "not", "in", "is", "null", "like", "between",
+    "case", "when", "then", "else", "end", "cast", "distinct", "union",
+    "all", "asc", "desc", "true", "false",
+}
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in names
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.value}, {self.value!r})"
+
+
+_OPERATORS = ("<>", "!=", "<=", ">=", "=", "<", ">", "+", "-", "*", "/", "%")
+_PUNCT = "(),."
+
+
+class Lexer:
+    """Tokenizes SQL text; iterate or call :meth:`tokens`."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def tokens(self) -> list[Token]:
+        return list(self)
+
+    def __iter__(self) -> Iterator[Token]:
+        text, n = self.text, len(self.text)
+        i = 0
+        while i < n:
+            ch = text[i]
+            if ch.isspace():
+                i += 1
+                continue
+            if ch == "-" and i + 1 < n and text[i + 1] == "-":
+                # line comment
+                while i < n and text[i] != "\n":
+                    i += 1
+                continue
+            start = i
+            if ch.isalpha() or ch == "_":
+                while i < n and (text[i].isalnum() or text[i] == "_"):
+                    i += 1
+                word = text[start:i]
+                lowered = word.lower()
+                if lowered in KEYWORDS:
+                    yield Token(TokenType.KEYWORD, lowered, start)
+                else:
+                    yield Token(TokenType.IDENT, word, start)
+                continue
+            if ch.isdigit():
+                is_float = False
+                while i < n and text[i].isdigit():
+                    i += 1
+                if i < n and text[i] == "." and i + 1 < n and text[i + 1].isdigit():
+                    is_float = True
+                    i += 1
+                    while i < n and text[i].isdigit():
+                        i += 1
+                if i < n and text[i] in "eE":
+                    probe = i + 1
+                    if probe < n and text[probe] in "+-":
+                        probe += 1
+                    if probe < n and text[probe].isdigit():
+                        is_float = True
+                        i = probe
+                        while i < n and text[i].isdigit():
+                            i += 1
+                kind = TokenType.FLOAT if is_float else TokenType.INT
+                yield Token(kind, text[start:i], start)
+                continue
+            if ch == "'":
+                i += 1
+                chars: list[str] = []
+                while True:
+                    if i >= n:
+                        raise ParseError("unterminated string literal", start)
+                    if text[i] == "'":
+                        if i + 1 < n and text[i + 1] == "'":
+                            chars.append("'")
+                            i += 2
+                            continue
+                        i += 1
+                        break
+                    chars.append(text[i])
+                    i += 1
+                yield Token(TokenType.STRING, "".join(chars), start)
+                continue
+            if ch == "`":
+                i += 1
+                ident_start = i
+                while i < n and text[i] != "`":
+                    i += 1
+                if i >= n:
+                    raise ParseError("unterminated quoted identifier", start)
+                yield Token(TokenType.IDENT, text[ident_start:i], start)
+                i += 1
+                continue
+            matched = False
+            for op in _OPERATORS:
+                if text.startswith(op, i):
+                    yield Token(TokenType.OPERATOR, op, start)
+                    i += len(op)
+                    matched = True
+                    break
+            if matched:
+                continue
+            if ch in _PUNCT:
+                yield Token(TokenType.PUNCT, ch, start)
+                i += 1
+                continue
+            raise ParseError(f"unexpected character {ch!r}", i)
+        yield Token(TokenType.EOF, "", n)

@@ -1,0 +1,462 @@
+"""Recursive-descent SQL parser: tokens → logical plan / expression.
+
+Grammar (roughly)::
+
+    query      := select (UNION ALL? select)*
+    select     := SELECT DISTINCT? select_list
+                  FROM relation join* where? group? having? order? limit?
+    relation   := ident alias? | '(' query ')' alias?
+    join       := join_type JOIN relation (ON expr)?
+    expr       := or_expr
+    or_expr    := and_expr (OR and_expr)*
+    and_expr   := not_expr (AND not_expr)*
+    not_expr   := NOT not_expr | predicate
+    predicate  := additive (cmp additive | IS NOT? NULL | NOT? IN (...)
+                  | NOT? BETWEEN additive AND additive | NOT? LIKE additive)?
+    additive   := multiplicative (('+'|'-') multiplicative)*
+    multiplicative := unary (('*'|'/'|'%') unary)*
+    unary      := '-' unary | primary
+    primary    := literal | CASE ... END | CAST '(' expr AS type ')'
+                  | func '(' DISTINCT? args ')' | qualified_ident | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ParseError
+from repro.sql.expressions import (
+    Add,
+    Alias,
+    And,
+    CaseWhen,
+    Cast,
+    Divide,
+    EqualTo,
+    Expression,
+    GreaterThan,
+    GreaterThanOrEqual,
+    In,
+    InSubquery,
+    IsNotNull,
+    IsNull,
+    LessThan,
+    LessThanOrEqual,
+    Like,
+    Literal,
+    Modulo,
+    Multiply,
+    Not,
+    NotEqualTo,
+    Or,
+    SortOrder,
+    Subtract,
+    UnaryMinus,
+    UnresolvedAttribute,
+    UnresolvedFunction,
+    UnresolvedStar,
+)
+from repro.sql.logical import (
+    Aggregate,
+    Distinct,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Sort,
+    SubqueryAlias,
+    Union,
+    UnresolvedRelation,
+)
+from repro.sql.parser.lexer import Lexer, Token, TokenType
+from repro.sql.types import BooleanType, type_for_name
+
+
+def parse_query(text: str) -> LogicalPlan:
+    """Parse a full SELECT query into an unresolved logical plan."""
+    parser = _Parser(Lexer(text).tokens())
+    plan = parser.parse_query()
+    parser.expect_eof()
+    return plan
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse a standalone SQL expression (used by ``df.filter(str)``)."""
+    parser = _Parser(Lexer(text).tokens())
+    expr = parser.parse_expr()
+    parser.expect_eof()
+    return expr
+
+
+class _Parser:
+    def __init__(self, tokens: Sequence[Token]):
+        self._tokens = list(tokens)
+        self._pos = 0
+
+    # -- token utilities -------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        self._pos += 1
+        return token
+
+    def accept_keyword(self, *names: str) -> bool:
+        if self.current.is_keyword(*names):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, name: str) -> None:
+        if not self.accept_keyword(name):
+            raise ParseError(
+                f"expected {name.upper()}, found {self.current.value!r}",
+                self.current.position,
+            )
+
+    def accept_punct(self, value: str) -> bool:
+        token = self.current
+        if token.type is TokenType.PUNCT and token.value == value:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, value: str) -> None:
+        if not self.accept_punct(value):
+            raise ParseError(
+                f"expected {value!r}, found {self.current.value!r}",
+                self.current.position,
+            )
+
+    def accept_operator(self, *values: str) -> str | None:
+        token = self.current
+        if token.type is TokenType.OPERATOR and token.value in values:
+            self.advance()
+            return token.value
+        return None
+
+    def expect_eof(self) -> None:
+        if self.current.type is not TokenType.EOF:
+            raise ParseError(
+                f"unexpected trailing input: {self.current.value!r}",
+                self.current.position,
+            )
+
+    # -- query ------------------------------------------------------------
+
+    def parse_query(self) -> LogicalPlan:
+        plan = self.parse_select()
+        while self.accept_keyword("union"):
+            bag = self.accept_keyword("all")
+            right = self.parse_select()
+            plan = Union(plan, right)
+            if not bag:
+                # SQL: bare UNION deduplicates; UNION ALL keeps bags.
+                plan = Distinct(plan)
+        return plan
+
+    def parse_select(self) -> LogicalPlan:
+        self.expect_keyword("select")
+        distinct = self.accept_keyword("distinct")
+        select_list = self.parse_select_list()
+
+        self.expect_keyword("from")
+        plan = self.parse_relation()
+        while True:
+            join = self.parse_join(plan)
+            if join is None:
+                break
+            plan = join
+
+        if self.accept_keyword("where"):
+            plan = Filter(self.parse_expr(), plan)
+
+        grouping: list[Expression] = []
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            grouping.append(self.parse_expr())
+            while self.accept_punct(","):
+                grouping.append(self.parse_expr())
+            plan = Aggregate(grouping, select_list, plan)
+        else:
+            plan = Project(select_list, plan)
+
+        if self.accept_keyword("having"):
+            plan = Filter(self.parse_expr(), plan)
+
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            orders = [self.parse_sort_order()]
+            while self.accept_punct(","):
+                orders.append(self.parse_sort_order())
+            plan = Sort(orders, plan)
+
+        if self.accept_keyword("limit"):
+            token = self.current
+            if token.type is not TokenType.INT:
+                raise ParseError("LIMIT expects an integer", token.position)
+            self.advance()
+            plan = Limit(int(token.value), plan)
+
+        if distinct:
+            plan = Distinct(plan)
+        return plan
+
+    def parse_select_list(self) -> list[Expression]:
+        items = [self.parse_select_item()]
+        while self.accept_punct(","):
+            items.append(self.parse_select_item())
+        return items
+
+    def parse_select_item(self) -> Expression:
+        token = self.current
+        if token.type is TokenType.OPERATOR and token.value == "*":
+            self.advance()
+            return UnresolvedStar()
+        expr = self.parse_expr()
+        if self.accept_keyword("as"):
+            name = self._expect_ident("alias")
+            return Alias(expr, name)
+        if self.current.type is TokenType.IDENT:
+            return Alias(expr, self.advance().value)
+        return expr
+
+    def parse_relation(self) -> LogicalPlan:
+        if self.accept_punct("("):
+            inner = self.parse_query()
+            self.expect_punct(")")
+            alias = self._optional_alias()
+            if alias is None:
+                raise ParseError(
+                    "subquery in FROM requires an alias", self.current.position
+                )
+            return SubqueryAlias(alias, inner)
+        name = self._expect_ident("table name")
+        plan: LogicalPlan = UnresolvedRelation(name)
+        alias = self._optional_alias()
+        return SubqueryAlias(alias, plan) if alias else SubqueryAlias(name, plan)
+
+    def _optional_alias(self) -> str | None:
+        if self.accept_keyword("as"):
+            return self._expect_ident("alias")
+        if self.current.type is TokenType.IDENT:
+            return self.advance().value
+        return None
+
+    def parse_join(self, left: LogicalPlan) -> LogicalPlan | None:
+        how = "inner"
+        checkpoint = self._pos
+        if self.accept_keyword("inner"):
+            how = "inner"
+        elif self.accept_keyword("left"):
+            self.accept_keyword("outer")
+            how = "left"
+        elif self.accept_keyword("right"):
+            self.accept_keyword("outer")
+            how = "right"
+        elif self.accept_keyword("full"):
+            self.accept_keyword("outer")
+            how = "full"
+        elif self.accept_keyword("cross"):
+            how = "cross"
+        if not self.accept_keyword("join"):
+            self._pos = checkpoint
+            return None
+        right = self.parse_relation()
+        condition: Expression | None = None
+        if how != "cross":
+            self.expect_keyword("on")
+            condition = self.parse_expr()
+        return Join(left, right, how, condition)
+
+    def parse_sort_order(self) -> SortOrder:
+        expr = self.parse_expr()
+        ascending = True
+        if self.accept_keyword("desc"):
+            ascending = False
+        else:
+            self.accept_keyword("asc")
+        return SortOrder(expr, ascending)
+
+    # -- expressions ----------------------------------------------------------
+
+    def parse_expr(self) -> Expression:
+        return self.parse_or()
+
+    def parse_or(self) -> Expression:
+        expr = self.parse_and()
+        while self.accept_keyword("or"):
+            expr = Or(expr, self.parse_and())
+        return expr
+
+    def parse_and(self) -> Expression:
+        expr = self.parse_not()
+        while self.accept_keyword("and"):
+            expr = And(expr, self.parse_not())
+        return expr
+
+    def parse_not(self) -> Expression:
+        if self.accept_keyword("not"):
+            return Not(self.parse_not())
+        return self.parse_predicate()
+
+    def parse_predicate(self) -> Expression:
+        expr = self.parse_additive()
+        op = self.accept_operator("=", "!=", "<>", "<", "<=", ">", ">=")
+        if op is not None:
+            right = self.parse_additive()
+            mapping = {
+                "=": EqualTo,
+                "!=": NotEqualTo,
+                "<>": NotEqualTo,
+                "<": LessThan,
+                "<=": LessThanOrEqual,
+                ">": GreaterThan,
+                ">=": GreaterThanOrEqual,
+            }
+            return mapping[op](expr, right)
+        if self.accept_keyword("is"):
+            negate = self.accept_keyword("not")
+            self.expect_keyword("null")
+            return IsNotNull(expr) if negate else IsNull(expr)
+        negate = self.accept_keyword("not")
+        if self.accept_keyword("in"):
+            self.expect_punct("(")
+            if self.current.is_keyword("select"):
+                subplan = self.parse_query()
+                self.expect_punct(")")
+                return InSubquery(expr, subplan, negated=negate)
+            options = [self.parse_expr()]
+            while self.accept_punct(","):
+                options.append(self.parse_expr())
+            self.expect_punct(")")
+            result: Expression = In(expr, options)
+            return Not(result) if negate else result
+        if self.accept_keyword("between"):
+            low = self.parse_additive()
+            self.expect_keyword("and")
+            high = self.parse_additive()
+            result = And(GreaterThanOrEqual(expr, low), LessThanOrEqual(expr, high))
+            return Not(result) if negate else result
+        if self.accept_keyword("like"):
+            pattern = self.parse_additive()
+            result = Like(expr, pattern)
+            return Not(result) if negate else result
+        if negate:
+            raise ParseError(
+                "NOT must precede IN / BETWEEN / LIKE here", self.current.position
+            )
+        return expr
+
+    def parse_additive(self) -> Expression:
+        expr = self.parse_multiplicative()
+        while True:
+            op = self.accept_operator("+", "-")
+            if op is None:
+                return expr
+            right = self.parse_multiplicative()
+            expr = Add(expr, right) if op == "+" else Subtract(expr, right)
+
+    def parse_multiplicative(self) -> Expression:
+        expr = self.parse_unary()
+        while True:
+            op = self.accept_operator("*", "/", "%")
+            if op is None:
+                return expr
+            right = self.parse_unary()
+            node = {"*": Multiply, "/": Divide, "%": Modulo}[op]
+            expr = node(expr, right)
+
+    def parse_unary(self) -> Expression:
+        if self.accept_operator("-"):
+            return UnaryMinus(self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expression:
+        token = self.current
+        if token.type is TokenType.INT:
+            self.advance()
+            return Literal(int(token.value))
+        if token.type is TokenType.FLOAT:
+            self.advance()
+            return Literal(float(token.value))
+        if token.type is TokenType.STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.is_keyword("true"):
+            self.advance()
+            return Literal(True, BooleanType())
+        if token.is_keyword("false"):
+            self.advance()
+            return Literal(False, BooleanType())
+        if token.is_keyword("null"):
+            self.advance()
+            return Literal(None)
+        if token.is_keyword("case"):
+            return self.parse_case()
+        if token.is_keyword("cast"):
+            self.advance()
+            self.expect_punct("(")
+            inner = self.parse_expr()
+            self.expect_keyword("as")
+            type_name = self._expect_ident("type name")
+            self.expect_punct(")")
+            return Cast(inner, type_for_name(type_name))
+        if self.accept_punct("("):
+            inner = self.parse_expr()
+            self.expect_punct(")")
+            return inner
+        if token.type is TokenType.IDENT or token.type is TokenType.KEYWORD:
+            return self.parse_identifier_or_call()
+        raise ParseError(f"unexpected token {token.value!r}", token.position)
+
+    def parse_case(self) -> Expression:
+        self.expect_keyword("case")
+        branches: list[tuple[Expression, Expression]] = []
+        else_value: Expression | None = None
+        while self.accept_keyword("when"):
+            condition = self.parse_expr()
+            self.expect_keyword("then")
+            branches.append((condition, self.parse_expr()))
+        if self.accept_keyword("else"):
+            else_value = self.parse_expr()
+        self.expect_keyword("end")
+        if not branches:
+            raise ParseError("CASE requires at least one WHEN", self.current.position)
+        return CaseWhen(branches, else_value)
+
+    def parse_identifier_or_call(self) -> Expression:
+        token = self.advance()
+        name = token.value
+        if self.accept_punct("("):
+            distinct = self.accept_keyword("distinct")
+            args: list[Expression] = []
+            if self.current.type is TokenType.OPERATOR and self.current.value == "*":
+                self.advance()  # count(*)
+            elif not (
+                self.current.type is TokenType.PUNCT and self.current.value == ")"
+            ):
+                args.append(self.parse_expr())
+                while self.accept_punct(","):
+                    args.append(self.parse_expr())
+            self.expect_punct(")")
+            return UnresolvedFunction(name, args, distinct)
+        if self.accept_punct("."):
+            nxt = self.current
+            if nxt.type is TokenType.OPERATOR and nxt.value == "*":
+                self.advance()
+                return UnresolvedStar(name)
+            column = self._expect_ident("column name")
+            return UnresolvedAttribute(column, name)
+        return UnresolvedAttribute(name)
+
+    def _expect_ident(self, what: str) -> str:
+        token = self.current
+        if token.type is TokenType.IDENT:
+            self.advance()
+            return token.value
+        raise ParseError(f"expected {what}, found {token.value!r}", token.position)

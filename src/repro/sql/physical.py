@@ -1,0 +1,773 @@
+"""Physical operators: executable plans compiling to RDDs.
+
+Each operator exposes ``output`` (attributes, for binding) and
+``execute()`` returning an RDD of plain tuples. Expressions are bound
+to tuple ordinals once, at construction, so per-row evaluation never
+touches names (paper Figure 1, "Physical Execution Layer").
+
+Join selection mirrors Spark: a *broadcast hash join* when one side is
+estimated small (``Config.broadcast_threshold``), otherwise a
+*shuffled hash join* built on cogroup. The indexed operators in
+:mod:`repro.core.physical` extend :class:`PhysicalPlan` and slot into
+the same pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.engine.context import EngineContext
+from repro.engine.partitioner import HashPartitioner
+from repro.engine.rdd import RDD
+from repro.errors import PlanningError
+from repro.sql.expressions import (
+    AggregateExpression,
+    Alias,
+    Attribute,
+    BoundReference,
+    Expression,
+    SortOrder,
+    strip_alias,
+)
+from repro.sql.relation import BaseRelation
+
+
+def bind_expression(expr: Expression, input_attrs: Sequence[Attribute]) -> Expression:
+    """Replace Attribute references with ordinal BoundReferences."""
+    ordinals = {a.expr_id: i for i, a in enumerate(input_attrs)}
+
+    def bind(node: Expression) -> Expression:
+        if isinstance(node, Attribute):
+            if node.expr_id not in ordinals:
+                raise PlanningError(
+                    f"attribute {node!r} not found among inputs {list(input_attrs)}"
+                )
+            return BoundReference(ordinals[node.expr_id], node.dtype, node.name)
+        return node
+
+    return expr.transform_up(bind)
+
+
+class PhysicalPlan:
+    """Base class for physical operators."""
+
+    children: tuple["PhysicalPlan", ...] = ()
+
+    def __init__(self, ctx: EngineContext, output: Sequence[Attribute]):
+        self.ctx = ctx
+        self.output = list(output)
+
+    def execute(self) -> RDD:
+        raise NotImplementedError
+
+    def pretty(self, indent: int = 0) -> str:
+        line = "  " * indent + self.describe()
+        return "\n".join([line] + [c.pretty(indent + 1) for c in self.children])
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return self.pretty()
+
+
+class ScanExec(PhysicalPlan):
+    """Scan of an in-memory relation, optionally column-pruned.
+
+    On a :class:`~repro.sql.relation.ColumnarRelation` a pruned scan
+    touches only the projected column vectors — vanilla Spark's edge in
+    the projection microbenchmark.
+    """
+
+    def __init__(
+        self,
+        ctx: EngineContext,
+        relation: BaseRelation,
+        output: Sequence[Attribute],
+        columns: Sequence[int] | None = None,
+    ):
+        super().__init__(ctx, output)
+        self.relation = relation
+        self.columns = list(columns) if columns is not None else None
+
+    def execute(self) -> RDD:
+        return self.relation.to_rdd(self.ctx, self.columns)
+
+    def describe(self) -> str:
+        cols = "all" if self.columns is None else self.columns
+        return f"Scan[{type(self.relation).__name__}, columns={cols}]"
+
+
+class LocalDataExec(PhysicalPlan):
+    """A small local list of rows (constant relations)."""
+
+    def __init__(self, ctx: EngineContext, rows: list[tuple], output: Sequence[Attribute]):
+        super().__init__(ctx, output)
+        self.rows = rows
+
+    def execute(self) -> RDD:
+        return self.ctx.parallelize(self.rows, 1)
+
+
+class FilterExec(PhysicalPlan):
+    def __init__(self, condition: Expression, child: PhysicalPlan):
+        super().__init__(child.ctx, child.output)
+        self.children = (child,)
+        self.condition = bind_expression(condition, child.output)
+
+    def execute(self) -> RDD:
+        predicate = self.condition
+
+        def keep(row: tuple) -> bool:
+            return predicate.eval(row) is True
+
+        return self.children[0].execute().filter(keep)
+
+    def describe(self) -> str:
+        return f"Filter[{self.condition!r}]"
+
+
+class ProjectExec(PhysicalPlan):
+    def __init__(self, project_list: Sequence[Expression], child: PhysicalPlan):
+        output = []
+        for expr in project_list:
+            if isinstance(expr, Attribute):
+                output.append(expr)
+            elif isinstance(expr, Alias):
+                output.append(expr.to_attribute())
+            else:
+                raise PlanningError(f"unnamed projection {expr!r}")
+        super().__init__(child.ctx, output)
+        self.children = (child,)
+        self.bound = [bind_expression(e, child.output) for e in project_list]
+
+    def execute(self) -> RDD:
+        exprs = self.bound
+
+        def project(row: tuple) -> tuple:
+            return tuple(e.eval(row) for e in exprs)
+
+        return self.children[0].execute().map(project)
+
+    def describe(self) -> str:
+        return f"Project[{[a.name for a in self.output]}]"
+
+
+class UnionExec(PhysicalPlan):
+    def __init__(self, left: PhysicalPlan, right: PhysicalPlan):
+        super().__init__(left.ctx, left.output)
+        self.children = (left, right)
+
+    def execute(self) -> RDD:
+        return self.children[0].execute().union(self.children[1].execute())
+
+
+class LimitExec(PhysicalPlan):
+    def __init__(self, n: int, child: PhysicalPlan):
+        super().__init__(child.ctx, child.output)
+        self.children = (child,)
+        self.n = n
+
+    def execute(self) -> RDD:
+        rows = self.children[0].execute().take(self.n)
+        return self.ctx.parallelize(rows, 1)
+
+    def describe(self) -> str:
+        return f"Limit[{self.n}]"
+
+
+class DistinctExec(PhysicalPlan):
+    def __init__(self, child: PhysicalPlan):
+        super().__init__(child.ctx, child.output)
+        self.children = (child,)
+
+    def execute(self) -> RDD:
+        return self.children[0].execute().distinct(
+            self.ctx.config.shuffle_partitions
+        )
+
+
+class _SortKey:
+    """Composite, direction-aware, null-aware sort key."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: tuple):
+        self.values = values
+
+    def __lt__(self, other: "_SortKey") -> bool:
+        return self.values < other.values
+
+    def __le__(self, other: "_SortKey") -> bool:
+        return self.values <= other.values
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _SortKey) and self.values == other.values
+
+    def __hash__(self) -> int:
+        return hash(self.values)
+
+
+class SortExec(PhysicalPlan):
+    """Total sort: range partition on the composite key, sort locally."""
+
+    def __init__(self, orders: Sequence[SortOrder], child: PhysicalPlan):
+        super().__init__(child.ctx, child.output)
+        self.children = (child,)
+        self.orders = [
+            SortOrder(
+                bind_expression(o.child, child.output), o.ascending, o.nulls_first
+            )
+            for o in orders
+        ]
+
+    def _key_fn(self) -> Callable[[tuple], _SortKey]:
+        orders = self.orders
+
+        def key(row: tuple) -> _SortKey:
+            parts = []
+            for order in orders:
+                value = order.child.eval(row)
+                if value is None:
+                    # Null ordering: a leading rank keeps None comparable.
+                    rank = 0 if order.nulls_first == order.ascending else 2
+                    parts.append((rank, 0))
+                else:
+                    if not order.ascending:
+                        value = _Reversed(value)
+                    parts.append((1, value))
+            return _SortKey(tuple(parts))
+
+        return key
+
+    def execute(self) -> RDD:
+        return self.children[0].execute().sort_by(self._key_fn())
+
+    def describe(self) -> str:
+        return f"Sort{self.orders}"
+
+
+class TakeOrderedExec(PhysicalPlan):
+    """Top-K: ``LIMIT n`` over ``ORDER BY`` fused into a heap select.
+
+    Each partition keeps only its n smallest rows (by the composite
+    sort key), then the driver merges the per-partition winners —
+    Spark's ``TakeOrderedAndProject``. Avoids the full shuffle sort
+    for the very common "most recent k" query shape (e.g. SNB SQ2).
+    """
+
+    def __init__(self, n: int, orders: Sequence[SortOrder], child: PhysicalPlan):
+        super().__init__(child.ctx, child.output)
+        self.children = (child,)
+        self.n = n
+        self._sorter = SortExec(orders, child)  # reuse its key function
+
+    def execute(self) -> RDD:
+        import heapq
+
+        n = self.n
+        if n == 0:
+            return self.ctx.parallelize([], 1)
+        key_fn = self._sorter._key_fn()
+
+        def local_top(rows: Iterator[tuple]) -> Iterator[tuple]:
+            return iter(heapq.nsmallest(n, rows, key=key_fn))
+
+        candidates = (
+            self.children[0].execute().map_partitions(local_top).collect()
+        )
+        top = heapq.nsmallest(n, candidates, key=key_fn)
+        return self.ctx.parallelize(top, 1)
+
+    def describe(self) -> str:
+        return f"TakeOrdered[n={self.n}]"
+
+
+class _Reversed:
+    """Inverts comparison order for descending sort components."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.value < self.value
+
+    def __le__(self, other: "_Reversed") -> bool:
+        return other.value <= self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+
+
+class _AggSpec:
+    """Streaming accumulator for one aggregate function."""
+
+    def __init__(self, fn_name: str, value_expr: Expression | None):
+        self.fn_name = fn_name
+        self.value_expr = value_expr
+
+    def create(self) -> Any:
+        if self.fn_name in ("count",):
+            return 0
+        if self.fn_name == "count_distinct":
+            return set()
+        if self.fn_name == "avg":
+            return (0, 0.0)  # (count, sum)
+        if self.fn_name == "first":
+            return (False, None)
+        return None  # sum / min / max start empty
+
+    def update(self, acc: Any, row: tuple) -> Any:
+        value = self.value_expr.eval(row) if self.value_expr is not None else 1
+        if self.fn_name == "count":
+            return acc + (1 if (self.value_expr is None or value is not None) else 0)
+        if value is None:
+            return acc
+        if self.fn_name == "count_distinct":
+            acc.add(value)
+            return acc
+        if self.fn_name == "sum":
+            return value if acc is None else acc + value
+        if self.fn_name == "min":
+            return value if acc is None or value < acc else acc
+        if self.fn_name == "max":
+            return value if acc is None or value > acc else acc
+        if self.fn_name == "avg":
+            count, total = acc
+            return (count + 1, total + value)
+        if self.fn_name == "first":
+            seen, current = acc
+            return acc if seen else (True, value)
+        raise PlanningError(f"unknown aggregate {self.fn_name}")
+
+    def merge(self, a: Any, b: Any) -> Any:
+        if self.fn_name == "count":
+            return a + b
+        if self.fn_name == "count_distinct":
+            a.update(b)
+            return a
+        if self.fn_name == "sum":
+            if a is None:
+                return b
+            return a if b is None else a + b
+        if self.fn_name == "min":
+            if a is None:
+                return b
+            return a if b is None or a < b else b
+        if self.fn_name == "max":
+            if a is None:
+                return b
+            return a if b is None or a > b else b
+        if self.fn_name == "avg":
+            return (a[0] + b[0], a[1] + b[1])
+        if self.fn_name == "first":
+            return a if a[0] else b
+        raise PlanningError(f"unknown aggregate {self.fn_name}")
+
+    def result(self, acc: Any) -> Any:
+        if self.fn_name == "count_distinct":
+            return len(acc)
+        if self.fn_name == "avg":
+            count, total = acc
+            return None if count == 0 else total / count
+        if self.fn_name == "first":
+            return acc[1]
+        return acc
+
+
+class HashAggregateExec(PhysicalPlan):
+    """Two-phase hash aggregation: partial per partition, shuffle by
+    group key, final merge (Spark's partial/final HashAggregate)."""
+
+    def __init__(
+        self,
+        grouping: Sequence[Expression],
+        aggregate_list: Sequence[Expression],
+        child: PhysicalPlan,
+    ):
+        output = []
+        for expr in aggregate_list:
+            if isinstance(expr, Attribute):
+                output.append(expr)
+            elif isinstance(expr, Alias):
+                output.append(expr.to_attribute())
+            else:
+                raise PlanningError(f"unnamed aggregate output {expr!r}")
+        super().__init__(child.ctx, output)
+        self.children = (child,)
+        self.grouping_bound = [bind_expression(g, child.output) for g in grouping]
+
+        # Split output expressions into group-key projections and
+        # aggregate accumulators.
+        self._specs: list[_AggSpec] = []
+        self._out_plan: list[tuple[str, int]] = []  # ("group", i) | ("agg", j)
+        group_keys = [strip_alias(g) for g in grouping]
+        for expr in aggregate_list:
+            inner = strip_alias(expr)
+            if isinstance(inner, AggregateExpression):
+                value_expr = (
+                    bind_expression(inner.child, child.output)
+                    if inner.child is not None
+                    else None
+                )
+                fn_name = inner.fn_name
+                if inner.distinct and fn_name == "count":
+                    fn_name = "count_distinct"
+                self._specs.append(_AggSpec(fn_name, value_expr))
+                self._out_plan.append(("agg", len(self._specs) - 1))
+            else:
+                position = None
+                for i, g in enumerate(group_keys):
+                    if inner.semantic_equals(g):
+                        position = i
+                        break
+                if position is None and isinstance(inner, Attribute):
+                    for i, g in enumerate(group_keys):
+                        if isinstance(g, Attribute) and g.expr_id == inner.expr_id:
+                            position = i
+                            break
+                if position is None:
+                    raise PlanningError(
+                        f"aggregate output {expr!r} is neither an aggregate nor "
+                        f"a grouping expression"
+                    )
+                self._out_plan.append(("group", position))
+
+    # -- helpers --------------------------------------------------------
+
+    def _partial(self, rows: Iterator[tuple]) -> Iterator[tuple[tuple, list]]:
+        groups: dict[tuple, list] = {}
+        grouping = self.grouping_bound
+        specs = self._specs
+        for row in rows:
+            key = tuple(g.eval(row) for g in grouping)
+            accs = groups.get(key)
+            if accs is None:
+                accs = [spec.create() for spec in specs]
+                groups[key] = accs
+            for i, spec in enumerate(specs):
+                accs[i] = spec.update(accs[i], row)
+        return iter(groups.items())
+
+    def _merge(self, a: list, b: list) -> list:
+        return [spec.merge(x, y) for spec, x, y in zip(self._specs, a, b)]
+
+    def _finish(self, key: tuple, accs: list) -> tuple:
+        out = []
+        for kind, index in self._out_plan:
+            if kind == "group":
+                out.append(key[index])
+            else:
+                out.append(self._specs[index].result(accs[index]))
+        return tuple(out)
+
+    def execute(self) -> RDD:
+        child_rdd = self.children[0].execute()
+        if not self.grouping_bound:
+            # Global aggregate: merge partials on the driver so empty
+            # input still yields exactly one row.
+            partials = child_rdd.map_partitions(
+                lambda it: list(self._partial(it))
+            ).collect()
+            accs = [spec.create() for spec in self._specs]
+            for _key, part in partials:
+                accs = self._merge(accs, part)
+            return self.ctx.parallelize([self._finish((), accs)], 1)
+        partial = child_rdd.map_partitions(lambda it: self._partial(it))
+        merged = partial.reduce_by_key(
+            self._merge, self.ctx.config.shuffle_partitions
+        )
+        return merged.map(lambda kv: self._finish(kv[0], kv[1]))
+
+    def describe(self) -> str:
+        return f"HashAggregate[keys={len(self.grouping_bound)}, aggs={len(self._specs)}]"
+
+
+# ----------------------------------------------------------------------
+# Joins
+# ----------------------------------------------------------------------
+
+
+def _null_row(width: int) -> tuple:
+    return (None,) * width
+
+
+class ShuffledHashJoinExec(PhysicalPlan):
+    """Equi-join via cogroup on the join keys.
+
+    Rows whose key contains NULL never match (SQL semantics); for outer
+    joins they are re-emitted padded with NULLs.
+    """
+
+    def __init__(
+        self,
+        left: PhysicalPlan,
+        right: PhysicalPlan,
+        left_keys: Sequence[Expression],
+        right_keys: Sequence[Expression],
+        how: str,
+        extra_condition: Expression | None = None,
+    ):
+        output = _join_output(left, right, how)
+        super().__init__(left.ctx, output)
+        self.children = (left, right)
+        self.how = how
+        self.left_keys = [bind_expression(k, left.output) for k in left_keys]
+        self.right_keys = [bind_expression(k, right.output) for k in right_keys]
+        self.extra = (
+            bind_expression(extra_condition, list(left.output) + list(right.output))
+            if extra_condition is not None
+            else None
+        )
+
+    def execute(self) -> RDD:
+        how = self.how
+        extra = self.extra
+        lwidth = len(self.children[0].output)
+        rwidth = len(self.children[1].output)
+        lkeys, rkeys = self.left_keys, self.right_keys
+
+        def key_of(row: tuple, keys: Sequence[Expression]) -> tuple | None:
+            key = tuple(k.eval(row) for k in keys)
+            return None if any(v is None for v in key) else key
+
+        left_kv = self.children[0].execute().map(lambda r: (key_of(r, lkeys), r))
+        right_kv = self.children[1].execute().map(lambda r: (key_of(r, rkeys), r))
+
+        matchable_left = left_kv.filter(lambda kv: kv[0] is not None)
+        matchable_right = right_kv.filter(lambda kv: kv[0] is not None)
+        grouped = matchable_left.cogroup(
+            matchable_right, self.ctx.config.shuffle_partitions
+        )
+
+        def emit(kv: tuple) -> Iterator[tuple]:
+            _key, (lefts, rights) = kv
+            if how in ("inner", "cross"):
+                for lrow in lefts:
+                    for rrow in rights:
+                        combined = lrow + rrow
+                        if extra is None or extra.eval(combined) is True:
+                            yield combined
+            elif how == "left":
+                for lrow in lefts:
+                    matched = False
+                    for rrow in rights:
+                        combined = lrow + rrow
+                        if extra is None or extra.eval(combined) is True:
+                            matched = True
+                            yield combined
+                    if not matched:
+                        yield lrow + _null_row(rwidth)
+            elif how == "right":
+                for rrow in rights:
+                    matched = False
+                    for lrow in lefts:
+                        combined = lrow + rrow
+                        if extra is None or extra.eval(combined) is True:
+                            matched = True
+                            yield combined
+                    if not matched:
+                        yield _null_row(lwidth) + rrow
+            elif how == "full":
+                matched_right = [False] * len(rights)
+                for lrow in lefts:
+                    matched = False
+                    for j, rrow in enumerate(rights):
+                        combined = lrow + rrow
+                        if extra is None or extra.eval(combined) is True:
+                            matched = True
+                            matched_right[j] = True
+                            yield combined
+                    if not matched:
+                        yield lrow + _null_row(rwidth)
+                for j, rrow in enumerate(rights):
+                    if not matched_right[j]:
+                        yield _null_row(lwidth) + rrow
+            elif how == "semi":
+                for lrow in lefts:
+                    for rrow in rights:
+                        combined = lrow + rrow
+                        if extra is None or extra.eval(combined) is True:
+                            yield lrow
+                            break
+            elif how == "anti":
+                for lrow in lefts:
+                    hit = False
+                    for rrow in rights:
+                        combined = lrow + rrow
+                        if extra is None or extra.eval(combined) is True:
+                            hit = True
+                            break
+                    if not hit:
+                        yield lrow
+
+        joined = grouped.flat_map(emit)
+
+        # Null-keyed rows re-enter for the outer variants.
+        if how in ("left", "full"):
+            null_left = left_kv.filter(lambda kv: kv[0] is None).map(
+                lambda kv: kv[1] + _null_row(rwidth)
+            )
+            joined = joined.union(null_left)
+        if how in ("right", "full"):
+            null_right = right_kv.filter(lambda kv: kv[0] is None).map(
+                lambda kv: _null_row(lwidth) + kv[1]
+            )
+            joined = joined.union(null_right)
+        if how == "anti":
+            null_left = left_kv.filter(lambda kv: kv[0] is None).map(lambda kv: kv[1])
+            joined = joined.union(null_left)
+        return joined
+
+    def describe(self) -> str:
+        return f"ShuffledHashJoin[{self.how}]"
+
+
+class BroadcastHashJoinExec(PhysicalPlan):
+    """Hash join with the (small) right side broadcast to every task.
+
+    Supports inner / cross / left / semi / anti, all streaming the left
+    side — the shapes where a broadcast build is valid without global
+    match tracking.
+    """
+
+    SUPPORTED = ("inner", "cross", "left", "semi", "anti")
+
+    def __init__(
+        self,
+        left: PhysicalPlan,
+        right: PhysicalPlan,
+        left_keys: Sequence[Expression],
+        right_keys: Sequence[Expression],
+        how: str,
+        extra_condition: Expression | None = None,
+    ):
+        if how not in self.SUPPORTED:
+            raise PlanningError(f"broadcast join does not support {how!r}")
+        output = _join_output(left, right, how)
+        super().__init__(left.ctx, output)
+        self.children = (left, right)
+        self.how = how
+        self.left_keys = [bind_expression(k, left.output) for k in left_keys]
+        self.right_keys = [bind_expression(k, right.output) for k in right_keys]
+        self.extra = (
+            bind_expression(extra_condition, list(left.output) + list(right.output))
+            if extra_condition is not None
+            else None
+        )
+
+    def execute(self) -> RDD:
+        how = self.how
+        extra = self.extra
+        rwidth = len(self.children[1].output)
+        lkeys, rkeys = self.left_keys, self.right_keys
+
+        build: dict[tuple, list[tuple]] = {}
+        for rrow in self.children[1].execute().collect():
+            key = tuple(k.eval(rrow) for k in rkeys)
+            if any(v is None for v in key):
+                continue
+            build.setdefault(key, []).append(rrow)
+        shared = self.ctx.broadcast(build)
+
+        def probe(rows: Iterator[tuple]) -> Iterator[tuple]:
+            table = shared.value
+            for lrow in rows:
+                key = tuple(k.eval(lrow) for k in lkeys)
+                candidates = (
+                    () if any(v is None for v in key) else table.get(key, ())
+                )
+                if how in ("inner", "cross"):
+                    for rrow in candidates:
+                        combined = lrow + rrow
+                        if extra is None or extra.eval(combined) is True:
+                            yield combined
+                elif how == "left":
+                    matched = False
+                    for rrow in candidates:
+                        combined = lrow + rrow
+                        if extra is None or extra.eval(combined) is True:
+                            matched = True
+                            yield combined
+                    if not matched:
+                        yield lrow + _null_row(rwidth)
+                elif how == "semi":
+                    for rrow in candidates:
+                        combined = lrow + rrow
+                        if extra is None or extra.eval(combined) is True:
+                            yield lrow
+                            break
+                elif how == "anti":
+                    hit = False
+                    for rrow in candidates:
+                        combined = lrow + rrow
+                        if extra is None or extra.eval(combined) is True:
+                            hit = True
+                            break
+                    if not hit:
+                        yield lrow
+
+        return self.children[0].execute().map_partitions(probe)
+
+    def describe(self) -> str:
+        return f"BroadcastHashJoin[{self.how}]"
+
+
+class CartesianProductExec(PhysicalPlan):
+    """Nested-loop cross product (with optional residual condition)."""
+
+    def __init__(
+        self,
+        left: PhysicalPlan,
+        right: PhysicalPlan,
+        condition: Expression | None = None,
+        how: str = "cross",
+    ):
+        output = _join_output(left, right, "cross")
+        super().__init__(left.ctx, output)
+        self.children = (left, right)
+        self.condition = (
+            bind_expression(condition, list(left.output) + list(right.output))
+            if condition is not None
+            else None
+        )
+
+    def execute(self) -> RDD:
+        right_rows = self.children[1].execute().collect()
+        shared = self.ctx.broadcast(right_rows)
+        condition = self.condition
+
+        def cross(rows: Iterator[tuple]) -> Iterator[tuple]:
+            for lrow in rows:
+                for rrow in shared.value:
+                    combined = lrow + rrow
+                    if condition is None or condition.eval(combined) is True:
+                        yield combined
+
+        return self.children[0].execute().map_partitions(cross)
+
+
+def _join_output(left: PhysicalPlan, right: PhysicalPlan, how: str) -> list[Attribute]:
+    left_out = list(left.output)
+    right_out = list(right.output)
+    if how in ("semi", "anti"):
+        return left_out
+    if how in ("left", "full"):
+        right_out = [
+            Attribute(a.name, a.dtype, a.expr_id, a.qualifier, True) for a in right_out
+        ]
+    if how in ("right", "full"):
+        left_out = [
+            Attribute(a.name, a.dtype, a.expr_id, a.qualifier, True) for a in left_out
+        ]
+    return left_out + right_out

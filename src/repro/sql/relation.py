@@ -1,0 +1,179 @@
+"""In-memory relations: the leaves query plans scan from.
+
+Two layouts matter to the paper's evaluation:
+
+* :class:`RowRelation` — partitioned lists of row tuples, the layout of
+  freshly created DataFrames;
+* :class:`ColumnarRelation` — per-partition *column* vectors, the
+  layout of Spark's in-memory cache. Scanning a pruned set of columns
+  only touches those vectors, which is why Figure 2 shows vanilla Spark
+  *winning* on projection.
+
+Both expose ``to_rdd(ctx, columns)`` producing an RDD of tuples over
+exactly the requested columns.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.engine.context import EngineContext
+from repro.engine.rdd import RDD
+from repro.errors import SchemaError
+from repro.sql.types import StructType
+
+
+class BaseRelation:
+    """Common surface of scannable relations."""
+
+    def __init__(self, schema: StructType):
+        self.schema = schema
+
+    @property
+    def num_partitions(self) -> int:
+        raise NotImplementedError
+
+    def num_rows(self) -> int:
+        raise NotImplementedError
+
+    def to_rdd(self, ctx: EngineContext, columns: Sequence[int] | None = None) -> RDD:
+        """An RDD of tuples holding the given column ordinals (all
+        columns, in schema order, when ``columns`` is None)."""
+        raise NotImplementedError
+
+    def iter_rows(self) -> Iterator[tuple]:
+        raise NotImplementedError
+
+
+class _RelationRDD(RDD):
+    """RDD view over a relation's partitions (no copying)."""
+
+    def __init__(self, ctx: EngineContext, relation: BaseRelation, columns: Sequence[int] | None):
+        super().__init__(ctx, [])
+        self._relation = relation
+        self._columns = list(columns) if columns is not None else None
+
+    @property
+    def num_partitions(self) -> int:
+        return self._relation.num_partitions
+
+    def compute(self, split: int) -> Iterator[tuple]:
+        return self._relation._compute_partition(split, self._columns)  # type: ignore[attr-defined]
+
+
+class RowRelation(BaseRelation):
+    """Row-oriented relation: ``partitions[i]`` is a list of tuples."""
+
+    def __init__(self, schema: StructType, partitions: Sequence[Sequence[tuple]]):
+        super().__init__(schema)
+        self._partitions = [list(p) for p in partitions]
+
+    @classmethod
+    def from_rows(
+        cls,
+        schema: StructType,
+        rows: Sequence[Sequence[Any]],
+        num_partitions: int,
+        validate: bool = True,
+    ) -> "RowRelation":
+        tuples = []
+        for row in rows:
+            t = tuple(row)
+            if validate:
+                schema.validate_row(t)
+            tuples.append(t)
+        n = max(1, num_partitions)
+        size = len(tuples)
+        parts = [
+            tuples[(i * size) // n : ((i + 1) * size) // n] for i in range(n)
+        ]
+        return cls(schema, parts)
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._partitions)
+
+    def num_rows(self) -> int:
+        return sum(len(p) for p in self._partitions)
+
+    def _compute_partition(self, split: int, columns: list[int] | None) -> Iterator[tuple]:
+        rows = self._partitions[split]
+        if columns is None:
+            return iter(rows)
+        cols = columns
+        return (tuple(row[c] for c in cols) for row in rows)
+
+    def to_rdd(self, ctx: EngineContext, columns: Sequence[int] | None = None) -> RDD:
+        return _RelationRDD(ctx, self, columns)
+
+    def iter_rows(self) -> Iterator[tuple]:
+        for part in self._partitions:
+            yield from part
+
+    def __repr__(self) -> str:
+        return f"RowRelation({self.num_rows()} rows, {self.num_partitions} partitions)"
+
+
+class ColumnarRelation(BaseRelation):
+    """Column-oriented relation: ``partitions[i][c]`` is column ``c``'s
+    value vector for partition ``i`` (the Spark cache layout)."""
+
+    def __init__(self, schema: StructType, partitions: Sequence[Sequence[list]]):
+        super().__init__(schema)
+        self._partitions = [list(cols) for cols in partitions]
+        for cols in self._partitions:
+            if len(cols) != len(schema):
+                raise SchemaError(
+                    f"partition has {len(cols)} columns, schema has {len(schema)}"
+                )
+
+    @classmethod
+    def from_row_partitions(
+        cls, schema: StructType, partitions: Sequence[Sequence[tuple]]
+    ) -> "ColumnarRelation":
+        """Transpose row partitions into column vectors (what ``cache()``
+        does when materializing a vanilla DataFrame)."""
+        ncols = len(schema)
+        out = []
+        for part in partitions:
+            if part:
+                cols = [list(values) for values in zip(*part)]
+            else:
+                cols = [[] for _ in range(ncols)]
+            out.append(cols)
+        return cls(schema, out)
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._partitions)
+
+    def num_rows(self) -> int:
+        return sum(len(cols[0]) if cols and cols[0] is not None else 0 for cols in self._partitions)
+
+    def _compute_partition(self, split: int, columns: list[int] | None) -> Iterator[tuple]:
+        cols = self._partitions[split]
+        if not cols or not cols[0]:
+            return iter(())
+        if columns is None:
+            return iter(zip(*cols))
+        # Pruned scan: only the requested vectors are touched.
+        return iter(zip(*(cols[c] for c in columns)))
+
+    def to_rdd(self, ctx: EngineContext, columns: Sequence[int] | None = None) -> RDD:
+        return _RelationRDD(ctx, self, columns)
+
+    def iter_rows(self) -> Iterator[tuple]:
+        for split in range(self.num_partitions):
+            yield from self._compute_partition(split, None)
+
+    def memory_bytes(self) -> int:
+        """Rough payload size, for the memory-overhead benchmark."""
+        from repro.engine.cache import estimate_size
+
+        return sum(estimate_size(cols) for cols in self._partitions)
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarRelation({self.num_rows()} rows, "
+            f"{self.num_partitions} partitions, {len(self.schema)} columns)"
+        )

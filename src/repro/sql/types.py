@@ -1,0 +1,328 @@
+"""SQL type system: data types, schemas, and rows.
+
+Types carry just enough metadata for three consumers:
+
+* the analyzer (type checking, implicit numeric widening);
+* the binary row codec of the indexed core (fixed width + struct code);
+* the columnar cache (value validation on load).
+
+Internally the engine passes plain Python tuples between operators for
+speed; :class:`Row` is the user-facing wrapper produced by
+``DataFrame.collect`` with attribute and name access.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.errors import SchemaError
+
+
+class DataType:
+    """Base class of all SQL data types."""
+
+    #: struct format character for the binary codec (None = var-length).
+    struct_code: str | None = None
+    #: fixed encoded width in bytes (None = var-length).
+    fixed_width: int | None = None
+    #: accepted Python types for values of this type.
+    python_types: tuple[type, ...] = ()
+    #: True for types usable in arithmetic.
+    numeric: bool = False
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__.replace("Type", "").lower()
+
+    def valid(self, value: Any) -> bool:
+        if value is None:
+            return True
+        if isinstance(value, bool) and bool not in self.python_types:
+            return False
+        return isinstance(value, self.python_types)
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other)
+
+    def __hash__(self) -> int:
+        return hash(type(self).__name__)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class BooleanType(DataType):
+    struct_code = "?"
+    fixed_width = 1
+    python_types = (bool,)
+
+
+class IntegerType(DataType):
+    """32-bit signed integer."""
+
+    struct_code = "i"
+    fixed_width = 4
+    python_types = (int,)
+    numeric = True
+    MIN, MAX = -(2**31), 2**31 - 1
+
+    def valid(self, value: Any) -> bool:
+        return super().valid(value) and (value is None or self.MIN <= value <= self.MAX)
+
+
+class LongType(DataType):
+    """64-bit signed integer."""
+
+    struct_code = "q"
+    fixed_width = 8
+    python_types = (int,)
+    numeric = True
+    MIN, MAX = -(2**63), 2**63 - 1
+
+    def valid(self, value: Any) -> bool:
+        return super().valid(value) and (value is None or self.MIN <= value <= self.MAX)
+
+
+class DoubleType(DataType):
+    struct_code = "d"
+    fixed_width = 8
+    python_types = (float, int)
+    numeric = True
+
+
+class StringType(DataType):
+    python_types = (str,)
+
+
+class BinaryType(DataType):
+    python_types = (bytes,)
+
+
+class TimestampType(DataType):
+    """Milliseconds since the Unix epoch, stored as a 64-bit integer."""
+
+    struct_code = "q"
+    fixed_width = 8
+    python_types = (int,)
+    numeric = True
+
+
+class DateType(DataType):
+    """Days since the Unix epoch, stored as a 32-bit integer."""
+
+    struct_code = "i"
+    fixed_width = 4
+    python_types = (int,)
+    numeric = True
+
+
+_ATOMIC_TYPES: dict[str, DataType] = {
+    t().name: t()
+    for t in (
+        BooleanType,
+        IntegerType,
+        LongType,
+        DoubleType,
+        StringType,
+        BinaryType,
+        TimestampType,
+        DateType,
+    )
+}
+_ATOMIC_TYPES["int"] = IntegerType()
+_ATOMIC_TYPES["bigint"] = LongType()
+_ATOMIC_TYPES["float"] = DoubleType()
+_ATOMIC_TYPES["bool"] = BooleanType()
+
+
+def type_for_name(name: str) -> DataType:
+    """Resolve a type from its SQL-ish name (``long``, ``string``, ...)."""
+    try:
+        return _ATOMIC_TYPES[name.lower()]
+    except KeyError:
+        raise SchemaError(f"unknown data type: {name!r}") from None
+
+
+def infer_type(value: Any) -> DataType:
+    """Infer the type of a single Python value."""
+    if isinstance(value, bool):
+        return BooleanType()
+    if isinstance(value, int):
+        return LongType()
+    if isinstance(value, float):
+        return DoubleType()
+    if isinstance(value, str):
+        return StringType()
+    if isinstance(value, bytes):
+        return BinaryType()
+    raise SchemaError(f"cannot infer SQL type for {value!r} ({type(value).__name__})")
+
+
+def common_type(a: DataType, b: DataType) -> DataType:
+    """Widest common type for implicit coercion (numeric widening)."""
+    if a == b:
+        return a
+    order = [BooleanType(), IntegerType(), LongType(), DoubleType()]
+    if a in order and b in order:
+        return order[max(order.index(a), order.index(b))]
+    if isinstance(a, (TimestampType, DateType)) and b.numeric:
+        return LongType()
+    if isinstance(b, (TimestampType, DateType)) and a.numeric:
+        return LongType()
+    raise SchemaError(f"no common type for {a!r} and {b!r}")
+
+
+class StructField:
+    """A named, typed, nullable field of a schema."""
+
+    __slots__ = ("name", "dtype", "nullable")
+
+    def __init__(self, name: str, dtype: DataType, nullable: bool = True):
+        self.name = name
+        self.dtype = dtype
+        self.nullable = nullable
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, StructField)
+            and self.name == other.name
+            and self.dtype == other.dtype
+            and self.nullable == other.nullable
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.dtype, self.nullable))
+
+    def __repr__(self) -> str:
+        null = "" if self.nullable else ", nullable=False"
+        return f"StructField({self.name!r}, {self.dtype!r}{null})"
+
+
+class StructType:
+    """An ordered collection of fields; the schema of a relation."""
+
+    def __init__(self, fields: Sequence[StructField]):
+        self.fields = list(fields)
+        names = [f.name for f in self.fields]
+        # Duplicate names are legal in *derived* schemas (e.g. a self
+        # join selecting both sides' `name`), exactly as in Spark; the
+        # duplicated name just cannot be looked up by name any more.
+        self._index: dict[str, int] = {}
+        self._ambiguous: set[str] = set()
+        for i, name in enumerate(names):
+            if name in self._index:
+                self._ambiguous.add(name)
+            else:
+                self._index[name] = i
+
+    @classmethod
+    def from_pairs(cls, pairs: Sequence[tuple[str, DataType | str]]) -> "StructType":
+        """Build a schema from ``[("name", LongType()), ("x", "string")]``."""
+        fields = []
+        for name, dtype in pairs:
+            if isinstance(dtype, str):
+                dtype = type_for_name(dtype)
+            fields.append(StructField(name, dtype))
+        return cls(fields)
+
+    @property
+    def names(self) -> list[str]:
+        return [f.name for f in self.fields]
+
+    def field_index(self, name: str) -> int:
+        if name in self._ambiguous:
+            raise SchemaError(f"field name {name!r} is ambiguous in {self.names}")
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"no field {name!r} in schema {self.names}"
+            ) from None
+
+    def __getitem__(self, key: str | int) -> StructField:
+        if isinstance(key, int):
+            return self.fields[key]
+        return self.fields[self.field_index(key)]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __iter__(self) -> Iterator[StructField]:
+        return iter(self.fields)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, StructType) and self.fields == other.fields
+
+    def validate_row(self, row: Sequence[Any]) -> None:
+        """Raise :class:`SchemaError` if the tuple violates the schema."""
+        if len(row) != len(self.fields):
+            raise SchemaError(
+                f"row has {len(row)} values, schema has {len(self.fields)} fields"
+            )
+        for value, field in zip(row, self.fields):
+            if value is None:
+                if not field.nullable:
+                    raise SchemaError(f"null in non-nullable field {field.name!r}")
+            elif not field.dtype.valid(value):
+                raise SchemaError(
+                    f"value {value!r} invalid for field {field.name!r} "
+                    f"of type {field.dtype.name}"
+                )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{f.name}: {f.dtype.name}" for f in self.fields)
+        return f"StructType({inner})"
+
+
+class Row:
+    """A collected result row with name, index, and attribute access."""
+
+    __slots__ = ("_values", "_schema")
+
+    def __init__(self, values: Sequence[Any], schema: StructType):
+        self._values = tuple(values)
+        self._schema = schema
+
+    def __getitem__(self, key: str | int) -> Any:
+        if isinstance(key, int):
+            return self._values[key]
+        return self._values[self._schema.field_index(key)]
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self._values[self._schema.field_index(name)]
+        except SchemaError:
+            raise AttributeError(name) from None
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(zip(self._schema.names, self._values))
+
+    def as_tuple(self) -> tuple[Any, ...]:
+        return self._values
+
+    @property
+    def schema(self) -> StructType:
+        return self._schema
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Row):
+            return self._values == other._values
+        if isinstance(other, tuple):
+            return self._values == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._values)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}={v!r}" for n, v in zip(self._schema.names, self._values))
+        return f"Row({inner})"

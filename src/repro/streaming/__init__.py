@@ -1,0 +1,23 @@
+"""Kafka substrate: in-process broker, producers, consumers, ingestion.
+
+The paper's demo uses *"the Apache Kafka engine to handle the constant
+updating stream that is mutating the graph"*. This package provides an
+in-process equivalent with the same moving parts:
+
+* :class:`~repro.streaming.broker.Broker` — topics with partitions,
+  per-partition append logs, and offset-based reads;
+* :class:`~repro.streaming.producer.Producer` — key-hash routing of
+  records to topic partitions;
+* :class:`~repro.streaming.consumer.Consumer` — offset tracking with
+  commit, poll batching, and consumer groups;
+* :class:`~repro.streaming.ingest.IndexedIngest` — a micro-batch loop
+  that drains a topic into an Indexed DataFrame, minting a new MVCC
+  version per batch while queries keep reading stable snapshots.
+"""
+
+from repro.streaming.broker import Broker, TopicPartition
+from repro.streaming.consumer import Consumer
+from repro.streaming.ingest import IndexedIngest
+from repro.streaming.producer import Producer
+
+__all__ = ["Broker", "TopicPartition", "Producer", "Consumer", "IndexedIngest"]

@@ -1,0 +1,129 @@
+"""In-process message broker: topics, partitions, offsets.
+
+Semantics follow Kafka where it matters to the demo:
+
+* a topic has N partitions, each an append-only log;
+* records are ``(key, value)``; the producer routes by key hash (or
+  round-robin for None keys);
+* consumers read by ``(topic, partition, offset)`` — the broker never
+  deletes or mutates records, so re-reads are always possible;
+* thread-safe: producers and consumers run on different threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.errors import StreamingError
+
+
+@dataclass(frozen=True)
+class TopicPartition:
+    """Address of one partition of a topic."""
+
+    topic: str
+    partition: int
+
+
+@dataclass(frozen=True)
+class Record:
+    """One stored record."""
+
+    topic: str
+    partition: int
+    offset: int
+    key: Any
+    value: Any
+
+
+class _PartitionLog:
+    __slots__ = ("records", "lock")
+
+    def __init__(self) -> None:
+        self.records: list[Record] = []
+        self.lock = threading.Lock()
+
+
+class Broker:
+    """Holds every topic's partition logs."""
+
+    def __init__(self) -> None:
+        self._topics: dict[str, list[_PartitionLog]] = {}
+        self._lock = threading.Lock()
+        # Committed consumer-group offsets live on the broker (as in
+        # Kafka), keyed by (group, topic) → {partition: offset}.
+        self._committed: dict[tuple[str, str], dict[int, int]] = {}
+
+    def create_topic(self, name: str, partitions: int = 1) -> None:
+        if partitions < 1:
+            raise StreamingError("a topic needs at least one partition")
+        with self._lock:
+            if name in self._topics:
+                raise StreamingError(f"topic {name!r} already exists")
+            self._topics[name] = [_PartitionLog() for _ in range(partitions)]
+
+    def topics(self) -> list[str]:
+        with self._lock:
+            return sorted(self._topics)
+
+    def num_partitions(self, topic: str) -> int:
+        return len(self._logs(topic))
+
+    def _logs(self, topic: str) -> list[_PartitionLog]:
+        with self._lock:
+            try:
+                return self._topics[topic]
+            except KeyError:
+                raise StreamingError(f"unknown topic: {topic}") from None
+
+    # ------------------------------------------------------------------
+
+    def append(self, topic: str, partition: int, key: Any, value: Any) -> int:
+        """Append one record; returns its offset."""
+        logs = self._logs(topic)
+        if not 0 <= partition < len(logs):
+            raise StreamingError(
+                f"partition {partition} out of range for topic {topic!r}"
+            )
+        log = logs[partition]
+        with log.lock:
+            offset = len(log.records)
+            log.records.append(Record(topic, partition, offset, key, value))
+            return offset
+
+    def read(
+        self, tp: TopicPartition, offset: int, max_records: int
+    ) -> Sequence[Record]:
+        """Records from ``offset`` (inclusive), at most ``max_records``."""
+        logs = self._logs(tp.topic)
+        log = logs[tp.partition]
+        with log.lock:
+            return log.records[offset : offset + max_records]
+
+    def end_offset(self, tp: TopicPartition) -> int:
+        """The offset one past the last record (Kafka's log end offset)."""
+        log = self._logs(tp.topic)[tp.partition]
+        with log.lock:
+            return len(log.records)
+
+    def total_records(self, topic: str) -> int:
+        return sum(
+            self.end_offset(TopicPartition(topic, p))
+            for p in range(self.num_partitions(topic))
+        )
+
+    # ------------------------------------------------------------------
+    # Consumer-group offsets
+    # ------------------------------------------------------------------
+
+    def committed_offsets(self, group: str, topic: str) -> dict[int, int]:
+        with self._lock:
+            return dict(self._committed.get((group, topic), {}))
+
+    def commit_offsets(
+        self, group: str, topic: str, positions: dict[int, int]
+    ) -> None:
+        with self._lock:
+            self._committed[(group, topic)] = dict(positions)

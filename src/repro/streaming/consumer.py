@@ -1,0 +1,62 @@
+"""Consumer: offset-tracked polling over all partitions of a topic."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.streaming.broker import Broker, Record, TopicPartition
+
+
+class Consumer:
+    """Reads a topic from tracked offsets (one logical consumer group).
+
+    ``poll`` returns up to ``max_records`` records across partitions
+    and *advances* the in-memory position; ``commit`` persists positions
+    so a new consumer in the same group resumes where this one left
+    off. Without commit, an uncommitted consumer restarts from the
+    committed (or zero) offsets — Kafka's at-least-once shape.
+    """
+
+    def __init__(self, broker: Broker, topic: str, group: str = "default"):
+        self.broker = broker
+        self.topic = topic
+        self.group = group
+        committed = broker.committed_offsets(group, topic)
+        self._positions = {
+            p: committed.get(p, 0) for p in range(broker.num_partitions(topic))
+        }
+
+    def poll(self, max_records: int = 100) -> list[Record]:
+        """Fetch up to ``max_records``, round-robining partitions."""
+        out: list[Record] = []
+        remaining = max_records
+        for partition, position in sorted(self._positions.items()):
+            if remaining <= 0:
+                break
+            records = self.broker.read(
+                TopicPartition(self.topic, partition), position, remaining
+            )
+            if records:
+                out.extend(records)
+                self._positions[partition] = records[-1].offset + 1
+                remaining -= len(records)
+        return out
+
+    def commit(self) -> None:
+        """Persist current positions for the consumer group (stored on
+        the broker, as Kafka does)."""
+        self.broker.commit_offsets(self.group, self.topic, self._positions)
+
+    def lag(self) -> int:
+        """Records available but not yet polled."""
+        total = 0
+        for partition, position in self._positions.items():
+            end = self.broker.end_offset(TopicPartition(self.topic, partition))
+            total += end - position
+        return total
+
+    def seek_to_beginning(self) -> None:
+        self._positions = {p: 0 for p in self._positions}
+
+    def values(self, max_records: int = 100) -> list[Any]:
+        return [r.value for r in self.poll(max_records)]

@@ -1,0 +1,41 @@
+"""Producer: routes records to topic partitions by key hash."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable
+
+from repro.engine.partitioner import portable_hash
+from repro.streaming.broker import Broker
+
+
+class Producer:
+    """Publishes key/value records to a broker topic.
+
+    Records with a key always land in the same partition (preserving
+    per-key ordering, as Kafka guarantees); keyless records round-robin.
+    """
+
+    def __init__(self, broker: Broker, topic: str):
+        self.broker = broker
+        self.topic = topic
+        self._num_partitions = broker.num_partitions(topic)
+        self._round_robin = itertools.count()
+
+    def send(self, value: Any, key: Any = None) -> tuple[int, int]:
+        """Publish one record; returns ``(partition, offset)``."""
+        if key is None:
+            partition = next(self._round_robin) % self._num_partitions
+        else:
+            partition = portable_hash(key) % self._num_partitions
+        offset = self.broker.append(self.topic, partition, key, value)
+        return partition, offset
+
+    def send_all(self, values: Iterable[Any], key_fn=None) -> int:
+        """Publish many records; returns how many were sent."""
+        count = 0
+        for value in values:
+            key = key_fn(value) if key_fn is not None else None
+            self.send(value, key)
+            count += 1
+        return count

@@ -1,0 +1,82 @@
+"""Tests for the benchmark harness utilities."""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench import BenchResult, Timer, compare_table, median_ms, time_fn
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed_ms >= 8
+
+
+class TestTimeFn:
+    def test_returns_requested_repeats(self):
+        calls = []
+        timings = time_fn(lambda: calls.append(1), repeats=4, warmup=2)
+        assert len(timings) == 4
+        assert len(calls) == 6  # warmups run but are not reported
+
+    def test_median(self):
+        value = median_ms(lambda: None, repeats=5, warmup=0)
+        assert value >= 0
+
+
+class TestBenchResult:
+    def test_speedup(self):
+        assert BenchResult("x", indexed_ms=2.0, vanilla_ms=8.0).speedup == 4.0
+        assert BenchResult("x", indexed_ms=0.0, vanilla_ms=1.0).speedup == float("inf")
+
+    def test_compare_table_format(self):
+        table = compare_table(
+            "Demo",
+            [
+                BenchResult("Join", 10.0, 80.0),
+                BenchResult("Projection", 50.0, 5.0),
+            ],
+        )
+        assert "Demo" in table
+        assert "8.00x" in table
+        assert "0.10x" in table
+        assert "max speedup: 8.0x on Join" in table
+        assert "paper reports up to 8x" in table
+
+    def test_compare_table_empty(self):
+        assert "speedup" in compare_table("Empty", [])
+
+
+class TestWorkloads:
+    def test_figure2_operators_agree(self):
+        from repro.bench import figure2_session, operator_workload
+
+        setup = figure2_session(scale_factor=0.1, threads=2, shuffle_partitions=2)
+        try:
+            ops = operator_workload(setup)
+            assert set(ops) == {
+                "Join", "Filter", "Equality Filter", "Aggregation",
+                "Projection", "Scan",
+            }
+            for name, (indexed_fn, vanilla_fn) in ops.items():
+                assert indexed_fn() == vanilla_fn(), name
+        finally:
+            setup.session.stop()
+
+    def test_figure3_contexts_agree(self):
+        from repro.bench import figure3_contexts
+        from repro.snb import ALL_QUERIES, run_query
+
+        setup = figure3_contexts(scale_factor=0.1, threads=2, shuffle_partitions=2)
+        try:
+            for name, (_fn, kind) in ALL_QUERIES.items():
+                param = (
+                    setup.person_param if kind == "person" else setup.message_param
+                )
+                vanilla = sorted(map(tuple, run_query(setup.vanilla, name, param)))
+                indexed = sorted(map(tuple, run_query(setup.indexed, name, param)))
+                assert vanilla == indexed, name
+        finally:
+            setup.session.stop()

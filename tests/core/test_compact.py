@@ -1,0 +1,78 @@
+"""Tests for Indexed DataFrame compaction (space reclamation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import create_index
+
+SCHEMA = [("id", "long"), ("v", "string")]
+
+
+@pytest.fixture()
+def versioned(indexed_session):
+    df = indexed_session.create_dataframe(
+        [(i, "v0") for i in range(100)], SCHEMA
+    )
+    indexed = create_index(df, "id")
+    for generation in range(1, 4):
+        indexed = indexed.append_rows(
+            [(i, f"v{generation}") for i in range(100)]
+        )
+    return indexed  # 4 versions of every key
+
+
+class TestCompactLatestOnly:
+    def test_keeps_one_row_per_key(self, versioned):
+        compacted = versioned.compact()
+        assert compacted.count() == 100
+        assert versioned.count() == 400
+
+    def test_latest_values_survive(self, versioned):
+        compacted = versioned.compact()
+        for key in (0, 50, 99):
+            assert compacted.get_rows_local(key) == [(key, "v3")]
+
+    def test_space_reclaimed(self, versioned):
+        before = versioned.memory_stats()["data_bytes"]
+        after = versioned.compact().memory_stats()["data_bytes"]
+        assert after < before / 3
+
+    def test_old_handle_unaffected(self, versioned):
+        versioned.compact()
+        assert versioned.count() == 400
+        assert len(versioned.get_rows_local(5)) == 4
+
+    def test_compacted_is_queryable_and_appendable(self, versioned):
+        compacted = versioned.compact()
+        grown = compacted.append_rows([(5, "v4")])
+        assert [r[1] for r in grown.get_rows_local(5)] == ["v4", "v3"]
+        assert "IndexLookup" in compacted.get_rows(5).explain()
+
+
+class TestCompactKeepHistory:
+    def test_keeps_all_versions(self, versioned):
+        compacted = versioned.compact(keep_history=True)
+        assert compacted.count() == 400
+        chain = compacted.get_rows_local(7)
+        assert [r[1] for r in chain] == ["v3", "v2", "v1", "v0"]
+
+    def test_drops_rows_after_this_version(self, versioned):
+        later = versioned.append_rows([(7, "future")])
+        compacted = versioned.compact(keep_history=True)
+        assert all(r[1] != "future" for r in compacted.get_rows_local(7))
+        assert later.count() == 401
+
+
+class TestCompactEdgeCases:
+    def test_compact_empty(self, indexed_session):
+        df = indexed_session.create_dataframe([], SCHEMA)
+        indexed = create_index(df, "id")
+        compacted = indexed.compact()
+        assert compacted.count() == 0
+
+    def test_compact_no_duplicates_is_identity_content(self, indexed_session):
+        df = indexed_session.create_dataframe([(i, "x") for i in range(20)], SCHEMA)
+        indexed = create_index(df, "id")
+        compacted = indexed.compact()
+        assert sorted(compacted.scan_tuples()) == sorted(indexed.scan_tuples())

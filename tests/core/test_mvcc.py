@@ -1,0 +1,124 @@
+"""Tests for MVCC versioning and concurrent append/query behavior."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import create_index
+from repro.core.mvcc import Version, VersionedStore
+from repro.core.partition import IndexedPartition
+from repro.core.pointers import PointerLayout
+from repro.sql.types import LongType, StringType, StructField, StructType
+
+SCHEMA = StructType(
+    [
+        StructField("k", LongType(), nullable=False),
+        StructField("v", StringType()),
+    ]
+)
+
+
+def make_store(n: int = 4) -> VersionedStore:
+    layout = PointerLayout.for_geometry(4096, 512)
+    return VersionedStore(
+        [IndexedPartition(SCHEMA, 0, layout, 4096, 512) for _ in range(n)]
+    )
+
+
+class TestVersionedStore:
+    def test_capture_empty(self):
+        store = make_store()
+        version = store.capture()
+        assert version.row_count() == 0
+        assert version.num_partitions == 4
+
+    def test_versions_monotonic(self):
+        store = make_store()
+        v1 = store.capture()
+        v2 = store.capture()
+        assert v2.version_id > v1.version_id
+
+    def test_capture_sees_prior_appends(self):
+        store = make_store(2)
+        store.partitions[0].append((1, "a"))
+        store.partitions[1].append((2, "b"))
+        assert store.capture().row_count() == 2
+        assert store.total_rows() == 2
+
+    def test_memory_stats_aggregate(self):
+        store = make_store(2)
+        store.partitions[0].append_many([(i, "x") for i in range(10)])
+        stats = store.memory_stats()
+        assert stats["rows"] == 10
+
+    def test_requires_partitions(self):
+        with pytest.raises(ValueError):
+            VersionedStore([])
+
+
+class TestConcurrentVersioning:
+    def test_queries_against_old_versions_while_appending(self, indexed_session):
+        base = indexed_session.create_dataframe(
+            [(i, f"v{i}", 0) for i in range(500)],
+            [("id", "long"), ("name", "string"), ("gen", "long")],
+        )
+        indexed = create_index(base, "id")
+        versions = [indexed]
+        errors = []
+        done = threading.Event()
+
+        def appender():
+            try:
+                current = indexed
+                for generation in range(1, 11):
+                    rows = [
+                        (1000 * generation + i, f"g{generation}", generation)
+                        for i in range(100)
+                    ]
+                    current = current.append_rows(rows)
+                    versions.append(current)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+            finally:
+                done.set()
+
+        def reader():
+            try:
+                while not done.is_set():
+                    snapshot = list(versions)
+                    for version in snapshot[-3:]:
+                        expected = 500 + 100 * (version.version_id - indexed.version_id)
+                        # Counts are per-version constants, forever.
+                        assert version.count() == version.count()
+                        assert version.count() >= 500
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=appender)] + [
+            threading.Thread(target=reader) for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # Version chain is strictly growing by batch size.
+        counts = [v.count() for v in versions]
+        assert counts == [500 + 100 * i for i in range(11)]
+
+    def test_lookups_stable_per_version(self, indexed_session):
+        base = indexed_session.create_dataframe(
+            [(1, "original", 0)],
+            [("id", "long"), ("name", "string"), ("gen", "long")],
+        )
+        v1 = create_index(base, "id")
+        handles = [v1]
+        for generation in range(1, 6):
+            handles.append(handles[-1].append_rows([(1, f"gen{generation}", generation)]))
+        for i, handle in enumerate(handles):
+            chain = handle.get_rows_local(1)
+            assert len(chain) == i + 1
+            if i > 0:
+                assert chain[0][1] == f"gen{i}"

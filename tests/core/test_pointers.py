@@ -1,0 +1,111 @@
+"""Tests for packed 64-bit pointers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.pointers import NULL_POINTER, PAPER_LAYOUT, PointerLayout
+from repro.errors import CapacityError
+
+
+class TestPaperLayout:
+    def test_matches_paper_geometry(self):
+        # Paper §2: 4 MB batches (22-bit offsets), 1 KB rows (11 bits
+        # to represent 1024 inclusive), leaving 2^31 batches.
+        assert PAPER_LAYOUT.offset_bits == 22
+        assert PAPER_LAYOUT.size_bits == 11
+        assert PAPER_LAYOUT.batch_bits == 31
+
+    def test_addressable_data_volume(self):
+        # "our setup enables 4 x 2^31 MB data per core"
+        batches = PAPER_LAYOUT.max_batch + 1
+        assert batches == 2**31 - 1  # one value reserved for NULL
+        assert PAPER_LAYOUT.max_offset == 4 * 1024 * 1024 - 1
+
+
+class TestPackUnpack:
+    def test_roundtrip(self):
+        pointer = PAPER_LAYOUT.pack(12345, 67890, 512)
+        assert PAPER_LAYOUT.unpack(pointer) == (12345, 67890, 512)
+
+    def test_field_accessors(self):
+        pointer = PAPER_LAYOUT.pack(3, 5, 7)
+        assert PAPER_LAYOUT.batch_of(pointer) == 3
+        assert PAPER_LAYOUT.offset_of(pointer) == 5
+        assert PAPER_LAYOUT.size_of(pointer) == 7
+
+    def test_extremes(self):
+        layout = PAPER_LAYOUT
+        pointer = layout.pack(layout.max_batch, layout.max_offset, layout.max_size)
+        assert layout.unpack(pointer) == (
+            layout.max_batch,
+            layout.max_offset,
+            layout.max_size,
+        )
+        assert pointer != NULL_POINTER
+
+    def test_zero(self):
+        assert PAPER_LAYOUT.unpack(PAPER_LAYOUT.pack(0, 0, 0)) == (0, 0, 0)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(CapacityError):
+            PAPER_LAYOUT.pack(2**31, 0, 0)
+        with pytest.raises(CapacityError):
+            PAPER_LAYOUT.pack(0, 2**22, 0)
+        with pytest.raises(CapacityError):
+            PAPER_LAYOUT.pack(0, 0, 2**11)
+        with pytest.raises(CapacityError):
+            PAPER_LAYOUT.pack(-1, 0, 0)
+
+    def test_null_pointer_is_never_produced(self):
+        # max fields still differ from NULL (max_batch excludes top value)
+        top = PAPER_LAYOUT.pack(
+            PAPER_LAYOUT.max_batch, PAPER_LAYOUT.max_offset, PAPER_LAYOUT.max_size
+        )
+        assert top != NULL_POINTER
+
+    def test_unpack_null_rejected(self):
+        with pytest.raises(CapacityError):
+            PAPER_LAYOUT.unpack(NULL_POINTER)
+
+
+class TestLayoutDerivation:
+    def test_for_geometry_scales(self):
+        layout = PointerLayout.for_geometry(64 * 1024, 256)
+        assert layout.offset_bits == 16
+        assert layout.size_bits == 9
+        assert layout.batch_bits == 64 - 16 - 9
+
+    def test_rejects_unpackable_geometry(self):
+        with pytest.raises(CapacityError):
+            PointerLayout.for_geometry(2**40, 2**20)
+
+    def test_rejects_zero_width_fields(self):
+        with pytest.raises(CapacityError):
+            PointerLayout(0, 32, 32)
+
+    def test_rejects_over_64_bits(self):
+        with pytest.raises(CapacityError):
+            PointerLayout(40, 20, 20)
+
+
+@given(
+    batch=st.integers(0, PAPER_LAYOUT.max_batch),
+    offset=st.integers(0, PAPER_LAYOUT.max_offset),
+    size=st.integers(0, PAPER_LAYOUT.max_size),
+)
+def test_roundtrip_property(batch, offset, size):
+    pointer = PAPER_LAYOUT.pack(batch, offset, size)
+    assert 0 <= pointer < (1 << 64)
+    assert PAPER_LAYOUT.unpack(pointer) == (batch, offset, size)
+
+
+@given(
+    a=st.tuples(st.integers(0, 1000), st.integers(0, 1000), st.integers(0, 1000)),
+    b=st.tuples(st.integers(0, 1000), st.integers(0, 1000), st.integers(0, 1000)),
+)
+def test_packing_is_injective(a, b):
+    if a != b:
+        assert PAPER_LAYOUT.pack(*a) != PAPER_LAYOUT.pack(*b)

@@ -1,0 +1,82 @@
+"""Indexes on non-integer key columns (paper: "the index supports any
+type of column", recommending primitives for performance)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import create_index
+from repro.sql.functions import col
+
+
+class TestStringKeyedIndex:
+    @pytest.fixture()
+    def indexed(self, indexed_session):
+        df = indexed_session.create_dataframe(
+            [(f"10.0.0.{i}", i, f"host{i % 7}") for i in range(200)],
+            [("ip", "string"), ("hits", "long"), ("host", "string")],
+        )
+        return create_index(df, "ip")
+
+    def test_lookup(self, indexed):
+        assert indexed.get_rows_local("10.0.0.77") == [("10.0.0.77", 77, "host0")]
+        assert indexed.get_rows_local("192.168.0.1") == []
+
+    def test_sql_lookup(self, indexed, indexed_session):
+        indexed.create_or_replace_temp_view("flows")
+        rows = indexed_session.sql(
+            "SELECT hits FROM flows WHERE ip = '10.0.0.9'"
+        ).collect()
+        assert rows[0]["hits"] == 9
+
+    def test_join_on_string_key(self, indexed, indexed_session):
+        intel = indexed_session.create_dataframe(
+            [("10.0.0.5", "bad"), ("8.8.8.8", "dns")],
+            [("indicator", "string"), ("tag", "string")],
+        )
+        joined = indexed.join(intel, on=indexed.col("ip") == intel.col("indicator"))
+        assert "IndexedJoin" in joined.explain()
+        assert [tuple(r) for r in joined.collect()] == [
+            ("10.0.0.5", 5, "host5", "10.0.0.5", "bad")
+        ]
+
+    def test_append_string_keys(self, indexed):
+        v2 = indexed.append_rows([("10.0.0.5", 999, "hostX")])
+        chain = v2.get_rows_local("10.0.0.5")
+        assert [r[1] for r in chain] == [999, 5]
+
+
+class TestBooleanAndTimestampKeys:
+    def test_boolean_key(self, indexed_session):
+        df = indexed_session.create_dataframe(
+            [(True, 1), (False, 2), (True, 3)], [("flag", "boolean"), ("v", "long")]
+        )
+        indexed = create_index(df, "flag")
+        assert sorted(r[1] for r in indexed.get_rows_local(True)) == [1, 3]
+
+    def test_timestamp_key(self, indexed_session):
+        from repro.sql.types import LongType, StructField, StructType, TimestampType
+
+        schema = StructType(
+            [StructField("ts", TimestampType()), StructField("v", LongType())]
+        )
+        df = indexed_session.create_dataframe(
+            [(1_600_000_000_000 + i, i) for i in range(50)], schema
+        )
+        indexed = create_index(df, "ts")
+        assert indexed.get_rows_local(1_600_000_000_007) == [(1_600_000_000_007, 7)]
+
+    def test_double_key(self, indexed_session):
+        df = indexed_session.create_dataframe(
+            [(1.5, "a"), (2.5, "b")], [("k", "double"), ("v", "string")]
+        )
+        indexed = create_index(df, "k")
+        assert indexed.get_rows_local(2.5) == [(2.5, "b")]
+
+    def test_lookup_with_filter_composition(self, indexed_session):
+        df = indexed_session.create_dataframe(
+            [(f"k{i}", i) for i in range(100)], [("k", "string"), ("v", "long")]
+        )
+        indexed = create_index(df, "k")
+        rows = indexed.to_df().filter((col("k") == "k42") & (col("v") > 0)).collect()
+        assert [tuple(r) for r in rows] == [("k42", 42)]

@@ -1,0 +1,67 @@
+"""Tests for the atomic reference cell."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.ctrie.atomic import AtomicReference
+
+
+class TestAtomicReference:
+    def test_get_set(self):
+        ref = AtomicReference(1)
+        assert ref.get() == 1
+        ref.set(2)
+        assert ref.get() == 2
+
+    def test_cas_by_identity(self):
+        sentinel_a = object()
+        sentinel_b = object()
+        ref = AtomicReference(sentinel_a)
+        assert ref.compare_and_set(sentinel_a, sentinel_b)
+        assert ref.get() is sentinel_b
+        assert not ref.compare_and_set(sentinel_a, object())
+
+    def test_cas_uses_identity_not_equality(self):
+        ref = AtomicReference([1, 2])
+        equal_but_different = [1, 2]
+        assert not ref.compare_and_set(equal_but_different, [3])
+
+    def test_get_and_set(self):
+        ref = AtomicReference("old")
+        assert ref.get_and_set("new") == "old"
+        assert ref.get() == "new"
+
+    def test_contended_cas_exactly_one_winner(self):
+        start = object()
+        ref = AtomicReference(start)
+        winners = []
+
+        def contender(tag):
+            if ref.compare_and_set(start, tag):
+                winners.append(tag)
+
+        threads = [threading.Thread(target=contender, args=(i,)) for i in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(winners) == 1
+        assert ref.get() == winners[0]
+
+    def test_increment_via_cas_loop(self):
+        ref = AtomicReference(0)
+
+        def bump():
+            for _ in range(500):
+                while True:
+                    current = ref.get()
+                    if ref.compare_and_set(current, current + 1):
+                        break
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert ref.get() == 2000

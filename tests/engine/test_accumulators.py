@@ -1,0 +1,73 @@
+"""Tests for accumulators."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.engine import long_accumulator
+from repro.engine.accumulators import Accumulator, list_accumulator
+
+
+class TestAccumulator:
+    def test_long_counts(self):
+        acc = long_accumulator("rows")
+        acc.add(3)
+        acc += 4
+        assert acc.value == 7
+        acc.reset()
+        assert acc.value == 0
+
+    def test_list_collects(self):
+        acc = list_accumulator()
+        acc.add("bad-1")
+        acc.add("bad-2")
+        assert acc.value == ["bad-1", "bad-2"]
+
+    def test_custom_op(self):
+        acc = Accumulator(1, lambda a, b: a * b, "product")
+        for i in (2, 3, 4):
+            acc.add(i)
+        assert acc.value == 24
+        assert "product" in repr(acc)
+
+    def test_thread_safety(self):
+        acc = long_accumulator()
+
+        def bump():
+            for _ in range(10_000):
+                acc.add(1)
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert acc.value == 40_000
+
+    def test_tasks_update_accumulator(self, ctx):
+        seen = ctx.long_accumulator("seen")
+
+        def note(x: int) -> int:
+            seen.add(1)
+            return x
+
+        ctx.parallelize(range(100), 8).map(note).count()
+        assert seen.value == 100
+
+    def test_bad_record_sampling_pattern(self, ctx):
+        bad = ctx.list_accumulator("bad-records")
+
+        def parse(x):
+            if x % 10 == 0:
+                bad.add(x)
+                return None
+            return x
+
+        good = (
+            ctx.parallelize(range(50), 4)
+            .map(parse)
+            .filter(lambda v: v is not None)
+            .count()
+        )
+        assert good == 45
+        assert sorted(bad.value) == [0, 10, 20, 30, 40]

@@ -1,0 +1,105 @@
+"""Tests for the block manager (cache) and size estimation."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.engine.cache import BlockManager, estimate_size
+
+
+class TestEstimateSize:
+    def test_monotone_in_length(self):
+        assert estimate_size(list(range(1000))) > estimate_size(list(range(10)))
+
+    def test_handles_nested_containers(self):
+        nested = [[i] * 10 for i in range(100)]
+        assert estimate_size(nested) > estimate_size([])
+
+    def test_dict_counts_keys_and_values(self):
+        d = {i: "x" * 100 for i in range(100)}
+        assert estimate_size(d) > estimate_size({})
+
+    def test_bytes_are_terminal(self):
+        assert estimate_size(b"x" * 10_000) >= 10_000
+
+
+class TestBlockManager:
+    def test_get_miss_then_hit(self):
+        bm = BlockManager(1 << 20)
+        assert bm.get(("rdd", 0)) is None
+        bm.put(("rdd", 0), [1, 2, 3])
+        assert bm.get(("rdd", 0)) == [1, 2, 3]
+        stats = bm.stats.snapshot()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_get_or_compute_computes_once(self):
+        bm = BlockManager(1 << 20)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return [42]
+
+        assert bm.get_or_compute("k", compute) == [42]
+        assert bm.get_or_compute("k", compute) == [42]
+        assert len(calls) == 1
+
+    def test_lru_eviction_order(self):
+        bm = BlockManager(estimate_size([0] * 100) * 2 + 64)
+        bm.put("a", [0] * 100)
+        bm.put("b", [0] * 100)
+        bm.get("a")  # refresh a → b is now least recent
+        bm.put("c", [0] * 100)
+        assert bm.contains("a")
+        assert not bm.contains("b")
+        assert bm.contains("c")
+        assert bm.stats.snapshot()["evictions"] >= 1
+
+    def test_block_larger_than_capacity_not_stored(self):
+        bm = BlockManager(128)
+        assert bm.put("big", list(range(10_000))) is False
+        assert not bm.contains("big")
+
+    def test_put_replaces_and_accounts(self):
+        bm = BlockManager(1 << 20)
+        bm.put("k", [1] * 100)
+        before = bm.stats.snapshot()["stored_bytes"]
+        bm.put("k", [1] * 10)
+        after = bm.stats.snapshot()["stored_bytes"]
+        assert after < before
+        assert len(bm) == 1
+
+    def test_remove_rdd_scoped(self):
+        bm = BlockManager(1 << 20)
+        bm.put((1, 0), "a")
+        bm.put((1, 1), "b")
+        bm.put((2, 0), "c")
+        assert bm.remove_rdd(1) == 2
+        assert not bm.contains((1, 0))
+        assert bm.contains((2, 0))
+
+    def test_clear(self):
+        bm = BlockManager(1 << 20)
+        bm.put("x", [1])
+        bm.clear()
+        assert len(bm) == 0
+        assert bm.stats.snapshot()["stored_bytes"] == 0
+
+    def test_thread_safety_smoke(self):
+        bm = BlockManager(1 << 22)
+        errors = []
+
+        def worker(base):
+            try:
+                for i in range(200):
+                    bm.put((base, i), [i] * 10)
+                    bm.get((base, i % 50))
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors

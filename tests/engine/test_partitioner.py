@@ -1,0 +1,99 @@
+"""Tests for partitioners and the portable hash."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.partitioner import (
+    HashPartitioner,
+    RangePartitioner,
+    portable_hash,
+)
+
+
+class TestPortableHash:
+    def test_none_hashes_to_zero(self):
+        assert portable_hash(None) == 0
+
+    def test_deterministic_for_strings(self):
+        # Unlike builtin hash(), not salted per process.
+        assert portable_hash("person") == portable_hash("person")
+        assert portable_hash("abc") == 7430836138530658123
+
+    def test_int_spreads_consecutive_keys(self):
+        partitions = {portable_hash(i) % 8 for i in range(16)}
+        assert len(partitions) > 4
+
+    def test_bool_hashes_like_equal_int(self):
+        # True == 1 and False == 0, so their hashes must agree.
+        assert portable_hash(True) == portable_hash(1)
+        assert portable_hash(False) == portable_hash(0)
+
+    def test_float_integral_matches_int(self):
+        assert portable_hash(4.0) == portable_hash(4)
+
+    def test_tuple_hash_differs_by_order(self):
+        assert portable_hash((1, 2)) != portable_hash((2, 1))
+
+    @given(st.one_of(st.integers(), st.text(), st.booleans(), st.none()))
+    def test_always_non_negative(self, key):
+        assert portable_hash(key) >= 0
+
+    @given(st.binary())
+    def test_bytes_supported(self, key):
+        assert 0 <= portable_hash(key) < (1 << 63)
+
+
+class TestHashPartitioner:
+    def test_range(self):
+        p = HashPartitioner(8)
+        for key in [0, 1, "x", None, (1, 2), 3.5]:
+            assert 0 <= p.partition(key) < 8
+
+    def test_equality_by_type_and_count(self):
+        assert HashPartitioner(4) == HashPartitioner(4)
+        assert HashPartitioner(4) != HashPartitioner(8)
+        assert HashPartitioner(4) != RangePartitioner([1, 2, 3])
+
+    def test_rejects_zero_partitions(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+
+    def test_same_key_same_partition(self):
+        p = HashPartitioner(16)
+        assert all(p.partition("k") == p.partition("k") for _ in range(10))
+
+
+class TestRangePartitioner:
+    def test_bounds_define_partitions(self):
+        p = RangePartitioner([10, 20])
+        assert p.num_partitions == 3
+        assert p.partition(5) == 0
+        assert p.partition(10) == 0
+        assert p.partition(15) == 1
+        assert p.partition(25) == 2
+
+    def test_from_sample_even_spread(self):
+        p = RangePartitioner.from_sample(list(range(100)), 4)
+        counts = [0] * p.num_partitions
+        for key in range(100):
+            counts[p.partition(key)] += 1
+        assert all(c > 0 for c in counts)
+
+    def test_from_sample_empty(self):
+        p = RangePartitioner.from_sample([], 4)
+        assert p.num_partitions == 1
+        assert p.partition(123) == 0
+
+    def test_from_sample_duplicates_collapse(self):
+        p = RangePartitioner.from_sample([7] * 50, 4)
+        assert p.num_partitions <= 2
+
+    @given(st.lists(st.integers(), min_size=1, max_size=200), st.integers(1, 8))
+    def test_partition_order_respects_key_order(self, sample, n):
+        p = RangePartitioner.from_sample(sample, n)
+        keys = sorted(sample)
+        partitions = [p.partition(k) for k in keys]
+        assert partitions == sorted(partitions)

@@ -1,0 +1,240 @@
+"""Tests for RDD transformations and actions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.partitioner import HashPartitioner
+from repro.errors import EngineError
+
+
+class TestNarrowTransformations:
+    def test_map(self, ctx):
+        assert ctx.parallelize([1, 2, 3], 2).map(lambda x: x * 2).collect() == [2, 4, 6]
+
+    def test_filter(self, ctx):
+        rdd = ctx.parallelize(range(10), 3).filter(lambda x: x % 2 == 0)
+        assert rdd.collect() == [0, 2, 4, 6, 8]
+
+    def test_flat_map(self, ctx):
+        rdd = ctx.parallelize([1, 2], 1).flat_map(lambda x: [x] * x)
+        assert rdd.collect() == [1, 2, 2]
+
+    def test_map_partitions_sees_whole_partition(self, ctx):
+        rdd = ctx.parallelize(range(10), 2).map_partitions(lambda it: [sum(it)])
+        assert sorted(rdd.collect()) == [10, 35]
+
+    def test_map_partitions_with_index(self, ctx):
+        rdd = ctx.parallelize(range(4), 2).map_partitions_with_index(
+            lambda i, it: [(i, list(it))]
+        )
+        assert rdd.collect() == [(0, [0, 1]), (1, [2, 3])]
+
+    def test_glom(self, ctx):
+        assert ctx.parallelize([1, 2, 3, 4], 2).glom().collect() == [[1, 2], [3, 4]]
+
+    def test_key_by(self, ctx):
+        assert ctx.parallelize([1, 2], 1).key_by(lambda x: -x).collect() == [
+            (-1, 1),
+            (-2, 2),
+        ]
+
+    def test_union_concatenates(self, ctx):
+        a = ctx.parallelize([1, 2], 2)
+        b = ctx.parallelize([3], 1)
+        u = a.union(b)
+        assert u.num_partitions == 3
+        assert u.collect() == [1, 2, 3]
+
+    def test_zip_with_index_is_global(self, ctx):
+        rdd = ctx.parallelize(list("abcde"), 3).zip_with_index()
+        assert rdd.collect() == [(c, i) for i, c in enumerate("abcde")]
+
+    def test_sample_deterministic(self, ctx):
+        rdd = ctx.parallelize(range(1000), 4)
+        first = rdd.sample(0.1, seed=3).collect()
+        second = rdd.sample(0.1, seed=3).collect()
+        assert first == second
+        assert 20 < len(first) < 300
+
+    def test_sample_fraction_bounds(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize([1], 1).sample(1.5)
+
+    def test_filter_preserves_partitioner(self, ctx):
+        pairs = ctx.parallelize([(i, i) for i in range(20)], 2)
+        shuffled = pairs.partition_by(HashPartitioner(4))
+        filtered = shuffled.filter(lambda kv: kv[0] > 5)
+        assert filtered.partitioner == HashPartitioner(4)
+
+
+class TestWideTransformations:
+    def test_partition_by_routes_keys(self, ctx):
+        pairs = ctx.parallelize([(i, i) for i in range(40)], 4)
+        shuffled = pairs.partition_by(HashPartitioner(5))
+        parts = shuffled.glom().collect()
+        partitioner = HashPartitioner(5)
+        for index, part in enumerate(parts):
+            for key, _value in part:
+                assert partitioner.partition(key) == index
+
+    def test_partition_by_noop_when_co_partitioned(self, ctx):
+        pairs = ctx.parallelize([(i, i) for i in range(10)], 2)
+        once = pairs.partition_by(HashPartitioner(4))
+        twice = once.partition_by(HashPartitioner(4))
+        assert twice is once
+
+    def test_reduce_by_key(self, ctx):
+        pairs = ctx.parallelize([(i % 3, 1) for i in range(30)], 4)
+        assert dict(pairs.reduce_by_key(lambda a, b: a + b).collect()) == {
+            0: 10,
+            1: 10,
+            2: 10,
+        }
+
+    def test_group_by_key(self, ctx):
+        pairs = ctx.parallelize([(1, "a"), (2, "b"), (1, "c")], 2)
+        grouped = dict(pairs.group_by_key().collect())
+        assert sorted(grouped[1]) == ["a", "c"]
+        assert grouped[2] == ["b"]
+
+    def test_combine_by_key_mean(self, ctx):
+        pairs = ctx.parallelize([(1, 2.0), (1, 4.0), (2, 6.0)], 2)
+        combined = pairs.combine_by_key(
+            create=lambda v: (v, 1),
+            merge=lambda acc, v: (acc[0] + v, acc[1] + 1),
+            combine=lambda a, b: (a[0] + b[0], a[1] + b[1]),
+        )
+        means = {k: s / n for k, (s, n) in combined.collect()}
+        assert means == {1: 3.0, 2: 6.0}
+
+    def test_cogroup(self, ctx):
+        left = ctx.parallelize([(1, "a"), (2, "b")], 2)
+        right = ctx.parallelize([(1, "x"), (3, "y")], 2)
+        grouped = dict(
+            (k, (sorted(ls), sorted(rs)))
+            for k, (ls, rs) in left.cogroup(right).collect()
+        )
+        assert grouped == {1: (["a"], ["x"]), 2: (["b"], []), 3: ([], ["y"])}
+
+    def test_join_pairs_inner(self, ctx):
+        left = ctx.parallelize([(1, "a"), (1, "b"), (2, "c")], 2)
+        right = ctx.parallelize([(1, "x")], 1)
+        assert sorted(left.join_pairs(right).collect()) == [
+            (1, ("a", "x")),
+            (1, ("b", "x")),
+        ]
+
+    def test_distinct(self, ctx):
+        assert sorted(ctx.parallelize([1, 2, 2, 3, 3, 3], 3).distinct().collect()) == [
+            1,
+            2,
+            3,
+        ]
+
+    def test_sort_by_ascending_and_descending(self, ctx):
+        data = [5, 1, 4, 2, 3, 9, 7, 8, 6, 0]
+        rdd = ctx.parallelize(data, 3)
+        assert rdd.sort_by(lambda x: x).collect() == sorted(data)
+        assert rdd.sort_by(lambda x: x, ascending=False).collect() == sorted(
+            data, reverse=True
+        )
+
+    def test_sort_by_single_computation(self, ctx):
+        calls = []
+
+        def spy(x):
+            calls.append(x)
+            return x
+
+        ctx.parallelize(range(50), 2).map(spy).sort_by(lambda x: x).collect()
+        # The upstream map must run exactly once per element (the sort
+        # materializes before sampling).
+        assert len(calls) == 50
+
+    def test_count_by_key(self, ctx):
+        pairs = ctx.parallelize([(1, "x"), (1, "y"), (2, "z")], 2)
+        assert pairs.count_by_key() == {1: 2, 2: 1}
+
+
+class TestActions:
+    def test_collect_preserves_partition_order(self, ctx):
+        assert ctx.parallelize(range(10), 3).collect() == list(range(10))
+
+    def test_count(self, ctx):
+        assert ctx.parallelize(range(101), 7).count() == 101
+
+    def test_take_stops_early(self, ctx):
+        seen = []
+
+        def spy(x):
+            seen.append(x)
+            return x
+
+        result = ctx.parallelize(range(100), 10).map(spy).take(3)
+        assert result == [0, 1, 2]
+        assert len(seen) < 100  # did not materialize everything
+
+    def test_take_more_than_available(self, ctx):
+        assert ctx.parallelize([1, 2], 2).take(10) == [1, 2]
+
+    def test_take_zero(self, ctx):
+        assert ctx.parallelize([1], 1).take(0) == []
+
+    def test_first(self, ctx):
+        assert ctx.parallelize([7, 8], 2).first() == 7
+
+    def test_first_empty_raises(self, ctx):
+        with pytest.raises(EngineError):
+            ctx.empty_rdd().first()
+
+    def test_reduce(self, ctx):
+        assert ctx.parallelize(range(1, 5), 2).reduce(lambda a, b: a * b) == 24
+
+    def test_reduce_with_empty_partitions(self, ctx):
+        assert ctx.parallelize([5], 4).reduce(lambda a, b: a + b) == 5
+
+    def test_reduce_empty_raises(self, ctx):
+        with pytest.raises(EngineError):
+            ctx.empty_rdd().reduce(lambda a, b: a + b)
+
+    def test_fold(self, ctx):
+        assert ctx.parallelize(range(5), 2).fold(0, lambda a, b: a + b) == 10
+
+    def test_sum(self, ctx):
+        assert ctx.parallelize(range(10), 3).sum() == 45
+
+
+class TestCaching:
+    def test_cache_avoids_recompute(self, ctx):
+        calls = []
+
+        def spy(x):
+            calls.append(x)
+            return x
+
+        rdd = ctx.parallelize(range(10), 2).map(spy).cache()
+        assert rdd.count() == 10
+        assert rdd.count() == 10
+        assert len(calls) == 10  # second count served from cache
+
+    def test_unpersist_recomputes(self, ctx):
+        calls = []
+
+        def spy(x):
+            calls.append(x)
+            return x
+
+        rdd = ctx.parallelize(range(4), 1).map(spy).cache()
+        rdd.count()
+        rdd.unpersist()
+        assert not rdd.is_cached
+        rdd.count()
+        assert len(calls) == 8
+
+    def test_cached_shuffle_output_stable(self, ctx):
+        pairs = ctx.parallelize([(i % 5, 1) for i in range(50)], 4)
+        reduced = pairs.reduce_by_key(lambda a, b: a + b).cache()
+        first = sorted(reduced.collect())
+        second = sorted(reduced.collect())
+        assert first == second == [(k, 10) for k in range(5)]

@@ -1,0 +1,98 @@
+"""Tests for the DAG scheduler: stages, task failures, metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import Config
+from repro.engine.context import EngineContext
+from repro.errors import TaskError
+
+
+class TestStagePlanning:
+    def test_narrow_only_is_single_stage(self, ctx):
+        before = ctx.scheduler.metrics.stages
+        ctx.parallelize(range(10), 2).map(lambda x: x).count()
+        assert ctx.scheduler.metrics.stages - before == 1
+
+    def test_shuffle_adds_map_stage(self, ctx):
+        before = ctx.scheduler.metrics.stages
+        ctx.parallelize([(1, 1)], 2).reduce_by_key(lambda a, b: a + b).count()
+        assert ctx.scheduler.metrics.stages - before == 2
+
+    def test_chained_shuffles(self, ctx):
+        before = ctx.scheduler.metrics.stages
+        (
+            ctx.parallelize([(i % 3, 1) for i in range(30)], 3)
+            .reduce_by_key(lambda a, b: a + b)
+            .map(lambda kv: (kv[1], kv[0]))
+            .group_by_key()
+            .count()
+        )
+        assert ctx.scheduler.metrics.stages - before == 3
+
+    def test_shuffle_reused_across_jobs(self, ctx):
+        rdd = ctx.parallelize([(i % 3, 1) for i in range(30)], 3).reduce_by_key(
+            lambda a, b: a + b
+        )
+        rdd.count()
+        stages_after_first = ctx.scheduler.metrics.stages
+        rdd.count()  # map outputs already exist → result stage only
+        assert ctx.scheduler.metrics.stages - stages_after_first == 1
+
+    def test_task_counts(self, ctx):
+        before = ctx.scheduler.metrics.tasks
+        ctx.parallelize(range(10), 5).count()
+        assert ctx.scheduler.metrics.tasks - before == 5
+
+
+class TestFailures:
+    def test_task_error_wraps_cause(self, ctx):
+        def boom(x):
+            raise ValueError("kaput")
+
+        with pytest.raises(TaskError) as exc_info:
+            ctx.parallelize([1], 1).map(boom).collect()
+        assert isinstance(exc_info.value.cause, ValueError)
+        assert "kaput" in str(exc_info.value)
+
+    def test_failure_in_one_partition_fails_job(self, ctx):
+        def boom_on_five(x):
+            if x == 5:
+                raise RuntimeError("partition failure")
+            return x
+
+        with pytest.raises(TaskError):
+            ctx.parallelize(range(10), 5).map(boom_on_five).collect()
+
+    def test_map_stage_failure_propagates(self, ctx):
+        def bad_key(x):
+            raise KeyError(x)
+
+        rdd = ctx.parallelize([1, 2], 2).map(bad_key).map(lambda v: (v, 1))
+        with pytest.raises(TaskError):
+            rdd.reduce_by_key(lambda a, b: a + b).collect()
+
+    def test_engine_usable_after_failure(self, ctx):
+        with pytest.raises(TaskError):
+            ctx.parallelize([1], 1).map(lambda _x: 1 / 0).collect()
+        assert ctx.parallelize([1, 2], 2).sum() == 3
+
+
+class TestParallelism:
+    def test_single_thread_config_works(self):
+        with EngineContext(Config(executor_threads=1, default_parallelism=2)) as ctx:
+            assert ctx.parallelize(range(100), 8).sum() == 4950
+
+    def test_many_threads_correct(self):
+        with EngineContext(Config(executor_threads=8, default_parallelism=8)) as ctx:
+            pairs = ctx.parallelize([(i % 17, 1) for i in range(1000)], 16)
+            counts = dict(pairs.reduce_by_key(lambda a, b: a + b).collect())
+            assert sum(counts.values()) == 1000
+
+    def test_stopped_context_rejects_jobs(self):
+        ctx = EngineContext(Config())
+        rdd = ctx.parallelize([1], 1)
+        ctx.stop()
+        with pytest.raises(RuntimeError):
+            rdd.collect()

@@ -1,0 +1,110 @@
+"""Tests for the shuffle manager and shuffle dependencies."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.engine.partitioner import HashPartitioner
+from repro.engine.shuffle import Aggregator, ShuffleDependency, ShuffleManager
+from repro.errors import EngineError
+
+
+def make_dep(num_partitions: int = 4, **kwargs) -> ShuffleDependency:
+    return ShuffleDependency(None, HashPartitioner(num_partitions), **kwargs)
+
+
+class TestShuffleManager:
+    def test_write_then_fetch(self):
+        manager = ShuffleManager()
+        dep = make_dep(2)
+        manager.register_shuffle(dep.shuffle_id, num_maps=2)
+        manager.write_map_output(dep, 0, [(0, "a"), (1, "b")])
+        manager.write_map_output(dep, 1, [(2, "c")])
+        fetched = {
+            reduce_index: sorted(manager.fetch(dep.shuffle_id, reduce_index))
+            for reduce_index in range(2)
+        }
+        all_records = [r for rs in fetched.values() for r in rs]
+        assert sorted(all_records) == [(0, "a"), (1, "b"), (2, "c")]
+        # every record went to the partitioner-selected bucket
+        for reduce_index, records in fetched.items():
+            for key, _v in records:
+                assert dep.partitioner.partition(key) == reduce_index
+
+    def test_fetch_unregistered_raises(self):
+        manager = ShuffleManager()
+        with pytest.raises(EngineError):
+            list(manager.fetch(12345, 0))
+
+    def test_fetch_incomplete_raises(self):
+        manager = ShuffleManager()
+        dep = make_dep(2)
+        manager.register_shuffle(dep.shuffle_id, num_maps=3)
+        manager.write_map_output(dep, 0, [])
+        with pytest.raises(EngineError, match="incomplete"):
+            list(manager.fetch(dep.shuffle_id, 0))
+
+    def test_register_idempotent(self):
+        manager = ShuffleManager()
+        dep = make_dep()
+        manager.register_shuffle(dep.shuffle_id, 1)
+        manager.write_map_output(dep, 0, [(1, 1)])
+        manager.register_shuffle(dep.shuffle_id, 1)  # must not reset
+        assert manager.is_complete(dep.shuffle_id)
+
+    def test_map_side_combine(self):
+        manager = ShuffleManager()
+        agg = Aggregator(create=lambda v: v, merge=lambda a, b: a + b, combine=lambda a, b: a + b)
+        dep = make_dep(1, aggregator=agg, map_side_combine=True)
+        manager.register_shuffle(dep.shuffle_id, 1)
+        manager.write_map_output(dep, 0, [("k", 1)] * 100)
+        records = list(manager.fetch(dep.shuffle_id, 0))
+        assert records == [("k", 100)]  # combined before the wire
+
+    def test_map_side_combine_requires_aggregator(self):
+        with pytest.raises(EngineError):
+            make_dep(map_side_combine=True)
+
+    def test_remove_shuffle(self):
+        manager = ShuffleManager()
+        dep = make_dep(1)
+        manager.register_shuffle(dep.shuffle_id, 1)
+        manager.write_map_output(dep, 0, [(1, 1)])
+        manager.remove_shuffle(dep.shuffle_id)
+        with pytest.raises(EngineError):
+            list(manager.fetch(dep.shuffle_id, 0))
+
+    def test_concurrent_map_writes(self):
+        manager = ShuffleManager()
+        dep = make_dep(4)
+        num_maps = 16
+        manager.register_shuffle(dep.shuffle_id, num_maps)
+
+        def write(map_index: int) -> None:
+            manager.write_map_output(
+                dep, map_index, [(map_index * 10 + j, map_index) for j in range(10)]
+            )
+
+        threads = [threading.Thread(target=write, args=(i,)) for i in range(num_maps)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert manager.is_complete(dep.shuffle_id)
+        total = sum(len(list(manager.fetch(dep.shuffle_id, r))) for r in range(4))
+        assert total == num_maps * 10
+
+    def test_stats(self):
+        manager = ShuffleManager()
+        dep = make_dep(2)
+        manager.register_shuffle(dep.shuffle_id, 1)
+        manager.write_map_output(dep, 0, [(i, i) for i in range(7)])
+        stats = manager.stats()
+        assert stats["shuffles"] == 1
+        assert stats["records"] == 7
+
+    def test_shuffle_ids_unique(self):
+        ids = {make_dep().shuffle_id for _ in range(10)}
+        assert len(ids) == 10

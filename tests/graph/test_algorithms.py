@@ -1,0 +1,141 @@
+"""Graph algorithms, cross-checked against networkx."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graph import (
+    Graph,
+    connected_components,
+    pagerank,
+    shortest_paths,
+    triangle_count,
+)
+
+
+def random_digraph(n: int, m: int, seed: int) -> list[tuple[int, int]]:
+    rng = random.Random(seed)
+    edges = set()
+    while len(edges) < m:
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b:
+            edges.add((a, b))
+    return sorted(edges)
+
+
+class TestPageRank:
+    def test_cycle_is_uniform(self, ctx):
+        g = Graph.from_edge_list(ctx, [(0, 1), (1, 2), (2, 0)])
+        ranks = pagerank(g, iterations=30)
+        assert all(abs(r - 1 / 3) < 1e-6 for r in ranks.values())
+
+    def test_star_center_ranks_highest(self, ctx):
+        g = Graph.from_edge_list(ctx, [(i, 0) for i in range(1, 6)])
+        ranks = pagerank(g, iterations=30)
+        assert ranks[0] == max(ranks.values())
+
+    def test_sums_to_one_with_dangling(self, ctx):
+        g = Graph.from_edge_list(ctx, [(1, 2), (2, 3)])  # 3 dangles
+        ranks = pagerank(g, iterations=40)
+        assert abs(sum(ranks.values()) - 1.0) < 1e-9
+
+    def test_matches_networkx(self, ctx):
+        edges = random_digraph(25, 80, seed=3)
+        g = Graph.from_edge_list(ctx, edges)
+        mine = pagerank(g, iterations=60)
+        theirs = nx.pagerank(nx.DiGraph(edges), alpha=0.85, max_iter=200, tol=1e-12)
+        for vid, expected in theirs.items():
+            assert mine[vid] == pytest.approx(expected, abs=1e-3)
+
+    def test_empty_graph(self, ctx):
+        g = Graph.from_edge_list(ctx, [])
+        assert pagerank(g) == {}
+
+
+class TestConnectedComponents:
+    def test_two_islands(self, ctx):
+        g = Graph.from_edge_list(ctx, [(1, 2), (2, 3), (10, 11)])
+        cc = connected_components(g)
+        assert cc == {1: 1, 2: 1, 3: 1, 10: 10, 11: 10}
+
+    def test_direction_ignored(self, ctx):
+        g = Graph.from_edge_list(ctx, [(5, 1), (1, 9)])
+        cc = connected_components(g)
+        assert len(set(cc.values())) == 1
+
+    def test_matches_networkx(self, ctx):
+        edges = random_digraph(40, 45, seed=9)
+        g = Graph.from_edge_list(ctx, edges)
+        mine = connected_components(g)
+        theirs = list(nx.weakly_connected_components(nx.DiGraph(edges)))
+        for component in theirs:
+            labels = {mine[v] for v in component}
+            assert len(labels) == 1
+            assert labels == {min(component)}
+
+
+class TestTriangles:
+    def test_single_triangle(self, ctx):
+        g = Graph.from_edge_list(ctx, [(1, 2), (2, 3), (3, 1)])
+        assert triangle_count(g) == 1
+
+    def test_direction_and_duplicates_ignored(self, ctx):
+        g = Graph.from_edge_list(ctx, [(1, 2), (2, 1), (2, 3), (3, 1), (1, 3)])
+        assert triangle_count(g) == 1
+
+    def test_self_loops_ignored(self, ctx):
+        g = Graph.from_edge_list(ctx, [(1, 1), (1, 2), (2, 3), (3, 1)])
+        assert triangle_count(g) == 1
+
+    def test_no_triangles(self, ctx):
+        g = Graph.from_edge_list(ctx, [(1, 2), (2, 3), (3, 4)])
+        assert triangle_count(g) == 0
+
+    def test_matches_networkx(self, ctx):
+        edges = random_digraph(20, 70, seed=1)
+        g = Graph.from_edge_list(ctx, edges)
+        expected = sum(nx.triangles(nx.Graph(edges)).values()) // 3
+        assert triangle_count(g) == expected
+
+
+class TestShortestPaths:
+    def test_chain(self, ctx):
+        g = Graph.from_edge_list(ctx, [(1, 2), (2, 3), (3, 4)])
+        assert shortest_paths(g, 1) == {1: 0, 2: 1, 3: 2, 4: 3}
+
+    def test_unreachable_absent(self, ctx):
+        g = Graph.from_edge_list(ctx, [(1, 2), (3, 4)])
+        assert shortest_paths(g, 1) == {1: 0, 2: 1}
+
+    def test_respects_direction(self, ctx):
+        g = Graph.from_edge_list(ctx, [(2, 1), (2, 3)])
+        assert shortest_paths(g, 1) == {1: 0}
+
+    def test_matches_networkx(self, ctx):
+        edges = random_digraph(25, 60, seed=7)
+        g = Graph.from_edge_list(ctx, edges)
+        source = edges[0][0]
+        mine = shortest_paths(g, source)
+        theirs = nx.single_source_shortest_path_length(nx.DiGraph(edges), source)
+        assert mine == dict(theirs)
+
+
+class TestOnSNBGraph:
+    """The motivating workload: analytics on the social graph."""
+
+    def test_knows_graph_analytics(self, ctx):
+        from repro.snb import generate
+
+        dataset = generate(scale_factor=0.1, seed=4)
+        g = Graph.from_edge_list(
+            ctx, [(a, b) for a, b, _ts in dataset.knows]
+        ).cache()
+        ranks = pagerank(g, iterations=10)
+        assert abs(sum(ranks.values()) - 1.0) < 1e-6
+        components = connected_components(g)
+        assert len(components) == g.num_vertices()
+        # knows is symmetric → triangle count well defined and plausible
+        assert triangle_count(g) >= 0

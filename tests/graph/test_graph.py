@@ -1,0 +1,95 @@
+"""Tests for the property graph abstraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EngineError
+from repro.graph import Graph
+
+EDGES = [(1, 2), (2, 3), (3, 1), (3, 4), (4, 5), (6, 7)]
+
+
+@pytest.fixture()
+def graph(ctx):
+    return Graph.from_edge_list(ctx, EDGES)
+
+
+class TestConstruction:
+    def test_from_edge_list_infers_vertices(self, graph):
+        assert graph.num_vertices() == 7
+        assert graph.num_edges() == 6
+
+    def test_from_edge_list_with_attrs(self, ctx):
+        g = Graph.from_edge_list(ctx, [(1, 2, "friend")], default_vertex_attr=0)
+        assert g.edges.collect() == [(1, 2, "friend")]
+        assert dict(g.vertices.collect()) == {1: 0, 2: 0}
+
+    def test_invalid_edge_shape(self, ctx):
+        with pytest.raises(EngineError):
+            Graph.from_edge_list(ctx, [(1, 2, 3, 4)])
+
+    def test_from_dataframes(self, session):
+        people = session.create_dataframe(
+            [(1, "ann"), (2, "bob")], [("id", "long"), ("name", "string")]
+        )
+        knows = session.create_dataframe(
+            [(1, 2, 123)],
+            [("src", "long"), ("dst", "long"), ("since", "long")],
+        )
+        g = Graph.from_dataframes(people, knows)
+        assert dict(g.vertices.collect()) == {1: ("ann",), 2: ("bob",)}
+        assert g.edges.collect() == [(1, 2, (123,))]
+
+    def test_from_indexed_dataframe(self, indexed_session):
+        from repro.core import create_index
+
+        people = indexed_session.create_dataframe(
+            [(i, f"p{i}") for i in range(10)], [("id", "long"), ("name", "string")]
+        )
+        knows = indexed_session.create_dataframe(
+            [(i, (i + 1) % 10, 0) for i in range(10)],
+            [("src", "long"), ("dst", "long"), ("w", "long")],
+        )
+        indexed = create_index(knows, "src")
+        g = Graph.from_dataframes(people, indexed.to_df())
+        assert g.num_edges() == 10
+
+
+class TestDegrees:
+    def test_out_degrees_include_zero(self, graph):
+        deg = dict(graph.out_degrees().collect())
+        assert deg == {1: 1, 2: 1, 3: 2, 4: 1, 5: 0, 6: 1, 7: 0}
+
+    def test_in_degrees(self, graph):
+        deg = dict(graph.in_degrees().collect())
+        assert deg[1] == 1 and deg[5] == 1 and deg[6] == 0
+
+    def test_total_degrees(self, graph):
+        deg = dict(graph.degrees().collect())
+        assert deg[3] == 3 and deg[7] == 1
+
+
+class TestTransformations:
+    def test_map_vertices(self, graph):
+        doubled = graph.map_vertices(lambda vid, _attr: vid * 2)
+        assert dict(doubled.vertices.collect())[3] == 6
+
+    def test_reverse(self, graph):
+        reversed_edges = set(
+            (e[0], e[1]) for e in graph.reverse().edges.collect()
+        )
+        assert (2, 1) in reversed_edges and (1, 2) not in reversed_edges
+
+    def test_subgraph_drops_dangling_edges(self, graph):
+        sub = graph.subgraph(vertex_pred=lambda vid, _a: vid <= 4)
+        assert sub.num_vertices() == 4
+        edge_pairs = {(e[0], e[1]) for e in sub.edges.collect()}
+        assert (4, 5) not in edge_pairs and (3, 4) in edge_pairs
+
+    def test_subgraph_edge_predicate(self, graph):
+        sub = graph.subgraph(edge_pred=lambda s, d, _a: s < d)
+        assert all(e[0] < e[1] for e in sub.edges.collect())
+
+    def test_repr(self, graph):
+        assert "7 vertices" in repr(graph)

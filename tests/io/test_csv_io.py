@@ -1,0 +1,80 @@
+"""Tests for CSV read/write."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.io import read_csv, write_csv
+
+SCHEMA = [("id", "long"), ("name", "string"), ("score", "double"), ("ok", "boolean")]
+ROWS = [
+    (1, "ann", 1.5, True),
+    (2, "bob, jr.", -2.0, False),  # comma forces quoting
+    (3, None, None, None),
+    (4, 'quote "me"', 0.0, True),
+]
+
+
+@pytest.fixture()
+def csv_file(session, tmp_path):
+    df = session.create_dataframe(ROWS, SCHEMA)
+    path = str(tmp_path / "data.csv")
+    assert write_csv(df, path) == 4
+    return path
+
+
+class TestRoundTrip:
+    def test_values_survive(self, session, csv_file):
+        back = read_csv(session, csv_file, SCHEMA)
+        assert sorted(map(tuple, back.collect()), key=repr) == sorted(
+            ROWS, key=repr
+        )
+
+    def test_types_restored(self, session, csv_file):
+        row = read_csv(session, csv_file, SCHEMA).order_by("id").first()
+        assert isinstance(row["id"], int)
+        assert isinstance(row["score"], float)
+        assert row["ok"] is True
+
+    def test_quoting_and_commas(self, session, csv_file):
+        rows = {r["id"]: r["name"] for r in read_csv(session, csv_file, SCHEMA).collect()}
+        assert rows[2] == "bob, jr."
+        assert rows[4] == 'quote "me"'
+
+    def test_nulls_read_back(self, session, csv_file):
+        row = next(
+            r for r in read_csv(session, csv_file, SCHEMA).collect() if r["id"] == 3
+        )
+        assert row["name"] is None and row["score"] is None and row["ok"] is None
+
+    def test_column_subset_by_schema(self, session, csv_file):
+        partial = read_csv(session, csv_file, [("name", "string"), ("id", "long")])
+        assert partial.columns == ["name", "id"]
+        assert partial.order_by("id").first()["name"] == "ann"
+
+
+class TestErrors:
+    def test_empty_file(self, session, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError, match="header"):
+            read_csv(session, str(path), SCHEMA)
+
+    def test_missing_column(self, session, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("id,name\n1,x\n")
+        with pytest.raises(SchemaError, match="missing"):
+            read_csv(session, str(path), SCHEMA)
+
+    def test_unparsable_value(self, session, tmp_path):
+        path = tmp_path / "bad2.csv"
+        path.write_text("id\nnot-a-number\n")
+        with pytest.raises(SchemaError, match=":2"):
+            read_csv(session, str(path), [("id", "long")])
+
+    def test_bad_boolean(self, session, tmp_path):
+        path = tmp_path / "bad3.csv"
+        path.write_text("ok\nmaybe\n")
+        with pytest.raises(SchemaError):
+            read_csv(session, str(path), [("ok", "boolean")])

@@ -1,0 +1,78 @@
+"""Tests for JSON-lines read/write."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.io import read_jsonl, write_jsonl
+
+SCHEMA = [("id", "long"), ("name", "string"), ("raw", "binary")]
+
+
+class TestRoundTrip:
+    def test_exact_values(self, session, tmp_path):
+        rows = [
+            (1, "ann", b"\x00\x01"),
+            (2, "", b""),  # empty string survives (unlike CSV)
+            (3, None, None),
+            (4, "ünïcode ✓", b"\xff" * 4),
+        ]
+        df = session.create_dataframe(rows, SCHEMA)
+        path = str(tmp_path / "data.jsonl")
+        assert write_jsonl(df, path) == 4
+        back = read_jsonl(session, path, SCHEMA)
+        assert sorted(map(tuple, back.collect())) == sorted(rows)
+
+    def test_missing_keys_become_null(self, session, tmp_path):
+        path = tmp_path / "partial.jsonl"
+        path.write_text('{"id": 1}\n{"id": 2, "name": "x", "extra": true}\n')
+        rows = read_jsonl(session, str(path), SCHEMA).collect()
+        assert rows[0]["name"] is None
+        assert rows[1]["name"] == "x"
+
+    def test_blank_lines_skipped(self, session, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text('{"id": 1}\n\n{"id": 2}\n')
+        assert read_jsonl(session, str(path), [("id", "long")]).count() == 2
+
+
+class TestErrors:
+    def test_invalid_json(self, session, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(SchemaError, match="invalid JSON"):
+            read_jsonl(session, str(path), SCHEMA)
+
+    def test_non_object_line(self, session, tmp_path):
+        path = tmp_path / "bad2.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(SchemaError, match="expected an object"):
+            read_jsonl(session, str(path), SCHEMA)
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.integers(-(2**40), 2**40),
+            st.one_of(st.none(), st.text(max_size=20)),
+        ),
+        max_size=30,
+    )
+)
+def test_jsonl_roundtrip_property(session, tmp_path, rows):
+    schema = [("k", "long"), ("s", "string")]
+    df = session.create_dataframe(rows, schema)
+    path = str(tmp_path / "prop.jsonl")
+    write_jsonl(df, path)
+    back = read_jsonl(session, path, schema)
+    assert sorted(map(tuple, back.collect()), key=repr) == sorted(
+        (tuple(r) for r in rows), key=repr
+    )

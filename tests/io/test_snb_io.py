@@ -1,0 +1,77 @@
+"""Tests for SNB dataset persistence."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.io import load_dataset, save_dataset
+from repro.snb import generate
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate(scale_factor=0.1, seed=13)
+
+
+class TestSaveLoad:
+    def test_roundtrip_identical(self, dataset, tmp_path):
+        directory = str(tmp_path / "snb")
+        save_dataset(dataset, directory)
+        back = load_dataset(directory)
+        assert back.persons == dataset.persons
+        assert back.knows == dataset.knows
+        assert back.messages == dataset.messages
+        assert back.forums == dataset.forums
+        assert back.forum_members == dataset.forum_members
+        assert back.likes == dataset.likes
+        assert back.scale_factor == dataset.scale_factor
+        assert back.seed == dataset.seed
+
+    def test_one_csv_per_table_plus_manifest(self, dataset, tmp_path):
+        directory = tmp_path / "snb"
+        save_dataset(dataset, str(directory))
+        files = sorted(os.listdir(directory))
+        assert files == [
+            "forum.csv", "forum_member.csv", "knows.csv", "likes.csv",
+            "manifest.json", "message.csv", "person.csv",
+        ]
+
+    def test_loaded_dataset_loads_into_session(self, dataset, tmp_path, indexed_session):
+        from repro.snb import load_indexed, sq1
+
+        directory = str(tmp_path / "snb")
+        save_dataset(dataset, directory)
+        back = load_dataset(directory)
+        ctx = load_indexed(indexed_session, back)
+        pid = back.person_ids()[0]
+        assert len(sq1(ctx, pid)) == 1
+
+
+class TestValidation:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(SchemaError, match="manifest"):
+            load_dataset(str(tmp_path))
+
+    def test_size_mismatch_detected(self, dataset, tmp_path):
+        directory = tmp_path / "snb"
+        save_dataset(dataset, str(directory))
+        manifest_path = directory / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["sizes"]["person"] += 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(SchemaError, match="sizes"):
+            load_dataset(str(directory))
+
+    def test_header_mismatch_detected(self, dataset, tmp_path):
+        directory = tmp_path / "snb"
+        save_dataset(dataset, str(directory))
+        person = directory / "person.csv"
+        content = person.read_text().splitlines()
+        content[0] = "wrong,header"
+        person.write_text("\n".join(content))
+        with pytest.raises(SchemaError, match="header"):
+            load_dataset(str(directory))

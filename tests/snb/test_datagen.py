@@ -1,0 +1,128 @@
+"""Tests for the SNB-style data generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.snb import generate
+from repro.snb.datagen import EPOCH_START_MS
+from repro.snb.schema import (
+    FORUM_ID_BASE,
+    KNOWS_SCHEMA,
+    MESSAGE_ID_BASE,
+    MESSAGE_SCHEMA,
+    PERSON_SCHEMA,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate(scale_factor=0.5, seed=11)
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = generate(scale_factor=0.1, seed=3)
+        b = generate(scale_factor=0.1, seed=3)
+        assert a.persons == b.persons
+        assert a.knows == b.knows
+        assert a.messages == b.messages
+
+    def test_different_seed_differs(self):
+        a = generate(scale_factor=0.1, seed=3)
+        b = generate(scale_factor=0.1, seed=4)
+        assert a.persons != b.persons
+
+
+class TestScaling:
+    def test_scale_factor_controls_sizes(self):
+        small = generate(scale_factor=0.1)
+        large = generate(scale_factor=1.0)
+        assert large.num_persons == 10 * small.num_persons
+        assert len(large.knows) > 3 * len(small.knows)
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            generate(scale_factor=0)
+
+
+class TestSchemaConformance:
+    def test_persons_validate(self, dataset):
+        for row in dataset.persons[:100]:
+            PERSON_SCHEMA.validate_row(row)
+
+    def test_knows_validate(self, dataset):
+        for row in dataset.knows[:100]:
+            KNOWS_SCHEMA.validate_row(row)
+
+    def test_messages_validate(self, dataset):
+        for row in dataset.messages[:100]:
+            MESSAGE_SCHEMA.validate_row(row)
+
+    def test_id_spaces_disjoint(self, dataset):
+        person_ids = set(dataset.person_ids())
+        message_ids = set(dataset.message_ids())
+        forum_ids = {f[0] for f in dataset.forums}
+        assert max(person_ids) < FORUM_ID_BASE
+        assert all(FORUM_ID_BASE < f < MESSAGE_ID_BASE for f in forum_ids)
+        assert all(m > MESSAGE_ID_BASE for m in message_ids)
+
+
+class TestGraphProperties:
+    def test_knows_symmetric(self, dataset):
+        edges = {(k[0], k[1]) for k in dataset.knows}
+        assert all((b, a) in edges for a, b in edges)
+
+    def test_no_self_edges(self, dataset):
+        assert all(a != b for a, b, _ts in dataset.knows)
+
+    def test_degree_distribution_is_skewed(self, dataset):
+        degree: dict[int, int] = {}
+        for a, _b, _ts in dataset.knows:
+            degree[a] = degree.get(a, 0) + 1
+        degrees = sorted(degree.values(), reverse=True)
+        mean = sum(degrees) / len(degrees)
+        # Power law: the top hub should far exceed the mean.
+        assert degrees[0] > 3 * mean
+
+    def test_messages_reference_valid_entities(self, dataset):
+        person_ids = set(dataset.person_ids())
+        message_ids = set(dataset.message_ids())
+        forum_ids = {f[0] for f in dataset.forums}
+        for m in dataset.messages:
+            assert m[1] in person_ids  # creator
+            if m[5]:  # post
+                assert m[6] in forum_ids and m[7] is None
+            else:  # comment
+                assert m[6] is None and m[7] in message_ids
+
+    def test_replies_point_backwards(self, dataset):
+        created = {}
+        for m in dataset.messages:
+            created[m[0]] = m[0]
+        for m in dataset.messages:
+            if m[7] is not None:
+                assert m[7] < m[0]  # reply id after its target
+
+    def test_likes_reference_messages(self, dataset):
+        message_ids = set(dataset.message_ids())
+        person_ids = set(dataset.person_ids())
+        for person, message, _ts in dataset.likes[:200]:
+            assert person in person_ids
+            assert message in message_ids
+
+    def test_timestamps_after_epoch(self, dataset):
+        assert all(p[5] >= EPOCH_START_MS for p in dataset.persons)
+
+    def test_forum_members_exist(self, dataset):
+        person_ids = set(dataset.person_ids())
+        forum_ids = {f[0] for f in dataset.forums}
+        for forum, person, _ts in dataset.forum_members[:200]:
+            assert forum in forum_ids and person in person_ids
+
+    def test_table_sizes_summary(self, dataset):
+        sizes = dataset.table_sizes()
+        assert sizes["person"] == dataset.num_persons
+        assert set(sizes) == {
+            "person", "knows", "message", "forum", "forum_member", "likes",
+        }

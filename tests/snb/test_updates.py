@@ -1,0 +1,76 @@
+"""Tests for the SNB update stream generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.snb import generate, update_stream
+from repro.snb.schema import KNOWS_SCHEMA, MESSAGE_SCHEMA, PERSON_SCHEMA
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate(scale_factor=0.2, seed=9)
+
+
+class TestUpdateStream:
+    def test_deterministic(self, dataset):
+        a = [b.total_rows() for b in update_stream(dataset, 5, 50, seed=1)]
+        b = [b.total_rows() for b in update_stream(dataset, 5, 50, seed=1)]
+        assert a == b
+
+    def test_batch_count_and_size(self, dataset):
+        batches = list(update_stream(dataset, 4, 100))
+        assert len(batches) == 4
+        # Each knows draw emits a symmetric edge pair, so batches hold
+        # between rows_per_batch and 2x rows_per_batch rows.
+        assert all(100 <= b.total_rows() <= 200 for b in batches)
+        assert [b.sequence for b in batches] == [0, 1, 2, 3]
+
+    def test_rows_validate_against_schemas(self, dataset):
+        for batch in update_stream(dataset, 3, 60):
+            for row in batch.persons:
+                PERSON_SCHEMA.validate_row(row)
+            for row in batch.knows:
+                KNOWS_SCHEMA.validate_row(row)
+            for row in batch.messages:
+                MESSAGE_SCHEMA.validate_row(row)
+
+    def test_new_ids_extend_id_spaces(self, dataset):
+        max_person = max(dataset.person_ids())
+        max_message = max(dataset.message_ids())
+        new_person_ids = set()
+        new_message_ids = set()
+        for batch in update_stream(dataset, 5, 100):
+            new_person_ids.update(p[0] for p in batch.persons)
+            new_message_ids.update(m[0] for m in batch.messages)
+        assert all(p > max_person for p in new_person_ids)
+        assert all(m > max_message for m in new_message_ids)
+        assert len(new_person_ids) > 0 and len(new_message_ids) > 0
+
+    def test_knows_edges_are_symmetric_pairs(self, dataset):
+        for batch in update_stream(dataset, 2, 80):
+            edges = {(a, b) for a, b, _ts in batch.knows}
+            assert all((b, a) in edges for a, b in edges)
+
+    def test_messages_reference_known_or_new_ids(self, dataset):
+        known_persons = set(dataset.person_ids())
+        known_messages = set(dataset.message_ids())
+        for batch in update_stream(dataset, 5, 100):
+            known_persons.update(p[0] for p in batch.persons)
+            for m in batch.messages:
+                assert m[1] in known_persons
+                if m[7] is not None:
+                    assert m[7] in known_messages
+                known_messages.add(m[0])
+
+    def test_fraction_validation(self, dataset):
+        with pytest.raises(ValueError):
+            list(update_stream(dataset, 1, 10, person_fraction=0.9, knows_fraction=0.5))
+
+    def test_stream_time_is_monotonic(self, dataset):
+        last = 0
+        for batch in update_stream(dataset, 3, 50):
+            for m in batch.messages:
+                assert m[2] >= last
+                last = m[2]

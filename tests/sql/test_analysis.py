@@ -1,0 +1,142 @@
+"""Tests for the analyzer: resolution, stars, HAVING, sort recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.sql.functions import col, count, sum_
+
+
+class TestResolution:
+    def test_resolves_simple_select(self, session, people_df):
+        df = people_df.select("name", "age")
+        assert df.columns == ["name", "age"]
+
+    def test_unknown_column(self, people_df):
+        with pytest.raises(AnalysisError, match="resolve"):
+            people_df.select("nope").schema
+
+    def test_star_expansion(self, people_df):
+        assert people_df.select("*").columns == ["id", "name", "age", "country"]
+
+    def test_qualified_star(self, session, people_df):
+        people_df.create_or_replace_temp_view("p")
+        df = session.sql("SELECT x.* FROM p x")
+        assert df.columns == ["id", "name", "age", "country"]
+
+    def test_qualified_resolution(self, session, people_df, orders_df):
+        people_df.create_or_replace_temp_view("people")
+        orders_df.create_or_replace_temp_view("orders")
+        df = session.sql(
+            "SELECT p.id, o.oid FROM people p JOIN orders o ON p.id = o.pid"
+        )
+        assert df.columns == ["id", "oid"]
+
+    def test_ambiguous_column_raises(self, session, people_df):
+        people_df.create_or_replace_temp_view("people")
+        with pytest.raises(AnalysisError, match="ambiguous"):
+            session.sql(
+                "SELECT id FROM people a JOIN people b ON a.id = b.id"
+            ).schema
+
+    def test_self_join_with_qualifiers_ok(self, session, people_df):
+        people_df.create_or_replace_temp_view("people")
+        df = session.sql(
+            "SELECT a.id, b.name FROM people a JOIN people b ON a.id = b.id"
+        )
+        assert len(df.collect()) == 5
+
+    def test_df_col_binds_to_instance(self, people_df, orders_df):
+        condition = people_df.col("id") == orders_df.col("pid")
+        joined = people_df.join(orders_df, on=condition)
+        assert len(joined.collect()) == 4
+
+    def test_missing_table(self, session):
+        with pytest.raises(AnalysisError, match="not found"):
+            session.sql("SELECT * FROM ghosts").schema
+
+
+class TestTypeChecks:
+    def test_filter_requires_boolean(self, people_df):
+        with pytest.raises(AnalysisError, match="not boolean"):
+            people_df.filter(col("age") + 1).collect()
+
+    def test_aggregate_output_must_be_grouped(self, session, people_df):
+        people_df.create_or_replace_temp_view("people")
+        with pytest.raises(AnalysisError, match="GROUP BY"):
+            session.sql("SELECT name, count(*) FROM people GROUP BY age").collect()
+
+    def test_aggregate_in_where_rejected(self, session, people_df):
+        people_df.create_or_replace_temp_view("people")
+        with pytest.raises(AnalysisError, match="not allowed"):
+            session.sql("SELECT * FROM people WHERE count(*) > 1").collect()
+
+    def test_union_arity_mismatch(self, session, people_df, orders_df):
+        with pytest.raises(AnalysisError):
+            people_df.select("id", "name").union(orders_df.select("oid")).collect()
+
+    def test_union_type_mismatch(self, session, people_df):
+        with pytest.raises(AnalysisError, match="type mismatch"):
+            people_df.select("id").union(people_df.select("name")).collect()
+
+
+class TestRewrites:
+    def test_global_aggregate_without_group_by(self, session, people_df):
+        people_df.create_or_replace_temp_view("people")
+        row = session.sql("SELECT count(*) AS n, sum(age) AS s FROM people").collect()[0]
+        assert row["n"] == 5 and row["s"] == 155
+
+    def test_having_with_aggregate(self, session, people_df):
+        people_df.create_or_replace_temp_view("people")
+        rows = session.sql(
+            "SELECT age FROM people GROUP BY age HAVING count(*) > 1"
+        ).collect()
+        assert [r["age"] for r in rows] == [25]
+
+    def test_having_on_group_key(self, session, people_df):
+        people_df.create_or_replace_temp_view("people")
+        rows = session.sql(
+            "SELECT age, count(*) AS n FROM people GROUP BY age HAVING age > 30"
+        ).collect()
+        assert sorted(r["age"] for r in rows) == [35, 40]
+
+    def test_order_by_pruned_column(self, session, people_df):
+        people_df.create_or_replace_temp_view("people")
+        rows = session.sql(
+            "SELECT name FROM people WHERE name IS NOT NULL ORDER BY age ASC, name"
+        ).collect()
+        assert [r["name"] for r in rows] == ["bob", "dan", "ann", "cat"]
+        # the helper column must not leak into the output
+        assert rows[0].schema.names == ["name"]
+
+    def test_order_by_select_alias(self, session, people_df):
+        people_df.create_or_replace_temp_view("people")
+        rows = session.sql(
+            "SELECT age * 2 AS doubled FROM people ORDER BY doubled DESC LIMIT 2"
+        ).collect()
+        assert [r["doubled"] for r in rows] == [80, 70]
+
+    def test_expressions_get_names(self, session, people_df):
+        people_df.create_or_replace_temp_view("people")
+        df = session.sql("SELECT age + 1 FROM people")
+        assert len(df.columns) == 1  # auto-named, not an error
+
+
+class TestGroupedData:
+    def test_group_by_count(self, people_df):
+        counts = dict(
+            (r["age"], r["count"]) for r in people_df.group_by("age").count().collect()
+        )
+        assert counts == {25: 2, 30: 1, 35: 1, 40: 1}
+
+    def test_group_by_agg_multiple(self, people_df):
+        rows = people_df.group_by("country").agg(
+            count().alias("n"), sum_("age").alias("total")
+        ).collect()
+        table = {r["country"]: (r["n"], r["total"]) for r in rows}
+        assert table == {"nl": (2, 65), "us": (2, 65), "de": (1, 25)}
+
+    def test_agg_requires_columns(self, people_df):
+        with pytest.raises(AnalysisError):
+            people_df.group_by("age").agg()

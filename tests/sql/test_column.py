@@ -1,0 +1,140 @@
+"""Tests for the Column expression builder (operator overloads)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sql.column import Column
+from repro.sql.expressions import (
+    Add,
+    Alias,
+    And,
+    CaseWhen,
+    Cast,
+    Divide,
+    EqualTo,
+    GreaterThan,
+    In,
+    IsNotNull,
+    IsNull,
+    LessThanOrEqual,
+    Like,
+    Literal,
+    Modulo,
+    Multiply,
+    Not,
+    NotEqualTo,
+    Or,
+    SortOrder,
+    Subtract,
+    UnaryMinus,
+    UnresolvedAttribute,
+)
+from repro.sql.functions import col, lit, when
+from repro.sql.types import LongType
+
+
+class TestConstruction:
+    def test_col_simple(self):
+        expr = col("age").expr
+        assert isinstance(expr, UnresolvedAttribute)
+        assert expr.name == "age" and expr.qualifier is None
+
+    def test_col_qualified(self):
+        expr = col("t.age").expr
+        assert expr.qualifier == "t" and expr.name == "age"
+
+    def test_lit(self):
+        assert isinstance(lit(5).expr, Literal)
+        assert lit(lit(5)).expr.value == 5  # idempotent
+
+
+class TestOperators:
+    c = col("x")
+
+    @pytest.mark.parametrize(
+        "build,node",
+        [
+            (lambda c: c == 1, EqualTo),
+            (lambda c: c != 1, NotEqualTo),
+            (lambda c: c > 1, GreaterThan),
+            (lambda c: c <= 1, LessThanOrEqual),
+            (lambda c: c + 1, Add),
+            (lambda c: c - 1, Subtract),
+            (lambda c: c * 2, Multiply),
+            (lambda c: c / 2, Divide),
+            (lambda c: c % 2, Modulo),
+            (lambda c: -c, UnaryMinus),
+            (lambda c: (c == 1) & (c == 2), And),
+            (lambda c: (c == 1) | (c == 2), Or),
+            (lambda c: ~(c == 1), Not),
+            (lambda c: c.is_null(), IsNull),
+            (lambda c: c.is_not_null(), IsNotNull),
+            (lambda c: c.isin(1, 2), In),
+            (lambda c: c.like("a%"), Like),
+        ],
+    )
+    def test_operator_builds_node(self, build, node):
+        assert isinstance(build(self.c).expr, node)
+
+    def test_reflected_arithmetic(self):
+        expr = (10 - col("x")).expr
+        assert isinstance(expr, Subtract)
+        assert isinstance(expr.left, Literal) and expr.left.value == 10
+
+    def test_between_expands(self):
+        expr = col("x").between(1, 5).expr
+        assert isinstance(expr, And)
+
+    def test_alias_and_cast(self):
+        assert isinstance(col("x").alias("y").expr, Alias)
+        cast = col("x").cast("long").expr
+        assert isinstance(cast, Cast) and cast.dtype == LongType()
+        assert isinstance(col("x").cast(LongType()).expr, Cast)
+
+    def test_sort_directions(self):
+        asc = col("x").asc().expr
+        desc = col("x").desc().expr
+        assert isinstance(asc, SortOrder) and asc.ascending
+        assert isinstance(desc, SortOrder) and not desc.ascending
+
+
+class TestCaseWhenChain:
+    def test_when_otherwise(self):
+        expr = when(col("x") > 1, "big").otherwise("small").expr
+        assert isinstance(expr, CaseWhen)
+        assert len(expr.branches) == 1 and expr.else_value is not None
+
+    def test_chained_whens(self):
+        expr = (
+            when(col("x") > 10, "big")
+            .when(col("x") > 5, "mid")
+            .otherwise("small")
+            .expr
+        )
+        assert len(expr.branches) == 2
+
+    def test_otherwise_twice_rejected(self):
+        complete = when(col("x") > 1, "a").otherwise("b")
+        with pytest.raises(ValueError):
+            complete.otherwise("c")
+        with pytest.raises(ValueError):
+            complete.when(col("x") > 2, "d")
+
+    def test_when_on_non_case_rejected(self):
+        with pytest.raises(ValueError):
+            col("x").when(col("x") > 1, "v")
+
+    def test_otherwise_on_non_case_rejected(self):
+        with pytest.raises(ValueError):
+            col("x").otherwise("v")
+
+
+class TestGuards:
+    def test_bool_coercion_raises(self):
+        with pytest.raises(TypeError):
+            if col("x") == 1:  # noqa: SIM108 - deliberate misuse
+                pass
+
+    def test_repr(self):
+        assert "x" in repr(col("x"))

@@ -1,0 +1,187 @@
+"""Tests for the DataFrame API surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.sql.functions import avg, col, count, lit, max_, min_, when
+
+
+class TestProjectionAndFilter:
+    def test_select_by_name_and_column(self, people_df):
+        rows = people_df.select("name", (col("age") + 1).alias("older")).collect()
+        assert rows[0]["older"] == 31
+
+    def test_select_star_default(self, people_df):
+        assert people_df.select().columns == people_df.columns
+
+    def test_filter_with_column(self, people_df):
+        assert people_df.filter(col("age") > 30).count() == 2
+
+    def test_filter_with_sql_string(self, people_df):
+        assert people_df.filter("age > 30 AND name IS NOT NULL").count() == 1
+
+    def test_filter_null_is_dropped(self, people_df):
+        # name = NULL comparisons are NULL → row filtered out.
+        assert people_df.filter(col("name") == "ann").count() == 1
+
+    def test_chained_operations(self, people_df):
+        result = (
+            people_df.filter(col("age") >= 25)
+            .select("name", "age")
+            .order_by(col("age").desc())
+            .limit(2)
+            .collect()
+        )
+        assert [r["age"] for r in result] == [40, 35]
+
+    def test_with_column_adds(self, people_df):
+        df = people_df.with_column("double_age", col("age") * 2)
+        assert df.columns[-1] == "double_age"
+        assert df.collect()[0]["double_age"] == 60
+
+    def test_with_column_replaces(self, people_df):
+        df = people_df.with_column("age", col("age") + 100)
+        assert df.columns == people_df.columns
+        assert df.collect()[0]["age"] == 130
+
+    def test_with_column_renamed(self, people_df):
+        df = people_df.with_column_renamed("age", "years")
+        assert "years" in df.columns and "age" not in df.columns
+
+    def test_drop(self, people_df):
+        assert people_df.drop("age", "country").columns == ["id", "name"]
+
+    def test_distinct(self, people_df):
+        assert people_df.select("age").distinct().count() == 4
+
+    def test_union(self, people_df):
+        assert people_df.union(people_df).count() == 10
+
+    def test_case_when_column(self, people_df):
+        df = people_df.select(
+            "name",
+            when(col("age") >= 30, "old").otherwise("young").alias("bucket"),
+        )
+        buckets = {r["name"]: r["bucket"] for r in df.collect() if r["name"]}
+        assert buckets == {"ann": "old", "bob": "young", "cat": "old", "dan": "young"}
+
+    def test_isin(self, people_df):
+        assert people_df.filter(col("id").isin(1, 3, 99)).count() == 2
+        assert people_df.filter(col("id").isin([1, 3])).count() == 2
+
+    def test_between(self, people_df):
+        assert people_df.filter(col("age").between(25, 30)).count() == 3
+
+    def test_like(self, people_df):
+        assert people_df.filter(col("name").like("%a%")).count() == 3
+
+    def test_cast(self, people_df):
+        rows = people_df.select(col("age").cast("string").alias("s")).collect()
+        assert rows[0]["s"] == "30"
+
+    def test_boolean_column_guard(self, people_df):
+        with pytest.raises(TypeError, match="instead of and"):
+            bool(col("age") > 1)
+
+
+class TestActions:
+    def test_collect_returns_rows(self, people_df):
+        rows = people_df.collect()
+        assert rows[0].name == "ann"
+        assert rows[0]["id"] == 1
+
+    def test_take_and_first(self, people_df):
+        assert len(people_df.take(2)) == 2
+        assert people_df.first()["id"] == 1
+
+    def test_first_on_empty(self, people_df):
+        assert people_df.filter(col("id") == -1).first() is None
+
+    def test_count(self, people_df):
+        assert people_df.count() == 5
+
+    def test_show_renders_table(self, people_df, capsys):
+        people_df.show(2)
+        out = capsys.readouterr().out
+        assert "| id " in out and "ann" in out and "NULL" not in out.split("\n")[1]
+
+    def test_show_renders_null(self, people_df, capsys):
+        people_df.filter(col("name").is_null()).show()
+        assert "NULL" in capsys.readouterr().out
+
+    def test_explain_has_three_sections(self, people_df):
+        text = people_df.filter(col("age") > 1).explain()
+        assert "== Analyzed ==" in text
+        assert "== Optimized ==" in text
+        assert "== Physical ==" in text
+
+
+class TestOrderBy:
+    def test_order_by_string_column(self, people_df):
+        ages = [r["age"] for r in people_df.order_by("age").collect()]
+        assert ages == sorted(ages)
+
+    def test_order_by_multiple_directions(self, people_df):
+        rows = people_df.order_by(col("age").asc(), col("id").desc()).collect()
+        assert [r["id"] for r in rows[:2]] == [4, 2]  # both age 25, id desc
+
+    def test_nulls_ordering(self, session):
+        df = session.create_dataframe(
+            [(1, None), (2, "b"), (3, "a")], [("id", "long"), ("v", "string")]
+        )
+        values = [r["v"] for r in df.order_by("v").collect()]
+        assert values == [None, "a", "b"]  # nulls first by default
+
+
+class TestCaching:
+    def test_cache_returns_same_results(self, people_df):
+        cached = people_df.cache()
+        assert sorted(map(tuple, cached.collect())) == sorted(
+            map(tuple, people_df.collect())
+        )
+
+    def test_cache_is_columnar_and_reusable(self, people_df):
+        cached = people_df.cache()
+        assert cached.is_cached
+        assert cached.cached_bytes() > 0
+        assert cached.filter(col("id") == 2).collect()[0]["name"] == "bob"
+
+    def test_operations_on_cached(self, people_df):
+        cached = people_df.cache()
+        assert cached.select("age").distinct().count() == 4
+
+    def test_uncached_reports_zero_bytes(self, people_df):
+        assert not people_df.is_cached
+        assert people_df.cached_bytes() == 0
+
+
+class TestAggregation:
+    def test_global_agg(self, people_df):
+        row = people_df.agg(
+            count().alias("n"),
+            min_("age").alias("lo"),
+            max_("age").alias("hi"),
+            avg("age").alias("mean"),
+        ).collect()[0]
+        assert tuple(row) == (5, 25, 40, 31.0)
+
+    def test_agg_on_empty_relation(self, people_df):
+        row = people_df.filter(col("id") < 0).agg(count().alias("n")).collect()
+        assert len(row) == 1 and row[0]["n"] == 0
+
+    def test_count_ignores_nulls(self, people_df):
+        row = people_df.agg(count(col("name")).alias("named")).collect()[0]
+        assert row["named"] == 4
+
+    def test_count_distinct(self, people_df):
+        from repro.sql.functions import count_distinct
+
+        row = people_df.agg(count_distinct("age").alias("d")).collect()[0]
+        assert row["d"] == 4
+
+    def test_grouped_min_max_sum_avg(self, people_df):
+        rows = people_df.group_by("country").max("age").collect()
+        table = {r[0]: r[1] for r in rows}
+        assert table == {"nl": 35, "us": 40, "de": 25}

@@ -1,0 +1,55 @@
+"""Tests for CREATE TEMP VIEW DDL and cost-annotated explain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AnalysisError
+
+
+class TestCreateTempView:
+    def test_create_and_query(self, session, people_df):
+        people_df.create_or_replace_temp_view("people")
+        session.sql("CREATE TEMP VIEW adults AS SELECT * FROM people WHERE age >= 30")
+        assert session.sql("SELECT count(*) AS n FROM adults").collect()[0]["n"] == 3
+
+    def test_or_replace(self, session, people_df):
+        people_df.create_or_replace_temp_view("people")
+        session.sql("CREATE TEMP VIEW v AS SELECT id FROM people")
+        session.sql("CREATE OR REPLACE TEMP VIEW v AS SELECT name FROM people")
+        assert session.table("v").columns == ["name"]
+
+    def test_temporary_spelling(self, session, people_df):
+        people_df.create_or_replace_temp_view("people")
+        session.sql("CREATE TEMPORARY VIEW v2 AS SELECT id FROM people")
+        assert session.table("v2").count() == 5
+
+    def test_view_of_view(self, session, people_df):
+        people_df.create_or_replace_temp_view("people")
+        session.sql("CREATE TEMP VIEW a AS SELECT id, age FROM people")
+        session.sql("CREATE TEMP VIEW b AS SELECT id FROM a WHERE age > 26")
+        assert session.sql("SELECT count(*) AS n FROM b").collect()[0]["n"] == 3
+
+    def test_ddl_returns_empty_frame(self, session, people_df):
+        people_df.create_or_replace_temp_view("people")
+        result = session.sql("CREATE TEMP VIEW x AS SELECT id FROM people")
+        assert result.collect() == []
+
+    def test_unsupported_create_rejected(self, session):
+        with pytest.raises(AnalysisError, match="TEMP VIEW"):
+            session.sql("CREATE TABLE t (id long)")
+
+    def test_case_insensitive_ddl(self, session, people_df):
+        people_df.create_or_replace_temp_view("people")
+        session.sql("create or replace temp view lower_v as select id from people")
+        assert session.table("lower_v").count() == 5
+
+
+class TestCostExplain:
+    def test_cost_annotations_present(self, people_df):
+        text = people_df.filter(people_df.col("age") > 1).explain(cost=True)
+        assert "rows≈" in text
+        assert "rows≈5" in text  # the base relation estimate
+
+    def test_default_explain_unannotated(self, people_df):
+        assert "rows≈" not in people_df.explain()

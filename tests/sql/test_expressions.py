@@ -1,0 +1,261 @@
+"""Tests for expression evaluation, including SQL null semantics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sql.expressions import (
+    Add,
+    Alias,
+    And,
+    Attribute,
+    BoundReference,
+    CaseWhen,
+    Cast,
+    Coalesce,
+    Divide,
+    EqualTo,
+    GreaterThan,
+    In,
+    IsNotNull,
+    IsNull,
+    LessThan,
+    Like,
+    Literal,
+    Modulo,
+    Multiply,
+    Not,
+    Or,
+    Subtract,
+    UnaryMinus,
+    combine_conjuncts,
+    make_scalar_function,
+    split_conjuncts,
+)
+from repro.sql.types import BooleanType, DoubleType, LongType, StringType, type_for_name
+
+
+def ref(ordinal: int) -> BoundReference:
+    return BoundReference(ordinal, LongType(), f"c{ordinal}")
+
+
+class TestLiteralsAndReferences:
+    def test_literal_eval(self):
+        assert Literal(5).eval(()) == 5
+        assert Literal(None).eval(()) is None
+
+    def test_literal_type_inference(self):
+        assert Literal(5).data_type() == LongType()
+        assert Literal(1.5).data_type() == DoubleType()
+        assert Literal("x").data_type() == StringType()
+
+    def test_bound_reference_reads_ordinal(self):
+        assert ref(1).eval((10, 20, 30)) == 20
+
+    def test_attribute_ids_unique_and_hashable(self):
+        a = Attribute("x", LongType())
+        b = Attribute("x", LongType())
+        assert a != b
+        assert a == Attribute("renamed", LongType(), a.expr_id)
+        assert len({a, b}) == 2
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        row = (10, 3)
+        assert Add(ref(0), ref(1)).eval(row) == 13
+        assert Subtract(ref(0), ref(1)).eval(row) == 7
+        assert Multiply(ref(0), ref(1)).eval(row) == 30
+        assert Divide(ref(0), ref(1)).eval(row) == pytest.approx(10 / 3)
+        assert Modulo(ref(0), ref(1)).eval(row) == 1
+        assert UnaryMinus(ref(0)).eval(row) == -10
+
+    def test_null_propagation(self):
+        row = (None, 3)
+        for node in (Add, Subtract, Multiply, Divide, Modulo):
+            assert node(ref(0), ref(1)).eval(row) is None
+            assert node(ref(1), ref(0)).eval(row) is None
+
+    def test_division_by_zero_is_null(self):
+        assert Divide(Literal(1), Literal(0)).eval(()) is None
+        assert Modulo(Literal(1), Literal(0)).eval(()) is None
+
+    def test_divide_returns_double(self):
+        assert Divide(Literal(1), Literal(2)).data_type() == DoubleType()
+
+
+class TestComparisons:
+    def test_all_comparisons(self):
+        row = (1, 2)
+        assert EqualTo(ref(0), ref(0)).eval(row) is True
+        assert EqualTo(ref(0), ref(1)).eval(row) is False
+        assert LessThan(ref(0), ref(1)).eval(row) is True
+        assert GreaterThan(ref(0), ref(1)).eval(row) is False
+
+    def test_null_comparisons_are_null(self):
+        row = (None, 2)
+        assert EqualTo(ref(0), ref(1)).eval(row) is None
+        assert LessThan(ref(0), ref(1)).eval(row) is None
+        # NULL = NULL is NULL, not True
+        assert EqualTo(Literal(None), Literal(None)).eval(()) is None
+
+
+class TestBooleanLogic:
+    T, F, N = Literal(True), Literal(False), Literal(None, BooleanType())
+
+    @pytest.mark.parametrize(
+        "left,right,expected",
+        [
+            ("T", "T", True), ("T", "F", False), ("F", "T", False),
+            ("F", "N", False), ("N", "F", False),  # Kleene: False wins
+            ("T", "N", None), ("N", "T", None), ("N", "N", None),
+        ],
+    )
+    def test_and_kleene(self, left, right, expected):
+        assert And(getattr(self, left), getattr(self, right)).eval(()) is expected
+
+    @pytest.mark.parametrize(
+        "left,right,expected",
+        [
+            ("F", "F", False), ("T", "F", True), ("F", "T", True),
+            ("T", "N", True), ("N", "T", True),  # Kleene: True wins
+            ("F", "N", None), ("N", "N", None),
+        ],
+    )
+    def test_or_kleene(self, left, right, expected):
+        assert Or(getattr(self, left), getattr(self, right)).eval(()) is expected
+
+    def test_not(self):
+        assert Not(self.T).eval(()) is False
+        assert Not(self.F).eval(()) is True
+        assert Not(self.N).eval(()) is None
+
+
+class TestPredicates:
+    def test_is_null(self):
+        assert IsNull(Literal(None)).eval(()) is True
+        assert IsNull(Literal(1)).eval(()) is False
+        assert IsNotNull(Literal(1)).eval(()) is True
+
+    def test_in(self):
+        expr = In(ref(0), [Literal(1), Literal(2)])
+        assert expr.eval((1,)) is True
+        assert expr.eval((3,)) is False
+
+    def test_in_null_semantics(self):
+        # NULL IN (...) is NULL; x IN (.., NULL) without match is NULL.
+        assert In(Literal(None), [Literal(1)]).eval(()) is None
+        assert In(Literal(3), [Literal(1), Literal(None)]).eval(()) is None
+        assert In(Literal(1), [Literal(1), Literal(None)]).eval(()) is True
+
+    def test_like(self):
+        assert Like(Literal("hello"), Literal("he%")).eval(()) is True
+        assert Like(Literal("hello"), Literal("h_llo")).eval(()) is True
+        assert Like(Literal("hello"), Literal("x%")).eval(()) is False
+        assert Like(Literal(None), Literal("%")).eval(()) is None
+
+    def test_like_escapes_regex_metachars(self):
+        assert Like(Literal("a.c"), Literal("a.c")).eval(()) is True
+        assert Like(Literal("abc"), Literal("a.c")).eval(()) is False
+
+
+class TestConditionals:
+    def test_case_when(self):
+        expr = CaseWhen(
+            [(GreaterThan(ref(0), Literal(10)), Literal("big"))], Literal("small")
+        )
+        assert expr.eval((20,)) == "big"
+        assert expr.eval((5,)) == "small"
+
+    def test_case_without_else_is_null(self):
+        expr = CaseWhen([(Literal(False), Literal(1))])
+        assert expr.eval(()) is None
+
+    def test_case_null_condition_skips_branch(self):
+        expr = CaseWhen(
+            [(Literal(None, BooleanType()), Literal("a"))], Literal("b")
+        )
+        assert expr.eval(()) == "b"
+
+    def test_coalesce(self):
+        assert Coalesce([Literal(None), Literal(2), Literal(3)]).eval(()) == 2
+        assert Coalesce([Literal(None)]).eval(()) is None
+
+
+class TestCast:
+    def test_numeric_casts(self):
+        assert Cast(Literal("42"), type_for_name("long")).eval(()) == 42
+        assert Cast(Literal(1), type_for_name("double")).eval(()) == 1.0
+        assert Cast(Literal(1.9), type_for_name("long")).eval(()) == 1
+
+    def test_invalid_cast_yields_null(self):
+        assert Cast(Literal("abc"), type_for_name("long")).eval(()) is None
+
+    def test_null_passthrough(self):
+        assert Cast(Literal(None), type_for_name("long")).eval(()) is None
+
+
+class TestScalarFunctions:
+    def test_registry(self):
+        fn = make_scalar_function("upper", [Literal("abc")])
+        assert fn.eval(()) == "ABC"
+        assert make_scalar_function("length", [Literal("abcd")]).eval(()) == 4
+        assert make_scalar_function("abs", [Literal(-5)]).eval(()) == 5
+        sub = make_scalar_function("substring", [Literal("hello"), Literal(2), Literal(3)])
+        assert sub.eval(()) == "ell"
+
+    def test_null_in_null_out(self):
+        assert make_scalar_function("upper", [Literal(None)]).eval(()) is None
+
+    def test_unknown_function(self):
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            make_scalar_function("bogus", [])
+
+
+class TestTreeMachinery:
+    def test_transform_up_rewrites(self):
+        expr = Add(Literal(1), Literal(2))
+        doubled = expr.transform_up(
+            lambda e: Literal(e.value * 2) if isinstance(e, Literal) else e
+        )
+        assert doubled.eval(()) == 6
+
+    def test_transform_preserves_identity_when_unchanged(self):
+        expr = Add(Literal(1), Literal(2))
+        assert expr.transform_up(lambda e: e) is expr
+
+    def test_references_collects_attributes(self):
+        a, b = Attribute("a", LongType()), Attribute("b", LongType())
+        expr = And(EqualTo(a, Literal(1)), GreaterThan(b, a))
+        assert expr.references == {a, b}
+
+    def test_split_and_combine_conjuncts(self):
+        a, b, c = Literal(True), Literal(False), Literal(True)
+        combined = combine_conjuncts([a, b, c])
+        assert split_conjuncts(combined) == [a, b, c]
+        assert combine_conjuncts([]) is None
+
+    def test_semantic_equals_ignores_alias(self):
+        a = Attribute("x", LongType())
+        assert Alias(a, "y").semantic_equals(a)
+        assert EqualTo(a, Literal(1)).semantic_equals(EqualTo(a, Literal(1)))
+        assert not EqualTo(a, Literal(1)).semantic_equals(EqualTo(a, Literal(2)))
+
+    def test_foldable(self):
+        assert Add(Literal(1), Literal(2)).foldable
+        assert not Add(Literal(1), Attribute("x", LongType())).foldable
+        assert Literal(3).foldable
+
+
+@given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+def test_arithmetic_matches_python(a, b):
+    row = (a, b)
+    assert Add(ref(0), ref(1)).eval(row) == a + b
+    assert Subtract(ref(0), ref(1)).eval(row) == a - b
+    assert Multiply(ref(0), ref(1)).eval(row) == a * b
+    assert EqualTo(ref(0), ref(1)).eval(row) is (a == b)
+    assert LessThan(ref(0), ref(1)).eval(row) is (a < b)

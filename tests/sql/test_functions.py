@@ -1,0 +1,90 @@
+"""Tests for the scalar function registry through SQL and the API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sql.functions import expr_function, lit
+
+
+@pytest.fixture()
+def strings_df(session):
+    df = session.create_dataframe(
+        [(1, "  Hello World  ", 2.7), (2, "spark", -3.2)],
+        [("id", "long"), ("s", "string"), ("x", "double")],
+    )
+    df.create_or_replace_temp_view("t")
+    return session
+
+
+def one(db, expr, where="id = 1"):
+    return db.sql(f"SELECT {expr} AS v FROM t WHERE {where}").collect()[0]["v"]
+
+
+class TestStringFunctions:
+    def test_upper_lower(self, strings_df):
+        assert one(strings_df, "upper(s)", "id = 2") == "SPARK"
+        assert one(strings_df, "lower(s)", "id = 2") == "spark"
+
+    def test_trim_family(self, strings_df):
+        assert one(strings_df, "trim(s)") == "Hello World"
+        assert one(strings_df, "ltrim(s)") == "Hello World  "
+        assert one(strings_df, "rtrim(s)") == "  Hello World"
+
+    def test_length(self, strings_df):
+        assert one(strings_df, "length(s)", "id = 2") == 5
+
+    def test_replace(self, strings_df):
+        assert one(strings_df, "replace(s, 'World', 'There')") == "  Hello There  "
+
+    def test_substring(self, strings_df):
+        assert one(strings_df, "substring(s, 1, 3)", "id = 2") == "spa"
+
+    def test_concat(self, strings_df):
+        assert one(strings_df, "concat(s, '!')", "id = 2") == "spark!"
+
+    def test_reverse(self, strings_df):
+        assert one(strings_df, "reverse(s)", "id = 2") == "kraps"
+
+    def test_predicates(self, strings_df):
+        assert one(strings_df, "startswith(s, 'sp')", "id = 2") is True
+        assert one(strings_df, "endswith(s, 'rk')", "id = 2") is True
+        assert one(strings_df, "contains(s, 'par')", "id = 2") is True
+
+
+class TestNumericFunctions:
+    def test_abs(self, strings_df):
+        assert one(strings_df, "abs(x)", "id = 2") == pytest.approx(3.2)
+
+    def test_round_floor_ceil(self, strings_df):
+        assert one(strings_df, "round(x, 0)") == pytest.approx(3.0)
+        assert one(strings_df, "floor(x)") == 2
+        assert one(strings_df, "ceil(x)") == 3
+        assert one(strings_df, "floor(x)", "id = 2") == -4
+        assert one(strings_df, "ceil(x)", "id = 2") == -3
+
+    def test_greatest_least(self, strings_df):
+        assert one(strings_df, "greatest(id, 5)", "id = 1") == 5
+        assert one(strings_df, "least(id, 5)", "id = 1") == 1
+
+    def test_sqrt_pow(self, strings_df):
+        assert one(strings_df, "sqrt(4.0)") == 2.0
+        assert one(strings_df, "pow(2, 10)") == 1024
+
+    def test_null_in_null_out_through_sql(self, strings_df):
+        value = strings_df.sql("SELECT upper(NULL) AS v FROM t WHERE id = 1").collect()
+        assert value[0]["v"] is None
+
+
+class TestExprFunctionHelper:
+    def test_column_api_call(self, strings_df):
+        df = strings_df.table("t").select(
+            expr_function("upper", "s").alias("loud")
+        )
+        assert df.collect()[1]["loud"] == "SPARK"
+
+    def test_literal_arguments(self, strings_df):
+        df = strings_df.table("t").select(
+            expr_function("concat", "s", lit("?")).alias("v")
+        )
+        assert df.collect()[1]["v"] == "spark?"

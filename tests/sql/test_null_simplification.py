@@ -1,0 +1,70 @@
+"""Tests for the null-check simplification optimizer rule."""
+
+from __future__ import annotations
+
+from repro.sql.expressions import IsNotNull, IsNull, Literal
+from repro.sql.logical import Filter, LocalRelation, Relation
+from repro.sql.optimizer import prune_filters, simplify_null_checks
+from repro.sql.relation import RowRelation
+from repro.sql.types import LongType, StructField, StructType
+
+
+def non_nullable_relation():
+    schema = StructType([StructField("id", LongType(), nullable=False)])
+    return Relation(RowRelation.from_rows(schema, [(1,)], 1))
+
+
+def nullable_relation():
+    schema = StructType([StructField("id", LongType(), nullable=True)])
+    return Relation(RowRelation.from_rows(schema, [(1,)], 1))
+
+
+class TestRule:
+    def test_is_not_null_on_required_column_folds_true(self):
+        rel = non_nullable_relation()
+        plan = Filter(IsNotNull(rel.output()[0]), rel)
+        out = prune_filters(simplify_null_checks(plan))
+        assert out is rel  # filter disappeared entirely
+
+    def test_is_null_on_required_column_folds_false(self):
+        rel = non_nullable_relation()
+        plan = Filter(IsNull(rel.output()[0]), rel)
+        out = prune_filters(simplify_null_checks(plan))
+        assert isinstance(out, LocalRelation)
+        assert out.rows == []
+
+    def test_nullable_column_untouched(self):
+        rel = nullable_relation()
+        plan = Filter(IsNull(rel.output()[0]), rel)
+        assert simplify_null_checks(plan) is plan
+
+    def test_literal_null_checks_fold(self):
+        rel = nullable_relation()
+        plan = Filter(IsNull(Literal(None)), rel)
+        out = simplify_null_checks(plan)
+        assert isinstance(out.condition, Literal)
+        assert out.condition.value is True
+
+
+class TestEndToEnd:
+    def test_redundant_filter_removed_from_plan(self, session):
+        from repro.sql.types import StringType
+
+        schema = StructType(
+            [
+                StructField("id", LongType(), nullable=False),
+                StructField("name", StringType(), nullable=True),
+            ]
+        )
+        df = session.create_dataframe([(1, "a"), (2, None)], schema)
+        from repro.sql.functions import col
+
+        optimized = df.filter(col("id").is_not_null()).explain()
+        physical = optimized.split("== Physical ==")[1]
+        assert "Filter" not in physical  # folded away
+        assert df.filter(col("id").is_not_null()).count() == 2
+
+    def test_semantics_preserved_for_nullable(self, session, people_df):
+        from repro.sql.functions import col
+
+        assert people_df.filter(col("name").is_not_null()).count() == 4

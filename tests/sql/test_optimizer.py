@@ -1,0 +1,189 @@
+"""Tests for the logical optimizer rules."""
+
+from __future__ import annotations
+
+from repro.sql.expressions import (
+    Add,
+    And,
+    Attribute,
+    EqualTo,
+    GreaterThan,
+    Literal,
+    Not,
+)
+from repro.sql.logical import (
+    Filter,
+    Join,
+    Limit,
+    LocalRelation,
+    Project,
+    Relation,
+    Sort,
+    Union,
+)
+from repro.sql.optimizer import (
+    boolean_simplification,
+    collapse_projects,
+    combine_filters,
+    combine_limits,
+    constant_folding,
+    prune_columns,
+    prune_filters,
+    push_down_predicates,
+    remove_redundant_projects,
+)
+from repro.sql.relation import RowRelation
+from repro.sql.types import BooleanType, StructType
+
+
+def relation(*names: str) -> Relation:
+    schema = StructType.from_pairs([(n, "long") for n in names])
+    return Relation(RowRelation.from_rows(schema, [], 1))
+
+
+def attr(rel: Relation, name: str) -> Attribute:
+    return next(a for a in rel.output() if a.name == name)
+
+
+class TestConstantFolding:
+    def test_folds_literal_arithmetic(self):
+        rel = relation("a")
+        plan = Filter(EqualTo(attr(rel, "a"), Add(Literal(1), Literal(2))), rel)
+        folded = constant_folding(plan)
+        assert isinstance(folded.condition.right, Literal)
+        assert folded.condition.right.value == 3
+
+    def test_does_not_fold_attributes(self):
+        rel = relation("a")
+        plan = Filter(GreaterThan(attr(rel, "a"), Literal(1)), rel)
+        assert constant_folding(plan) is plan
+
+
+class TestBooleanSimplification:
+    def test_and_true_elimination(self):
+        rel = relation("a")
+        cond = And(Literal(True), GreaterThan(attr(rel, "a"), Literal(1)))
+        out = boolean_simplification(Filter(cond, rel))
+        assert isinstance(out.condition, GreaterThan)
+
+    def test_and_false_shortcircuit(self):
+        rel = relation("a")
+        cond = And(GreaterThan(attr(rel, "a"), Literal(1)), Literal(False))
+        out = boolean_simplification(Filter(cond, rel))
+        assert isinstance(out.condition, Literal) and out.condition.value is False
+
+    def test_double_negation(self):
+        rel = relation("a")
+        cond = Not(Not(GreaterThan(attr(rel, "a"), Literal(1))))
+        out = boolean_simplification(Filter(cond, rel))
+        assert isinstance(out.condition, GreaterThan)
+
+
+class TestFilterRules:
+    def test_true_filter_removed(self):
+        rel = relation("a")
+        assert prune_filters(Filter(Literal(True, BooleanType()), rel)) is rel
+
+    def test_false_filter_becomes_empty(self):
+        rel = relation("a")
+        out = prune_filters(Filter(Literal(False, BooleanType()), rel))
+        assert isinstance(out, LocalRelation)
+        assert out.rows == []
+
+    def test_combine_filters_stacks(self):
+        rel = relation("a")
+        inner = Filter(GreaterThan(attr(rel, "a"), Literal(1)), rel)
+        outer = Filter(GreaterThan(attr(rel, "a"), Literal(2)), inner)
+        out = combine_filters(outer)
+        assert isinstance(out, Filter)
+        assert isinstance(out.child, Relation)
+        assert isinstance(out.condition, And)
+
+
+class TestPushdown:
+    def test_push_through_project(self):
+        rel = relation("a", "b")
+        project = Project([attr(rel, "a")], rel)
+        plan = Filter(GreaterThan(attr(rel, "a"), Literal(1)), project)
+        out = push_down_predicates(plan)
+        assert isinstance(out, Project)
+        assert isinstance(out.child, Filter)
+
+    def test_push_into_join_sides(self):
+        left = relation("a")
+        right = relation("b")
+        join = Join(left, right, "inner", EqualTo(attr(left, "a"), attr(right, "b")))
+        condition = And(
+            GreaterThan(attr(left, "a"), Literal(1)),
+            GreaterThan(attr(right, "b"), Literal(2)),
+        )
+        out = push_down_predicates(Filter(condition, join))
+        assert isinstance(out, Join)
+        assert isinstance(out.left, Filter)
+        assert isinstance(out.right, Filter)
+
+    def test_left_join_keeps_right_filter_above(self):
+        left = relation("a")
+        right = relation("b")
+        join = Join(left, right, "left", EqualTo(attr(left, "a"), attr(right, "b")))
+        condition = GreaterThan(attr(right, "b"), Literal(2))
+        out = push_down_predicates(Filter(condition, join))
+        # Pushing would turn left-join nulls into dropped rows: must stay.
+        assert isinstance(out, Filter)
+        assert isinstance(out.child, Join)
+
+    def test_push_through_union_rewrites_both_sides(self):
+        left = relation("a")
+        right = relation("a")
+        union = Union(left, right)
+        out = push_down_predicates(
+            Filter(GreaterThan(union.output()[0], Literal(1)), union)
+        )
+        assert isinstance(out, Union)
+        assert isinstance(out.left, Filter) and isinstance(out.right, Filter)
+
+    def test_no_push_below_limit(self):
+        rel = relation("a")
+        limited = Limit(5, rel)
+        plan = Filter(GreaterThan(attr(rel, "a"), Literal(1)), limited)
+        assert push_down_predicates(plan) is plan
+
+
+class TestProjectAndLimitRules:
+    def test_combine_limits_takes_min(self):
+        rel = relation("a")
+        out = combine_limits(Limit(10, Limit(3, rel)))
+        assert isinstance(out, Limit) and out.n == 3
+        assert isinstance(out.child, Relation)
+
+    def test_collapse_projects_inlines(self):
+        rel = relation("a")
+        from repro.sql.expressions import Alias
+
+        lower = Project([Alias(Add(attr(rel, "a"), Literal(1)), "b")], rel)
+        b_attr = lower.output()[0]
+        upper = Project([Alias(Add(b_attr, Literal(2)), "c")], lower)
+        out = collapse_projects(upper)
+        assert isinstance(out, Project)
+        assert isinstance(out.child, Relation)  # one project left
+
+    def test_remove_redundant_project(self):
+        rel = relation("a", "b")
+        out = remove_redundant_projects(Project(rel.output(), rel))
+        assert out is rel
+
+    def test_column_pruning_restricts_scan(self):
+        rel = relation("a", "b", "c")
+        plan = Project([attr(rel, "a")], Filter(GreaterThan(attr(rel, "b"), Literal(0)), rel))
+        out = prune_columns(plan)
+        scans = list(out.collect_plans(lambda p: isinstance(p, Project) and isinstance(p.child, Relation)))
+        assert scans, out.pretty()
+        pruned_names = {a.name for a in scans[0].output()}
+        assert pruned_names == {"a", "b"}  # c is never needed
+
+    def test_column_pruning_preserves_semantics(self, session):
+        df = session.create_dataframe(
+            [(1, 2, 3), (4, 5, 6)], [("a", "long"), ("b", "long"), ("c", "long")]
+        )
+        rows = df.filter(df.col("b") > 2).select("a").collect()
+        assert [tuple(r) for r in rows] == [(4,)]

@@ -1,0 +1,258 @@
+"""Tests for the SQL lexer and parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.expressions import (
+    Add,
+    Alias,
+    And,
+    CaseWhen,
+    Cast,
+    EqualTo,
+    GreaterThanOrEqual,
+    In,
+    IsNull,
+    LessThanOrEqual,
+    Like,
+    Literal,
+    Multiply,
+    Not,
+    Or,
+    UnaryMinus,
+    UnresolvedAttribute,
+    UnresolvedFunction,
+    UnresolvedStar,
+)
+from repro.sql.logical import (
+    Aggregate,
+    Distinct,
+    Filter,
+    Join,
+    Limit,
+    Project,
+    Sort,
+    SubqueryAlias,
+    Union,
+    UnresolvedRelation,
+)
+from repro.sql.parser import Lexer, TokenType, parse_expression, parse_query
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = Lexer("SELECT select SeLeCt").tokens()
+        assert all(t.is_keyword("select") for t in tokens[:3])
+
+    def test_identifiers_keep_case(self):
+        tokens = Lexer("MyTable").tokens()
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].value == "MyTable"
+
+    def test_numbers(self):
+        tokens = Lexer("42 3.25 1e3 2E-2").tokens()
+        assert [t.type for t in tokens[:4]] == [
+            TokenType.INT,
+            TokenType.FLOAT,
+            TokenType.FLOAT,
+            TokenType.FLOAT,
+        ]
+
+    def test_string_with_escaped_quote(self):
+        tokens = Lexer("'it''s'").tokens()
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            Lexer("'oops").tokens()
+
+    def test_operators_longest_match(self):
+        tokens = Lexer("<= <> != <").tokens()
+        assert [t.value for t in tokens[:4]] == ["<=", "<>", "!=", "<"]
+
+    def test_line_comments_skipped(self):
+        tokens = Lexer("1 -- comment\n 2").tokens()
+        assert [t.value for t in tokens[:2]] == ["1", "2"]
+
+    def test_backquoted_identifier(self):
+        tokens = Lexer("`select`").tokens()
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].value == "select"
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            Lexer("SELECT @").tokens()
+
+
+class TestExpressionParsing:
+    def test_precedence_arithmetic(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, Add)
+        assert isinstance(expr.right, Multiply)
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert isinstance(expr, Multiply)
+
+    def test_boolean_precedence(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(expr, Or)
+        assert isinstance(expr.right, And)
+
+    def test_not(self):
+        expr = parse_expression("NOT a = 1")
+        assert isinstance(expr, Not)
+
+    def test_comparisons(self):
+        assert isinstance(parse_expression("a <> 1"), type(parse_expression("a != 1")))
+
+    def test_between(self):
+        expr = parse_expression("x BETWEEN 1 AND 5")
+        assert isinstance(expr, And)
+        assert isinstance(expr.left, GreaterThanOrEqual)
+        assert isinstance(expr.right, LessThanOrEqual)
+
+    def test_not_between(self):
+        assert isinstance(parse_expression("x NOT BETWEEN 1 AND 5"), Not)
+
+    def test_in_list(self):
+        expr = parse_expression("x IN (1, 2, 3)")
+        assert isinstance(expr, In)
+        assert len(expr.options) == 3
+
+    def test_like(self):
+        assert isinstance(parse_expression("name LIKE 'a%'"), Like)
+
+    def test_is_null(self):
+        assert isinstance(parse_expression("x IS NULL"), IsNull)
+
+    def test_case_when(self):
+        expr = parse_expression("CASE WHEN a = 1 THEN 'x' ELSE 'y' END")
+        assert isinstance(expr, CaseWhen)
+        assert expr.else_value is not None
+
+    def test_cast(self):
+        expr = parse_expression("CAST(x AS long)")
+        assert isinstance(expr, Cast)
+
+    def test_function_call(self):
+        expr = parse_expression("count(x)")
+        assert isinstance(expr, UnresolvedFunction)
+        assert expr.name == "count"
+
+    def test_count_star(self):
+        expr = parse_expression("count(*)")
+        assert isinstance(expr, UnresolvedFunction)
+        assert expr.children == ()
+
+    def test_count_distinct(self):
+        expr = parse_expression("count(DISTINCT x)")
+        assert expr.distinct
+
+    def test_qualified_attribute(self):
+        expr = parse_expression("t.col")
+        assert isinstance(expr, UnresolvedAttribute)
+        assert expr.qualifier == "t" and expr.name == "col"
+
+    def test_literals(self):
+        assert parse_expression("NULL").value is None
+        assert parse_expression("TRUE").value is True
+        assert parse_expression("3.5").value == 3.5
+        assert parse_expression("'str'").value == "str"
+
+    def test_unary_minus(self):
+        assert isinstance(parse_expression("-x"), UnaryMinus)
+        assert parse_expression("-5").child.value == 5
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 + 2 extra stuff ~")
+
+
+class TestQueryParsing:
+    def test_minimal_select(self):
+        plan = parse_query("SELECT * FROM t")
+        assert isinstance(plan, Project)
+        assert isinstance(plan.project_list[0], UnresolvedStar)
+        alias = plan.child
+        assert isinstance(alias, SubqueryAlias)
+        assert isinstance(alias.child, UnresolvedRelation)
+
+    def test_select_aliases(self):
+        plan = parse_query("SELECT a AS x, b y, c FROM t")
+        kinds = [type(e) for e in plan.project_list]
+        assert kinds[:2] == [Alias, Alias]
+        assert plan.project_list[0].name == "x"
+        assert plan.project_list[1].name == "y"
+
+    def test_where(self):
+        plan = parse_query("SELECT a FROM t WHERE a > 1")
+        assert isinstance(plan, Project)
+        assert isinstance(plan.child, Filter)
+
+    def test_group_by_builds_aggregate(self):
+        plan = parse_query("SELECT a, count(*) FROM t GROUP BY a")
+        assert isinstance(plan, Aggregate)
+        assert len(plan.grouping) == 1
+
+    def test_having(self):
+        plan = parse_query("SELECT a FROM t GROUP BY a HAVING count(*) > 1")
+        assert isinstance(plan, Filter)
+        assert isinstance(plan.child, Aggregate)
+
+    def test_order_and_limit(self):
+        plan = parse_query("SELECT a FROM t ORDER BY a DESC, b LIMIT 10")
+        assert isinstance(plan, Limit) and plan.n == 10
+        sort = plan.child
+        assert isinstance(sort, Sort)
+        assert sort.orders[0].ascending is False
+        assert sort.orders[1].ascending is True
+
+    def test_joins(self):
+        plan = parse_query(
+            "SELECT * FROM a JOIN b ON a.id = b.id LEFT JOIN c ON b.id = c.id"
+        )
+        outer = plan.child
+        assert isinstance(outer, Join) and outer.how == "left"
+        inner = outer.left
+        assert isinstance(inner, Join) and inner.how == "inner"
+
+    def test_cross_join_has_no_on(self):
+        plan = parse_query("SELECT * FROM a CROSS JOIN b")
+        assert plan.child.how == "cross"
+
+    def test_join_requires_on(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * FROM a JOIN b")
+
+    def test_subquery_needs_alias(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * FROM (SELECT a FROM t)")
+
+    def test_subquery_with_alias(self):
+        plan = parse_query("SELECT * FROM (SELECT a FROM t) sub WHERE a = 1")
+        assert isinstance(plan.child, Filter)
+        assert isinstance(plan.child.child, SubqueryAlias)
+
+    def test_union(self):
+        plan = parse_query("SELECT a FROM t UNION ALL SELECT b FROM u")
+        assert isinstance(plan, Union)
+
+    def test_distinct(self):
+        plan = parse_query("SELECT DISTINCT a FROM t")
+        assert isinstance(plan, Distinct)
+
+    def test_star_with_qualifier(self):
+        plan = parse_query("SELECT t.* FROM t")
+        star = plan.project_list[0]
+        assert isinstance(star, UnresolvedStar) and star.qualifier == "t"
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT a FROM t LIMIT 'ten'")
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT 1")

@@ -1,0 +1,72 @@
+"""Tests for row and columnar in-memory relations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.sql.relation import ColumnarRelation, RowRelation
+from repro.sql.types import StructType
+
+
+@pytest.fixture()
+def schema():
+    return StructType.from_pairs([("a", "long"), ("b", "string"), ("c", "double")])
+
+
+@pytest.fixture()
+def rows():
+    return [(i, f"s{i}", float(i)) for i in range(10)]
+
+
+class TestRowRelation:
+    def test_from_rows_partitions_evenly(self, schema, rows):
+        relation = RowRelation.from_rows(schema, rows, 3)
+        assert relation.num_partitions == 3
+        assert relation.num_rows() == 10
+        assert list(relation.iter_rows()) == rows
+
+    def test_column_selection(self, schema, rows, ctx):
+        relation = RowRelation.from_rows(schema, rows, 2)
+        rdd = relation.to_rdd(ctx, [2, 0])
+        assert rdd.collect()[:2] == [(0.0, 0), (1.0, 1)]
+
+    def test_validation(self, schema):
+        with pytest.raises(SchemaError):
+            RowRelation.from_rows(schema, [("x", "y", "z")], 1)
+
+    def test_empty_relation(self, schema, ctx):
+        relation = RowRelation.from_rows(schema, [], 4)
+        assert relation.num_rows() == 0
+        assert relation.to_rdd(ctx).collect() == []
+
+
+class TestColumnarRelation:
+    def test_transpose_roundtrip(self, schema, rows):
+        row_rel = RowRelation.from_rows(schema, rows, 3)
+        columnar = ColumnarRelation.from_row_partitions(
+            schema, row_rel._partitions
+        )
+        assert list(columnar.iter_rows()) == rows
+        assert columnar.num_rows() == 10
+        assert columnar.num_partitions == 3
+
+    def test_pruned_scan_touches_selected_columns(self, schema, rows, ctx):
+        columnar = ColumnarRelation.from_row_partitions(
+            schema, [rows]
+        )
+        projected = columnar.to_rdd(ctx, [1]).collect()
+        assert projected == [(f"s{i}",) for i in range(10)]
+
+    def test_empty_partitions_ok(self, schema, ctx):
+        columnar = ColumnarRelation.from_row_partitions(schema, [[], []])
+        assert columnar.num_rows() == 0
+        assert columnar.to_rdd(ctx).collect() == []
+
+    def test_memory_bytes_positive(self, schema, rows):
+        columnar = ColumnarRelation.from_row_partitions(schema, [rows])
+        assert columnar.memory_bytes() > 0
+
+    def test_column_count_mismatch_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            ColumnarRelation(schema, [[[1], [2]]])  # 2 columns, schema has 3

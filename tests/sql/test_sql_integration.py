@@ -1,0 +1,156 @@
+"""End-to-end SQL tests: text in, rows out."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def db(session, people_df, orders_df):
+    people_df.create_or_replace_temp_view("people")
+    orders_df.create_or_replace_temp_view("orders")
+    return session
+
+
+def q(db, text):
+    return [tuple(r) for r in db.sql(text).collect()]
+
+
+class TestSelectQueries:
+    def test_projection_with_expression(self, db):
+        rows = q(db, "SELECT id, age * 2 AS double_age FROM people ORDER BY id")
+        assert rows[0] == (1, 60)
+
+    def test_where_and_or(self, db):
+        rows = q(db, "SELECT id FROM people WHERE age > 30 OR country = 'de' ORDER BY id")
+        assert [r[0] for r in rows] == [3, 4, 5]
+
+    def test_in_and_between(self, db):
+        assert len(q(db, "SELECT id FROM people WHERE id IN (1, 2)")) == 2
+        assert len(q(db, "SELECT id FROM people WHERE age BETWEEN 25 AND 30")) == 3
+
+    def test_scalar_functions(self, db):
+        rows = q(db, "SELECT upper(name) FROM people WHERE id = 1")
+        assert rows == [("ANN",)]
+
+    def test_case_expression(self, db):
+        rows = q(
+            db,
+            "SELECT CASE WHEN age < 30 THEN 'young' WHEN age < 40 THEN 'mid' "
+            "ELSE 'old' END AS bucket, count(*) AS n FROM people GROUP BY "
+            "CASE WHEN age < 30 THEN 'young' WHEN age < 40 THEN 'mid' ELSE 'old' END "
+            "ORDER BY bucket",
+        )
+        assert rows == [("mid", 2), ("old", 1), ("young", 2)]
+
+    def test_limit(self, db):
+        assert len(q(db, "SELECT * FROM people LIMIT 2")) == 2
+
+    def test_distinct(self, db):
+        assert len(q(db, "SELECT DISTINCT age FROM people")) == 4
+
+    def test_union_all(self, db):
+        rows = q(db, "SELECT id FROM people UNION ALL SELECT id FROM people")
+        assert len(rows) == 10
+
+
+class TestJoinQueries:
+    def test_two_way_join_with_aggregation(self, db):
+        rows = q(
+            db,
+            """
+            SELECT p.name, count(*) AS n, sum(o.amount) AS total
+            FROM people p JOIN orders o ON p.id = o.pid
+            WHERE o.amount IS NOT NULL
+            GROUP BY p.name
+            ORDER BY total DESC
+            """,
+        )
+        assert rows == [("ann", 2, 114.5), ("cat", 1, 40.0)]
+
+    def test_left_join_null_padding(self, db):
+        rows = q(
+            db,
+            "SELECT p.id, o.oid FROM people p LEFT JOIN orders o "
+            "ON p.id = o.pid ORDER BY p.id, o.oid",
+        )
+        assert (4, None) in rows and (5, None) in rows
+
+    def test_three_way_join(self, db, session):
+        cities = session.create_dataframe(
+            [("nl", "Amsterdam"), ("us", "NYC"), ("de", "Berlin")],
+            [("code", "string"), ("city", "string")],
+        )
+        cities.create_or_replace_temp_view("cities")
+        rows = q(
+            db,
+            """
+            SELECT p.name, c.city, o.amount
+            FROM people p
+            JOIN orders o ON p.id = o.pid
+            JOIN cities c ON p.country = c.code
+            WHERE o.amount > 20
+            ORDER BY o.amount DESC
+            """,
+        )
+        assert rows == [("ann", "Amsterdam", 99.5), ("cat", "Amsterdam", 40.0)]
+
+    def test_subquery_in_from(self, db):
+        rows = q(
+            db,
+            """
+            SELECT big.name FROM (
+              SELECT name, age FROM people WHERE age >= 30
+            ) big
+            WHERE big.name IS NOT NULL
+            ORDER BY big.age DESC
+            """,
+        )
+        assert rows == [("cat",), ("ann",)]
+
+    def test_self_join_pairs(self, db):
+        rows = q(
+            db,
+            """
+            SELECT a.name, b.name FROM people a JOIN people b
+            ON a.age = b.age AND a.id < b.id
+            """,
+        )
+        assert rows == [("bob", "dan")]
+
+
+class TestAggregationQueries:
+    def test_group_by_expression(self, db):
+        rows = q(
+            db,
+            "SELECT age % 2 AS parity, count(*) AS n FROM people "
+            "GROUP BY age % 2 ORDER BY parity",
+        )
+        assert rows == [(0, 2), (1, 3)]
+
+    def test_multiple_aggregates(self, db):
+        rows = q(
+            db,
+            "SELECT country, min(age) AS lo, max(age) AS hi, avg(age) AS mean "
+            "FROM people GROUP BY country ORDER BY country",
+        )
+        assert rows == [("de", 25, 25, 25.0), ("nl", 30, 35, 32.5), ("us", 25, 40, 32.5)]
+
+    def test_count_distinct_sql(self, db):
+        rows = q(db, "SELECT count(DISTINCT country) AS c FROM people")
+        assert rows == [(3,)]
+
+    def test_aggregate_over_join(self, db):
+        rows = q(
+            db,
+            "SELECT count(*) AS n FROM people p JOIN orders o ON p.id = o.pid",
+        )
+        assert rows == [(4,)]
+
+    def test_empty_group_result(self, db):
+        rows = q(db, "SELECT age, count(*) FROM people WHERE age > 99 GROUP BY age")
+        assert rows == []
+
+    def test_global_aggregate_on_empty(self, db):
+        rows = q(db, "SELECT count(*) AS n FROM people WHERE age > 99")
+        assert rows == [(0,)]

@@ -1,0 +1,102 @@
+"""Tests for IN (SELECT ...) subquery support."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AnalysisError
+
+
+@pytest.fixture()
+def db(session, people_df, orders_df):
+    people_df.create_or_replace_temp_view("people")
+    orders_df.create_or_replace_temp_view("orders")
+    return session
+
+
+class TestInSubquery:
+    def test_semi_join_semantics(self, db):
+        rows = db.sql(
+            "SELECT id FROM people WHERE id IN (SELECT pid FROM orders) ORDER BY id"
+        ).collect()
+        assert [r["id"] for r in rows] == [1, 2, 3]
+
+    def test_not_in(self, db):
+        rows = db.sql(
+            "SELECT id FROM people WHERE id NOT IN (SELECT pid FROM orders) "
+            "ORDER BY id"
+        ).collect()
+        assert [r["id"] for r in rows] == [4, 5]
+
+    def test_each_outer_row_once(self, db):
+        # person 1 matches two orders but must appear once (semi join).
+        rows = db.sql(
+            "SELECT id FROM people WHERE id IN (SELECT pid FROM orders)"
+        ).collect()
+        assert len(rows) == 3
+
+    def test_combined_with_other_conjuncts(self, db):
+        rows = db.sql(
+            "SELECT id FROM people WHERE id IN (SELECT pid FROM orders) "
+            "AND age > 26 ORDER BY id"
+        ).collect()
+        assert [r["id"] for r in rows] == [1, 3]
+
+    def test_subquery_with_own_filter(self, db):
+        rows = db.sql(
+            "SELECT id FROM people WHERE id IN "
+            "(SELECT pid FROM orders WHERE amount > 50) ORDER BY id"
+        ).collect()
+        assert [r["id"] for r in rows] == [1]
+
+    def test_nested_subquery_level(self, db):
+        rows = db.sql(
+            "SELECT id FROM people WHERE id IN ("
+            "  SELECT pid FROM orders WHERE oid IN (SELECT oid FROM orders)"
+            ") ORDER BY id"
+        ).collect()
+        assert [r["id"] for r in rows] == [1, 2, 3]
+
+    def test_empty_subquery_result(self, db):
+        rows = db.sql(
+            "SELECT id FROM people WHERE id IN "
+            "(SELECT pid FROM orders WHERE amount > 9999)"
+        ).collect()
+        assert rows == []
+
+    def test_indexed_table_in_subquery(self, indexed_session):
+        from repro.core import create_index
+
+        users = indexed_session.create_dataframe(
+            [(i, f"u{i}") for i in range(50)], [("uid", "long"), ("name", "string")]
+        )
+        vips = indexed_session.create_dataframe(
+            [(3,), (7,)], [("vid", "long")]
+        )
+        create_index(users, "uid").create_or_replace_temp_view("users")
+        vips.create_or_replace_temp_view("vips")
+        rows = indexed_session.sql(
+            "SELECT name FROM users WHERE uid IN (SELECT vid FROM vips) ORDER BY name"
+        ).collect()
+        assert [r["name"] for r in rows] == ["u3", "u7"]
+
+
+class TestValidation:
+    def test_multi_column_subquery_rejected(self, db):
+        with pytest.raises(AnalysisError, match="one column"):
+            db.sql(
+                "SELECT id FROM people WHERE id IN (SELECT pid, oid FROM orders)"
+            ).collect()
+
+    def test_subquery_in_select_list_rejected(self, db):
+        with pytest.raises(AnalysisError, match="WHERE"):
+            db.sql(
+                "SELECT id IN (SELECT pid FROM orders) FROM people"
+            ).collect()
+
+    def test_disjunctive_subquery_rejected(self, db):
+        with pytest.raises(AnalysisError, match="conjunct"):
+            db.sql(
+                "SELECT id FROM people WHERE age > 99 OR id IN "
+                "(SELECT pid FROM orders)"
+            ).collect()

@@ -1,0 +1,63 @@
+"""Tests for the fused Top-K (LIMIT over ORDER BY) operator."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sql.functions import col
+
+
+class TestTakeOrdered:
+    def test_plan_is_fused(self, people_df):
+        plan = people_df.order_by(col("age").desc()).limit(2).explain()
+        assert "TakeOrdered[n=2]" in plan
+        assert "Sort" not in plan.split("== Physical ==")[1]
+
+    def test_results_match_unfused_semantics(self, people_df):
+        fused = people_df.order_by(col("age").desc()).limit(3).collect()
+        assert [r["age"] for r in fused] == [40, 35, 30]
+
+    def test_limit_zero(self, people_df):
+        assert people_df.order_by("age").limit(0).collect() == []
+
+    def test_limit_beyond_size(self, people_df):
+        rows = people_df.order_by("age").limit(100).collect()
+        assert len(rows) == 5
+        ages = [r["age"] for r in rows]
+        assert ages == sorted(ages)
+
+    def test_ties_keep_stable_count(self, people_df):
+        rows = people_df.order_by("age").limit(2).collect()
+        assert [r["age"] for r in rows] == [25, 25]
+
+    def test_composite_ordering(self, people_df):
+        rows = (
+            people_df.order_by(col("age").asc(), col("id").desc()).limit(2).collect()
+        )
+        assert [(r["age"], r["id"]) for r in rows] == [(25, 4), (25, 2)]
+
+    def test_nulls_respected(self, session):
+        df = session.create_dataframe(
+            [(1, None), (2, 5), (3, 1)], [("id", "long"), ("v", "long")]
+        )
+        rows = df.order_by("v").limit(2).collect()
+        assert [r["v"] for r in rows] == [None, 1]  # nulls first
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    values=st.lists(st.integers(-100, 100), max_size=50),
+    n=st.integers(0, 10),
+    ascending=st.booleans(),
+)
+def test_topk_matches_sorted_prefix(session, values, n, ascending):
+    df = session.create_dataframe([(v,) for v in values], [("v", "long")])
+    order = col("v").asc() if ascending else col("v").desc()
+    got = [r["v"] for r in df.order_by(order).limit(n).collect()]
+    expected = sorted(values, reverse=not ascending)[:n]
+    assert got == expected

@@ -1,0 +1,142 @@
+"""Tests for the SQL type system, schemas, and rows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.sql.types import (
+    BooleanType,
+    DoubleType,
+    IntegerType,
+    LongType,
+    Row,
+    StringType,
+    StructField,
+    StructType,
+    TimestampType,
+    common_type,
+    infer_type,
+    type_for_name,
+)
+
+
+class TestDataTypes:
+    def test_equality_by_class(self):
+        assert LongType() == LongType()
+        assert LongType() != IntegerType()
+        assert hash(LongType()) == hash(LongType())
+
+    def test_names(self):
+        assert LongType().name == "long"
+        assert StringType().name == "string"
+
+    def test_type_for_name_aliases(self):
+        assert type_for_name("bigint") == LongType()
+        assert type_for_name("int") == IntegerType()
+        assert type_for_name("float") == DoubleType()
+        assert type_for_name("BOOL") == BooleanType()
+
+    def test_type_for_name_unknown(self):
+        with pytest.raises(SchemaError):
+            type_for_name("decimal")
+
+    def test_validity_checks(self):
+        assert LongType().valid(5)
+        assert not LongType().valid("5")
+        assert not LongType().valid(2**63)  # out of 64-bit range
+        assert IntegerType().valid(2**31 - 1)
+        assert not IntegerType().valid(2**31)
+        assert not LongType().valid(True)  # bool is not a long
+        assert BooleanType().valid(True)
+        assert DoubleType().valid(1)  # ints accepted where doubles expected
+        assert LongType().valid(None)  # nullability checked separately
+
+    def test_infer_type(self):
+        assert infer_type(5) == LongType()
+        assert infer_type(1.5) == DoubleType()
+        assert infer_type("x") == StringType()
+        assert infer_type(True) == BooleanType()
+        with pytest.raises(SchemaError):
+            infer_type(object())
+
+    def test_common_type_widening(self):
+        assert common_type(IntegerType(), LongType()) == LongType()
+        assert common_type(LongType(), DoubleType()) == DoubleType()
+        assert common_type(BooleanType(), IntegerType()) == IntegerType()
+        assert common_type(TimestampType(), LongType()) == LongType()
+        with pytest.raises(SchemaError):
+            common_type(StringType(), LongType())
+
+
+class TestStructType:
+    def test_from_pairs(self):
+        schema = StructType.from_pairs([("id", "long"), ("name", StringType())])
+        assert schema.names == ["id", "name"]
+        assert schema["id"].dtype == LongType()
+
+    def test_duplicate_names_allowed_but_ambiguous(self):
+        # Derived schemas (self-joins) may duplicate names, as in Spark;
+        # only name-based lookup of the duplicate is rejected.
+        schema = StructType([StructField("a", LongType()), StructField("a", LongType())])
+        assert len(schema) == 2
+        with pytest.raises(SchemaError, match="ambiguous"):
+            schema.field_index("a")
+
+    def test_field_index(self):
+        schema = StructType.from_pairs([("a", "long"), ("b", "string")])
+        assert schema.field_index("b") == 1
+        with pytest.raises(SchemaError):
+            schema.field_index("c")
+
+    def test_contains_len_iter(self):
+        schema = StructType.from_pairs([("a", "long"), ("b", "string")])
+        assert "a" in schema and "z" not in schema
+        assert len(schema) == 2
+        assert [f.name for f in schema] == ["a", "b"]
+
+    def test_validate_row_arity(self):
+        schema = StructType.from_pairs([("a", "long")])
+        with pytest.raises(SchemaError, match="2 values"):
+            schema.validate_row((1, 2))
+
+    def test_validate_row_nullability(self):
+        schema = StructType([StructField("a", LongType(), nullable=False)])
+        with pytest.raises(SchemaError, match="non-nullable"):
+            schema.validate_row((None,))
+
+    def test_validate_row_types(self):
+        schema = StructType.from_pairs([("a", "long")])
+        with pytest.raises(SchemaError, match="invalid"):
+            schema.validate_row(("not a long",))
+        schema.validate_row((5,))  # no raise
+
+
+class TestRow:
+    @pytest.fixture()
+    def row(self):
+        schema = StructType.from_pairs([("id", "long"), ("name", "string")])
+        return Row((7, "ann"), schema)
+
+    def test_access_by_index_name_attribute(self, row):
+        assert row[0] == 7
+        assert row["name"] == "ann"
+        assert row.name == "ann"
+
+    def test_missing_attribute(self, row):
+        with pytest.raises(AttributeError):
+            _ = row.missing
+
+    def test_as_dict_and_tuple(self, row):
+        assert row.as_dict() == {"id": 7, "name": "ann"}
+        assert row.as_tuple() == (7, "ann")
+
+    def test_equality_with_tuple(self, row):
+        assert row == (7, "ann")
+        assert tuple(row) == (7, "ann")
+
+    def test_hashable(self, row):
+        assert {row: 1}[row] == 1
+
+    def test_repr_shows_names(self, row):
+        assert "id=7" in repr(row) and "name='ann'" in repr(row)

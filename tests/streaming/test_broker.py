@@ -1,0 +1,146 @@
+"""Tests for the in-process broker, producer, and consumer."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import StreamingError
+from repro.streaming import Broker, Consumer, Producer, TopicPartition
+
+
+@pytest.fixture()
+def broker():
+    b = Broker()
+    b.create_topic("updates", partitions=3)
+    return b
+
+
+class TestBroker:
+    def test_create_and_list_topics(self, broker):
+        broker.create_topic("other")
+        assert broker.topics() == ["other", "updates"]
+        assert broker.num_partitions("updates") == 3
+
+    def test_duplicate_topic_rejected(self, broker):
+        with pytest.raises(StreamingError):
+            broker.create_topic("updates")
+
+    def test_unknown_topic(self, broker):
+        with pytest.raises(StreamingError):
+            broker.append("ghost", 0, None, "x")
+
+    def test_partition_out_of_range(self, broker):
+        with pytest.raises(StreamingError):
+            broker.append("updates", 7, None, "x")
+
+    def test_offsets_are_dense_per_partition(self, broker):
+        assert broker.append("updates", 0, None, "a") == 0
+        assert broker.append("updates", 0, None, "b") == 1
+        assert broker.append("updates", 1, None, "c") == 0
+        assert broker.end_offset(TopicPartition("updates", 0)) == 2
+
+    def test_read_from_offset(self, broker):
+        for i in range(10):
+            broker.append("updates", 0, None, i)
+        records = broker.read(TopicPartition("updates", 0), 4, 3)
+        assert [r.value for r in records] == [4, 5, 6]
+
+    def test_records_immutable_replayable(self, broker):
+        broker.append("updates", 0, "k", "v")
+        tp = TopicPartition("updates", 0)
+        assert broker.read(tp, 0, 10)[0].value == "v"
+        assert broker.read(tp, 0, 10)[0].value == "v"  # re-read OK
+
+    def test_zero_partition_topic_rejected(self, broker):
+        with pytest.raises(StreamingError):
+            broker.create_topic("bad", partitions=0)
+
+
+class TestProducer:
+    def test_keyed_records_stick_to_partition(self, broker):
+        producer = Producer(broker, "updates")
+        partitions = {producer.send(f"v{i}", key="stable")[0] for i in range(10)}
+        assert len(partitions) == 1
+
+    def test_keyless_round_robin(self, broker):
+        producer = Producer(broker, "updates")
+        partitions = [producer.send(i)[0] for i in range(6)]
+        assert partitions == [0, 1, 2, 0, 1, 2]
+
+    def test_send_all_with_key_fn(self, broker):
+        producer = Producer(broker, "updates")
+        count = producer.send_all(range(30), key_fn=lambda v: v % 5)
+        assert count == 30
+        assert broker.total_records("updates") == 30
+
+
+class TestConsumer:
+    def test_poll_advances(self, broker):
+        producer = Producer(broker, "updates")
+        producer.send_all(range(10))
+        consumer = Consumer(broker, "updates", group="g1")
+        first = consumer.poll(6)
+        second = consumer.poll(6)
+        assert len(first) == 6 and len(second) == 4
+        assert consumer.poll(6) == []
+
+    def test_lag(self, broker):
+        producer = Producer(broker, "updates")
+        producer.send_all(range(9))
+        consumer = Consumer(broker, "updates", group="g2")
+        assert consumer.lag() == 9
+        consumer.poll(4)
+        assert consumer.lag() == 5
+
+    def test_commit_resumes_group(self, broker):
+        producer = Producer(broker, "updates")
+        producer.send_all(range(10))
+        first = Consumer(broker, "updates", group="shared")
+        first.poll(7)
+        first.commit()
+        resumed = Consumer(broker, "updates", group="shared")
+        assert len(resumed.poll(100)) == 3
+
+    def test_uncommitted_restart_replays(self, broker):
+        producer = Producer(broker, "updates")
+        producer.send_all(range(10))
+        first = Consumer(broker, "updates", group="flaky")
+        first.poll(7)  # never commits
+        restarted = Consumer(broker, "updates", group="flaky")
+        assert len(restarted.poll(100)) == 10  # at-least-once
+
+    def test_seek_to_beginning(self, broker):
+        producer = Producer(broker, "updates")
+        producer.send_all(range(5))
+        consumer = Consumer(broker, "updates", group="g3")
+        consumer.poll(5)
+        consumer.seek_to_beginning()
+        assert len(consumer.poll(100)) == 5
+
+    def test_values_helper(self, broker):
+        Producer(broker, "updates").send_all(["a", "b"])
+        assert sorted(Consumer(broker, "updates", group="g4").values()) == ["a", "b"]
+
+    def test_producer_consumer_across_threads(self, broker):
+        producer = Producer(broker, "updates")
+        consumer = Consumer(broker, "updates", group="live")
+        received = []
+        done = threading.Event()
+
+        def produce():
+            for i in range(300):
+                producer.send(i, key=i % 7)
+            done.set()
+
+        def consume():
+            while not done.is_set() or consumer.lag() > 0:
+                received.extend(r.value for r in consumer.poll(50))
+
+        threads = [threading.Thread(target=produce), threading.Thread(target=consume)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(received) == list(range(300))

@@ -1,0 +1,106 @@
+"""Tests for micro-batch ingestion into Indexed DataFrames."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import create_index
+from repro.streaming import Broker, IndexedIngest, Producer
+
+SCHEMA = [("id", "long"), ("payload", "string")]
+
+
+@pytest.fixture()
+def world(indexed_session):
+    broker = Broker()
+    broker.create_topic("rows", partitions=2)
+    base = indexed_session.create_dataframe(
+        [(i, f"base{i}") for i in range(50)], SCHEMA
+    )
+    indexed = create_index(base, "id")
+    return broker, indexed
+
+
+class TestStep:
+    def test_idle_step_is_noop(self, world):
+        broker, indexed = world
+        ingest = IndexedIngest(broker, "rows", indexed)
+        assert ingest.step() == 0
+        assert ingest.current is indexed
+
+    def test_step_applies_one_batch(self, world):
+        broker, indexed = world
+        producer = Producer(broker, "rows")
+        producer.send_all([(100 + i, f"s{i}") for i in range(30)], key_fn=lambda r: r[0])
+        ingest = IndexedIngest(broker, "rows", indexed, batch_size=20)
+        assert ingest.step() == 20
+        assert ingest.step() == 10
+        assert ingest.current.count() == 80
+        assert ingest.batches_applied == 2
+        assert ingest.rows_applied == 30
+
+    def test_drain(self, world):
+        broker, indexed = world
+        Producer(broker, "rows").send_all([(200 + i, "x") for i in range(55)])
+        ingest = IndexedIngest(broker, "rows", indexed, batch_size=10)
+        assert ingest.drain() == 55
+        assert ingest.current.lookup_latest(254) == (254, "x")
+
+    def test_versions_advance_per_batch(self, world):
+        broker, indexed = world
+        Producer(broker, "rows").send_all([(300 + i, "x") for i in range(20)])
+        ingest = IndexedIngest(broker, "rows", indexed, batch_size=10)
+        v0 = ingest.current.version_id
+        ingest.step()
+        v1 = ingest.current.version_id
+        ingest.step()
+        v2 = ingest.current.version_id
+        assert v0 < v1 < v2
+
+    def test_on_batch_callback(self, world):
+        broker, indexed = world
+        Producer(broker, "rows").send_all([(400, "x"), (401, "y")])
+        seen = []
+        ingest = IndexedIngest(
+            broker, "rows", indexed, on_batch=lambda df, n: seen.append(n)
+        )
+        ingest.drain()
+        assert seen == [2]
+
+
+class TestConcurrentReaders:
+    def test_reader_holds_stable_version_during_ingest(self, world):
+        broker, indexed = world
+        producer = Producer(broker, "rows")
+        ingest = IndexedIngest(broker, "rows", indexed, batch_size=5)
+
+        held = ingest.current  # a dashboard holding version N
+        producer.send_all([(500 + i, "later") for i in range(25)])
+        ingest.drain()
+        assert held.count() == 50  # unchanged
+        assert ingest.current.count() == 75
+
+    def test_background_thread_ingestion(self, world):
+        broker, indexed = world
+        producer = Producer(broker, "rows")
+        ingest = IndexedIngest(broker, "rows", indexed, batch_size=10)
+        ingest.start(poll_interval=0.005)
+        try:
+            producer.send_all([(600 + i, "bg") for i in range(100)])
+            deadline = time.time() + 5.0
+            while ingest.current.count() < 150 and time.time() < deadline:
+                time.sleep(0.01)
+            assert ingest.current.count() == 150
+        finally:
+            ingest.stop()
+
+    def test_stop_is_idempotent(self, world):
+        broker, indexed = world
+        ingest = IndexedIngest(broker, "rows", indexed)
+        ingest.start()
+        ingest.stop()
+        ingest.stop()
+        ingest.start()
+        ingest.stop()

@@ -1,0 +1,42 @@
+"""Tests for engine configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import Config
+from repro.errors import CapacityError
+
+
+class TestConfig:
+    def test_defaults_match_paper_geometry(self):
+        config = Config()
+        assert config.batch_size_bytes == 4 * 1024 * 1024  # paper: 4 MB batches
+        assert config.max_row_bytes == 1024  # paper: rows up to 1 KB
+
+    def test_with_options_returns_modified_copy(self):
+        base = Config()
+        derived = base.with_options(shuffle_partitions=16)
+        assert derived.shuffle_partitions == 16
+        assert base.shuffle_partitions == 8  # original untouched
+
+    def test_rejects_invalid_parallelism(self):
+        with pytest.raises(ValueError):
+            Config(shuffle_partitions=0)
+        with pytest.raises(ValueError):
+            Config(executor_threads=0)
+        with pytest.raises(ValueError):
+            Config(default_parallelism=-1)
+
+    def test_rejects_row_larger_than_batch(self):
+        with pytest.raises(CapacityError):
+            Config(batch_size_bytes=2048, max_row_bytes=4096)
+
+    def test_rejects_tiny_batches(self):
+        with pytest.raises(CapacityError):
+            Config(batch_size_bytes=100)
+
+    def test_extra_options(self):
+        config = Config(extra={"demo.dashboard": True})
+        assert config.get("demo.dashboard") is True
+        assert config.get("missing", "fallback") == "fallback"

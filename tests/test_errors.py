@@ -1,0 +1,63 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    CapacityError,
+    ConcurrencyError,
+    EngineError,
+    IndexError_,
+    ParseError,
+    PlanningError,
+    ReproError,
+    SchemaError,
+    StreamingError,
+    TaskError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            AnalysisError,
+            CapacityError,
+            ConcurrencyError,
+            EngineError,
+            IndexError_,
+            ParseError,
+            PlanningError,
+            SchemaError,
+            StreamingError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_capacity_is_index_error(self):
+        assert issubclass(CapacityError, IndexError_)
+
+    def test_task_error_is_engine_error(self):
+        assert issubclass(TaskError, EngineError)
+
+    def test_one_catch_all(self):
+        with pytest.raises(ReproError):
+            raise ParseError("boom")
+
+
+class TestTaskError:
+    def test_carries_location_and_cause(self):
+        cause = ValueError("inner")
+        error = TaskError(stage_id=3, partition=7, cause=cause)
+        assert error.stage_id == 3 and error.partition == 7
+        assert error.cause is cause
+        assert "stage 3" in str(error) and "partition 7" in str(error)
+
+
+class TestParseError:
+    def test_position_in_message(self):
+        assert "(at position 12)" in str(ParseError("bad token", position=12))
+        assert "position" not in str(ParseError("bad token"))
