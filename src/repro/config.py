@@ -14,6 +14,14 @@ depends on:
   the Indexed Row-Batch RDD (paper §2: 4 MB batches, rows up to 1 KB);
 * ``executor_threads`` — degree of task parallelism (stand-in for the
   paper's 10-node cluster).
+
+Fault tolerance adds a second family of knobs, mirroring Spark's
+``spark.task.maxFailures`` / ``spark.speculation`` space: bounded task
+retries with exponential backoff, a per-stage deadline, speculative
+re-execution of stragglers, at-least-once ingestion retries, graceful
+indexed-operator fallback, and an optional seeded
+:class:`~repro.faults.FaultProfile` that switches chaos injection on
+for the whole session.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.errors import CapacityError
+from repro.faults import FaultProfile
 
 #: Paper §2: row batches of 4 MB.
 DEFAULT_BATCH_SIZE = 4 * 1024 * 1024
@@ -54,6 +63,42 @@ class Config:
     batch_size_bytes: int = DEFAULT_BATCH_SIZE
     #: Maximum encoded row size in bytes.
     max_row_bytes: int = DEFAULT_MAX_ROW_BYTES
+    #: Retries allowed per task for *transient* failures (injected
+    #: faults, lost shuffle fetches, I/O errors). ``0`` disables
+    #: retrying: the first transient failure raises
+    #: :class:`~repro.errors.RetryExhaustedError`.
+    task_max_retries: int = 3
+    #: Base of the exponential retry backoff, in seconds (attempt ``n``
+    #: waits ``retry_backoff_s * 2**(n-1)``, capped at 1s).
+    retry_backoff_s: float = 0.01
+    #: Also retry deterministic (non-transient) task errors. Off by
+    #: default: a ``ValueError`` in user code fails fast, as retrying
+    #: it only replays the same crash.
+    retry_all_errors: bool = False
+    #: Wall-clock deadline per stage in seconds; ``None`` disables.
+    #: On expiry the stage cancels outstanding tasks and raises
+    #: :class:`~repro.errors.StageTimeoutError`.
+    stage_timeout_s: float | None = None
+    #: Enable speculative re-execution of straggler tasks.
+    speculation: bool = False
+    #: A running task is a straggler once its elapsed time exceeds
+    #: ``speculation_multiplier`` × the median duration of finished
+    #: tasks in the same stage.
+    speculation_multiplier: float = 3.0
+    #: Fraction of a stage's tasks that must finish before stragglers
+    #: are considered for speculation.
+    speculation_quantile: float = 0.5
+    #: Retries allowed for a failed broker poll/commit in the
+    #: ingestion loop before it gives up with RetryExhaustedError.
+    ingest_max_retries: int = 5
+    #: Base of the ingestion retry backoff, in seconds.
+    ingest_backoff_s: float = 0.01
+    #: Degrade a failing indexed operator (IndexLookup / IndexedJoin)
+    #: to the equivalent vanilla plan instead of aborting the query.
+    index_fallback: bool = True
+    #: Seeded chaos-injection profile; ``None`` (the default) disables
+    #: all fault injection.
+    faults: FaultProfile | None = None
     #: Extra free-form options (namespaced strings, like Spark conf keys).
     extra: dict[str, Any] = field(default_factory=dict)
 
@@ -73,6 +118,20 @@ class Config:
                 "max_row_bytes cannot exceed batch_size_bytes: "
                 f"{self.max_row_bytes} > {self.batch_size_bytes}"
             )
+        if self.task_max_retries < 0:
+            raise ValueError("task_max_retries must be >= 0")
+        if self.retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
+        if self.stage_timeout_s is not None and self.stage_timeout_s <= 0:
+            raise ValueError("stage_timeout_s must be positive (or None)")
+        if self.speculation_multiplier < 1.0:
+            raise ValueError("speculation_multiplier must be >= 1")
+        if not 0.0 < self.speculation_quantile <= 1.0:
+            raise ValueError("speculation_quantile must be in (0, 1]")
+        if self.ingest_max_retries < 0:
+            raise ValueError("ingest_max_retries must be >= 0")
+        if self.ingest_backoff_s < 0:
+            raise ValueError("ingest_backoff_s must be >= 0")
 
     def with_options(self, **changes: Any) -> "Config":
         """Return a copy of this config with the given fields replaced."""

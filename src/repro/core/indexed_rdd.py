@@ -90,6 +90,9 @@ class IndexLookupRDD(RDD):
         return len(self.snapshots)
 
     def compute(self, split: int) -> Iterator[tuple]:
+        # Chaos site: a failing cTrie probe (simulating index
+        # corruption / a dead executor holding the index partition).
+        self.context.fault_injector.maybe_fail("index.probe")
         snapshot = self.snapshots[split]
         for key in self._by_partition[split]:
             yield from snapshot.lookup(key)

@@ -7,18 +7,24 @@
 * :class:`IndexedJoinExec` — the indexed equi-join: the index is the
   pre-built build side; the probe side is shuffled to the index's hash
   partitions, or streamed directly when small (the broadcast fallback
-  of paper §2, "Indexed Join").
+  of paper §2, "Indexed Join");
+* :class:`GuardedIndexExec` — graceful degradation: runs an indexed
+  operator and, if it fails at execution time (index corruption, an
+  injected probe fault, retries exhausted), re-executes the query
+  through the equivalent *vanilla* physical plan instead of aborting —
+  paper Figure 1's dual execution paths made a runtime guarantee.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.core.indexed_rdd import IndexedRowBatchRDD, IndexLookupRDD
 from repro.core.mvcc import Version
 from repro.engine.context import EngineContext
 from repro.engine.partitioner import HashPartitioner
 from repro.engine.rdd import RDD
+from repro.errors import ReproError
 from repro.sql.expressions import Attribute, Expression
 from repro.sql.physical import PhysicalPlan, bind_expression
 
@@ -125,7 +131,11 @@ class IndexedJoinExec(PhysicalPlan):
         build_on_left = self.build_on_left
         extra = self.extra
         build_columns = self.build_columns
+        injector = self.ctx.fault_injector
+        probe_chaos = injector if injector.enabled else None
         for key, probe_row in records:
+            if probe_chaos is not None:
+                probe_chaos.maybe_fail("index.probe")
             if key is None:
                 continue
             snapshot = snapshots[partition_of(key)]
@@ -177,3 +187,43 @@ class IndexedJoinExec(PhysicalPlan):
             f"IndexedJoin[build={side}, version={self.version.version_id}, "
             f"probe_est={self.probe_rows_estimate}]"
         )
+
+
+class GuardedIndexExec(PhysicalPlan):
+    """Graceful degradation around an indexed operator.
+
+    Executes the indexed plan eagerly (so runtime failures — not just
+    planning failures — are observable here); if it fails with any
+    library error, records the fallback in the scheduler metrics and
+    re-executes through the vanilla plan built by ``fallback_factory``.
+    The fallback is built lazily: the healthy path never plans it.
+
+    The output attributes are the primary's, so downstream operators
+    bind identically against either path.
+    """
+
+    def __init__(
+        self,
+        primary: PhysicalPlan,
+        fallback_factory: Callable[[], PhysicalPlan],
+        label: str,
+    ):
+        super().__init__(primary.ctx, primary.output)
+        self.children = (primary,)
+        self.fallback_factory = fallback_factory
+        self.label = label
+        self.last_error: BaseException | None = None
+
+    def execute(self) -> RDD:
+        primary = self.children[0]
+        try:
+            rows = primary.execute().collect()
+        except ReproError as exc:
+            self.last_error = exc
+            self.ctx.scheduler.metrics.record_index_fallback(self.label)
+            return self.fallback_factory().execute()
+        parts = min(max(1, len(rows)), self.ctx.config.default_parallelism)
+        return self.ctx.parallelize(rows, parts)
+
+    def describe(self) -> str:
+        return f"GuardedIndex[{self.label}]"

@@ -16,7 +16,12 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.indexed_df import create_index
-from repro.core.physical import IndexedJoinExec, IndexedScanExec, IndexLookupExec
+from repro.core.physical import (
+    GuardedIndexExec,
+    IndexedJoinExec,
+    IndexedScanExec,
+    IndexLookupExec,
+)
 from repro.core.relation import IndexedRelation
 from repro.sql.expressions import (
     Attribute,
@@ -196,13 +201,47 @@ def _plan_indexed_join(join: Join, planner: Planner) -> PhysicalPlan | None:
     return None
 
 
+def _vanilla_planner(planner: Planner) -> Planner:
+    """A planner with no extension strategies — the transformToRowRDD
+    path of Figure 1, guaranteed free of indexed operators."""
+    return Planner(planner.session)
+
+
+def _guard(
+    primary: PhysicalPlan,
+    planner: Planner,
+    fallback_logical: LogicalPlan,
+    label: str,
+) -> PhysicalPlan:
+    """Wrap an indexed operator for graceful degradation, if enabled."""
+    if not planner.config.index_fallback:
+        return primary
+
+    def build_fallback() -> PhysicalPlan:
+        return _vanilla_planner(planner).plan(fallback_logical)
+
+    return GuardedIndexExec(primary, build_fallback, label)
+
+
 def indexed_strategy(plan: LogicalPlan, planner: Planner) -> PhysicalPlan | None:
     """Lower indexed logical nodes; return None to fall back to the
-    vanilla strategy (paper Figure 1's dual execution paths)."""
+    vanilla strategy (paper Figure 1's dual execution paths).
+
+    When ``Config.index_fallback`` is on, lookup and join operators are
+    wrapped in :class:`GuardedIndexExec` so a *runtime* index failure
+    degrades to the equivalent vanilla plan instead of failing the
+    query."""
     if isinstance(plan, IndexLookup):
-        return IndexLookupExec(
+        lookup_exec: PhysicalPlan = IndexLookupExec(
             planner.ctx, plan.relation.version, plan.keys, plan.output()
         )
+        if not plan.keys:
+            return lookup_exec
+        equivalent = Filter(
+            In(plan.relation.key_attribute, [Literal(k) for k in plan.keys]),
+            plan.relation,
+        )
+        return _guard(lookup_exec, planner, equivalent, "lookup")
     if isinstance(plan, Filter) and isinstance(plan.child, IndexLookup):
         child = indexed_strategy(plan.child, planner)
         assert child is not None
@@ -216,7 +255,10 @@ def indexed_strategy(plan: LogicalPlan, planner: Planner) -> PhysicalPlan | None
             return IndexedScanExec(planner.ctx, relation.version, plan.output(), columns)
         return None
     if isinstance(plan, Join):
-        return _plan_indexed_join(plan, planner)
+        join_exec = _plan_indexed_join(plan, planner)
+        if join_exec is None:
+            return None
+        return _guard(join_exec, planner, plan, "join")
     return None
 
 

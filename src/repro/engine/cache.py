@@ -59,6 +59,7 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     stored_bytes: int = 0
+    failed_computes: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def snapshot(self) -> dict[str, int]:
@@ -68,6 +69,7 @@ class CacheStats:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "stored_bytes": self.stored_bytes,
+                "failed_computes": self.failed_computes,
             }
 
 
@@ -125,7 +127,15 @@ class BlockManager:
         cached = self.get(key)
         if cached is not None:
             return cached
-        value = compute()
+        try:
+            value = compute()
+        except BaseException:
+            # A crashed (or fault-injected) task must never poison the
+            # cache with a partial block; count it so retry storms are
+            # visible in cache stats, and let the scheduler retry.
+            with self.stats._lock:
+                self.stats.failed_computes += 1
+            raise
         self.put(key, value)
         return value
 

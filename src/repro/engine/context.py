@@ -17,6 +17,7 @@ from repro.engine.cache import BlockManager
 from repro.engine.rdd import RDD, ParallelCollectionRDD
 from repro.engine.scheduler import DAGScheduler
 from repro.engine.shuffle import ShuffleManager
+from repro.faults import FaultInjector
 
 T = TypeVar("T")
 
@@ -36,13 +37,18 @@ class EngineContext:
 
     def __init__(self, config: Config | None = None):
         self.config = config or Config()
-        self.shuffle_manager = ShuffleManager()
+        # One seeded injector per context: engine, shuffle, and indexed
+        # operators all draw from the same reproducible fault streams.
+        self.fault_injector = FaultInjector(self.config.faults)
+        self.shuffle_manager = ShuffleManager(self.fault_injector)
         self.block_manager = BlockManager(self.config.cache_capacity_bytes)
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.executor_threads,
             thread_name_prefix="repro-executor",
         )
-        self.scheduler = DAGScheduler(self.shuffle_manager, self._pool)
+        self.scheduler = DAGScheduler(
+            self.shuffle_manager, self._pool, self.config, self.fault_injector
+        )
         self._stopped = False
 
     # ------------------------------------------------------------------

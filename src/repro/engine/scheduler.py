@@ -13,22 +13,90 @@ Given an action on a target RDD, the scheduler
 
 Tasks of one stage run concurrently on the executor pool; stages run
 in sequence, exactly as in Spark.
+
+Fault tolerance (mirroring Spark's recovery model):
+
+* **bounded retries** — a task failing with a *transient* cause (an
+  injected fault, a lost shuffle fetch, an OS-level I/O error) is
+  resubmitted with exponential backoff up to
+  ``Config.task_max_retries`` times, after which the stage raises
+  :class:`~repro.errors.RetryExhaustedError`. Deterministic user-code
+  errors fail fast (set ``Config.retry_all_errors`` to retry those
+  too);
+* **lineage recomputation** — a
+  :class:`~repro.errors.FetchFailedError` does not burn retries
+  blindly: the scheduler looks up the shuffle dependency in the job's
+  lineage, re-runs exactly the missing map tasks, and only then
+  resubmits the fetching task;
+* **stage deadline** — ``Config.stage_timeout_s`` bounds each stage's
+  wall-clock time; on expiry outstanding tasks are cancelled and
+  :class:`~repro.errors.StageTimeoutError` is raised;
+* **speculation** — with ``Config.speculation`` on, a task running
+  longer than ``speculation_multiplier`` × the median finished-task
+  duration gets a second concurrent attempt; the first to finish wins;
+* **failure cancellation** — once a stage is doomed, queued tasks are
+  cancelled instead of draining the whole pool.
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
-from concurrent.futures import ThreadPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
+from repro.config import Config
 from repro.engine.rdd import RDD, ShuffleDependencyEdge
 from repro.engine.shuffle import ShuffleDependency, ShuffleManager
-from repro.errors import TaskError
+from repro.errors import (
+    FetchFailedError,
+    InjectedFault,
+    RetryExhaustedError,
+    StageTimeoutError,
+    TaskError,
+)
+from repro.faults import NULL_INJECTOR, FaultInjector
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.context import EngineContext
+
+#: Upper bound on one retry backoff sleep.
+_MAX_BACKOFF_S = 1.0
+#: Driver poll tick while waiting on task futures (also the resolution
+#: of deadline checks and speculation scans).
+_DRIVER_TICK_S = 0.02
+
+
+class _StageAborted(Exception):
+    """Internal: raised by queued attempts once their stage is doomed."""
+
+
+def _find_transient(exc: BaseException | None) -> BaseException | None:
+    """The transient cause inside a (possibly nested) task failure.
+
+    Walks ``TaskError.cause`` chains looking for an injected fault, a
+    shuffle fetch failure, or an OS-level error — the failure classes a
+    retry can plausibly heal.
+    """
+    depth = 0
+    while exc is not None and depth < 16:
+        if isinstance(exc, (InjectedFault, FetchFailedError, ConnectionError, TimeoutError, OSError)):
+            return exc
+        exc = getattr(exc, "cause", None) or exc.__cause__
+        depth += 1
+    return None
+
+
+def _find_fetch_failure(exc: BaseException | None) -> FetchFailedError | None:
+    depth = 0
+    while exc is not None and depth < 16:
+        if isinstance(exc, FetchFailedError):
+            return exc
+        exc = getattr(exc, "cause", None) or exc.__cause__
+        depth += 1
+    return None
 
 
 @dataclass
@@ -48,6 +116,14 @@ class SchedulerMetrics:
     jobs: int = 0
     stages: int = 0
     tasks: int = 0
+    task_failures: int = 0
+    task_retries: int = 0
+    fetch_failures: int = 0
+    recomputed_map_stages: int = 0
+    speculative_tasks: int = 0
+    speculative_wins: int = 0
+    stage_timeouts: int = 0
+    index_fallbacks: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record_job(self, job: JobMetrics) -> None:
@@ -56,18 +132,58 @@ class SchedulerMetrics:
             self.stages += job.stages
             self.tasks += job.tasks
 
+    def record_index_fallback(self, label: str | None = None) -> None:
+        """An indexed operator degraded to its vanilla plan."""
+        with self._lock:
+            self.index_fallbacks += 1
+
+    def bump(self, counter: str, by: int = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + by)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                name: getattr(self, name)
+                for name in (
+                    "jobs",
+                    "stages",
+                    "tasks",
+                    "task_failures",
+                    "task_retries",
+                    "fetch_failures",
+                    "recomputed_map_stages",
+                    "speculative_tasks",
+                    "speculative_wins",
+                    "stage_timeouts",
+                    "index_fallbacks",
+                )
+            }
+
 
 class DAGScheduler:
     """Runs jobs for an :class:`~repro.engine.context.EngineContext`."""
 
     _job_ids = itertools.count()
 
-    def __init__(self, shuffle_manager: ShuffleManager, pool: ThreadPoolExecutor):
+    def __init__(
+        self,
+        shuffle_manager: ShuffleManager,
+        pool: ThreadPoolExecutor,
+        config: Config | None = None,
+        injector: FaultInjector | None = None,
+    ):
         self._shuffles = shuffle_manager
         self._pool = pool
+        self._config = config or Config()
+        self._injector = injector or NULL_INJECTOR
         # Serialize whole jobs: tasks within a stage are parallel, but two
         # concurrent jobs sharing lineage would race on map-output state.
         self._job_lock = threading.RLock()
+        # Lineage of the active job: shuffle_id → dependency, consulted
+        # when a fetch failure demands recomputation. Guarded by
+        # _job_lock (one job at a time).
+        self._lineage: dict[int, ShuffleDependency] = {}
         self.metrics = SchedulerMetrics()
 
     # ------------------------------------------------------------------
@@ -84,20 +200,31 @@ class DAGScheduler:
             partitions = range(rdd.num_partitions)
         job = JobMetrics(job_id=next(DAGScheduler._job_ids))
         with self._job_lock:
-            for dep in self._missing_shuffles(rdd):
-                self._run_map_stage(dep, job)
-            results = self._run_result_stage(rdd, func, partitions, job)
+            missing, lineage = self._collect_shuffles(rdd)
+            self._lineage = lineage
+            try:
+                for dep in missing:
+                    self._run_map_stage(dep, job)
+                results = self._run_result_stage(rdd, func, partitions, job)
+            finally:
+                self._lineage = {}
         self.metrics.record_job(job)
         return results
 
     # ------------------------------------------------------------------
 
-    def _missing_shuffles(self, rdd: RDD) -> list[ShuffleDependency]:
-        """Incomplete shuffles reachable from ``rdd`` in execution order
-        (parents before children)."""
+    def _collect_shuffles(
+        self, rdd: RDD
+    ) -> tuple[list[ShuffleDependency], dict[int, ShuffleDependency]]:
+        """Walk the lineage: returns (incomplete shuffles in execution
+        order, every reachable shuffle keyed by id).
+
+        The full map is kept even for complete shuffles — their outputs
+        can still be lost mid-job and need lineage recomputation.
+        """
         ordered: list[ShuffleDependency] = []
+        lineage: dict[int, ShuffleDependency] = {}
         seen_rdds: set[int] = set()
-        seen_shuffles: set[int] = set()
 
         def visit(node: RDD) -> None:
             if node.rdd_id in seen_rdds:
@@ -111,28 +238,43 @@ class DAGScheduler:
                 visit(edge.rdd)
                 if isinstance(edge, ShuffleDependencyEdge):
                     dep = edge.shuffle
-                    if dep.shuffle_id in seen_shuffles:
+                    if dep.shuffle_id in lineage:
                         continue
-                    seen_shuffles.add(dep.shuffle_id)
+                    lineage[dep.shuffle_id] = dep
                     if not self._shuffles.is_complete(dep.shuffle_id):
                         ordered.append(dep)
 
         visit(rdd)
-        return ordered
+        return ordered, lineage
 
     def _fully_cached(self, rdd: RDD) -> bool:
         bm = rdd.context.block_manager
         return all(bm.contains((rdd.rdd_id, p)) for p in range(rdd.num_partitions))
 
-    def _run_map_stage(self, dep: ShuffleDependency, job: JobMetrics) -> None:
+    def _run_map_stage(
+        self,
+        dep: ShuffleDependency,
+        job: JobMetrics,
+        map_indices: Sequence[int] | None = None,
+    ) -> None:
         parent: RDD = dep.rdd
         num_maps = parent.num_partitions
         self._shuffles.register_shuffle(dep.shuffle_id, num_maps)
+        if map_indices is None:
+            # Only the absent outputs: a full first run computes all of
+            # them, a recomputation touches just what was lost.
+            map_indices = self._shuffles.missing_map_indices(dep.shuffle_id)
+        indices = list(map_indices)
+        if not indices:
+            return
         stage_id = job.stages
         job.stages += 1
+        injector = self._injector
 
         def map_task(map_index: int) -> None:
             try:
+                injector.maybe_delay("task.slow")
+                injector.maybe_fail("task")
                 records = parent.iterator(map_index)
                 self._shuffles.write_map_output(dep, map_index, records)
             except TaskError:
@@ -140,8 +282,8 @@ class DAGScheduler:
             except Exception as exc:  # noqa: BLE001 - wrap any task failure
                 raise TaskError(stage_id, map_index, exc) from exc
 
-        job.tasks += num_maps
-        self._run_all(map_task, range(num_maps))
+        job.tasks += len(indices)
+        self._run_stage(map_task, indices, job, stage_id)
 
     def _run_result_stage(
         self,
@@ -153,31 +295,217 @@ class DAGScheduler:
         stage_id = job.stages
         job.stages += 1
         job.tasks += len(partitions)
+        injector = self._injector
 
         def result_task(split: int) -> Any:
             try:
+                injector.maybe_delay("task.slow")
+                injector.maybe_fail("task")
                 return func(rdd.iterator(split))
             except TaskError:
                 raise
             except Exception as exc:  # noqa: BLE001 - wrap any task failure
                 raise TaskError(stage_id, split, exc) from exc
 
-        return self._run_all(result_task, partitions)
+        return self._run_stage(result_task, partitions, job, stage_id)
 
-    def _run_all(self, task: Callable[[int], Any], splits: Sequence[int]) -> list[Any]:
+    # ------------------------------------------------------------------
+    # Stage execution with retries / deadline / speculation
+    # ------------------------------------------------------------------
+
+    def _run_stage(
+        self,
+        task: Callable[[int], Any],
+        splits: Sequence[int],
+        job: JobMetrics,
+        stage_id: int,
+    ) -> list[Any]:
         splits = list(splits)
-        if len(splits) <= 1:
-            return [task(s) for s in splits]
-        futures = [self._pool.submit(task, s) for s in splits]
-        results = []
-        first_error: BaseException | None = None
-        for fut in futures:
+        if not splits:
+            return []
+        deadline = (
+            time.monotonic() + self._config.stage_timeout_s
+            if self._config.stage_timeout_s is not None
+            else None
+        )
+        if len(splits) == 1:
+            # Inline fast path: deterministic single-task stages never
+            # touch the pool (and never deadlock a saturated pool during
+            # nested recomputation).
+            return [self._run_task_inline(task, splits[0], job, stage_id, deadline)]
+        return self._run_stage_pooled(task, splits, job, stage_id, deadline)
+
+    def _run_task_inline(
+        self,
+        task: Callable[[int], Any],
+        split: int,
+        job: JobMetrics,
+        stage_id: int,
+        deadline: float | None,
+    ) -> Any:
+        failures = 0
+        while True:
+            if deadline is not None and time.monotonic() > deadline:
+                self.metrics.bump("stage_timeouts")
+                raise StageTimeoutError(stage_id, self._config.stage_timeout_s or 0.0)
             try:
-                results.append(fut.result())
-            except BaseException as exc:  # noqa: BLE001 - propagate after drain
-                if first_error is None:
-                    first_error = exc
-                results.append(None)
-        if first_error is not None:
-            raise first_error
-        return results
+                return task(split)
+            except BaseException as exc:  # noqa: BLE001 - central retry policy
+                failures = self._on_task_failure(exc, split, job, stage_id, failures)
+                delay = self._backoff(failures)
+                if delay:
+                    time.sleep(delay)
+
+    def _run_stage_pooled(
+        self,
+        task: Callable[[int], Any],
+        splits: list[int],
+        job: JobMetrics,
+        stage_id: int,
+        deadline: float | None,
+    ) -> list[Any]:
+        cfg = self._config
+        abort = threading.Event()
+        results: dict[int, Any] = {}
+        failures: dict[int, int] = {s: 0 for s in splits}
+        speculated: set[int] = set()
+        durations: list[float] = []
+        inflight: dict[Future, tuple[int, bool, float]] = {}
+
+        def attempt(split: int, delay: float) -> Any:
+            if delay:
+                time.sleep(delay)
+            if abort.is_set():
+                raise _StageAborted()
+            return task(split)
+
+        def submit(split: int, delay: float = 0.0, speculative: bool = False) -> None:
+            fut = self._pool.submit(attempt, split, delay)
+            inflight[fut] = (split, speculative, time.monotonic())
+
+        for s in splits:
+            submit(s)
+
+        try:
+            while len(results) < len(splits):
+                if deadline is not None and time.monotonic() > deadline:
+                    self.metrics.bump("stage_timeouts")
+                    raise StageTimeoutError(stage_id, cfg.stage_timeout_s or 0.0)
+                done, _ = wait(
+                    list(inflight), timeout=_DRIVER_TICK_S, return_when=FIRST_COMPLETED
+                )
+                now = time.monotonic()
+                for fut in done:
+                    split, speculative, started = inflight.pop(fut)
+                    if split in results:
+                        continue  # the other attempt already won
+                    try:
+                        value = fut.result()
+                    except _StageAborted:
+                        continue
+                    except BaseException as exc:  # noqa: BLE001
+                        if speculative:
+                            # The original attempt still owns the split;
+                            # a crashed speculative copy is just noise.
+                            continue
+                        failures[split] = self._on_task_failure(
+                            exc, split, job, stage_id, failures[split]
+                        )
+                        submit(split, delay=self._backoff(failures[split]))
+                        continue
+                    results[split] = value
+                    durations.append(now - started)
+                    if speculative:
+                        self.metrics.bump("speculative_wins")
+                if cfg.speculation:
+                    self._maybe_speculate(
+                        len(splits), results, inflight, speculated, durations, submit, now
+                    )
+        except BaseException:
+            # Doomed stage: stop burning the pool. Queued attempts are
+            # cancelled outright; running ones see the abort flag on
+            # their next (re)submission.
+            abort.set()
+            for fut in inflight:
+                fut.cancel()
+            raise
+        return [results[s] for s in splits]
+
+    def _maybe_speculate(
+        self,
+        total: int,
+        results: dict[int, Any],
+        inflight: dict[Future, tuple[int, bool, float]],
+        speculated: set[int],
+        durations: list[float],
+        submit: Callable[..., None],
+        now: float,
+    ) -> None:
+        cfg = self._config
+        needed = max(1, int(cfg.speculation_quantile * total))
+        if len(durations) < needed:
+            return
+        median = sorted(durations)[len(durations) // 2]
+        threshold = max(cfg.speculation_multiplier * median, 1e-3)
+        for split, speculative, started in list(inflight.values()):
+            if speculative or split in results or split in speculated:
+                continue
+            if now - started > threshold:
+                speculated.add(split)
+                self.metrics.bump("speculative_tasks")
+                submit(split, speculative=True)
+
+    # ------------------------------------------------------------------
+    # Failure policy
+    # ------------------------------------------------------------------
+
+    def _on_task_failure(
+        self,
+        exc: BaseException,
+        split: int,
+        job: JobMetrics,
+        stage_id: int,
+        failures: int,
+    ) -> int:
+        """Central per-task failure policy.
+
+        Returns the updated failure count when the task should be
+        retried; raises otherwise. Fetch failures trigger lineage
+        recomputation of the lost map outputs before the retry.
+        """
+        self.metrics.bump("task_failures")
+        fetch = _find_fetch_failure(exc)
+        if fetch is not None:
+            self.metrics.bump("fetch_failures")
+            self._recover_lost_shuffle(fetch, job)
+        transient = _find_transient(exc)
+        if transient is None and not self._config.retry_all_errors:
+            raise exc
+        failures += 1
+        if failures > self._config.task_max_retries:
+            cause = exc.cause if isinstance(exc, TaskError) else exc
+            raise RetryExhaustedError(
+                f"stage {stage_id}, partition {split}", failures, cause
+            ) from exc
+        self.metrics.bump("task_retries")
+        return failures
+
+    def _recover_lost_shuffle(self, fetch: FetchFailedError, job: JobMetrics) -> None:
+        """Lineage recomputation: re-run exactly the missing map tasks
+        of the shuffle a fetch failed against."""
+        dep = self._lineage.get(fetch.shuffle_id)
+        if dep is None:
+            # Not in this job's lineage (shouldn't happen): the retry
+            # will hit the same wall and exhaust honestly.
+            return
+        missing = self._shuffles.missing_map_indices(fetch.shuffle_id)
+        if not missing:
+            return  # another task's failure already recomputed it
+        self.metrics.bump("recomputed_map_stages")
+        self._run_map_stage(dep, job, map_indices=missing)
+
+    def _backoff(self, failures: int) -> float:
+        base = self._config.retry_backoff_s
+        if base <= 0 or failures <= 0:
+            return 0.0
+        return min(base * (2 ** (failures - 1)), _MAX_BACKOFF_S)

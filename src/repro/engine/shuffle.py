@@ -5,6 +5,13 @@ stage each map task partitions its key-value output into
 ``num_partitions`` buckets and registers them here; reduce tasks fetch
 the bucket with their index from every map output. This mirrors Spark's
 hash shuffle with all blocks held in process memory.
+
+Fault model: a fetch that finds map outputs missing — whether lost to
+the seeded injector (which deletes a victim output to simulate a died
+executor) or simply never produced — raises
+:class:`~repro.errors.FetchFailedError`. The scheduler reacts with
+lineage recomputation: :meth:`ShuffleManager.missing_map_indices` names
+exactly the map tasks to re-run.
 """
 
 from __future__ import annotations
@@ -15,7 +22,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.engine.partitioner import Partitioner
-from repro.errors import EngineError
+from repro.errors import EngineError, FetchFailedError
+from repro.faults import NULL_INJECTOR, FaultInjector
 
 
 @dataclass
@@ -73,9 +81,11 @@ class ShuffleManager:
     Thread-safe: map tasks from one stage register concurrently.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, injector: FaultInjector | None = None) -> None:
         self._lock = threading.Lock()
         self._shuffles: dict[int, _ShuffleState] = {}
+        self._injector = injector or NULL_INJECTOR
+        self.lost_map_outputs = 0
 
     def register_shuffle(self, shuffle_id: int, num_maps: int) -> None:
         """Declare a shuffle before its map stage runs (idempotent)."""
@@ -118,19 +128,50 @@ class ShuffleManager:
             state.outputs[map_index] = buckets
 
     def fetch(self, shuffle_id: int, reduce_index: int) -> Iterator[tuple[Any, Any]]:
-        """Yield all records destined for ``reduce_index``."""
+        """All records destined for ``reduce_index``.
+
+        Validates eagerly (so missing outputs fail at call time, inside
+        the fetching task) and returns an iterator over the buckets.
+        """
         with self._lock:
             state = self._shuffles.get(shuffle_id)
             if state is None:
                 raise EngineError(f"shuffle {shuffle_id} was never registered")
+            if state.complete() and self._injector.should_fire("shuffle.fetch"):
+                # Simulate a died executor: one map output vanishes and
+                # this fetch fails; the scheduler must recompute it.
+                victim = self._injector.choose(
+                    "shuffle.fetch", sorted(state.outputs)
+                )
+                del state.outputs[victim]
+                self.lost_map_outputs += 1
+                raise FetchFailedError(
+                    shuffle_id,
+                    victim,
+                    f"shuffle {shuffle_id}: map output {victim} lost (injected)",
+                )
             if not state.complete():
                 missing = state.num_maps - len(state.outputs)
-                raise EngineError(
-                    f"shuffle {shuffle_id} incomplete: {missing} map outputs missing"
+                raise FetchFailedError(
+                    shuffle_id,
+                    None,
+                    f"shuffle {shuffle_id} incomplete: {missing} map outputs missing",
                 )
             outputs = [state.outputs[i][reduce_index] for i in sorted(state.outputs)]
-        for bucket in outputs:
-            yield from bucket
+
+        def drain() -> Iterator[tuple[Any, Any]]:
+            for bucket in outputs:
+                yield from bucket
+
+        return drain()
+
+    def missing_map_indices(self, shuffle_id: int) -> list[int]:
+        """Map indices whose output is absent (lineage-recompute set)."""
+        with self._lock:
+            state = self._shuffles.get(shuffle_id)
+            if state is None:
+                return []
+            return [i for i in range(state.num_maps) if i not in state.outputs]
 
     def remove_shuffle(self, shuffle_id: int) -> None:
         """Drop all map outputs for a shuffle (GC after a job)."""

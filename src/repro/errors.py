@@ -33,6 +33,70 @@ class TaskError(EngineError):
         )
 
 
+class InjectedFault(ReproError):
+    """A fault raised on purpose by the deterministic fault injector.
+
+    Carries the injection *site* (e.g. ``"task"``, ``"broker.read"``,
+    ``"index.probe"``) so recovery code and tests can tell injected
+    chaos apart from organic failures. Injected faults are transient by
+    definition: retrying the operation may succeed.
+    """
+
+    def __init__(self, site: str):
+        self.site = site
+        super().__init__(f"injected fault at site {site!r}")
+
+
+class FetchFailedError(EngineError):
+    """A reduce task could not fetch a shuffle map output.
+
+    The Spark-equivalent of ``FetchFailedException``: the scheduler
+    reacts not by merely retrying the reduce task but by recomputing
+    the lost map outputs from lineage first.
+    """
+
+    def __init__(
+        self,
+        shuffle_id: int,
+        map_index: int | None = None,
+        message: str | None = None,
+    ):
+        self.shuffle_id = shuffle_id
+        self.map_index = map_index
+        if message is None:
+            where = "" if map_index is None else f", map output {map_index}"
+            message = f"shuffle {shuffle_id}{where}: map output(s) missing"
+        super().__init__(message)
+
+
+class RetryExhaustedError(EngineError):
+    """A transient failure persisted through every allowed retry.
+
+    Raised by the scheduler when a task keeps failing with a transient
+    cause past ``Config.task_max_retries``, and by the ingestion loop
+    when broker polling stays down past ``Config.ingest_max_retries``.
+    """
+
+    def __init__(self, site: str, attempts: int, cause: BaseException):
+        self.site = site
+        self.attempts = attempts
+        self.cause = cause
+        super().__init__(
+            f"{site} failed permanently after {attempts} attempt(s): {cause!r}"
+        )
+
+
+class StageTimeoutError(EngineError):
+    """A stage exceeded its configured deadline (``Config.stage_timeout_s``)."""
+
+    def __init__(self, stage_id: int, timeout_s: float):
+        self.stage_id = stage_id
+        self.timeout_s = timeout_s
+        super().__init__(
+            f"stage {stage_id} exceeded its deadline of {timeout_s:.3f}s"
+        )
+
+
 class AnalysisError(ReproError):
     """The SQL analyzer could not resolve or type-check a query."""
 

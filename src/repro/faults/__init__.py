@@ -1,0 +1,23 @@
+"""Deterministic fault injection for chaos-testing the engine.
+
+One seeded :class:`FaultInjector` per engine context drives every
+injection site — task crashes, stragglers, shuffle-fetch loss, broker
+delivery failures, and index-probe failures — so a chaotic run can be
+replayed exactly from its seed. See :mod:`repro.faults.injector`.
+"""
+
+from repro.faults.injector import (
+    NULL_INJECTOR,
+    SITES,
+    FaultInjector,
+    FaultProfile,
+    chaos_profile,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultProfile",
+    "chaos_profile",
+    "NULL_INJECTOR",
+    "SITES",
+]

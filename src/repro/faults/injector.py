@@ -1,0 +1,198 @@
+"""Deterministic, seeded fault injection.
+
+Chaos testing only pays off when a failing run can be replayed, so the
+injector is built around reproducibility:
+
+* every injection *site* (``"task"``, ``"shuffle.fetch"``,
+  ``"broker.read"``, ...) draws from its **own** seeded RNG stream —
+  enabling faults at one site never perturbs the fire pattern of
+  another;
+* probabilities are configured per site through a frozen
+  :class:`FaultProfile`, which travels inside
+  :class:`~repro.config.Config` so a whole session (engine, shuffle,
+  broker, indexed operators) shares one injector;
+* ``max_fires_per_site`` turns a probabilistic profile into an exact
+  one ("fail the first N times, then heal"), which most unit tests
+  prefer over statistical assertions.
+
+The injector never fires when constructed without a profile —
+:data:`NULL_INJECTOR` is the shared no-op used throughout the engine so
+hot paths pay a single attribute check.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.errors import InjectedFault
+
+#: Injection sites recognised by the engine. Anything else is legal
+#: (the injector is generic) but these are the ones wired in.
+SITES = (
+    "task",
+    "task.slow",
+    "shuffle.fetch",
+    "broker.read",
+    "broker.commit",
+    "index.probe",
+)
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Per-site fault probabilities plus the seed that fixes the run.
+
+    All probabilities default to zero, so a profile only injects what a
+    test explicitly asks for.
+    """
+
+    #: Seed for every per-site RNG stream. Two injectors built from the
+    #: same profile produce identical fire sequences.
+    seed: int = 0
+    #: P(task attempt crashes with an :class:`InjectedFault`).
+    task_crash_p: float = 0.0
+    #: P(task attempt is a straggler, sleeping ``slow_delay_s``).
+    task_slow_p: float = 0.0
+    #: Straggler sleep duration in seconds.
+    slow_delay_s: float = 0.005
+    #: P(a shuffle fetch loses one map output and fails).
+    shuffle_loss_p: float = 0.0
+    #: P(a broker read fails before returning records).
+    broker_read_p: float = 0.0
+    #: P(a consumer-offset commit fails on the broker).
+    broker_commit_p: float = 0.0
+    #: P(an index probe — cTrie lookup or indexed-join probe — fails).
+    index_probe_p: float = 0.0
+    #: Cap on fires per site; ``None`` means unbounded. With a
+    #: probability of 1.0 this gives "fail exactly N times" semantics.
+    max_fires_per_site: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "task_crash_p",
+            "task_slow_p",
+            "shuffle_loss_p",
+            "broker_read_p",
+            "broker_commit_p",
+            "index_probe_p",
+        ):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.slow_delay_s < 0:
+            raise ValueError("slow_delay_s must be non-negative")
+        if self.max_fires_per_site is not None and self.max_fires_per_site < 0:
+            raise ValueError("max_fires_per_site must be non-negative (or None)")
+
+    def probability(self, site: str) -> float:
+        return {
+            "task": self.task_crash_p,
+            "task.slow": self.task_slow_p,
+            "shuffle.fetch": self.shuffle_loss_p,
+            "broker.read": self.broker_read_p,
+            "broker.commit": self.broker_commit_p,
+            "index.probe": self.index_probe_p,
+        }.get(site, 0.0)
+
+
+def chaos_profile(seed: int = 1337, max_fires_per_site: int | None = None) -> FaultProfile:
+    """The standard chaos mix used by the acceptance suite and CI:
+    task crashes at 0.2, shuffle-fetch loss at 0.1, broker delivery
+    failures at 0.1 — all driven by one fixed seed."""
+    return FaultProfile(
+        seed=seed,
+        task_crash_p=0.2,
+        shuffle_loss_p=0.1,
+        broker_read_p=0.1,
+        broker_commit_p=0.1,
+        max_fires_per_site=max_fires_per_site,
+    )
+
+
+class FaultInjector:
+    """Seeded decision-maker consulted at every injection site.
+
+    Thread-safe: concurrent tasks draw from the per-site streams under
+    a lock, and fire counts are exposed through :meth:`stats`.
+    """
+
+    def __init__(self, profile: FaultProfile | None = None):
+        self.profile = profile
+        self._lock = threading.Lock()
+        self._rngs: dict[str, random.Random] = {}
+        self._fired: dict[str, int] = {}
+        if profile is not None:
+            for site in SITES:
+                # str-seeding is stable across processes (hashlib-based),
+                # and one stream per site keeps sites independent.
+                self._rngs[site] = random.Random(f"{profile.seed}:{site}")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self.profile is not None
+
+    def should_fire(self, site: str) -> bool:
+        """Draw from the site's stream; True when a fault should occur."""
+        profile = self.profile
+        if profile is None:
+            return False
+        p = profile.probability(site)
+        if p <= 0.0:
+            return False
+        with self._lock:
+            if (
+                profile.max_fires_per_site is not None
+                and self._fired.get(site, 0) >= profile.max_fires_per_site
+            ):
+                return False
+            rng = self._rngs.get(site)
+            if rng is None:  # unknown site: dedicated stream on demand
+                rng = self._rngs[site] = random.Random(f"{profile.seed}:{site}")
+            fired = rng.random() < p
+            if fired:
+                self._fired[site] = self._fired.get(site, 0) + 1
+            return fired
+
+    def maybe_fail(self, site: str) -> None:
+        """Raise :class:`InjectedFault` when the site's draw fires."""
+        if self.should_fire(site):
+            raise InjectedFault(site)
+
+    def maybe_delay(self, site: str = "task.slow") -> None:
+        """Sleep ``slow_delay_s`` when the straggler draw fires."""
+        if self.should_fire(site):
+            assert self.profile is not None
+            time.sleep(self.profile.slow_delay_s)
+
+    def choose(self, site: str, options: Sequence[Any]) -> Any:
+        """Pick a victim (e.g. which map output to lose) from the
+        site's stream, keeping the whole fault deterministic."""
+        if not options:
+            raise ValueError("no options to choose a fault victim from")
+        profile = self.profile
+        if profile is None:
+            return options[0]
+        with self._lock:
+            rng = self._rngs.setdefault(
+                site, random.Random(f"{profile.seed}:{site}")
+            )
+            return rng.choice(list(options))
+
+    def stats(self) -> dict[str, int]:
+        """Fires per site so far (sites that never fired are absent)."""
+        with self._lock:
+            return dict(self._fired)
+
+    def __repr__(self) -> str:
+        state = "disabled" if self.profile is None else f"seed={self.profile.seed}"
+        return f"FaultInjector({state})"
+
+
+#: Shared no-op injector: ``should_fire`` is a two-branch fast path.
+NULL_INJECTOR = FaultInjector(None)

@@ -123,12 +123,22 @@ def extract_equi_join_keys(
 
 
 class Planner:
-    """Turns optimized logical plans into physical plans."""
+    """Turns optimized logical plans into physical plans.
+
+    Extension strategies are *advisory*: one that raises is skipped
+    (counted in :attr:`strategy_failures`) and planning degrades to the
+    next strategy, ultimately the built-in :func:`basic_strategy` — a
+    buggy injected strategy can cost the indexed fast path but never a
+    query. Failures of the final strategy propagate: with nothing left
+    to fall back to, swallowing them would only obscure the error.
+    """
 
     def __init__(self, session: "object", extra_strategies: Sequence[Strategy] | None = None):
         self.session = session
         self.strategies: list[Strategy] = list(extra_strategies or [])
         self.strategies.append(basic_strategy)
+        self.strategy_failures = 0
+        self.last_strategy_error: BaseException | None = None
 
     @property
     def ctx(self):  # noqa: ANN201 - EngineContext, avoids circular import
@@ -139,8 +149,16 @@ class Planner:
         return self.session.config  # type: ignore[attr-defined]
 
     def plan(self, logical: LogicalPlan) -> PhysicalPlan:
-        for strategy in self.strategies:
-            physical = strategy(logical, self)
+        last = len(self.strategies) - 1
+        for position, strategy in enumerate(self.strategies):
+            try:
+                physical = strategy(logical, self)
+            except Exception as exc:
+                if position == last:
+                    raise
+                self.strategy_failures += 1
+                self.last_strategy_error = exc
+                continue
             if physical is not None:
                 return physical
         raise PlanningError(f"no strategy produced a plan for:\n{logical.pretty()}")

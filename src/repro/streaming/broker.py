@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Any, Sequence
 
 from repro.errors import StreamingError
+from repro.faults import NULL_INJECTOR, FaultInjector
 
 
 @dataclass(frozen=True)
@@ -47,11 +48,19 @@ class _PartitionLog:
 
 
 class Broker:
-    """Holds every topic's partition logs."""
+    """Holds every topic's partition logs.
 
-    def __init__(self) -> None:
+    An optional :class:`~repro.faults.FaultInjector` simulates delivery
+    failures: reads and offset commits raise
+    :class:`~repro.errors.InjectedFault` when their site fires. The log
+    itself is never corrupted — exactly like a network fault in front
+    of a durable Kafka partition — so retries always see intact data.
+    """
+
+    def __init__(self, injector: FaultInjector | None = None) -> None:
         self._topics: dict[str, list[_PartitionLog]] = {}
         self._lock = threading.Lock()
+        self._injector = injector or NULL_INJECTOR
         # Committed consumer-group offsets live on the broker (as in
         # Kafka), keyed by (group, topic) → {partition: offset}.
         self._committed: dict[tuple[str, str], dict[int, int]] = {}
@@ -97,6 +106,7 @@ class Broker:
         self, tp: TopicPartition, offset: int, max_records: int
     ) -> Sequence[Record]:
         """Records from ``offset`` (inclusive), at most ``max_records``."""
+        self._injector.maybe_fail("broker.read")
         logs = self._logs(tp.topic)
         log = logs[tp.partition]
         with log.lock:
@@ -125,5 +135,6 @@ class Broker:
     def commit_offsets(
         self, group: str, topic: str, positions: dict[int, int]
     ) -> None:
+        self._injector.maybe_fail("broker.commit")
         with self._lock:
             self._committed[(group, topic)] = dict(positions)

@@ -15,6 +15,15 @@ class Consumer:
     so a new consumer in the same group resumes where this one left
     off. Without commit, an uncommitted consumer restarts from the
     committed (or zero) offsets — Kafka's at-least-once shape.
+
+    Two fault-tolerance properties:
+
+    * **atomic polls** — positions advance only after every partition
+      read succeeded, so a broker failure mid-poll never skips records
+      that were fetched but not delivered to the caller;
+    * **fair rotation** — the starting partition rotates across polls,
+      so a small ``max_records`` cannot starve high-numbered partitions
+      behind a constantly-refilling partition 0.
     """
 
     def __init__(self, broker: Broker, topic: str, group: str = "default"):
@@ -25,27 +34,60 @@ class Consumer:
         self._positions = {
             p: committed.get(p, 0) for p in range(broker.num_partitions(topic))
         }
+        self._start = 0
 
     def poll(self, max_records: int = 100) -> list[Record]:
-        """Fetch up to ``max_records``, round-robining partitions."""
+        """Fetch up to ``max_records``, round-robining partitions.
+
+        All-or-nothing: a broker failure on any partition leaves every
+        position untouched, so the next poll re-reads the same records.
+        """
+        partitions = sorted(self._positions)
+        n = len(partitions)
+        if n == 0:
+            return []
+        order = partitions[self._start % n :] + partitions[: self._start % n]
+        new_positions = dict(self._positions)
         out: list[Record] = []
         remaining = max_records
-        for partition, position in sorted(self._positions.items()):
+        for partition in order:
             if remaining <= 0:
                 break
             records = self.broker.read(
-                TopicPartition(self.topic, partition), position, remaining
+                TopicPartition(self.topic, partition),
+                new_positions[partition],
+                remaining,
             )
             if records:
                 out.extend(records)
-                self._positions[partition] = records[-1].offset + 1
+                new_positions[partition] = records[-1].offset + 1
                 remaining -= len(records)
+        # Commit the advance only now that every read succeeded.
+        self._positions = new_positions
+        self._start = (self._start + 1) % n
         return out
 
     def commit(self) -> None:
         """Persist current positions for the consumer group (stored on
         the broker, as Kafka does)."""
         self.broker.commit_offsets(self.group, self.topic, self._positions)
+
+    def seek(self, positions: dict[int, int]) -> None:
+        """Rewind/advance in-memory positions (per-partition offsets).
+
+        Partitions absent from ``positions`` keep their position. Used
+        by supervised consumers to replay from their applied watermark
+        after a mid-batch failure.
+        """
+        for partition, offset in positions.items():
+            if partition in self._positions:
+                self._positions[partition] = offset
+
+    def rollback_to_committed(self) -> None:
+        """Reset in-memory positions to the group's committed offsets —
+        what a crash-and-restart of this consumer would observe."""
+        committed = self.broker.committed_offsets(self.group, self.topic)
+        self._positions = {p: committed.get(p, 0) for p in self._positions}
 
     def lag(self) -> int:
         """Records available but not yet polled."""

@@ -1,0 +1,100 @@
+"""Determinism and independence properties of the fault injector."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import InjectedFault
+from repro.faults import NULL_INJECTOR, SITES, FaultInjector, FaultProfile, chaos_profile
+
+
+def draws(injector: FaultInjector, site: str, n: int = 200) -> list[bool]:
+    return [injector.should_fire(site) for _ in range(n)]
+
+
+class TestDeterminism:
+    def test_same_profile_same_sequence(self):
+        profile = FaultProfile(seed=11, task_crash_p=0.3, shuffle_loss_p=0.3)
+        a = FaultInjector(profile)
+        b = FaultInjector(profile)
+        for site in ("task", "shuffle.fetch"):
+            assert draws(a, site) == draws(b, site)
+
+    def test_different_seeds_diverge(self):
+        a = FaultInjector(FaultProfile(seed=1, task_crash_p=0.5))
+        b = FaultInjector(FaultProfile(seed=2, task_crash_p=0.5))
+        assert draws(a, "task") != draws(b, "task")
+
+    def test_sites_are_independent_streams(self):
+        # Enabling (and drawing from) a second site must not perturb the
+        # first site's fire pattern.
+        both = FaultInjector(FaultProfile(seed=7, task_crash_p=0.4, shuffle_loss_p=0.9))
+        only = FaultInjector(FaultProfile(seed=7, task_crash_p=0.4))
+        interleaved = []
+        for _ in range(200):
+            both.should_fire("shuffle.fetch")
+            interleaved.append(both.should_fire("task"))
+        assert interleaved == draws(only, "task")
+
+    def test_choose_is_deterministic(self):
+        profile = FaultProfile(seed=3, shuffle_loss_p=1.0)
+        a = FaultInjector(profile)
+        b = FaultInjector(profile)
+        options = list(range(10))
+        assert [a.choose("shuffle.fetch", options) for _ in range(50)] == [
+            b.choose("shuffle.fetch", options) for _ in range(50)
+        ]
+
+
+class TestFiring:
+    def test_max_fires_caps_exactly(self):
+        injector = FaultInjector(FaultProfile(seed=0, task_crash_p=1.0, max_fires_per_site=3))
+        assert draws(injector, "task", 10) == [True] * 3 + [False] * 7
+        assert injector.stats() == {"task": 3}
+
+    def test_maybe_fail_raises_with_site(self):
+        injector = FaultInjector(FaultProfile(seed=0, broker_read_p=1.0))
+        with pytest.raises(InjectedFault, match="broker.read"):
+            injector.maybe_fail("broker.read")
+
+    def test_zero_probability_never_fires(self):
+        injector = FaultInjector(FaultProfile(seed=0, task_crash_p=1.0))
+        assert not any(draws(injector, "shuffle.fetch"))
+        assert not any(draws(injector, "unknown.site"))
+
+    def test_maybe_delay_sleeps(self):
+        injector = FaultInjector(
+            FaultProfile(seed=0, task_slow_p=1.0, slow_delay_s=0.02, max_fires_per_site=1)
+        )
+        start = time.monotonic()
+        injector.maybe_delay()
+        assert time.monotonic() - start >= 0.015
+        # Capped: the second call must not sleep.
+        start = time.monotonic()
+        injector.maybe_delay()
+        assert time.monotonic() - start < 0.015
+
+    def test_approximate_rate(self):
+        injector = FaultInjector(FaultProfile(seed=5, task_crash_p=0.25))
+        fired = sum(draws(injector, "task", 2000))
+        assert 350 < fired < 650  # ~500 expected
+
+
+class TestDisabled:
+    def test_null_injector_is_inert(self):
+        assert not NULL_INJECTOR.enabled
+        assert not NULL_INJECTOR.should_fire("task")
+        NULL_INJECTOR.maybe_fail("task")  # no raise
+        NULL_INJECTOR.maybe_delay()
+        assert NULL_INJECTOR.stats() == {}
+
+    def test_chaos_profile_mix(self):
+        profile = chaos_profile(seed=1337)
+        assert profile.task_crash_p == pytest.approx(0.2)
+        assert profile.shuffle_loss_p == pytest.approx(0.1)
+        assert profile.broker_read_p == pytest.approx(0.1)
+        assert profile.broker_commit_p == pytest.approx(0.1)
+        for site in SITES:
+            assert profile.probability(site) >= 0.0
