@@ -71,5 +71,14 @@ def result_sink() -> ResultSink:
 
     sys.__stdout__.write("\n" + text + "\n")
     path = os.path.join(os.path.dirname(__file__), "figures.txt")
+    # Preserve the BENCH_PR2.json schema section run_bench.py maintains
+    # at the end of the file; only the figure tables are rewritten.
+    tail = ""
+    if os.path.exists(path):
+        with open(path) as fh:
+            old = fh.read()
+        marker_at = old.find("==== BENCH_PR2.json schema ====")
+        if marker_at != -1:
+            tail = "\n" + old[marker_at:]
     with open(path, "w") as fh:
-        fh.write(text + "\n")
+        fh.write(text + "\n" + tail)

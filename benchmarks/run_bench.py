@@ -1,0 +1,301 @@
+#!/usr/bin/env python
+"""Benchmark-regression harness: interpreted vs compiled hot paths.
+
+Runs the Figure-2-style operator microbenchmarks twice — once with
+``Config.codegen_enabled=False`` (the interpreted row-at-a-time paths)
+and once with it on (compiled batch kernels + bulk row decoders) — and
+writes ``BENCH_PR2.json`` at the repo root. The JSON schema is
+documented in ``benchmarks/figures.txt``.
+
+Usage::
+
+    python benchmarks/run_bench.py                  # full scale, writes BENCH_PR2.json
+    python benchmarks/run_bench.py --scale 0.05     # CI smoke scale
+    python benchmarks/run_bench.py --check          # nonzero exit if compiled
+                                                    # is slower on filter_project
+
+Single-threaded executors and few partitions on purpose: the harness
+measures per-row expression evaluation and row decoding, so engine
+overhead (scheduling, shuffling) is kept off the critical path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import codegen  # noqa: E402
+from repro.config import Config  # noqa: E402
+from repro.core import create_index, enable_indexing  # noqa: E402
+from repro.sql import Session  # noqa: E402
+from repro.sql.functions import col, count  # noqa: E402
+from repro.sql.types import (  # noqa: E402
+    DoubleType,
+    LongType,
+    StringType,
+    StructField,
+    StructType,
+)
+
+#: Rows at ``--scale 1.0``.
+BASE_ROWS = 120_000
+#: Point lookups per round of the index_lookup op.
+BASE_LOOKUPS = 2_000
+
+SCHEMA = StructType(
+    [
+        StructField("id", LongType()),
+        StructField("score", DoubleType()),
+        StructField("age", LongType()),
+        StructField("name", StringType()),
+        StructField("city", StringType()),
+    ]
+)
+
+CITIES = ["amsterdam", "bremen", "cardiff", "dresden", "eindhoven", "florence"]
+
+
+def make_rows(n: int, seed: int = 42) -> list[tuple]:
+    rng = random.Random(seed)
+    rows = []
+    for i in range(n):
+        rows.append(
+            (
+                i,
+                rng.random(),
+                rng.randint(18, 90),
+                f"person_{i:08d}",
+                CITIES[i % len(CITIES)],
+            )
+        )
+    return rows
+
+
+def make_session(codegen_enabled: bool) -> Session:
+    session = Session(
+        Config(
+            executor_threads=1,
+            shuffle_partitions=2,
+            default_parallelism=2,
+            batch_size_bytes=1024 * 1024,
+            codegen_enabled=codegen_enabled,
+        )
+    )
+    enable_indexing(session)
+    return session
+
+
+def build_ops(rows: list[tuple], lookups: int, codegen_enabled: bool) -> dict:
+    """``op name → (callable, rows processed per call)``.
+
+    Each callable runs a complete query (plan + execute + materialize)
+    against a session configured for one evaluation mode.
+    """
+    session = make_session(codegen_enabled)
+    df = session.create_dataframe(rows, SCHEMA, validate=False).cache()
+    indexed = create_index(df, "id")
+    keys = [row[0] for row in rows[:: max(1, len(rows) // lookups)]][:lookups]
+
+    def filter_project() -> int:
+        out = (
+            df.filter((col("score") > 0.25) & (col("age") < 80))
+            .select(
+                col("name"),
+                (col("score") * col("age")).alias("weighted"),
+            )
+            .collect_tuples()
+        )
+        return len(out)
+
+    def lookup_scan() -> int:
+        # Full decode of the indexed row batches back to tuples — the
+        # transformToRowRDD path every non-indexed operator rides on.
+        return len(indexed.to_df().collect_tuples())
+
+    def index_lookup() -> int:
+        # One engine query with an IN-list of keys: the optimizer
+        # rewrites it to IndexLookupExec, whose per-partition probe is
+        # the cTrie walk + (bulk) row decode.
+        return len(
+            indexed.to_df()
+            .filter(col("id").isin(*keys))
+            .collect_tuples()
+        )
+
+    def hash_aggregate() -> int:
+        return len(
+            df.group_by("city").agg(count().alias("n")).collect_tuples()
+        )
+
+    return {
+        "filter_project": (filter_project, len(rows)),
+        "lookup_scan": (lookup_scan, len(rows)),
+        "index_lookup": (index_lookup, len(keys)),
+        "hash_aggregate": (hash_aggregate, len(rows)),
+    }
+
+
+#: First line of the schema section in figures.txt — run_bench refreshes
+#: everything from this marker on; the pytest bench suite (conftest.py)
+#: preserves it when rewriting the figure tables above it.
+SCHEMA_MARKER = "==== BENCH_PR2.json schema ===="
+
+SCHEMA_DOC = (
+    SCHEMA_MARKER
+    + """
+Written by benchmarks/run_bench.py to BENCH_PR2.json at the repo root.
+
+{
+  "meta": {
+    "bench":   harness title,
+    "scale":   row-count multiplier (1.0 = 120000 rows),
+    "rows":    rows in the benchmark dataset,
+    "lookups": keys in the index_lookup IN-list,
+    "rounds":  timed rounds per op (median reported),
+    "seed":    RNG seed for row generation,
+    "python":  interpreter version,
+    "codegen": {"compiled": <kernels compiled>,
+                "fallbacks": <interpreter fallbacks>}
+  },
+  "ops": {
+    <op>: {          # filter_project | lookup_scan | index_lookup |
+                     # hash_aggregate
+      "rows":                   rows processed per call,
+      "rounds":                 timed rounds,
+      "interpreted_ms":         median latency, codegen_enabled=False,
+      "compiled_ms":            median latency, codegen_enabled=True,
+      "speedup":                interpreted_ms / compiled_ms,
+      "interpreted_rows_per_s": throughput at the interpreted median,
+      "compiled_rows_per_s":    throughput at the compiled median
+    }
+  }
+}
+
+Regenerate: python benchmarks/run_bench.py [--scale F] [--rounds N]
+[--seed N] [--out PATH] [--check]. --check exits nonzero if the
+compiled path is slower than interpreted on filter_project.
+"""
+)
+
+
+def ensure_schema_doc(path: Path) -> None:
+    """Refresh the schema section at the end of ``figures.txt``.
+
+    Everything before the marker (the figure tables the pytest bench
+    suite writes) is left alone.
+    """
+    text = path.read_text() if path.exists() else ""
+    marker_at = text.find(SCHEMA_MARKER)
+    if marker_at != -1:
+        text = text[:marker_at]
+    head = text.rstrip()
+    if head:
+        head += "\n\n"
+    path.write_text(head + SCHEMA_DOC)
+
+
+def time_op(fn, rounds: int) -> list[float]:
+    fn()  # warmup: compile kernels, populate caches, settle allocator
+    samples = []
+    for _ in range(rounds):
+        # Each round materializes row lists large enough to trigger
+        # collection mid-sample; collect between rounds and keep the
+        # collector out of the timed region so medians are stable.
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            fn()
+            samples.append((time.perf_counter() - start) * 1000.0)
+        finally:
+            gc.enable()
+    return samples
+
+
+def run(scale: float, rounds: int, seed: int) -> dict:
+    n = max(1000, int(BASE_ROWS * scale))
+    lookups = max(50, int(BASE_LOOKUPS * scale))
+    rows = make_rows(n, seed)
+
+    interpreted = build_ops(rows, lookups, codegen_enabled=False)
+    compiled = build_ops(rows, lookups, codegen_enabled=True)
+    codegen.reset_stats()
+
+    ops: dict[str, dict] = {}
+    for name in interpreted:
+        fn_i, work = interpreted[name]
+        fn_c, _ = compiled[name]
+        med_i = statistics.median(time_op(fn_i, rounds))
+        med_c = statistics.median(time_op(fn_c, rounds))
+        ops[name] = {
+            "rows": work,
+            "rounds": rounds,
+            "interpreted_ms": round(med_i, 3),
+            "compiled_ms": round(med_c, 3),
+            "speedup": round(med_i / med_c, 3) if med_c > 0 else None,
+            "interpreted_rows_per_s": round(work / (med_i / 1000.0)) if med_i > 0 else None,
+            "compiled_rows_per_s": round(work / (med_c / 1000.0)) if med_c > 0 else None,
+        }
+        print(
+            f"{name:16s} interpreted {med_i:9.2f} ms   "
+            f"compiled {med_c:9.2f} ms   speedup {ops[name]['speedup']:.2f}x"
+        )
+
+    stats = codegen.stats()
+    return {
+        "meta": {
+            "bench": "PR2 interpreted-vs-compiled operator microbenchmarks",
+            "scale": scale,
+            "rows": n,
+            "lookups": lookups,
+            "rounds": rounds,
+            "seed": seed,
+            "python": sys.version.split()[0],
+            "codegen": {"compiled": stats.compiled, "fallbacks": stats.fallbacks},
+        },
+        "ops": ops,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="row-count multiplier (1.0 = %d rows)" % BASE_ROWS)
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="timed rounds per op (median reported)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_PR2.json")
+    parser.add_argument("--check", action="store_true",
+                        help="exit nonzero if the compiled path is slower than "
+                             "interpreted on the filter_project op")
+    args = parser.parse_args(argv)
+
+    result = run(args.scale, args.rounds, args.seed)
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    ensure_schema_doc(Path(__file__).resolve().parent / "figures.txt")
+
+    if args.check:
+        speedup = result["ops"]["filter_project"]["speedup"]
+        if speedup is None or speedup < 1.0:
+            print(
+                f"REGRESSION: compiled filter_project is slower than "
+                f"interpreted (speedup {speedup})",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"check ok: filter_project speedup {speedup:.2f}x >= 1.0")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

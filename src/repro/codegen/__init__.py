@@ -1,0 +1,52 @@
+"""Compiled expression evaluation and batch decoders.
+
+The whole-stage-codegen analogue for the repro engine: bound
+:class:`~repro.sql.expressions.Expression` trees are lowered to Python
+source, compiled once, and applied batch-at-a-time by the physical
+operators. Anything the compiler does not understand falls back to the
+interpreted ``Expression.eval`` path — codegen trades speed, never
+correctness, and it never changes fault-injection behaviour.
+
+See :mod:`repro.codegen.compiler` for the expression compiler and
+:mod:`repro.codegen.decoders` for the per-schema bulk row decoders.
+"""
+
+from repro.codegen.compiler import (
+    DEFAULT_CHUNK_ROWS,
+    CodegenStats,
+    chunked,
+    compile_filter_project_kernel,
+    compile_key_extractor,
+    compile_predicate,
+    compile_projection,
+    compile_value,
+    key_fn,
+    predicate_fn,
+    projection_fn,
+    reset_stats,
+    stats,
+    try_filter_project_kernel,
+    value_fn,
+)
+from repro.codegen.decoders import build_batch_decoder
+from repro.errors import CodegenError
+
+__all__ = [
+    "DEFAULT_CHUNK_ROWS",
+    "CodegenError",
+    "CodegenStats",
+    "build_batch_decoder",
+    "chunked",
+    "compile_filter_project_kernel",
+    "compile_key_extractor",
+    "compile_predicate",
+    "compile_projection",
+    "compile_value",
+    "key_fn",
+    "predicate_fn",
+    "projection_fn",
+    "reset_stats",
+    "stats",
+    "try_filter_project_kernel",
+    "value_fn",
+]

@@ -1,0 +1,610 @@
+"""Expression → Python source compiler (the whole-stage-codegen analogue).
+
+A *bound* expression tree (one whose leaves are
+:class:`~repro.sql.expressions.BoundReference` ordinals) is lowered to
+a straight-line sequence of Python statements operating on a row tuple
+``r``, compiled once with :func:`compile`, and called per row without
+any tree walking. SQL three-valued logic is preserved exactly: the
+generated code branches on ``None`` in the same order the interpreter
+does, so a compiled kernel never evaluates a sub-expression the
+interpreter would have skipped.
+
+Four kernel shapes are produced:
+
+* :func:`compile_predicate` / :func:`compile_projection` — per-row
+  functions (used by join residual conditions and sort keys);
+* :func:`compile_filter_project_kernel` — the fused batch kernel: one
+  generated loop applying filter + projection to a chunk of rows and
+  returning the surviving output tuples (Spark's fused
+  ``WholeStageCodegen(Filter, Project)`` stage);
+* :func:`compile_key_extractor` — composite grouping / join key
+  extraction, optionally folding a NULL component into ``None`` (the
+  SQL join-key semantics).
+
+Every ``try_*`` / ``*_fn`` wrapper falls back to the interpreted
+``Expression.eval`` path on *any* compile error, records the fallback
+in :data:`STATS`, and logs it — an unsupported node costs speed, never
+correctness (and never disturbs fault-injection behaviour, because the
+interpreted operators are what the chaos suite certifies).
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+import threading
+import warnings
+from dataclasses import dataclass, field
+from itertools import islice
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+import logging
+
+from repro.errors import CodegenError
+from repro.sql import expressions as E
+
+logger = logging.getLogger("repro.codegen")
+
+#: Rows handed to a fused kernel per call; bounds peak memory while
+#: keeping the per-chunk Python-loop overhead negligible.
+DEFAULT_CHUNK_ROWS = 1024
+
+_fn_ids = itertools.count(1)
+
+
+# ----------------------------------------------------------------------
+# Statistics
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CodegenStats:
+    """Counters for compiled kernels and interpreter fallbacks."""
+
+    compiled: int = 0
+    fallbacks: int = 0
+    last_error: str | None = None
+    fallback_kinds: dict[str, int] = field(default_factory=dict)
+
+    def snapshot(self) -> "CodegenStats":
+        return CodegenStats(
+            self.compiled, self.fallbacks, self.last_error, dict(self.fallback_kinds)
+        )
+
+
+STATS = CodegenStats()
+_stats_lock = threading.Lock()
+
+
+def stats() -> CodegenStats:
+    """A point-in-time copy of the global codegen counters."""
+    with _stats_lock:
+        return STATS.snapshot()
+
+
+def reset_stats() -> None:
+    with _stats_lock:
+        STATS.compiled = 0
+        STATS.fallbacks = 0
+        STATS.last_error = None
+        STATS.fallback_kinds.clear()
+
+
+def _note_compiled() -> None:
+    with _stats_lock:
+        STATS.compiled += 1
+
+
+def _note_fallback(kind: str, expr: object, exc: BaseException) -> None:
+    with _stats_lock:
+        STATS.fallbacks += 1
+        STATS.last_error = f"{kind}: {exc}"
+        STATS.fallback_kinds[kind] = STATS.fallback_kinds.get(kind, 0) + 1
+    logger.warning(
+        "codegen fallback (%s) for %r: %s — using the interpreted path",
+        kind,
+        expr,
+        exc,
+    )
+
+
+# ----------------------------------------------------------------------
+# Source emission
+# ----------------------------------------------------------------------
+
+
+class _Emitter:
+    """Accumulates indented statements, temps, and a constant pool."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.depth = 1
+        self._temps = itertools.count(1)
+        self.consts: list[Any] = []
+
+    def temp(self) -> str:
+        return f"t{next(self._temps)}"
+
+    def line(self, text: str) -> None:
+        self.lines.append("    " * self.depth + text)
+
+    def const(self, value: Any) -> str:
+        """Bind ``value`` into the function via a default argument."""
+        self.consts.append(value)
+        return f"_k{len(self.consts) - 1}"
+
+    class _Block:
+        def __init__(self, emitter: "_Emitter") -> None:
+            self.emitter = emitter
+
+        def __enter__(self) -> None:
+            self.emitter.depth += 1
+
+        def __exit__(self, *exc: Any) -> None:
+            self.emitter.depth -= 1
+
+    def block(self) -> "_Emitter._Block":
+        return _Emitter._Block(self)
+
+
+def _unsupported(expr: E.Expression, why: str) -> CodegenError:
+    return CodegenError(f"cannot compile {type(expr).__name__} ({why}): {expr!r}")
+
+
+def _gen(expr: E.Expression, em: _Emitter) -> str:
+    """Emit statements evaluating ``expr``; returns the result atom.
+
+    The atom is either a temp variable, a tuple index ``r[i]``, or a
+    literal — always side-effect free and cheap to re-read.
+    """
+    if isinstance(expr, E.Alias):
+        return _gen(expr.child, em)
+
+    if isinstance(expr, E.BoundReference):
+        return f"r[{expr.ordinal}]"
+
+    if isinstance(expr, E.Literal):
+        value = expr.value
+        if value is None or isinstance(value, (bool, int, str)):
+            return repr(value)
+        if isinstance(value, float):
+            # repr of inf/nan is not valid source; pool those.
+            if value == value and value not in (float("inf"), float("-inf")):
+                return repr(value)
+        return em.const(value)
+
+    if isinstance(expr, E.Not):
+        a = _gen(expr.child, em)
+        v = em.temp()
+        em.line(f"{v} = (not {a}) if {a} is not None else None")
+        return v
+
+    if isinstance(expr, E.UnaryMinus):
+        a = _gen(expr.child, em)
+        v = em.temp()
+        em.line(f"{v} = -({a}) if {a} is not None else None")
+        return v
+
+    if isinstance(expr, E.IsNull):
+        a = _gen(expr.child, em)
+        v = em.temp()
+        em.line(f"{v} = {a} is None")
+        return v
+
+    if isinstance(expr, E.IsNotNull):
+        a = _gen(expr.child, em)
+        v = em.temp()
+        em.line(f"{v} = {a} is not None")
+        return v
+
+    if isinstance(expr, E.Cast):
+        caster = E.Cast._casters.get(expr.dtype.name)
+        if caster is None:
+            raise _unsupported(expr, f"no caster for {expr.dtype.name}")
+        a = _gen(expr.child, em)
+        fn = em.const(caster)
+        v = em.temp()
+        em.line(f"if {a} is None:")
+        with em.block():
+            em.line(f"{v} = None")
+        em.line("else:")
+        with em.block():
+            em.line("try:")
+            with em.block():
+                em.line(f"{v} = {fn}({a})")
+            em.line("except (TypeError, ValueError):")
+            with em.block():
+                em.line(f"{v} = None")
+        return v
+
+    if isinstance(expr, (E.BinaryArithmetic, E.BinaryComparison)):
+        return _gen_binary(expr, em)
+
+    if isinstance(expr, E.And):
+        return _gen_and_or(expr, em, short="False", both="True")
+
+    if isinstance(expr, E.Or):
+        return _gen_and_or(expr, em, short="True", both="False")
+
+    if isinstance(expr, E.In):
+        return _gen_in(expr, em)
+
+    if isinstance(expr, E.Like):
+        return _gen_like(expr, em)
+
+    if isinstance(expr, E.CaseWhen):
+        v = em.temp()
+        _gen_case(expr, 0, v, em)
+        return v
+
+    if isinstance(expr, E.Coalesce):
+        v = em.temp()
+        _gen_coalesce(expr.children, 0, v, em)
+        return v
+
+    if isinstance(expr, E.ScalarFunction):
+        v = em.temp()
+        fn = em.const(expr.fn)
+        _gen_scalar_call(expr.children, 0, [], fn, v, em)
+        return v
+
+    raise _unsupported(expr, "unsupported node type")
+
+
+def _gen_binary(expr: E.BinaryExpression, em: _Emitter) -> str:
+    """Null-propagating infix op; the right side is only evaluated when
+    the left is non-NULL, matching the interpreter's laziness."""
+    a = _gen(expr.left, em)
+    v = em.temp()
+    em.line(f"if {a} is None:")
+    with em.block():
+        em.line(f"{v} = None")
+    em.line("else:")
+    with em.block():
+        b = _gen(expr.right, em)
+        em.line(f"if {b} is None:")
+        with em.block():
+            em.line(f"{v} = None")
+        em.line("else:")
+        with em.block():
+            if isinstance(expr, E.Divide):
+                em.line(f"{v} = None if {b} == 0 else {a} / {b}")
+            elif isinstance(expr, E.Modulo):
+                em.line(f"{v} = None if {b} == 0 else {a} % {b}")
+            else:
+                op = getattr(type(expr), "py_op", None)
+                if op is None:
+                    raise _unsupported(expr, "no py_op token")
+                em.line(f"{v} = {a} {op} {b}")
+    return v
+
+
+def _gen_and_or(expr: E.BinaryExpression, em: _Emitter, short: str, both: str) -> str:
+    """Kleene AND/OR: ``short`` is the dominating value (False for AND,
+    True for OR), ``both`` the value when neither side dominates."""
+    a = _gen(expr.left, em)
+    v = em.temp()
+    em.line(f"if {a} is {short}:")
+    with em.block():
+        em.line(f"{v} = {short}")
+    em.line("else:")
+    with em.block():
+        b = _gen(expr.right, em)
+        em.line(f"if {b} is {short}:")
+        with em.block():
+            em.line(f"{v} = {short}")
+        em.line(f"elif {a} is None or {b} is None:")
+        with em.block():
+            em.line(f"{v} = None")
+        em.line("else:")
+        with em.block():
+            em.line(f"{v} = {both}")
+    return v
+
+
+def _gen_in(expr: E.In, em: _Emitter) -> str:
+    if not all(isinstance(o, E.Literal) for o in expr.options):
+        raise _unsupported(expr, "non-literal IN list")
+    values = [o.value for o in expr.options]  # type: ignore[union-attr]
+    saw_null = any(v is None for v in values)
+    members = em.const(frozenset(v for v in values if v is not None))
+    a = _gen(expr.value, em)
+    v = em.temp()
+    miss = "None" if saw_null else "False"
+    em.line(f"if {a} is None:")
+    with em.block():
+        em.line(f"{v} = None")
+    em.line("else:")
+    with em.block():
+        em.line(f"{v} = True if {a} in {members} else {miss}")
+    return v
+
+
+def _gen_like(expr: E.Like, em: _Emitter) -> str:
+    pattern = expr.right
+    if not (isinstance(pattern, E.Literal) and isinstance(pattern.value, str)):
+        raise _unsupported(expr, "non-literal LIKE pattern")
+    regex = "^" + re.escape(pattern.value).replace("%", ".*").replace("_", ".") + "$"
+    matcher = em.const(re.compile(regex).match)
+    a = _gen(expr.left, em)
+    v = em.temp()
+    em.line(f"{v} = None if {a} is None else ({matcher}({a}) is not None)")
+    return v
+
+
+def _gen_case(expr: E.CaseWhen, index: int, v: str, em: _Emitter) -> None:
+    if index == len(expr.branches):
+        if expr.else_value is not None:
+            atom = _gen(expr.else_value, em)
+            em.line(f"{v} = {atom}")
+        else:
+            em.line(f"{v} = None")
+        return
+    cond, value = expr.branches[index]
+    c = _gen(cond, em)
+    em.line(f"if {c} is True:")
+    with em.block():
+        atom = _gen(value, em)
+        em.line(f"{v} = {atom}")
+    em.line("else:")
+    with em.block():
+        _gen_case(expr, index + 1, v, em)
+
+
+def _gen_coalesce(
+    children: Sequence[E.Expression], index: int, v: str, em: _Emitter
+) -> None:
+    if index == len(children):
+        em.line(f"{v} = None")
+        return
+    atom = _gen(children[index], em)
+    em.line(f"if {atom} is not None:")
+    with em.block():
+        em.line(f"{v} = {atom}")
+    em.line("else:")
+    with em.block():
+        _gen_coalesce(children, index + 1, v, em)
+
+
+def _gen_scalar_call(
+    args: Sequence[E.Expression],
+    index: int,
+    atoms: list[str],
+    fn: str,
+    v: str,
+    em: _Emitter,
+) -> None:
+    """Null-in/null-out call: later args are not evaluated once an
+    earlier one came up NULL (interpreter argument order preserved)."""
+    if index == len(args):
+        em.line(f"{v} = {fn}({', '.join(atoms)})")
+        return
+    atom = _gen(args[index], em)
+    em.line(f"if {atom} is None:")
+    with em.block():
+        em.line(f"{v} = None")
+    em.line("else:")
+    with em.block():
+        _gen_scalar_call(args, index + 1, atoms + [atom], fn, v, em)
+
+
+# ----------------------------------------------------------------------
+# Function assembly
+# ----------------------------------------------------------------------
+
+
+def _assemble(
+    name: str, params: str, em: _Emitter, header: Sequence[str] = ()
+) -> Callable[..., Any]:
+    """Compile the emitted body into a callable.
+
+    Constants are bound as default arguments so the generated code
+    reads them as locals, not globals.
+    """
+    defaults = "".join(f", _k{i}=_k{i}" for i in range(len(em.consts)))
+    lines = [f"def {name}({params}{defaults}):"]
+    lines.extend("    " + h for h in header)
+    lines.extend(em.lines)
+    src = "\n".join(lines) + "\n"
+    namespace: dict[str, Any] = {
+        f"_k{i}": value for i, value in enumerate(em.consts)
+    }
+    with warnings.catch_warnings():
+        # Inlined literals produce correct-but-noisy comparisons like
+        # ``1 is None`` (always False); CPython flags them.
+        warnings.simplefilter("ignore", SyntaxWarning)
+        code = compile(src, f"<repro.codegen:{name}>", "exec")
+    exec(code, namespace)
+    fn = namespace[name]
+    fn.__codegen_source__ = src
+    return fn
+
+
+def compile_predicate(expr: E.Expression) -> Callable[[tuple], Any]:
+    """Compile a bound boolean expression to ``fn(row) -> True|False|None``."""
+    em = _Emitter()
+    atom = _gen(expr, em)
+    em.line(f"return {atom}")
+    return _assemble(f"_pred{next(_fn_ids)}", "r", em)
+
+
+def compile_value(expr: E.Expression) -> Callable[[tuple], Any]:
+    """Compile a bound expression to ``fn(row) -> value``."""
+    em = _Emitter()
+    atom = _gen(expr, em)
+    em.line(f"return {atom}")
+    return _assemble(f"_val{next(_fn_ids)}", "r", em)
+
+
+def compile_projection(exprs: Sequence[E.Expression]) -> Callable[[tuple], tuple]:
+    """Compile a projection list to ``fn(row) -> output tuple``."""
+    em = _Emitter()
+    atoms = [_gen(e, em) for e in exprs]
+    inner = ", ".join(atoms) + ("," if len(atoms) == 1 else "")
+    em.line(f"return ({inner})")
+    return _assemble(f"_proj{next(_fn_ids)}", "r", em)
+
+
+def compile_key_extractor(
+    exprs: Sequence[E.Expression], null_to_none: bool = False
+) -> Callable[[tuple], tuple | None]:
+    """Compile composite key extraction.
+
+    ``null_to_none=True`` gives SQL join-key semantics: any NULL
+    component collapses the whole key to ``None`` (the row can never
+    match). ``False`` keeps NULL components — grouping keys group the
+    NULLs together, as the interpreter does.
+    """
+    em = _Emitter()
+    atoms = []
+    for expr in exprs:
+        atom = _gen(expr, em)
+        if null_to_none:
+            em.line(f"if {atom} is None:")
+            with em.block():
+                em.line("return None")
+        atoms.append(atom)
+    inner = ", ".join(atoms) + ("," if len(atoms) == 1 else "")
+    em.line(f"return ({inner})")
+    return _assemble(f"_key{next(_fn_ids)}", "r", em)
+
+
+def compile_filter_project_kernel(
+    condition: E.Expression | None,
+    projections: Sequence[E.Expression] | None,
+) -> Callable[[Iterable[tuple]], list[tuple]]:
+    """The fused batch kernel: ``kernel(rows) -> surviving out-tuples``.
+
+    One generated loop evaluates the predicate and, for rows where it
+    is exactly True, the projection — no per-row function calls at all.
+    With ``projections=None`` input rows pass through unchanged; with
+    ``condition=None`` every row is projected.
+    """
+    if condition is None and projections is None:
+        raise CodegenError("fused kernel needs a condition or a projection")
+    em = _Emitter()
+    em.line("out = []")
+    em.line("_append = out.append")
+    em.line("for r in rows:")
+    with em.block():
+        if condition is not None:
+            pred = _gen(condition, em)
+            em.line(f"if {pred} is not True:")
+            with em.block():
+                em.line("continue")
+        if projections is None:
+            em.line("_append(r)")
+        else:
+            atoms = [_gen(e, em) for e in projections]
+            inner = ", ".join(atoms) + ("," if len(atoms) == 1 else "")
+            em.line(f"_append(({inner}))")
+    em.line("return out")
+    return _assemble(f"_fused{next(_fn_ids)}", "rows", em)
+
+
+# ----------------------------------------------------------------------
+# Fallback-wrapped entry points (what the operators call)
+# ----------------------------------------------------------------------
+
+
+def predicate_fn(
+    expr: E.Expression | None, enabled: bool = True
+) -> Callable[[tuple], Any] | None:
+    """Compiled predicate, or the interpreted bound method on failure."""
+    if expr is None:
+        return None
+    if enabled:
+        try:
+            fn = compile_predicate(expr)
+            _note_compiled()
+            return fn
+        except Exception as exc:  # noqa: BLE001 - any compile error falls back
+            _note_fallback("predicate", expr, exc)
+    return expr.eval
+
+
+def value_fn(expr: E.Expression, enabled: bool = True) -> Callable[[tuple], Any]:
+    """Compiled scalar extractor, or the interpreted bound method."""
+    if enabled:
+        try:
+            fn = compile_value(expr)
+            _note_compiled()
+            return fn
+        except Exception as exc:  # noqa: BLE001
+            _note_fallback("value", expr, exc)
+    return expr.eval
+
+
+def projection_fn(
+    exprs: Sequence[E.Expression], enabled: bool = True
+) -> Callable[[tuple], tuple]:
+    if enabled:
+        try:
+            fn = compile_projection(exprs)
+            _note_compiled()
+            return fn
+        except Exception as exc:  # noqa: BLE001
+            _note_fallback("projection", exprs, exc)
+    bound = list(exprs)
+    return lambda r: tuple(e.eval(r) for e in bound)
+
+
+def key_fn(
+    exprs: Sequence[E.Expression],
+    null_to_none: bool = False,
+    enabled: bool = True,
+) -> Callable[[tuple], tuple | None]:
+    if enabled:
+        try:
+            fn = compile_key_extractor(exprs, null_to_none)
+            _note_compiled()
+            return fn
+        except Exception as exc:  # noqa: BLE001
+            _note_fallback("key", exprs, exc)
+    bound = list(exprs)
+    if null_to_none:
+        def interpreted_join_key(r: tuple) -> tuple | None:
+            key = tuple(e.eval(r) for e in bound)
+            return None if any(v is None for v in key) else key
+
+        return interpreted_join_key
+    return lambda r: tuple(e.eval(r) for e in bound)
+
+
+def try_filter_project_kernel(
+    condition: E.Expression | None,
+    projections: Sequence[E.Expression] | None,
+    enabled: bool = True,
+) -> Callable[[Iterable[tuple]], list[tuple]] | None:
+    """Fused kernel or ``None`` (caller keeps its row-at-a-time path)."""
+    if not enabled:
+        return None
+    try:
+        kernel = compile_filter_project_kernel(condition, projections)
+        _note_compiled()
+        return kernel
+    except Exception as exc:  # noqa: BLE001
+        _note_fallback("fused", (condition, projections), exc)
+        return None
+
+
+def chunked(
+    kernel: Callable[[list[tuple]], list[tuple]],
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+) -> Callable[[Iterator[tuple]], Iterator[tuple]]:
+    """Adapt a batch kernel to a lazy per-partition iterator.
+
+    The partition is drained in ``chunk_rows`` slices so downstream
+    consumers that stop early (``take``, ``LimitExec``) never force the
+    whole partition through the kernel.
+    """
+
+    def run(rows: Iterator[tuple]) -> Iterator[tuple]:
+        it = iter(rows)
+        while True:
+            block = list(islice(it, chunk_rows))
+            if not block:
+                return
+            yield from kernel(block)
+
+    return run

@@ -96,6 +96,12 @@ class Config:
     #: Degrade a failing indexed operator (IndexLookup / IndexedJoin)
     #: to the equivalent vanilla plan instead of aborting the query.
     index_fallback: bool = True
+    #: Compile bound expression trees into Python functions and run the
+    #: hot operator loops batch-at-a-time (the whole-stage-codegen
+    #: analogue). Off forces the interpreted row-at-a-time paths; the
+    #: compiled paths also fall back per-expression on any compile
+    #: error, so disabling this is only needed for A/B measurement.
+    codegen_enabled: bool = True
     #: Seeded chaos-injection profile; ``None`` (the default) disables
     #: all fault injection.
     faults: FaultProfile | None = None

@@ -154,7 +154,10 @@ class IndexedDataFrame:
         if key is None:
             return []
         partition = HashPartitioner(self.num_partitions).partition(key)
-        return list(self.version.snapshots[partition].lookup(key))
+        snapshot = self.version.snapshots[partition]
+        if self.session.config.codegen_enabled:
+            return snapshot.lookup_rows([key])
+        return list(snapshot.lookup(key))
 
     def lookup_latest(self, key: Any) -> tuple | None:
         """The most recently appended row for ``key`` (or None)."""

@@ -47,6 +47,10 @@ class IndexedRowBatchRDD(RDD):
 
     def compute(self, split: int) -> Iterator[tuple]:
         snapshot = self.snapshots[split]
+        if self.context.config.codegen_enabled:
+            # Bulk path: whole payload chunks through the compiled
+            # per-schema decoder (selective columns included).
+            return snapshot.scan_batches(self.columns)
         if self.columns is None:
             return snapshot.scan()
         codec = snapshot.partition.codec
@@ -94,5 +98,9 @@ class IndexLookupRDD(RDD):
         # corruption / a dead executor holding the index partition).
         self.context.fault_injector.maybe_fail("index.probe")
         snapshot = self.snapshots[split]
-        for key in self._by_partition[split]:
+        keys = self._by_partition[split]
+        if self.context.config.codegen_enabled:
+            yield from snapshot.lookup_rows(keys)
+            return
+        for key in keys:
             yield from snapshot.lookup(key)

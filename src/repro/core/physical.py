@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterator, Sequence
 
+from repro import codegen
 from repro.core.indexed_rdd import IndexedRowBatchRDD, IndexLookupRDD
 from repro.core.mvcc import Version
 from repro.engine.context import EngineContext
@@ -127,9 +128,9 @@ class IndexedJoinExec(PhysicalPlan):
         snapshots: Sequence,
         partition_of,
         records: Iterator[tuple[Any, tuple]],
+        extra,
     ) -> Iterator[tuple]:
         build_on_left = self.build_on_left
-        extra = self.extra
         build_columns = self.build_columns
         injector = self.ctx.fault_injector
         probe_chaos = injector if injector.enabled else None
@@ -145,17 +146,17 @@ class IndexedJoinExec(PhysicalPlan):
                 combined = (
                     build_row + probe_row if build_on_left else probe_row + build_row
                 )
-                if extra is None or extra.eval(combined) is True:
+                if extra is None or extra(combined) is True:
                     yield combined
 
     def execute(self) -> RDD:
         snapshots = self.version.snapshots
         n = len(snapshots)
         partitioner = HashPartitioner(n)
-        key_expr = self.probe_key
-        keyed = self.children[0].execute().map(
-            lambda row: (key_expr.eval(row), row)
-        )
+        enabled = self.ctx.config.codegen_enabled
+        key_of = codegen.value_fn(self.probe_key, enabled)
+        extra = codegen.predicate_fn(self.extra, enabled)
+        keyed = self.children[0].execute().map(lambda row: (key_of(row), row))
 
         small_probe = (
             self.probe_rows_estimate is not None
@@ -166,7 +167,7 @@ class IndexedJoinExec(PhysicalPlan):
             # straight into the (in-process) index partitions.
             return keyed.map_partitions(
                 lambda records: self._emit(
-                    snapshots, partitioner.partition, records
+                    snapshots, partitioner.partition, records, extra
                 )
             )
 
@@ -177,7 +178,7 @@ class IndexedJoinExec(PhysicalPlan):
         def probe_partition(
             index: int, records: Iterator[tuple[Any, tuple]]
         ) -> Iterator[tuple]:
-            return self._emit(snapshots, lambda _key: index, records)
+            return self._emit(snapshots, lambda _key: index, records, extra)
 
         return shuffled.map_partitions_with_index(probe_partition)
 

@@ -47,6 +47,13 @@ class BatchManager:
     def num_batches(self) -> int:
         return len(self._batches)
 
+    @property
+    def buffers(self) -> list[bytearray]:
+        """The batch buffers, for compiled decoders that resolve packed
+        pointers themselves. Read-only by contract: only :meth:`append`
+        may write, and only past every snapshot watermark."""
+        return self._batches
+
     def used_bytes(self) -> int:
         return sum(self._lengths)
 
@@ -115,6 +122,29 @@ class BatchManager:
         """
         count = len(self._batches)
         return count, self._lengths[count - 1]
+
+    def regions(
+        self, watermark: tuple[int, int] | None = None
+    ) -> Iterator[tuple[bytearray, int]]:
+        """``(buffer, end)`` per batch, bounded by ``watermark``.
+
+        The bulk counterpart of :meth:`scan`: a compiled region decoder
+        (:func:`repro.codegen.decoders.build_region_decoder`) walks each
+        buffer's records in place instead of this side yielding one
+        memoryview per record. Reading below the watermark is safe for
+        the same reason memoryviews are — batches never resize and only
+        the append path writes, always past the watermark.
+        """
+        if watermark is None:
+            watermark = self.watermark()
+        batch_count, last_length = watermark
+        for batch_no in range(batch_count):
+            if batch_no == batch_count - 1:
+                end = last_length
+            else:
+                end = self._lengths[batch_no]
+            if end:
+                yield self._batches[batch_no], end
 
     def scan(self, watermark: tuple[int, int] | None = None) -> Iterator[memoryview]:
         """Yield every payload in append order, bounded by ``watermark``."""

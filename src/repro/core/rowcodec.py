@@ -18,7 +18,8 @@ row; encoding and decoding are symmetric and round-trip exactly.
 from __future__ import annotations
 
 import struct
-from typing import Any, Sequence
+import threading
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.errors import CapacityError, SchemaError
 from repro.sql.types import BinaryType, DataType, StringType, StructType
@@ -30,6 +31,14 @@ class RowCodec:
     """Schema-driven encoder/decoder for row tuples."""
 
     def __init__(self, schema: StructType, max_row_bytes: int = 1024):
+        if max_row_bytes > 0xFFFF:
+            # The var-width slots address (offset, length) as u16, so
+            # nothing past 64 KiB is reachable; rejecting the config up
+            # front beats a struct.error mid-encode.
+            raise CapacityError(
+                f"max_row_bytes={max_row_bytes} exceeds the 65535-byte "
+                "addressing limit of the u16 var-width slots"
+            )
         self.schema = schema
         self.max_row_bytes = max_row_bytes
         self._n = len(schema)
@@ -177,3 +186,104 @@ class RowCodec:
             cached = frozenset(self._string_fields)
             self._string_set_cache = cached
         return cached
+
+    # ------------------------------------------------------------------
+
+    def batch_decoder(
+        self, columns: Sequence[int] | None = None
+    ) -> Callable[[Iterable[bytes]], list[tuple]]:
+        """A compiled ``payloads -> [row tuple, ...]`` bulk decoder.
+
+        Decoders are generated once per (codec, column subset) and
+        memoized on the codec; results are identical to calling
+        :meth:`decode` (or :meth:`decode_field` per column) row by row.
+        """
+        key = None if columns is None else tuple(columns)
+        cache = getattr(self, "_decoder_cache", None)
+        if cache is None:
+            cache = {}
+            self._decoder_cache = cache
+        decoder = cache.get(key)
+        if decoder is None:
+            from repro.codegen.decoders import build_batch_decoder
+
+            decoder = build_batch_decoder(self, columns)
+            cache[key] = decoder
+        return decoder
+
+    def region_decoder(
+        self, columns: Sequence[int] | None = None
+    ) -> Callable[..., tuple[list[tuple], int]]:
+        """A compiled batch-buffer walker, memoized like
+        :meth:`batch_decoder`.
+
+        ``decoder(buf, base, end, max_rows) -> (rows, next_base)``
+        decodes consecutive stored records (header + payload) straight
+        out of a row-batch buffer; see
+        :func:`repro.codegen.decoders.build_region_decoder`.
+        """
+        key = ("region", None if columns is None else tuple(columns))
+        cache = getattr(self, "_decoder_cache", None)
+        if cache is None:
+            cache = {}
+            self._decoder_cache = cache
+        decoder = cache.get(key)
+        if decoder is None:
+            from repro.codegen.decoders import build_region_decoder
+
+            decoder = build_region_decoder(self, columns)
+            cache[key] = decoder
+        return decoder
+
+    def chain_decoder(self, layout) -> Callable[..., None]:
+        """A compiled backward-chain walker, memoized per pointer layout.
+
+        ``walk(buffers, pointer, append)`` decodes every row of a
+        backward chain (newest first) straight from the batch buffers;
+        see :func:`repro.codegen.decoders.build_chain_decoder`.
+        """
+        key = ("chain", layout.batch_bits, layout.offset_bits, layout.size_bits)
+        cache = getattr(self, "_decoder_cache", None)
+        if cache is None:
+            cache = {}
+            self._decoder_cache = cache
+        decoder = cache.get(key)
+        if decoder is None:
+            from repro.codegen.decoders import build_chain_decoder
+
+            decoder = build_chain_decoder(self, layout)
+            cache[key] = decoder
+        return decoder
+
+
+# ----------------------------------------------------------------------
+# Shared codec registry
+# ----------------------------------------------------------------------
+
+#: Structural-key registry of codecs. ``StructType`` defines equality
+#: but not hashing, so the key flattens the schema to hashable parts.
+_CODEC_REGISTRY: dict[tuple, RowCodec] = {}
+_registry_lock = threading.Lock()
+
+
+def _schema_key(schema: StructType, max_row_bytes: int) -> tuple:
+    return (
+        tuple((f.name, f.dtype.name, f.nullable) for f in schema),
+        max_row_bytes,
+    )
+
+
+def codec_for(schema: StructType, max_row_bytes: int = 1024) -> RowCodec:
+    """A shared :class:`RowCodec` for ``schema``.
+
+    Structurally identical schemas map to the same instance, so scans,
+    ingestion, and ``appendRows`` reuse one codec (and its memoized
+    batch decoders) instead of rebuilding the slot layout every time.
+    """
+    key = _schema_key(schema, max_row_bytes)
+    with _registry_lock:
+        codec = _CODEC_REGISTRY.get(key)
+        if codec is None:
+            codec = RowCodec(schema, max_row_bytes)
+            _CODEC_REGISTRY[key] = codec
+        return codec

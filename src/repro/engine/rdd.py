@@ -249,9 +249,13 @@ class RDD(ABC):
         if self.partitioner == partitioner:
             # Already co-partitioned: aggregate within each partition.
             def local(it: Iterator[tuple[Any, Any]]) -> Iterator[tuple[Any, Any]]:
+                create, merge = agg.create, agg.merge
+                _missing = object()
                 acc: dict[Any, Any] = {}
+                acc_get = acc.get
                 for k, v in it:
-                    acc[k] = agg.merge(acc[k], v) if k in acc else agg.create(v)
+                    prev = acc_get(k, _missing)
+                    acc[k] = create(v) if prev is _missing else merge(prev, v)
                 return iter(acc.items())
 
             return self.map_partitions(local, preserves_partitioning=True)
@@ -522,13 +526,20 @@ class ShuffledRDD(RDD):
         agg = self.shuffle_dep.aggregator
         if agg is None:
             return records
+        # Hot loops: one iteration per fetched record, so the aggregator
+        # callables and dict probe are hoisted to local names.
+        _missing = object()
+        acc: dict[Any, Any] = {}
+        acc_get = acc.get
         if self.shuffle_dep.map_side_combine:
             # Map outputs are already accumulators; merge them.
-            acc: dict[Any, Any] = {}
+            combine = agg.combine
             for k, v in records:
-                acc[k] = agg.combine(acc[k], v) if k in acc else v
+                prev = acc_get(k, _missing)
+                acc[k] = v if prev is _missing else combine(prev, v)
             return iter(acc.items())
-        acc = {}
+        create, merge = agg.create, agg.merge
         for k, v in records:
-            acc[k] = agg.merge(acc[k], v) if k in acc else agg.create(v)
+            prev = acc_get(k, _missing)
+            acc[k] = create(v) if prev is _missing else merge(prev, v)
         return iter(acc.items())

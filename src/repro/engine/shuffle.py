@@ -104,23 +104,33 @@ class ShuffleManager:
         map_index: int,
         records: Iterable[tuple[Any, Any]],
     ) -> None:
-        """Partition one map task's records into reduce buckets."""
+        """Partition one map task's records into reduce buckets.
+
+        Both loops run once per record of the map task — the attribute
+        lookups (partition function, bucket appends, aggregator
+        callables) are hoisted out so the loop body is pure local-name
+        dispatch.
+        """
         n = dep.partitioner.num_partitions
+        partition_of = dep.partitioner.partition
         buckets: list[list[Any]] = [[] for _ in range(n)]
         if dep.map_side_combine and dep.aggregator is not None:
             agg = dep.aggregator
+            agg_create, agg_merge = agg.create, agg.merge
             combined: list[dict[Any, Any]] = [dict() for _ in range(n)]
+            _missing = object()
             for key, value in records:
-                bucket = combined[dep.partitioner.partition(key)]
-                if key in bucket:
-                    bucket[key] = agg.merge(bucket[key], value)
-                else:
-                    bucket[key] = agg.create(value)
+                bucket = combined[partition_of(key)]
+                acc = bucket.get(key, _missing)
+                bucket[key] = (
+                    agg_create(value) if acc is _missing else agg_merge(acc, value)
+                )
             for i, bucket in enumerate(combined):
                 buckets[i] = list(bucket.items())
         else:
+            appends = [bucket.append for bucket in buckets]
             for key, value in records:
-                buckets[dep.partitioner.partition(key)].append((key, value))
+                appends[partition_of(key)]((key, value))
         with self._lock:
             state = self._shuffles.get(dep.shuffle_id)
             if state is None:

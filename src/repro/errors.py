@@ -115,6 +115,15 @@ class PlanningError(ReproError):
     """No physical plan could be produced for a logical plan."""
 
 
+class CodegenError(ReproError):
+    """An expression tree could not be compiled to Python source.
+
+    Raised by :mod:`repro.codegen` when a tree contains a node the
+    compiler does not support. Callers treat it as a signal to fall
+    back to the interpreted ``Expression.eval`` path, never as a query
+    failure."""
+
+
 class SchemaError(ReproError):
     """Rows do not conform to the expected schema."""
 

@@ -435,6 +435,10 @@ class BinaryExpression(Expression):
 
 class BinaryArithmetic(BinaryExpression):
     op: Callable[[Any, Any], Any]
+    #: Python operator token used by :mod:`repro.codegen` when the node
+    #: compiles to a plain infix expression (None = needs special
+    #: handling, e.g. the divide-by-zero guard).
+    py_op: str | None = None
 
     def data_type(self) -> DataType:
         return common_type(self.left.data_type(), self.right.data_type())
@@ -451,16 +455,19 @@ class BinaryArithmetic(BinaryExpression):
 
 class Add(BinaryArithmetic):
     symbol = "+"
+    py_op = "+"
     op = staticmethod(lambda a, b: a + b)
 
 
 class Subtract(BinaryArithmetic):
     symbol = "-"
+    py_op = "-"
     op = staticmethod(lambda a, b: a - b)
 
 
 class Multiply(BinaryArithmetic):
     symbol = "*"
+    py_op = "*"
     op = staticmethod(lambda a, b: a * b)
 
 
@@ -479,6 +486,8 @@ class Modulo(BinaryArithmetic):
 
 class BinaryComparison(BinaryExpression):
     op: Callable[[Any, Any], bool]
+    #: Python comparison token for :mod:`repro.codegen`.
+    py_op: str | None = None
 
     def data_type(self) -> DataType:
         return BooleanType()
@@ -495,31 +504,37 @@ class BinaryComparison(BinaryExpression):
 
 class EqualTo(BinaryComparison):
     symbol = "="
+    py_op = "=="
     op = staticmethod(lambda a, b: a == b)
 
 
 class NotEqualTo(BinaryComparison):
     symbol = "!="
+    py_op = "!="
     op = staticmethod(lambda a, b: a != b)
 
 
 class LessThan(BinaryComparison):
     symbol = "<"
+    py_op = "<"
     op = staticmethod(lambda a, b: a < b)
 
 
 class LessThanOrEqual(BinaryComparison):
     symbol = "<="
+    py_op = "<="
     op = staticmethod(lambda a, b: a <= b)
 
 
 class GreaterThan(BinaryComparison):
     symbol = ">"
+    py_op = ">"
     op = staticmethod(lambda a, b: a > b)
 
 
 class GreaterThanOrEqual(BinaryComparison):
     symbol = ">="
+    py_op = ">="
     op = staticmethod(lambda a, b: a >= b)
 
 

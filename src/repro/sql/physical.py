@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterator, Sequence
 
+from repro import codegen
 from repro.engine.context import EngineContext
 from repro.engine.partitioner import HashPartitioner
 from repro.engine.rdd import RDD
@@ -117,6 +118,12 @@ class FilterExec(PhysicalPlan):
 
     def execute(self) -> RDD:
         predicate = self.condition
+        if self.ctx.config.codegen_enabled:
+            kernel = codegen.try_filter_project_kernel(predicate, None)
+            if kernel is not None:
+                return self.children[0].execute().map_partitions(
+                    codegen.chunked(kernel), preserves_partitioning=True
+                )
 
         def keep(row: tuple) -> bool:
             return predicate.eval(row) is True
@@ -128,7 +135,21 @@ class FilterExec(PhysicalPlan):
 
 
 class ProjectExec(PhysicalPlan):
-    def __init__(self, project_list: Sequence[Expression], child: PhysicalPlan):
+    """Projection, optionally with a fused filter.
+
+    ``fused_filter`` carries a selection predicate evaluated against
+    the *child's* rows before projecting — the planner supplies it for
+    a ``Project(Filter(...))`` pair when codegen is on, so filter and
+    projection run as one compiled batch kernel (the moral equivalent
+    of Spark fusing both into a single WholeStageCodegen stage).
+    """
+
+    def __init__(
+        self,
+        project_list: Sequence[Expression],
+        child: PhysicalPlan,
+        fused_filter: Expression | None = None,
+    ):
         output = []
         for expr in project_list:
             if isinstance(expr, Attribute):
@@ -140,17 +161,36 @@ class ProjectExec(PhysicalPlan):
         super().__init__(child.ctx, output)
         self.children = (child,)
         self.bound = [bind_expression(e, child.output) for e in project_list]
+        self.fused_filter = (
+            bind_expression(fused_filter, child.output)
+            if fused_filter is not None
+            else None
+        )
 
     def execute(self) -> RDD:
         exprs = self.bound
+        condition = self.fused_filter
+        if self.ctx.config.codegen_enabled:
+            kernel = codegen.try_filter_project_kernel(condition, exprs)
+            if kernel is not None:
+                return self.children[0].execute().map_partitions(
+                    codegen.chunked(kernel)
+                )
+
+        child_rdd = self.children[0].execute()
+        if condition is not None:
+            child_rdd = child_rdd.filter(lambda row: condition.eval(row) is True)
 
         def project(row: tuple) -> tuple:
             return tuple(e.eval(row) for e in exprs)
 
-        return self.children[0].execute().map(project)
+        return child_rdd.map(project)
 
     def describe(self) -> str:
-        return f"Project[{[a.name for a in self.output]}]"
+        names = [a.name for a in self.output]
+        if self.fused_filter is not None:
+            return f"Project[{names}, fused_filter={self.fused_filter!r}]"
+        return f"Project[{names}]"
 
 
 class UnionExec(PhysicalPlan):
@@ -222,18 +262,22 @@ class SortExec(PhysicalPlan):
         ]
 
     def _key_fn(self) -> Callable[[tuple], _SortKey]:
-        orders = self.orders
+        enabled = self.ctx.config.codegen_enabled
+        getters = [
+            (codegen.value_fn(o.child, enabled), o.ascending, o.nulls_first)
+            for o in self.orders
+        ]
 
         def key(row: tuple) -> _SortKey:
             parts = []
-            for order in orders:
-                value = order.child.eval(row)
+            for get, ascending, nulls_first in getters:
+                value = get(row)
                 if value is None:
                     # Null ordering: a leading rank keeps None comparable.
-                    rank = 0 if order.nulls_first == order.ascending else 2
+                    rank = 0 if nulls_first == ascending else 2
                     parts.append((rank, 0))
                 else:
-                    if not order.ascending:
+                    if not ascending:
                         value = _Reversed(value)
                     parts.append((1, value))
             return _SortKey(tuple(parts))
@@ -384,6 +428,80 @@ class _AggSpec:
             return acc[1]
         return acc
 
+    def make_updater(self, enabled: bool = True) -> Callable[[Any, tuple], Any]:
+        """A hoisted ``(acc, row) -> acc`` closure.
+
+        Equivalent to :meth:`update` but with the string dispatch
+        resolved once and the value expression compiled, so the hot
+        per-row loop does no name-based branching.
+        """
+        fn_name = self.fn_name
+        if self.value_expr is None:
+            if fn_name == "count":  # COUNT(*) counts every row
+                return lambda acc, row: acc + 1
+            get = lambda row: 1  # noqa: E731 - matches update()'s default
+        else:
+            get = codegen.value_fn(self.value_expr, enabled)
+
+        if fn_name == "count":
+            return lambda acc, row: acc + (0 if get(row) is None else 1)
+
+        if fn_name == "count_distinct":
+            def update_distinct(acc: Any, row: tuple) -> Any:
+                value = get(row)
+                if value is not None:
+                    acc.add(value)
+                return acc
+
+            return update_distinct
+
+        if fn_name == "sum":
+            def update_sum(acc: Any, row: tuple) -> Any:
+                value = get(row)
+                if value is None:
+                    return acc
+                return value if acc is None else acc + value
+
+            return update_sum
+
+        if fn_name == "min":
+            def update_min(acc: Any, row: tuple) -> Any:
+                value = get(row)
+                if value is None:
+                    return acc
+                return value if acc is None or value < acc else acc
+
+            return update_min
+
+        if fn_name == "max":
+            def update_max(acc: Any, row: tuple) -> Any:
+                value = get(row)
+                if value is None:
+                    return acc
+                return value if acc is None or value > acc else acc
+
+            return update_max
+
+        if fn_name == "avg":
+            def update_avg(acc: Any, row: tuple) -> Any:
+                value = get(row)
+                if value is None:
+                    return acc
+                return (acc[0] + 1, acc[1] + value)
+
+            return update_avg
+
+        if fn_name == "first":
+            def update_first(acc: Any, row: tuple) -> Any:
+                if acc[0]:
+                    return acc
+                value = get(row)
+                return acc if value is None else (True, value)
+
+            return update_first
+
+        raise PlanningError(f"unknown aggregate {fn_name}")
+
 
 class HashAggregateExec(PhysicalPlan):
     """Two-phase hash aggregation: partial per partition, shuffle by
@@ -445,19 +563,35 @@ class HashAggregateExec(PhysicalPlan):
 
     # -- helpers --------------------------------------------------------
 
-    def _partial(self, rows: Iterator[tuple]) -> Iterator[tuple[tuple, list]]:
-        groups: dict[tuple, list] = {}
-        grouping = self.grouping_bound
+    def _make_partial(self) -> Callable[[Iterator[tuple]], Iterator[tuple[tuple, list]]]:
+        """Build the per-partition partial-aggregation closure once.
+
+        The grouping-key extractor is compiled and each spec's update
+        is resolved to a hoisted closure, so the row loop is free of
+        tree walks and string dispatch.
+        """
         specs = self._specs
-        for row in rows:
-            key = tuple(g.eval(row) for g in grouping)
-            accs = groups.get(key)
-            if accs is None:
-                accs = [spec.create() for spec in specs]
-                groups[key] = accs
-            for i, spec in enumerate(specs):
-                accs[i] = spec.update(accs[i], row)
-        return iter(groups.items())
+        enabled = self.ctx.config.codegen_enabled
+        if self.grouping_bound:
+            key_of = codegen.key_fn(self.grouping_bound, enabled=enabled)
+        else:
+            key_of = lambda row: ()  # noqa: E731 - global aggregate
+        updaters = list(enumerate(spec.make_updater(enabled) for spec in specs))
+
+        def partial(rows: Iterator[tuple]) -> Iterator[tuple[tuple, list]]:
+            groups: dict[tuple, list] = {}
+            get_group = groups.get
+            for row in rows:
+                key = key_of(row)
+                accs = get_group(key)
+                if accs is None:
+                    accs = [spec.create() for spec in specs]
+                    groups[key] = accs
+                for i, update in updaters:
+                    accs[i] = update(accs[i], row)
+            return iter(groups.items())
+
+        return partial
 
     def _merge(self, a: list, b: list) -> list:
         return [spec.merge(x, y) for spec, x, y in zip(self._specs, a, b)]
@@ -473,17 +607,18 @@ class HashAggregateExec(PhysicalPlan):
 
     def execute(self) -> RDD:
         child_rdd = self.children[0].execute()
+        partial_fn = self._make_partial()
         if not self.grouping_bound:
             # Global aggregate: merge partials on the driver so empty
             # input still yields exactly one row.
             partials = child_rdd.map_partitions(
-                lambda it: list(self._partial(it))
+                lambda it: list(partial_fn(it))
             ).collect()
             accs = [spec.create() for spec in self._specs]
             for _key, part in partials:
                 accs = self._merge(accs, part)
             return self.ctx.parallelize([self._finish((), accs)], 1)
-        partial = child_rdd.map_partitions(lambda it: self._partial(it))
+        partial = child_rdd.map_partitions(partial_fn)
         merged = partial.reduce_by_key(
             self._merge, self.ctx.config.shuffle_partitions
         )
@@ -532,17 +667,15 @@ class ShuffledHashJoinExec(PhysicalPlan):
 
     def execute(self) -> RDD:
         how = self.how
-        extra = self.extra
         lwidth = len(self.children[0].output)
         rwidth = len(self.children[1].output)
-        lkeys, rkeys = self.left_keys, self.right_keys
+        enabled = self.ctx.config.codegen_enabled
+        lkey = codegen.key_fn(self.left_keys, null_to_none=True, enabled=enabled)
+        rkey = codegen.key_fn(self.right_keys, null_to_none=True, enabled=enabled)
+        extra = codegen.predicate_fn(self.extra, enabled)
 
-        def key_of(row: tuple, keys: Sequence[Expression]) -> tuple | None:
-            key = tuple(k.eval(row) for k in keys)
-            return None if any(v is None for v in key) else key
-
-        left_kv = self.children[0].execute().map(lambda r: (key_of(r, lkeys), r))
-        right_kv = self.children[1].execute().map(lambda r: (key_of(r, rkeys), r))
+        left_kv = self.children[0].execute().map(lambda r: (lkey(r), r))
+        right_kv = self.children[1].execute().map(lambda r: (rkey(r), r))
 
         matchable_left = left_kv.filter(lambda kv: kv[0] is not None)
         matchable_right = right_kv.filter(lambda kv: kv[0] is not None)
@@ -556,14 +689,14 @@ class ShuffledHashJoinExec(PhysicalPlan):
                 for lrow in lefts:
                     for rrow in rights:
                         combined = lrow + rrow
-                        if extra is None or extra.eval(combined) is True:
+                        if extra is None or extra(combined) is True:
                             yield combined
             elif how == "left":
                 for lrow in lefts:
                     matched = False
                     for rrow in rights:
                         combined = lrow + rrow
-                        if extra is None or extra.eval(combined) is True:
+                        if extra is None or extra(combined) is True:
                             matched = True
                             yield combined
                     if not matched:
@@ -573,7 +706,7 @@ class ShuffledHashJoinExec(PhysicalPlan):
                     matched = False
                     for lrow in lefts:
                         combined = lrow + rrow
-                        if extra is None or extra.eval(combined) is True:
+                        if extra is None or extra(combined) is True:
                             matched = True
                             yield combined
                     if not matched:
@@ -584,7 +717,7 @@ class ShuffledHashJoinExec(PhysicalPlan):
                     matched = False
                     for j, rrow in enumerate(rights):
                         combined = lrow + rrow
-                        if extra is None or extra.eval(combined) is True:
+                        if extra is None or extra(combined) is True:
                             matched = True
                             matched_right[j] = True
                             yield combined
@@ -597,7 +730,7 @@ class ShuffledHashJoinExec(PhysicalPlan):
                 for lrow in lefts:
                     for rrow in rights:
                         combined = lrow + rrow
-                        if extra is None or extra.eval(combined) is True:
+                        if extra is None or extra(combined) is True:
                             yield lrow
                             break
             elif how == "anti":
@@ -605,7 +738,7 @@ class ShuffledHashJoinExec(PhysicalPlan):
                     hit = False
                     for rrow in rights:
                         combined = lrow + rrow
-                        if extra is None or extra.eval(combined) is True:
+                        if extra is None or extra(combined) is True:
                             hit = True
                             break
                     if not hit:
@@ -668,35 +801,36 @@ class BroadcastHashJoinExec(PhysicalPlan):
 
     def execute(self) -> RDD:
         how = self.how
-        extra = self.extra
         rwidth = len(self.children[1].output)
-        lkeys, rkeys = self.left_keys, self.right_keys
+        enabled = self.ctx.config.codegen_enabled
+        lkey = codegen.key_fn(self.left_keys, null_to_none=True, enabled=enabled)
+        rkey = codegen.key_fn(self.right_keys, null_to_none=True, enabled=enabled)
+        extra = codegen.predicate_fn(self.extra, enabled)
 
         build: dict[tuple, list[tuple]] = {}
         for rrow in self.children[1].execute().collect():
-            key = tuple(k.eval(rrow) for k in rkeys)
-            if any(v is None for v in key):
+            key = rkey(rrow)
+            if key is None:
                 continue
             build.setdefault(key, []).append(rrow)
         shared = self.ctx.broadcast(build)
 
         def probe(rows: Iterator[tuple]) -> Iterator[tuple]:
             table = shared.value
+            table_get = table.get
             for lrow in rows:
-                key = tuple(k.eval(lrow) for k in lkeys)
-                candidates = (
-                    () if any(v is None for v in key) else table.get(key, ())
-                )
+                key = lkey(lrow)
+                candidates = () if key is None else table_get(key, ())
                 if how in ("inner", "cross"):
                     for rrow in candidates:
                         combined = lrow + rrow
-                        if extra is None or extra.eval(combined) is True:
+                        if extra is None or extra(combined) is True:
                             yield combined
                 elif how == "left":
                     matched = False
                     for rrow in candidates:
                         combined = lrow + rrow
-                        if extra is None or extra.eval(combined) is True:
+                        if extra is None or extra(combined) is True:
                             matched = True
                             yield combined
                     if not matched:
@@ -704,14 +838,14 @@ class BroadcastHashJoinExec(PhysicalPlan):
                 elif how == "semi":
                     for rrow in candidates:
                         combined = lrow + rrow
-                        if extra is None or extra.eval(combined) is True:
+                        if extra is None or extra(combined) is True:
                             yield lrow
                             break
                 elif how == "anti":
                     hit = False
                     for rrow in candidates:
                         combined = lrow + rrow
-                        if extra is None or extra.eval(combined) is True:
+                        if extra is None or extra(combined) is True:
                             hit = True
                             break
                     if not hit:

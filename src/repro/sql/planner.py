@@ -208,6 +208,17 @@ def basic_strategy(plan: LogicalPlan, planner: Planner) -> PhysicalPlan | None:
             return ScanExec(
                 planner.ctx, plan.child.relation, plan.output(), columns
             )
+        # Project over Filter → one fused compiled filter+project
+        # kernel (whole-stage-codegen fusion). Only taken when codegen
+        # is on so the interpreted A/B plans keep the two-operator
+        # shape; indexed strategies run before this one and are
+        # unaffected.
+        if isinstance(plan.child, Filter) and planner.config.codegen_enabled:
+            return ProjectExec(
+                plan.project_list,
+                planner.plan(plan.child.child),
+                fused_filter=plan.child.condition,
+            )
         return ProjectExec(plan.project_list, planner.plan(plan.child))
     if isinstance(plan, Filter):
         return FilterExec(plan.condition, planner.plan(plan.child))

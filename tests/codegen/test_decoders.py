@@ -1,0 +1,194 @@
+"""Compiled bulk decoders ≡ the interpreted ``RowCodec`` paths, plus
+the codec registry and capacity validation that ride along."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.partition import IndexedPartition
+from repro.core.pointers import NULL_POINTER, PointerLayout
+from repro.core.rowcodec import RowCodec, codec_for
+from repro.errors import CapacityError, CodegenError
+from repro.sql.types import (
+    BooleanType,
+    DoubleType,
+    LongType,
+    StringType,
+    StructField,
+    StructType,
+)
+
+MIXED_SCHEMA = StructType(
+    [
+        StructField("id", LongType()),
+        StructField("score", DoubleType()),
+        StructField("name", StringType()),
+        StructField("flag", BooleanType()),
+    ]
+)
+
+FIXED_SCHEMA = StructType(
+    [StructField("a", LongType()), StructField("b", DoubleType())]
+)
+
+
+def mixed_rows(n: int, seed: int = 3) -> list[tuple]:
+    rng = random.Random(seed)
+    return [
+        (
+            i % 37,
+            None if rng.random() < 0.25 else rng.random(),
+            None if rng.random() < 0.25 else f"row_{i}_{'x' * (i % 9)}",
+            None if rng.random() < 0.25 else i % 2 == 0,
+        )
+        for i in range(n)
+    ]
+
+
+def small_partition(schema, rows) -> IndexedPartition:
+    layout = PointerLayout.for_geometry(4096, 512)
+    partition = IndexedPartition(schema, 0, layout, 4096, 512)
+    partition.append_many(rows)
+    return partition
+
+
+# ----------------------------------------------------------------------
+# Payload decoder
+# ----------------------------------------------------------------------
+
+
+def test_batch_decoder_matches_decode():
+    codec = RowCodec(MIXED_SCHEMA)
+    rows = mixed_rows(300)
+    payloads = [codec.encode(r) for r in rows]
+    assert codec.batch_decoder()(payloads) == rows
+
+
+def test_batch_decoder_selective_columns():
+    codec = RowCodec(MIXED_SCHEMA)
+    rows = mixed_rows(100)
+    payloads = [codec.encode(r) for r in rows]
+    assert codec.batch_decoder([2, 0])(payloads) == [(r[2], r[0]) for r in rows]
+    assert codec.batch_decoder([1])(payloads) == [(r[1],) for r in rows]
+
+
+def test_batch_decoder_all_fixed_fast_path():
+    codec = RowCodec(FIXED_SCHEMA)
+    rows = [(i, float(i) if i % 3 else None) for i in range(200)]
+    payloads = [codec.encode(r) for r in rows]
+    assert codec.batch_decoder()(payloads) == rows
+
+
+def test_batch_decoder_rejects_bad_ordinal():
+    codec = RowCodec(MIXED_SCHEMA)
+    with pytest.raises(CodegenError):
+        codec.batch_decoder([4])
+
+
+def test_decoders_are_memoized():
+    codec = RowCodec(MIXED_SCHEMA)
+    assert codec.batch_decoder() is codec.batch_decoder()
+    assert codec.batch_decoder([1]) is codec.batch_decoder([1])
+    assert codec.batch_decoder() is not codec.batch_decoder([1])
+    assert codec.region_decoder() is codec.region_decoder()
+
+
+# ----------------------------------------------------------------------
+# Region decoder (batch-buffer walker)
+# ----------------------------------------------------------------------
+
+
+def test_region_scan_matches_interpreted_scan():
+    partition = small_partition(MIXED_SCHEMA, mixed_rows(2000))
+    snapshot = partition.snapshot()
+    assert list(snapshot.scan_batches()) == list(snapshot.scan())
+
+
+def test_region_scan_selective_and_chunked():
+    partition = small_partition(MIXED_SCHEMA, mixed_rows(500))
+    snapshot = partition.snapshot()
+    expected = list(snapshot.scan())
+    assert list(snapshot.scan_batches(columns=[3, 1])) == [
+        (r[3], r[1]) for r in expected
+    ]
+    it = snapshot.scan_batches(chunk_rows=7)
+    assert [next(it) for _ in range(20)] == expected[:20]
+
+
+def test_region_scan_respects_watermark():
+    partition = small_partition(MIXED_SCHEMA, mixed_rows(100))
+    snapshot = partition.snapshot()
+    before = list(snapshot.scan_batches())
+    partition.append_many(mixed_rows(50, seed=9))
+    assert list(snapshot.scan_batches()) == before
+    assert len(list(partition.snapshot().scan_batches())) == 150
+
+
+# ----------------------------------------------------------------------
+# Chain decoder (point/bulk lookup)
+# ----------------------------------------------------------------------
+
+
+def test_lookup_rows_matches_lookup():
+    rows = mixed_rows(1500)  # keys collide (i % 37) -> long chains
+    partition = small_partition(MIXED_SCHEMA, rows)
+    snapshot = partition.snapshot()
+    keys = list(range(40))  # 37..39 are absent: i % 37 caps the key space
+    expected = [r for k in keys for r in snapshot.lookup(k)]
+    assert snapshot.lookup_rows(keys) == expected
+    assert snapshot.lookup_rows([]) == []
+    assert snapshot.lookup_rows([123456]) == []
+
+
+def test_lookup_rows_newest_first_per_key():
+    partition = small_partition(
+        MIXED_SCHEMA, [(7, float(v), f"v{v}", True) for v in range(5)]
+    )
+    snapshot = partition.snapshot()
+    names = [r[2] for r in snapshot.lookup_rows([7])]
+    assert names == ["v4", "v3", "v2", "v1", "v0"]
+
+
+def test_chain_decoder_memoized_per_layout():
+    codec = RowCodec(MIXED_SCHEMA)
+    layout_a = PointerLayout.for_geometry(4096, 512)
+    layout_b = PointerLayout.for_geometry(1 << 20, 1024)
+    assert codec.chain_decoder(layout_a) is codec.chain_decoder(layout_a)
+    assert codec.chain_decoder(layout_a) is not codec.chain_decoder(layout_b)
+
+
+# ----------------------------------------------------------------------
+# RowCodec validation + registry
+# ----------------------------------------------------------------------
+
+
+def test_max_row_bytes_over_u16_rejected_at_construction():
+    with pytest.raises(CapacityError, match="65535"):
+        RowCodec(MIXED_SCHEMA, max_row_bytes=65536)
+    # The limit itself is fine.
+    RowCodec(MIXED_SCHEMA, max_row_bytes=65535)
+
+
+def test_codec_for_shares_instances_structurally():
+    schema_a = StructType(
+        [StructField("x", LongType()), StructField("y", StringType())]
+    )
+    schema_b = StructType(
+        [StructField("x", LongType()), StructField("y", StringType())]
+    )
+    assert schema_a is not schema_b
+    assert codec_for(schema_a) is codec_for(schema_b)
+    assert codec_for(schema_a, 2048) is not codec_for(schema_a, 1024)
+    different = StructType(
+        [StructField("x", LongType()), StructField("z", StringType())]
+    )
+    assert codec_for(different) is not codec_for(schema_a)
+
+
+def test_partitions_share_registry_codec():
+    layout = PointerLayout.for_geometry(4096, 512)
+    p1 = IndexedPartition(MIXED_SCHEMA, 0, layout, 4096, 512)
+    p2 = IndexedPartition(MIXED_SCHEMA, 0, layout, 4096, 512)
+    assert p1.codec is p2.codec

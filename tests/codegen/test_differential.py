@@ -1,0 +1,208 @@
+"""Differential tests: compiled expression kernels ≡ ``Expression.eval``.
+
+Every supported node type is compiled and evaluated against randomized
+rows containing NULLs, strings, and type-mixed values; any divergence
+from the interpreted result — including *which* of True/False/None a
+predicate produces — is a failure.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import codegen
+from repro.sql import expressions as E
+from repro.sql.types import (
+    BooleanType,
+    DoubleType,
+    LongType,
+    StringType,
+)
+
+
+def ref(ordinal: int, dtype) -> E.BoundReference:
+    return E.BoundReference(ordinal, dtype, f"c{ordinal}")
+
+
+# Row layout used throughout: (long, double, long, string, string, bool)
+ID, SCORE, AGE, NAME, CITY, FLAG = range(6)
+
+
+def make_rows(n: int, seed: int = 0) -> list[tuple]:
+    rng = random.Random(seed)
+    cities = ["ams", "ber", "cdg", None]
+    rows = []
+    for i in range(n):
+        rows.append(
+            (
+                None if rng.random() < 0.15 else rng.randint(-50, 50),
+                None if rng.random() < 0.15 else rng.uniform(-2.0, 2.0),
+                None if rng.random() < 0.15 else rng.randint(0, 99),
+                None if rng.random() < 0.15 else f"name_{i % 17}",
+                rng.choice(cities),
+                None if rng.random() < 0.15 else rng.random() < 0.5,
+            )
+        )
+    return rows
+
+
+ROWS = make_rows(400)
+
+
+def id_ref() -> E.Expression:
+    return ref(ID, LongType())
+
+
+EXPRESSIONS = {
+    "comparison": E.GreaterThan(id_ref(), E.Literal(3)),
+    "comparison-both-cols": E.LessThanOrEqual(id_ref(), ref(AGE, LongType())),
+    "equal-string": E.EqualTo(ref(CITY, StringType()), E.Literal("ams")),
+    "not-equal": E.NotEqualTo(ref(NAME, StringType()), E.Literal("name_3")),
+    "arith": E.Add(
+        E.Multiply(ref(SCORE, DoubleType()), E.Literal(2.5)), id_ref()
+    ),
+    "divide-by-zero": E.Divide(
+        E.Literal(10.0), E.Subtract(ref(AGE, LongType()), ref(AGE, LongType()))
+    ),
+    "modulo-by-zero": E.Modulo(id_ref(), E.Literal(0)),
+    "unary-minus": E.UnaryMinus(ref(SCORE, DoubleType())),
+    "not": E.Not(ref(FLAG, BooleanType())),
+    "is-null": E.IsNull(ref(NAME, StringType())),
+    "is-not-null": E.IsNotNull(ref(SCORE, DoubleType())),
+    "and-kleene": E.And(
+        E.GreaterThan(id_ref(), E.Literal(0)),
+        E.LessThan(ref(AGE, LongType()), E.Literal(50)),
+    ),
+    "or-kleene": E.Or(
+        E.IsNull(ref(CITY, StringType())), ref(FLAG, BooleanType())
+    ),
+    "nested-bool": E.Or(
+        E.And(ref(FLAG, BooleanType()), E.GreaterThan(id_ref(), E.Literal(10))),
+        E.Not(E.EqualTo(ref(CITY, StringType()), E.Literal("ber"))),
+    ),
+    "in-literals": E.In(
+        id_ref(), [E.Literal(1), E.Literal(2), E.Literal(40)]
+    ),
+    "in-with-null-option": E.In(
+        id_ref(), [E.Literal(1), E.Literal(None), E.Literal(2)]
+    ),
+    "like": E.Like(ref(NAME, StringType()), E.Literal("name\\_1%")),
+    "cast-long-to-string": E.Cast(id_ref(), StringType()),
+    "cast-string-to-long": E.Cast(ref(NAME, StringType()), LongType()),
+    "cast-double-to-long": E.Cast(ref(SCORE, DoubleType()), LongType()),
+    "case-when": E.CaseWhen(
+        [
+            (E.GreaterThan(id_ref(), E.Literal(20)), E.Literal("big")),
+            (E.GreaterThan(id_ref(), E.Literal(0)), E.Literal("small")),
+        ],
+        E.Literal("neg"),
+    ),
+    "case-when-no-else": E.CaseWhen(
+        [(ref(FLAG, BooleanType()), ref(NAME, StringType()))]
+    ),
+    "coalesce": E.Coalesce(
+        [ref(NAME, StringType()), ref(CITY, StringType()), E.Literal("-")]
+    ),
+    "scalar-fn": E.make_scalar_function("upper", [ref(NAME, StringType())]),
+    "scalar-fn-nested": E.make_scalar_function(
+        "length", [E.make_scalar_function("concat", [ref(NAME, StringType()),
+                                                     ref(CITY, StringType())])]
+    ),
+    "alias": E.Alias(E.Add(id_ref(), E.Literal(1)), "bumped"),
+}
+
+
+@pytest.mark.parametrize("label", sorted(EXPRESSIONS))
+def test_compiled_matches_interpreted(label):
+    expr = EXPRESSIONS[label]
+    fn = codegen.compile_value(expr)
+    for row in ROWS:
+        expected = expr.eval(row)
+        got = fn(row)
+        assert got == expected and (got is None) == (expected is None), (
+            f"{label}: row {row!r} -> compiled {got!r}, interpreted {expected!r}"
+        )
+
+
+def test_predicate_three_valued_identity():
+    """Predicates must reproduce True/False/None exactly, not just
+    truthiness — FilterExec keeps only ``is True`` rows."""
+    pred = E.And(
+        E.GreaterThan(ref(SCORE, DoubleType()), E.Literal(0.0)),
+        ref(FLAG, BooleanType()),
+    )
+    fn = codegen.compile_predicate(pred)
+    seen = set()
+    for row in ROWS:
+        expected = pred.eval(row)
+        assert fn(row) is expected or fn(row) == expected
+        seen.add(expected)
+    assert seen == {True, False, None}, "rows must exercise all three values"
+
+
+def test_fused_kernel_matches_filter_then_project():
+    condition = E.And(
+        E.GreaterThan(ref(SCORE, DoubleType()), E.Literal(-0.5)),
+        E.IsNotNull(ref(NAME, StringType())),
+    )
+    projections = [
+        ref(NAME, StringType()),
+        E.Multiply(ref(SCORE, DoubleType()), E.Literal(10.0)),
+    ]
+    kernel = codegen.compile_filter_project_kernel(condition, projections)
+    expected = [
+        tuple(p.eval(row) for p in projections)
+        for row in ROWS
+        if condition.eval(row) is True
+    ]
+    assert kernel(ROWS) == expected
+
+
+def test_filter_only_and_project_only_kernels():
+    condition = E.LessThan(ref(AGE, LongType()), E.Literal(30))
+    kernel = codegen.compile_filter_project_kernel(condition, None)
+    assert kernel(ROWS) == [r for r in ROWS if condition.eval(r) is True]
+
+    projections = [ref(CITY, StringType())]
+    kernel = codegen.compile_filter_project_kernel(None, projections)
+    assert kernel(ROWS) == [(r[CITY],) for r in ROWS]
+
+
+def test_key_extractor_join_and_grouping_semantics():
+    exprs = [ref(ID, LongType()), ref(CITY, StringType())]
+    join_key = codegen.compile_key_extractor(exprs, null_to_none=True)
+    group_key = codegen.compile_key_extractor(exprs, null_to_none=False)
+    for row in ROWS:
+        components = tuple(e.eval(row) for e in exprs)
+        assert group_key(row) == components
+        if None in components:
+            assert join_key(row) is None
+        else:
+            assert join_key(row) == components
+
+
+def test_chunked_preserves_rows_and_laziness():
+    condition = E.IsNotNull(ref(ID, LongType()))
+    kernel = codegen.compile_filter_project_kernel(condition, None)
+    runner = codegen.chunked(kernel, chunk_rows=16)
+    assert list(runner(iter(ROWS))) == [
+        r for r in ROWS if condition.eval(r) is True
+    ]
+    # Early-stopping consumers must not force the whole input.
+    consumed = []
+
+    def tracking():
+        for row in ROWS:
+            consumed.append(row)
+            yield row
+
+    out = runner(tracking())
+    next(out)
+    assert len(consumed) <= 16
+
+
+def test_compiled_source_is_attached():
+    fn = codegen.compile_value(E.Add(id_ref(), E.Literal(1)))
+    assert "def " in fn.__codegen_source__
