@@ -102,6 +102,20 @@ class Config:
     #: compiled paths also fall back per-expression on any compile
     #: error, so disabling this is only needed for A/B measurement.
     codegen_enabled: bool = True
+    #: Maintain per-batch/per-partition zone maps (min/max, null count)
+    #: on indexed storage and relation scans, and let the planner skip
+    #: batches and partitions that provably cannot match a filter. Off
+    #: restores the scan-everything behavior bit for bit.
+    zone_maps_enabled: bool = True
+    #: Runtime adaptivity over the DAG scheduler (the AQE analogue):
+    #: coalesce tiny reduce partitions from recorded map-output sizes
+    #: and replan shuffle joins into broadcast joins when the measured
+    #: build side fits under ``broadcast_threshold``. Off restores
+    #: static planning.
+    adaptive_enabled: bool = True
+    #: Target bytes per reduce partition when adaptive execution
+    #: coalesces small adjacent shuffle buckets.
+    target_reduce_bytes: int = 256 * 1024
     #: Seeded chaos-injection profile; ``None`` (the default) disables
     #: all fault injection.
     faults: FaultProfile | None = None
@@ -138,6 +152,8 @@ class Config:
             raise ValueError("ingest_max_retries must be >= 0")
         if self.ingest_backoff_s < 0:
             raise ValueError("ingest_backoff_s must be >= 0")
+        if self.target_reduce_bytes < 1:
+            raise ValueError("target_reduce_bytes must be >= 1")
 
     def with_options(self, **changes: Any) -> "Config":
         """Return a copy of this config with the given fields replaced."""

@@ -27,7 +27,7 @@ from repro.core.mvcc import Version, VersionedStore
 from repro.core.partition import IndexedPartition
 from repro.core.pointers import PointerLayout
 from repro.core.relation import IndexedRelation
-from repro.engine.partitioner import HashPartitioner
+from repro.engine.partitioner import HashPartitioner, bucket_keys
 from repro.errors import IndexError_, SchemaError
 from repro.sql.column import Column
 from repro.sql.dataframe import DataFrame
@@ -70,6 +70,7 @@ def create_index(
             layout,
             session.config.batch_size_bytes,
             session.config.max_row_bytes,
+            zone_maps=session.config.zone_maps_enabled,
         )
         for _ in range(n)
     ]
@@ -159,6 +160,30 @@ class IndexedDataFrame:
             return snapshot.lookup_rows([key])
         return list(snapshot.lookup(key))
 
+    def lookup_many(self, keys: Sequence[Any]) -> list[tuple]:
+        """Bulk point lookups bypassing the planner (fast path).
+
+        The planned equivalent — ``filter(col(key).isin(*keys))`` — pays
+        analyzer/optimizer tree walks proportional to the IN-list length
+        on every call, which dwarfs the cTrie probes themselves (see the
+        index_lookup floor note in benchmarks/figures.txt). This routes
+        the keys once with the shared :func:`bucket_keys` helper and
+        probes each partition snapshot directly. Duplicate and NULL keys
+        are dropped, matching IN-list semantics.
+        """
+        buckets = bucket_keys(keys, HashPartitioner(self.num_partitions))
+        snapshots = self.version.snapshots
+        out: list[tuple] = []
+        if self.session.config.codegen_enabled:
+            for snapshot, bucket in zip(snapshots, buckets):
+                if bucket:
+                    out.extend(snapshot.lookup_rows(bucket))
+        else:
+            for snapshot, bucket in zip(snapshots, buckets):
+                for key in bucket:
+                    out.extend(snapshot.lookup(key))
+        return out
+
     def lookup_latest(self, key: Any) -> tuple | None:
         """The most recently appended row for ``key`` (or None)."""
         if key is None:
@@ -221,6 +246,7 @@ class IndexedDataFrame:
                 layout,
                 config.batch_size_bytes,
                 config.max_row_bytes,
+                zone_maps=config.zone_maps_enabled,
             )
             for _ in range(self.num_partitions)
         ]

@@ -17,7 +17,7 @@ from typing import Any, Iterator, Sequence
 
 from repro.core.partition import PartitionSnapshot
 from repro.engine.context import EngineContext
-from repro.engine.partitioner import HashPartitioner
+from repro.engine.partitioner import HashPartitioner, bucket_keys
 from repro.engine.rdd import RDD
 
 
@@ -28,6 +28,12 @@ class IndexedRowBatchRDD(RDD):
     field-at-a-time from the binary row (a row store touches every row
     regardless of how few columns are needed — the projection cost the
     paper measures in Figure 2).
+
+    ``keep`` / ``batch_keep`` carry zone-map pruning decisions: splits
+    outside ``keep`` compute to empty, and a kept split restricted by
+    ``batch_keep[split]`` walks only those row batches. Partition count
+    and numbering are unchanged, so the co-partitioning contract (the
+    reported :class:`HashPartitioner`) still holds for surviving rows.
     """
 
     def __init__(
@@ -35,10 +41,14 @@ class IndexedRowBatchRDD(RDD):
         ctx: EngineContext,
         snapshots: Sequence[PartitionSnapshot],
         columns: Sequence[int] | None = None,
+        keep: Sequence[int] | None = None,
+        batch_keep: "dict[int, frozenset[int]] | None" = None,
     ):
         super().__init__(ctx, [])
         self.snapshots = list(snapshots)
         self.columns = list(columns) if columns is not None else None
+        self.keep = frozenset(keep) if keep is not None else None
+        self.batch_keep = batch_keep
         self.partitioner = HashPartitioner(len(self.snapshots))
 
     @property
@@ -46,18 +56,22 @@ class IndexedRowBatchRDD(RDD):
         return len(self.snapshots)
 
     def compute(self, split: int) -> Iterator[tuple]:
+        if self.keep is not None and split not in self.keep:
+            return iter(())
+        batches = self.batch_keep.get(split) if self.batch_keep else None
         snapshot = self.snapshots[split]
         if self.context.config.codegen_enabled:
             # Bulk path: whole payload chunks through the compiled
             # per-schema decoder (selective columns included).
-            return snapshot.scan_batches(self.columns)
+            return snapshot.scan_batches(self.columns, batches=batches)
         if self.columns is None:
-            return snapshot.scan()
+            return snapshot.scan(batches)
         codec = snapshot.partition.codec
         columns = self.columns
 
         def decode_selected() -> Iterator[tuple]:
-            for payload in snapshot.partition.batches.scan(snapshot.watermark):
+            scan = snapshot.partition.batches.scan(snapshot.watermark, batches)
+            for payload in scan:
                 yield tuple(codec.decode_field(payload, 0, c) for c in columns)
 
         return decode_selected()
@@ -80,13 +94,9 @@ class IndexLookupRDD(RDD):
         super().__init__(ctx, [])
         self.snapshots = list(snapshots)
         partitioner = HashPartitioner(len(self.snapshots))
-        self._by_partition: list[list[Any]] = [[] for _ in self.snapshots]
-        seen: set[Any] = set()
-        for key in keys:
-            if key is None or key in seen:
-                continue
-            seen.add(key)
-            self._by_partition[partitioner.partition(key)].append(key)
+        # Shared routing helper: the same bucketing that pruning and
+        # fine-grained appends use, so routing never disagrees.
+        self._by_partition = bucket_keys(keys, partitioner)
         self.partitioner = partitioner
 
     @property

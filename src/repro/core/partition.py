@@ -26,12 +26,21 @@ from repro.core.rowbatch import HEADER_SIZE, BatchManager
 from repro.core.rowcodec import RowCodec, codec_for
 from repro.ctrie import CTrie
 from repro.sql.types import StructType
+from repro.stats import PruningPredicate, ZoneMap
 
 
 class PartitionSnapshot:
     """A consistent, immutable view of a partition at one version."""
 
-    __slots__ = ("partition", "trie", "watermark", "row_count", "distinct_keys")
+    __slots__ = (
+        "partition",
+        "trie",
+        "watermark",
+        "row_count",
+        "distinct_keys",
+        "batch_zones",
+        "zone",
+    )
 
     def __init__(
         self,
@@ -40,12 +49,20 @@ class PartitionSnapshot:
         watermark: tuple[int, int],
         row_count: int,
         distinct_keys: int = 0,
+        batch_zones: "list[ZoneMap] | None" = None,
+        zone: "ZoneMap | None" = None,
     ):
         self.partition = partition
         self.trie = trie
         self.watermark = watermark
         self.row_count = row_count
         self.distinct_keys = distinct_keys
+        # Zone maps at this version: sealed batches share the live maps
+        # (immutable once a newer batch exists); the active batch's map
+        # is a copy taken under the append lock, so it describes exactly
+        # the rows below ``watermark`` even while appends continue.
+        self.batch_zones = batch_zones
+        self.zone = zone
 
     # -- reads -----------------------------------------------------------
 
@@ -69,14 +86,44 @@ class PartitionSnapshot:
     def contains(self, key: Any) -> bool:
         return key in self.trie
 
-    def scan(self) -> Iterator[tuple]:
-        """Every row at this version, in append order."""
+    def scan(self, batches: "frozenset[int] | None" = None) -> Iterator[tuple]:
+        """Every row at this version, in append order.
+
+        ``batches`` restricts the walk to those batch numbers (the
+        zone-map skip path — see :meth:`matching_batches`).
+        """
         codec = self.partition.codec
-        for payload in self.partition.batches.scan(self.watermark):
+        for payload in self.partition.batches.scan(self.watermark, batches):
             yield codec.decode(payload)
 
+    def matching_batches(
+        self, predicates: Sequence[PruningPredicate]
+    ) -> "frozenset[int] | None":
+        """Batch numbers whose zone maps admit ``predicates``.
+
+        Returns ``None`` when zone maps are unavailable (disabled, or an
+        empty predicate list) — meaning "scan everything". Predicates
+        use *storage* ordinals.
+        """
+        if not predicates or self.batch_zones is None:
+            return None
+        return frozenset(
+            batch_no
+            for batch_no, zone in enumerate(self.batch_zones)
+            if zone.may_match(predicates)
+        )
+
+    def may_match(self, predicates: Sequence[PruningPredicate]) -> bool:
+        """Could this partition hold any row matching ``predicates``?"""
+        if not predicates or self.zone is None:
+            return True
+        return self.zone.may_match(predicates)
+
     def scan_batches(
-        self, columns: Sequence[int] | None = None, chunk_rows: int = 4096
+        self,
+        columns: Sequence[int] | None = None,
+        chunk_rows: int = 4096,
+        batches: "frozenset[int] | None" = None,
     ) -> Iterator[tuple]:
         """Bulk-decoded scan via the compiled per-schema decoder.
 
@@ -89,7 +136,7 @@ class PartitionSnapshot:
         (``take``, ``Limit``) don't force whole buffers.
         """
         decode = self.partition.codec.region_decoder(columns)
-        regions = self.partition.batches.regions(self.watermark)
+        regions = self.partition.batches.regions(self.watermark, batches)
 
         def blocks() -> Iterator[list[tuple]]:
             for buf, end in regions:
@@ -144,6 +191,7 @@ class IndexedPartition:
         layout: PointerLayout,
         batch_size_bytes: int,
         max_row_bytes: int,
+        zone_maps: bool = True,
     ):
         self.schema = schema
         self.key_ordinal = key_ordinal
@@ -153,8 +201,24 @@ class IndexedPartition:
         self._append_lock = threading.Lock()
         self._row_count = 0
         self._distinct_keys = 0
+        # One zone map per row batch plus a partition-level rollup,
+        # maintained under the append lock. Batch zones seal along with
+        # their batch: once a newer batch exists, nothing touches them.
+        self._num_columns = len(schema)
+        self._batch_zones: list[ZoneMap] | None = (
+            [ZoneMap(self._num_columns)] if zone_maps else None
+        )
+        self._zone: ZoneMap | None = ZoneMap(self._num_columns) if zone_maps else None
 
     # -- writes ------------------------------------------------------------
+
+    def _record_row(self, row: Sequence[Any]) -> None:
+        """Update zone maps for one appended row (caller holds the lock)."""
+        zones = self._batch_zones
+        while len(zones) < self.batches.num_batches:
+            zones.append(ZoneMap(self._num_columns))
+        zones[-1].update_row(row)
+        self._zone.update_row(row)
 
     def append(self, row: Sequence[Any]) -> int:
         """Append one row; returns its packed pointer."""
@@ -167,6 +231,8 @@ class IndexedPartition:
             self._row_count += 1
             if prev == NULL_POINTER:
                 self._distinct_keys += 1
+            if self._batch_zones is not None:
+                self._record_row(row)
         return pointer
 
     def append_many(self, rows: Sequence[Sequence[Any]]) -> int:
@@ -177,6 +243,7 @@ class IndexedPartition:
         with self._append_lock:
             trie = self.trie
             batches = self.batches
+            track_zones = self._batch_zones is not None
             fresh_keys = 0
             for row in rows:
                 payload = codec.encode(row)
@@ -187,6 +254,8 @@ class IndexedPartition:
                 count += 1
                 if prev == NULL_POINTER:
                     fresh_keys += 1
+                if track_zones:
+                    self._record_row(row)
             self._row_count += count
             self._distinct_keys += fresh_keys
         return count
@@ -200,7 +269,16 @@ class IndexedPartition:
             watermark = self.batches.watermark()
             count = self._row_count
             distinct = self._distinct_keys
-        return PartitionSnapshot(self, trie, watermark, count, distinct)
+            batch_zones = zone = None
+            if self._batch_zones is not None:
+                # Sealed zones (all but the last) never change again and
+                # can be shared; the active one is copied so appends past
+                # the watermark stay invisible to this snapshot.
+                batch_zones = self._batch_zones[:-1] + [self._batch_zones[-1].copy()]
+                zone = self._zone.copy()
+        return PartitionSnapshot(
+            self, trie, watermark, count, distinct, batch_zones, zone
+        )
 
     # -- live reads (latest version) --------------------------------------------
 

@@ -23,11 +23,12 @@ from repro import codegen
 from repro.core.indexed_rdd import IndexedRowBatchRDD, IndexLookupRDD
 from repro.core.mvcc import Version
 from repro.engine.context import EngineContext
-from repro.engine.partitioner import HashPartitioner
+from repro.engine.partitioner import HashPartitioner, bucket_keys
 from repro.engine.rdd import RDD
 from repro.errors import ReproError
 from repro.sql.expressions import Attribute, Expression
 from repro.sql.physical import PhysicalPlan, bind_expression
+from repro.stats import extract_pruning_predicates
 
 
 class IndexedScanExec(PhysicalPlan):
@@ -47,13 +48,103 @@ class IndexedScanExec(PhysicalPlan):
         super().__init__(ctx, output)
         self.version = version
         self.columns = list(columns) if columns is not None else None
+        self._keep: list[int] | None = None
+        self._batch_keep: dict[int, frozenset[int]] | None = None
+        self._pruned = 0
+        self._routed = False
+        self._batches_pruned = 0
+
+    def apply_pruning(self, condition: Expression) -> None:
+        """Skip partitions and row batches the filter cannot match.
+
+        Two statistics cooperate (both sound — the filter above still
+        re-checks every surviving row):
+
+        * **hash routing** — an equality/IN conjunct on the indexed
+          column names the only hash partitions its keys can live in,
+          via the same :func:`bucket_keys` routing appends use;
+        * **zone maps** — the per-partition and per-batch min/max
+          summaries maintained under the append lock, frozen per MVCC
+          snapshot, skip zones whose ranges exclude the predicates.
+        """
+        if not self.ctx.config.zone_maps_enabled:
+            return
+        predicates = extract_pruning_predicates(condition, self.output)
+        if not predicates:
+            return
+        if self.columns is not None:
+            cols = self.columns
+            predicates = [p.with_ordinal(cols[p.ordinal]) for p in predicates]
+        snapshots = self.version.snapshots
+        n = len(snapshots)
+        if n == 0:
+            return
+
+        key_ordinal = snapshots[0].partition.key_ordinal
+        routed: set[int] | None = None
+        for pred in predicates:
+            if pred.ordinal == key_ordinal and pred.op in ("eq", "in"):
+                buckets = bucket_keys(pred.values, HashPartitioner(n))
+                hit = {i for i, bucket in enumerate(buckets) if bucket}
+                routed = hit if routed is None else routed & hit
+        self._routed = routed is not None
+        candidates = sorted(routed) if routed is not None else range(n)
+
+        keep: list[int] = []
+        batch_keep: dict[int, frozenset[int]] = {}
+        batches_total = batches_pruned = 0
+        for i in candidates:
+            snap = snapshots[i]
+            zones = snap.batch_zones
+            zone_count = len(zones) if zones is not None else 0
+            batches_total += zone_count
+            if not snap.may_match(predicates):
+                batches_pruned += zone_count
+                continue
+            matching = snap.matching_batches(predicates)
+            if matching is not None and len(matching) < zone_count:
+                batches_pruned += zone_count - len(matching)
+                if not matching:
+                    continue
+                batch_keep[i] = matching
+            keep.append(i)
+
+        self._pruned = n - len(keep)
+        self._batches_pruned = batches_pruned
+        if self._pruned:
+            self._keep = keep
+        if batch_keep:
+            self._batch_keep = batch_keep
+        self.ctx.pruning_metrics.record_scan(
+            partitions_total=n,
+            partitions_pruned=self._pruned,
+            batches_total=batches_total,
+            batches_pruned=batches_pruned,
+            routed=self._routed,
+        )
 
     def execute(self) -> RDD:
-        return IndexedRowBatchRDD(self.ctx, self.version.snapshots, self.columns)
+        return IndexedRowBatchRDD(
+            self.ctx,
+            self.version.snapshots,
+            self.columns,
+            keep=self._keep,
+            batch_keep=self._batch_keep,
+        )
 
     def describe(self) -> str:
         cols = "all" if self.columns is None else self.columns
-        return f"IndexedScan[version={self.version.version_id}, columns={cols}]"
+        base = f"IndexedScan[version={self.version.version_id}, columns={cols}"
+        markers = []
+        if self._keep is not None:
+            total = self._pruned + len(self._keep)
+            kind = "key_routed" if self._routed else "zone_pruned"
+            markers.append(f"{kind}={self._pruned}/{total}")
+        if self._batches_pruned:
+            markers.append(f"batches_pruned={self._batches_pruned}")
+        if markers:
+            return base + ", " + ", ".join(markers) + "]"
+        return base + "]"
 
 
 class IndexLookupExec(PhysicalPlan):

@@ -124,7 +124,9 @@ class BatchManager:
         return count, self._lengths[count - 1]
 
     def regions(
-        self, watermark: tuple[int, int] | None = None
+        self,
+        watermark: tuple[int, int] | None = None,
+        batches: "frozenset[int] | set[int] | None" = None,
     ) -> Iterator[tuple[bytearray, int]]:
         """``(buffer, end)`` per batch, bounded by ``watermark``.
 
@@ -134,11 +136,17 @@ class BatchManager:
         memoryview per record. Reading below the watermark is safe for
         the same reason memoryviews are — batches never resize and only
         the append path writes, always past the watermark.
+
+        ``batches`` restricts the walk to those batch numbers — the
+        zone-map skip path. Callers guarantee skipped batches cannot
+        contain matching rows.
         """
         if watermark is None:
             watermark = self.watermark()
         batch_count, last_length = watermark
         for batch_no in range(batch_count):
+            if batches is not None and batch_no not in batches:
+                continue
             if batch_no == batch_count - 1:
                 end = last_length
             else:
@@ -146,12 +154,22 @@ class BatchManager:
             if end:
                 yield self._batches[batch_no], end
 
-    def scan(self, watermark: tuple[int, int] | None = None) -> Iterator[memoryview]:
-        """Yield every payload in append order, bounded by ``watermark``."""
+    def scan(
+        self,
+        watermark: tuple[int, int] | None = None,
+        batches: "frozenset[int] | set[int] | None" = None,
+    ) -> Iterator[memoryview]:
+        """Yield every payload in append order, bounded by ``watermark``.
+
+        ``batches`` restricts the scan to those batch numbers, as in
+        :meth:`regions`.
+        """
         if watermark is None:
             watermark = self.watermark()
         batch_count, last_length = watermark
         for batch_no in range(batch_count):
+            if batches is not None and batch_no not in batches:
+                continue
             batch = self._batches[batch_no]
             if batch_no == batch_count - 1:
                 end = last_length

@@ -18,6 +18,7 @@ from repro.engine.rdd import RDD, ParallelCollectionRDD
 from repro.engine.scheduler import DAGScheduler
 from repro.engine.shuffle import ShuffleManager
 from repro.faults import FaultInjector
+from repro.stats import PruningMetrics
 
 T = TypeVar("T")
 
@@ -49,6 +50,9 @@ class EngineContext:
         self.scheduler = DAGScheduler(
             self.shuffle_manager, self._pool, self.config, self.fault_injector
         )
+        # Zone-map / partition-pruning counters, bumped by scan
+        # operators at plan time (tests and EXPLAIN read them back).
+        self.pruning_metrics = PruningMetrics()
         self._stopped = False
 
     # ------------------------------------------------------------------

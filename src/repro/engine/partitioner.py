@@ -56,6 +56,34 @@ def portable_hash(key: Any) -> int:
     return hash(key) & 0x7FFFFFFFFFFFFFFF
 
 
+def bucket_keys(
+    keys: Sequence[Any],
+    partitioner: "Partitioner",
+    dedupe: bool = True,
+    skip_none: bool = True,
+) -> list[list[Any]]:
+    """Route ``keys`` to their partitions: one key list per partition.
+
+    The single hash-routing helper shared by index lookups, partition
+    pruning, and fine-grained appends — every consumer that asks "which
+    partition(s) hold these keys" goes through here so routing and
+    exchange can never disagree. ``dedupe`` drops repeated keys
+    (preserving first-seen order); ``skip_none`` drops NULL keys (they
+    match no equality predicate and index no row).
+    """
+    buckets: list[list[Any]] = [[] for _ in range(partitioner.num_partitions)]
+    seen: set[Any] = set()
+    for key in keys:
+        if skip_none and key is None:
+            continue
+        if dedupe:
+            if key in seen:
+                continue
+            seen.add(key)
+        buckets[partitioner.partition(key)].append(key)
+    return buckets
+
+
 class Partitioner(ABC):
     """Maps keys to partition indices in ``[0, num_partitions)``."""
 

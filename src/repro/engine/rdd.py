@@ -85,6 +85,12 @@ class RDD(ABC):
         self.dependencies = list(dependencies)
         self.partitioner: Partitioner | None = None
         self._cached = False
+        # True when this RDD's semantics depend on the *identity* of
+        # upstream partition indices (e.g. a function receiving the
+        # partition index, or a fixed permutation). The scheduler skips
+        # adaptive partition coalescing for any job containing one —
+        # merging reduce buckets renumbers partitions.
+        self._index_sensitive = False
 
     # ------------------------------------------------------------------
     # Core contract
@@ -163,6 +169,9 @@ class RDD(ABC):
         rdd = MapPartitionsRDD(self, fn)
         if preserves_partitioning:
             rdd.partitioner = self.partitioner
+        # The callback observes partition indices, so upstream reduce
+        # partitions must keep their planned numbering.
+        rdd._index_sensitive = True
         return rdd
 
     def glom(self) -> "RDD":
@@ -214,7 +223,12 @@ class RDD(ABC):
         """
         if self.partitioner == partitioner:
             return self
-        return ShuffledRDD(self, partitioner)
+        shuffled = ShuffledRDD(self, partitioner)
+        # An explicit partitioner is a placement contract — key k lives
+        # at partition(k) — so adaptive coalescing must not renumber it.
+        # Internal aggregation shuffles only promise co-location.
+        shuffled.allow_coalesce = False
+        return shuffled
 
     def group_by_key(self, num_partitions: int | None = None) -> "RDD":
         agg = Aggregator(
@@ -489,6 +503,9 @@ class ReorderedRDD(RDD):
             raise EngineError("order must be a permutation of partition indices")
         self._parent = parent
         self._order = list(order)
+        # The permutation is fixed at build time against the parent's
+        # planned partition count — coalescing would invalidate it.
+        self._index_sensitive = True
 
     @property
     def num_partitions(self) -> int:
@@ -503,6 +520,13 @@ class ShuffledRDD(RDD):
 
     When an aggregator is present and map-side combine is off, values are
     combined here on the reduce side.
+
+    Adaptive execution may *coalesce* this RDD after the map stage has
+    recorded bucket sizes: :meth:`set_coalesce_groups` merges adjacent
+    reduce buckets into fewer partitions. Each key still lives in
+    exactly one (coalesced) partition — whole buckets move together —
+    so keyed aggregation and cogroup stay correct; only partition
+    *numbering* changes, which is why index-sensitive jobs opt out.
     """
 
     def __init__(
@@ -516,18 +540,50 @@ class ShuffledRDD(RDD):
         super().__init__(parent.context, [ShuffleDependencyEdge(dep)])
         self.shuffle_dep = dep
         self.partitioner = partitioner
+        #: Post-map coalescing plan: partition ``i`` reads the original
+        #: reduce buckets ``_reduce_groups[i]``. ``None`` = uncoalesced.
+        self._reduce_groups: list[list[int]] | None = None
+        #: Cleared by the scheduler to veto coalescing for this shuffle.
+        self.allow_coalesce = True
+
+    def set_coalesce_groups(self, groups: Sequence[Sequence[int]]) -> None:
+        """Adopt a coalescing plan (scheduler-only; sticky once set).
+
+        The original partitioner no longer describes the physical
+        layout, so it is dropped — later graph construction must not
+        elide shuffles against the pre-coalesce partitioning.
+        """
+        expected = sorted(i for group in groups for i in group)
+        if expected != list(range(self.shuffle_dep.partitioner.num_partitions)):
+            raise EngineError("coalesce groups must cover every reduce bucket once")
+        self._reduce_groups = [list(g) for g in groups]
+        self.partitioner = None
 
     @property
     def num_partitions(self) -> int:
-        return self.partitioner.num_partitions
+        if self._reduce_groups is not None:
+            return len(self._reduce_groups)
+        return self.shuffle_dep.partitioner.num_partitions
+
+    def _fetch(self, split: int) -> Iterator[Any]:
+        fetch = self.context.shuffle_manager.fetch
+        shuffle_id = self.shuffle_dep.shuffle_id
+        if self._reduce_groups is None:
+            return fetch(shuffle_id, split)
+        buckets = self._reduce_groups[split]
+        if len(buckets) == 1:
+            return fetch(shuffle_id, buckets[0])
+        return itertools.chain.from_iterable(fetch(shuffle_id, b) for b in buckets)
 
     def compute(self, split: int) -> Iterator[Any]:
-        records = self.context.shuffle_manager.fetch(self.shuffle_dep.shuffle_id, split)
+        records = self._fetch(split)
         agg = self.shuffle_dep.aggregator
         if agg is None:
             return records
         # Hot loops: one iteration per fetched record, so the aggregator
-        # callables and dict probe are hoisted to local names.
+        # callables and dict probe are hoisted to local names. Merged
+        # buckets hold disjoint key sets, so one pass over the chained
+        # records aggregates each exactly as the separate buckets would.
         _missing = object()
         acc: dict[Any, Any] = {}
         acc_get = acc.get

@@ -99,6 +99,28 @@ def _find_fetch_failure(exc: BaseException | None) -> FetchFailedError | None:
     return None
 
 
+# Fetch failures draw on their own retry budget, task_max_retries times
+# this factor. A coalesced reduce task fetches many map buckets, so one
+# attempt makes many independent fetch draws; charging those against the
+# crash budget would exhaust it in proportion to the coalesce width even
+# though each loss is repaired by lineage recomputation, not by the
+# retry itself. task_max_retries=0 still means fail-fast for both kinds.
+_FETCH_RETRY_FACTOR = 4
+
+
+@dataclass
+class _TaskFailures:
+    """Per-task retry accounting: crashes and fetch failures draw on
+    separate budgets (see ``_FETCH_RETRY_FACTOR``)."""
+
+    crashes: int = 0
+    fetches: int = 0
+
+    @property
+    def attempts(self) -> int:
+        return self.crashes + self.fetches
+
+
 @dataclass
 class JobMetrics:
     """Per-job counters surfaced by the benchmark harness."""
@@ -124,6 +146,9 @@ class SchedulerMetrics:
     speculative_wins: int = 0
     stage_timeouts: int = 0
     index_fallbacks: int = 0
+    coalesced_shuffles: int = 0
+    coalesced_partitions: int = 0
+    runtime_broadcast_joins: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record_job(self, job: JobMetrics) -> None:
@@ -157,6 +182,9 @@ class SchedulerMetrics:
                     "speculative_wins",
                     "stage_timeouts",
                     "index_fallbacks",
+                    "coalesced_shuffles",
+                    "coalesced_partitions",
+                    "runtime_broadcast_joins",
                 )
             }
 
@@ -196,40 +224,96 @@ class DAGScheduler:
     ) -> list[Any]:
         """Run ``func`` over the given partitions of ``rdd``; returns the
         per-partition results in partition order."""
-        if partitions is None:
-            partitions = range(rdd.num_partitions)
         job = JobMetrics(job_id=next(DAGScheduler._job_ids))
         with self._job_lock:
-            missing, lineage = self._collect_shuffles(rdd)
+            missing, lineage, readers, index_sensitive = self._collect_shuffles(rdd)
             self._lineage = lineage
+            # Coalescing renumbers reduce partitions, so it is only
+            # attempted when (a) adaptivity is on, (b) the caller asked
+            # for *all* partitions (explicit indices, e.g. take(), were
+            # chosen against the planned count), and (c) nothing in the
+            # job graph depends on partition identity.
+            coalesce = (
+                self._config.adaptive_enabled
+                and partitions is None
+                and not index_sensitive
+            )
             try:
                 for dep in missing:
                     self._run_map_stage(dep, job)
+                    if coalesce:
+                        # Map-output sizes are now recorded: shrink tiny
+                        # adjacent reduce buckets before anything reads
+                        # them (the next map stage or the result stage).
+                        for reader in readers.get(dep.shuffle_id, ()):
+                            self._maybe_coalesce(dep, reader)
+                if partitions is None:
+                    # Resolved only now: coalescing may have shrunk the
+                    # target RDD's partition count.
+                    partitions = range(rdd.num_partitions)
                 results = self._run_result_stage(rdd, func, partitions, job)
             finally:
                 self._lineage = {}
         self.metrics.record_job(job)
         return results
 
+    def _maybe_coalesce(self, dep: ShuffleDependency, reader: "Any") -> None:
+        """Merge adjacent small reduce buckets of one completed shuffle."""
+        if not reader.allow_coalesce or reader._reduce_groups is not None:
+            return
+        sizes = self._shuffles.reduce_sizes(dep.shuffle_id)
+        if sizes is None or len(sizes) <= 1:
+            return
+        target = self._config.target_reduce_bytes
+        groups: list[list[int]] = []
+        current: list[int] = []
+        current_bytes = 0
+        for index, (_rows, est_bytes) in enumerate(sizes):
+            if current and current_bytes + est_bytes > target:
+                groups.append(current)
+                current, current_bytes = [], 0
+            current.append(index)
+            current_bytes += est_bytes
+        if current:
+            groups.append(current)
+        if len(groups) >= len(sizes):
+            return  # nothing to merge
+        reader.set_coalesce_groups(groups)
+        self.metrics.bump("coalesced_shuffles")
+        self.metrics.bump("coalesced_partitions", len(sizes) - len(groups))
+
     # ------------------------------------------------------------------
 
     def _collect_shuffles(
         self, rdd: RDD
-    ) -> tuple[list[ShuffleDependency], dict[int, ShuffleDependency]]:
+    ) -> tuple[
+        list[ShuffleDependency],
+        dict[int, ShuffleDependency],
+        dict[int, list[RDD]],
+        bool,
+    ]:
         """Walk the lineage: returns (incomplete shuffles in execution
-        order, every reachable shuffle keyed by id).
+        order, every reachable shuffle keyed by id, the reader RDD(s)
+        per shuffle id, and whether any reachable RDD is
+        index-sensitive).
 
         The full map is kept even for complete shuffles — their outputs
-        can still be lost mid-job and need lineage recomputation.
+        can still be lost mid-job and need lineage recomputation. The
+        readers and index-sensitivity feed adaptive coalescing.
         """
         ordered: list[ShuffleDependency] = []
         lineage: dict[int, ShuffleDependency] = {}
+        readers: dict[int, list[RDD]] = {}
         seen_rdds: set[int] = set()
+        index_sensitive = False
 
         def visit(node: RDD) -> None:
+            nonlocal index_sensitive
             if node.rdd_id in seen_rdds:
                 return
             seen_rdds.add(node.rdd_id)
+            if node._index_sensitive:
+                index_sensitive = True
             # A cached RDD whose every partition is stored needs no
             # upstream recomputation: its shuffles can be skipped.
             if node.is_cached and self._fully_cached(node):
@@ -238,6 +322,7 @@ class DAGScheduler:
                 visit(edge.rdd)
                 if isinstance(edge, ShuffleDependencyEdge):
                     dep = edge.shuffle
+                    readers.setdefault(dep.shuffle_id, []).append(node)
                     if dep.shuffle_id in lineage:
                         continue
                     lineage[dep.shuffle_id] = dep
@@ -245,7 +330,7 @@ class DAGScheduler:
                         ordered.append(dep)
 
         visit(rdd)
-        return ordered, lineage
+        return ordered, lineage, readers, index_sensitive
 
     def _fully_cached(self, rdd: RDD) -> bool:
         bm = rdd.context.block_manager
@@ -343,7 +428,7 @@ class DAGScheduler:
         stage_id: int,
         deadline: float | None,
     ) -> Any:
-        failures = 0
+        failures = _TaskFailures()
         while True:
             if deadline is not None and time.monotonic() > deadline:
                 self.metrics.bump("stage_timeouts")
@@ -351,8 +436,8 @@ class DAGScheduler:
             try:
                 return task(split)
             except BaseException as exc:  # noqa: BLE001 - central retry policy
-                failures = self._on_task_failure(exc, split, job, stage_id, failures)
-                delay = self._backoff(failures)
+                self._on_task_failure(exc, split, job, stage_id, failures)
+                delay = self._backoff(failures.attempts)
                 if delay:
                     time.sleep(delay)
 
@@ -367,7 +452,7 @@ class DAGScheduler:
         cfg = self._config
         abort = threading.Event()
         results: dict[int, Any] = {}
-        failures: dict[int, int] = {s: 0 for s in splits}
+        failures: dict[int, _TaskFailures] = {s: _TaskFailures() for s in splits}
         speculated: set[int] = set()
         durations: list[float] = []
         inflight: dict[Future, tuple[int, bool, float]] = {}
@@ -408,10 +493,10 @@ class DAGScheduler:
                             # The original attempt still owns the split;
                             # a crashed speculative copy is just noise.
                             continue
-                        failures[split] = self._on_task_failure(
+                        self._on_task_failure(
                             exc, split, job, stage_id, failures[split]
                         )
-                        submit(split, delay=self._backoff(failures[split]))
+                        submit(split, delay=self._backoff(failures[split].attempts))
                         continue
                     results[split] = value
                     durations.append(now - started)
@@ -465,13 +550,17 @@ class DAGScheduler:
         split: int,
         job: JobMetrics,
         stage_id: int,
-        failures: int,
-    ) -> int:
+        failures: _TaskFailures,
+    ) -> None:
         """Central per-task failure policy.
 
-        Returns the updated failure count when the task should be
-        retried; raises otherwise. Fetch failures trigger lineage
-        recomputation of the lost map outputs before the retry.
+        Updates the failure accounting in place when the task should
+        be retried; raises otherwise. Fetch failures trigger lineage
+        recomputation of the lost map outputs before the retry, and
+        draw on a separate, wider budget than crashes: the recompute
+        is what repairs them, so a task that reads many (possibly
+        coalesced) shuffle buckets must not burn its crash budget on
+        losses it did not cause.
         """
         self.metrics.bump("task_failures")
         fetch = _find_fetch_failure(exc)
@@ -481,14 +570,19 @@ class DAGScheduler:
         transient = _find_transient(exc)
         if transient is None and not self._config.retry_all_errors:
             raise exc
-        failures += 1
-        if failures > self._config.task_max_retries:
+        budget = self._config.task_max_retries
+        if fetch is not None:
+            failures.fetches += 1
+            exhausted = failures.fetches > budget * _FETCH_RETRY_FACTOR
+        else:
+            failures.crashes += 1
+            exhausted = failures.crashes > budget
+        if exhausted:
             cause = exc.cause if isinstance(exc, TaskError) else exc
             raise RetryExhaustedError(
-                f"stage {stage_id}, partition {split}", failures, cause
+                f"stage {stage_id}, partition {split}", failures.attempts, cause
             ) from exc
         self.metrics.bump("task_retries")
-        return failures
 
     def _recover_lost_shuffle(self, fetch: FetchFailedError, job: JobMetrics) -> None:
         """Lineage recomputation: re-run exactly the missing map tasks

@@ -21,6 +21,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
 
+from repro.engine.cache import estimate_size
 from repro.engine.partitioner import Partitioner
 from repro.errors import EngineError, FetchFailedError
 from repro.faults import NULL_INJECTOR, FaultInjector
@@ -66,13 +67,32 @@ class ShuffleDependency:
 
 @dataclass
 class _ShuffleState:
-    """Map outputs for one shuffle: ``outputs[map_idx][reduce_idx]``."""
+    """Map outputs for one shuffle: ``outputs[map_idx][reduce_idx]``.
+
+    ``sizes[map_idx][reduce_idx]`` records ``(rows, est_bytes)`` per
+    bucket — the map-output statistics adaptive execution plans from.
+    """
 
     num_maps: int
     outputs: dict[int, list[list[Any]]] = field(default_factory=dict)
+    sizes: dict[int, list[tuple[int, int]]] = field(default_factory=dict)
 
     def complete(self) -> bool:
         return len(self.outputs) == self.num_maps
+
+
+def _bucket_size(bucket: list[Any]) -> tuple[int, int]:
+    """``(rows, est_bytes)`` for one reduce bucket.
+
+    Bytes are estimated from the first record (deep-sized) times the
+    bucket length — adaptive coalescing needs relative magnitudes, not
+    exact accounting, and sizing every record would put an O(fields)
+    walk on the shuffle write path.
+    """
+    rows = len(bucket)
+    if rows == 0:
+        return 0, 0
+    return rows, rows * max(1, estimate_size(bucket[0]))
 
 
 class ShuffleManager:
@@ -131,11 +151,13 @@ class ShuffleManager:
             appends = [bucket.append for bucket in buckets]
             for key, value in records:
                 appends[partition_of(key)]((key, value))
+        sizes = [_bucket_size(bucket) for bucket in buckets]
         with self._lock:
             state = self._shuffles.get(dep.shuffle_id)
             if state is None:
                 raise EngineError(f"shuffle {dep.shuffle_id} was never registered")
             state.outputs[map_index] = buckets
+            state.sizes[map_index] = sizes
 
     def fetch(self, shuffle_id: int, reduce_index: int) -> Iterator[tuple[Any, Any]]:
         """All records destined for ``reduce_index``.
@@ -174,6 +196,30 @@ class ShuffleManager:
                 yield from bucket
 
         return drain()
+
+    def reduce_sizes(self, shuffle_id: int) -> list[tuple[int, int]] | None:
+        """Per-reduce-partition ``(rows, est_bytes)`` totals across maps.
+
+        ``None`` until every map output has been registered — adaptive
+        decisions only make sense over the complete picture.
+        """
+        with self._lock:
+            state = self._shuffles.get(shuffle_id)
+            if state is None or not state.complete():
+                return None
+            totals: list[tuple[int, int]] | None = None
+            for map_index in state.outputs:
+                sizes = state.sizes.get(map_index)
+                if sizes is None:
+                    return None
+                if totals is None:
+                    totals = list(sizes)
+                else:
+                    totals = [
+                        (r + br, b + bb)
+                        for (r, b), (br, bb) in zip(totals, sizes)
+                    ]
+            return totals
 
     def missing_map_indices(self, shuffle_id: int) -> list[int]:
         """Map indices whose output is absent (lineage-recompute set)."""

@@ -238,7 +238,17 @@ class DataFrame:
         analyzed = self.analyzed_plan()
         optimized = self.session.optimizer.optimize(analyzed)
         physical = self.session.planner.plan(optimized)
+        # Retained so runtime-adaptive markers (join decisions, pruning
+        # counters) are inspectable after the action completes.
+        self._last_physical = physical
         return physical.execute()
+
+    def last_execution_plan(self) -> str | None:
+        """The physical plan of the most recent action, including
+        markers only known at runtime (e.g. ``AdaptiveJoin`` decisions);
+        ``None`` before the first action."""
+        physical = getattr(self, "_last_physical", None)
+        return None if physical is None else physical.pretty()
 
     def collect(self) -> list[Row]:
         schema = self.schema

@@ -125,6 +125,42 @@ def boolean_simplification(plan: LogicalPlan) -> LogicalPlan:
     return plan.transform_expressions(simplify)
 
 
+def simplify_in_lists(plan: LogicalPlan) -> LogicalPlan:
+    """Dedupe literal IN lists; collapse a single-literal IN to ``=``.
+
+    ``x IN (5, 5, 5)`` carries its duplicates all the way into the
+    physical plan — the index-lookup path then probes (or at least
+    dedupes) per literal, and pruning analysis checks each one. One
+    literal is exactly equality, which the index-equality rewrite
+    already fast-paths.
+    """
+    from repro.sql.expressions import EqualTo, In
+
+    def simplify(expr: Expression) -> Expression:
+        if not isinstance(expr, In):
+            return expr
+        options = expr.options
+        if not all(isinstance(o, Literal) for o in options):
+            return expr
+        seen = set()
+        unique: list[Expression] = []
+        for option in options:
+            try:
+                if option.value in seen:
+                    continue
+                seen.add(option.value)
+            except TypeError:
+                pass  # unhashable literal: keep it, sound either way
+            unique.append(option)
+        if len(unique) == 1:
+            return EqualTo(expr.value, unique[0])
+        if len(unique) == len(options):
+            return expr
+        return In(expr.value, unique)
+
+    return plan.transform_expressions(simplify)
+
+
 # ----------------------------------------------------------------------
 # Plan-level rules
 # ----------------------------------------------------------------------
@@ -459,6 +495,7 @@ class Optimizer:
                     constant_folding,
                     simplify_null_checks,
                     boolean_simplification,
+                    simplify_in_lists,
                     prune_filters,
                     combine_filters,
                     push_down_predicates,

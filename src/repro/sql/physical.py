@@ -18,8 +18,7 @@ from typing import Any, Callable, Iterator, Sequence
 
 from repro import codegen
 from repro.engine.context import EngineContext
-from repro.engine.partitioner import HashPartitioner
-from repro.engine.rdd import RDD
+from repro.engine.rdd import RDD, ParallelCollectionRDD
 from repro.errors import PlanningError
 from repro.sql.expressions import (
     AggregateExpression,
@@ -31,6 +30,7 @@ from repro.sql.expressions import (
     strip_alias,
 )
 from repro.sql.relation import BaseRelation
+from repro.stats import extract_pruning_predicates
 
 
 def bind_expression(expr: Expression, input_attrs: Sequence[Attribute]) -> Expression:
@@ -90,13 +90,47 @@ class ScanExec(PhysicalPlan):
         super().__init__(ctx, output)
         self.relation = relation
         self.columns = list(columns) if columns is not None else None
+        self._keep: list[int] | None = None
+        self._pruned = 0
+
+    def apply_pruning(self, condition: Expression) -> None:
+        """Use zone maps to skip partitions a filter can never match.
+
+        Called by the planner with the filter condition sitting directly
+        above this scan. Predicate ordinals come from ``self.output``
+        (the scan's *projected* columns), so they are mapped back through
+        ``self.columns`` to storage ordinals before consulting the zone
+        maps. Sound by the zone-map contract: ``may_match`` never returns
+        False for a zone containing a matching row, and the filter above
+        still re-checks every surviving row.
+        """
+        if not self.ctx.config.zone_maps_enabled:
+            return
+        predicates = extract_pruning_predicates(condition, self.output)
+        if not predicates:
+            return
+        if self.columns is not None:
+            cols = self.columns
+            predicates = [p.with_ordinal(cols[p.ordinal]) for p in predicates]
+        zones = self.relation.partition_zones()
+        keep = [i for i, zone in enumerate(zones) if zone.may_match(predicates)]
+        self._pruned = len(zones) - len(keep)
+        if self._pruned:
+            self._keep = keep
+        self.ctx.pruning_metrics.record_scan(
+            partitions_total=len(zones), partitions_pruned=self._pruned
+        )
 
     def execute(self) -> RDD:
-        return self.relation.to_rdd(self.ctx, self.columns)
+        return self.relation.to_rdd(self.ctx, self.columns, self._keep)
 
     def describe(self) -> str:
         cols = "all" if self.columns is None else self.columns
-        return f"Scan[{type(self.relation).__name__}, columns={cols}]"
+        base = f"Scan[{type(self.relation).__name__}, columns={cols}"
+        if self._keep is not None:
+            total = self._pruned + len(self._keep)
+            return f"{base}, zone_pruned={self._pruned}/{total}]"
+        return base + "]"
 
 
 class LocalDataExec(PhysicalPlan):
@@ -855,6 +889,90 @@ class BroadcastHashJoinExec(PhysicalPlan):
 
     def describe(self) -> str:
         return f"BroadcastHashJoin[{self.how}]"
+
+
+class PrematerializedExec(PhysicalPlan):
+    """Rows already computed by the adaptive planner, kept partitioned.
+
+    Wraps the materialized partitions of a plan that was executed once
+    to measure its true size, so the chosen join strategy re-reads the
+    rows instead of recomputing the subtree.
+    """
+
+    def __init__(
+        self,
+        ctx: EngineContext,
+        partitions: list[list[tuple]],
+        output: Sequence[Attribute],
+    ):
+        super().__init__(ctx, output)
+        self._partitions = partitions
+
+    def execute(self) -> RDD:
+        return ParallelCollectionRDD.from_partitions(self.ctx, self._partitions)
+
+    def describe(self) -> str:
+        rows = sum(len(p) for p in self._partitions)
+        return f"Prematerialized[{rows} rows, {len(self._partitions)} partitions]"
+
+
+class AdaptiveJoinExec(PhysicalPlan):
+    """Runtime join-strategy selection (Spark AQE's broadcast demotion,
+    inverted): the right side is materialized first, its *exact* row
+    count measured, and only then is the join strategy chosen.
+
+    The planner inserts this when its row estimate was too coarse to
+    commit to a broadcast statically. Materializing the right side is
+    work either strategy needs anyway (build side of the hash table or
+    shuffle input), so the extra cost is holding the rows, not
+    recomputing them.
+    """
+
+    def __init__(
+        self,
+        left: PhysicalPlan,
+        right: PhysicalPlan,
+        left_keys: Sequence[Expression],
+        right_keys: Sequence[Expression],
+        how: str,
+        extra_condition: Expression | None = None,
+    ):
+        output = _join_output(left, right, how)
+        super().__init__(left.ctx, output)
+        self.children = (left, right)
+        self.how = how
+        # Kept unbound: the chosen exec binds them against its children.
+        self._left_keys = list(left_keys)
+        self._right_keys = list(right_keys)
+        self._extra = extra_condition
+        self.decision: str | None = None
+
+    def execute(self) -> RDD:
+        left, right = self.children
+        right_parts = self.ctx.run_job(right.execute(), list)
+        right_rows = sum(len(p) for p in right_parts)
+        materialized = PrematerializedExec(self.ctx, right_parts, right.output)
+        if (
+            right_rows <= self.ctx.config.broadcast_threshold
+            and self.how in BroadcastHashJoinExec.SUPPORTED
+        ):
+            self.decision = f"broadcast({right_rows} rows)"
+            self.ctx.scheduler.metrics.bump("runtime_broadcast_joins")
+            chosen: PhysicalPlan = BroadcastHashJoinExec(
+                left, materialized, self._left_keys, self._right_keys,
+                self.how, self._extra,
+            )
+        else:
+            self.decision = f"shuffle({right_rows} rows)"
+            chosen = ShuffledHashJoinExec(
+                left, materialized, self._left_keys, self._right_keys,
+                self.how, self._extra,
+            )
+        return chosen.execute()
+
+    def describe(self) -> str:
+        decision = self.decision or "undecided"
+        return f"AdaptiveJoin[{self.how}, decision={decision}]"
 
 
 class CartesianProductExec(PhysicalPlan):

@@ -35,6 +35,7 @@ from repro.sql.logical import (
     Union,
 )
 from repro.sql.physical import (
+    AdaptiveJoinExec,
     BroadcastHashJoinExec,
     CartesianProductExec,
     DistinctExec,
@@ -164,6 +165,18 @@ class Planner:
         raise PlanningError(f"no strategy produced a plan for:\n{logical.pretty()}")
 
 
+def _apply_pruning(child_exec: PhysicalPlan, condition: Expression) -> None:
+    """Give a scan sitting under a filter the chance to zone-prune.
+
+    Duck-typed (any exec exposing ``apply_pruning``) so the indexed scan
+    in :mod:`repro.core.physical` participates without this module
+    importing it — the same inversion the strategy mechanism uses.
+    """
+    apply = getattr(child_exec, "apply_pruning", None)
+    if apply is not None:
+        apply(condition)
+
+
 def _plan_join(join: Join, planner: Planner) -> PhysicalPlan:
     left = planner.plan(join.left)
     right = planner.plan(join.right)
@@ -188,6 +201,14 @@ def _plan_join(join: Join, planner: Planner) -> PhysicalPlan:
         return BroadcastHashJoinExec(
             left, right, left_keys, right_keys, join.how, extra
         )
+    # The static estimate said "too big to broadcast" (or gave nothing);
+    # with adaptive execution on, defer the call until the right side's
+    # exact size is known at runtime (Spark AQE's join replanning).
+    if (
+        planner.config.adaptive_enabled
+        and join.how in BroadcastHashJoinExec.SUPPORTED
+    ):
+        return AdaptiveJoinExec(left, right, left_keys, right_keys, join.how, extra)
     return ShuffledHashJoinExec(left, right, left_keys, right_keys, join.how, extra)
 
 
@@ -214,14 +235,18 @@ def basic_strategy(plan: LogicalPlan, planner: Planner) -> PhysicalPlan | None:
         # shape; indexed strategies run before this one and are
         # unaffected.
         if isinstance(plan.child, Filter) and planner.config.codegen_enabled:
+            child_exec = planner.plan(plan.child.child)
+            _apply_pruning(child_exec, plan.child.condition)
             return ProjectExec(
                 plan.project_list,
-                planner.plan(plan.child.child),
+                child_exec,
                 fused_filter=plan.child.condition,
             )
         return ProjectExec(plan.project_list, planner.plan(plan.child))
     if isinstance(plan, Filter):
-        return FilterExec(plan.condition, planner.plan(plan.child))
+        child_exec = planner.plan(plan.child)
+        _apply_pruning(child_exec, plan.condition)
+        return FilterExec(plan.condition, child_exec)
     if isinstance(plan, Join):
         return _plan_join(plan, planner)
     if isinstance(plan, Aggregate):

@@ -21,6 +21,7 @@ from repro.engine.context import EngineContext
 from repro.engine.rdd import RDD
 from repro.errors import SchemaError
 from repro.sql.types import StructType
+from repro.stats import ZoneMap
 
 
 class BaseRelation:
@@ -28,6 +29,7 @@ class BaseRelation:
 
     def __init__(self, schema: StructType):
         self.schema = schema
+        self._zones: list[ZoneMap] | None = None
 
     @property
     def num_partitions(self) -> int:
@@ -36,28 +38,62 @@ class BaseRelation:
     def num_rows(self) -> int:
         raise NotImplementedError
 
-    def to_rdd(self, ctx: EngineContext, columns: Sequence[int] | None = None) -> RDD:
+    def to_rdd(
+        self,
+        ctx: EngineContext,
+        columns: Sequence[int] | None = None,
+        keep: Sequence[int] | None = None,
+    ) -> RDD:
         """An RDD of tuples holding the given column ordinals (all
-        columns, in schema order, when ``columns`` is None)."""
+        columns, in schema order, when ``columns`` is None). ``keep``
+        restricts computation to those partition indices — pruned
+        splits yield nothing; partition count is unchanged."""
         raise NotImplementedError
 
     def iter_rows(self) -> Iterator[tuple]:
         raise NotImplementedError
 
+    def partition_zones(self) -> list[ZoneMap]:
+        """Per-partition zone maps, built lazily on first use and cached
+        (relations are immutable once constructed, so one build is
+        sound for the relation's lifetime)."""
+        if self._zones is None:
+            ncols = len(self.schema)
+            self._zones = [
+                ZoneMap.from_rows(ncols, self._compute_partition(i, None))  # type: ignore[attr-defined]
+                for i in range(self.num_partitions)
+            ]
+        return self._zones
+
 
 class _RelationRDD(RDD):
-    """RDD view over a relation's partitions (no copying)."""
+    """RDD view over a relation's partitions (no copying).
 
-    def __init__(self, ctx: EngineContext, relation: BaseRelation, columns: Sequence[int] | None):
+    ``keep`` (when set) lists the partition indices zone-map pruning
+    left alive; other splits compute to empty without touching the
+    relation. Partition numbering is preserved so downstream operators
+    and the partitioner contract are unaffected.
+    """
+
+    def __init__(
+        self,
+        ctx: EngineContext,
+        relation: BaseRelation,
+        columns: Sequence[int] | None,
+        keep: Sequence[int] | None = None,
+    ):
         super().__init__(ctx, [])
         self._relation = relation
         self._columns = list(columns) if columns is not None else None
+        self._keep = frozenset(keep) if keep is not None else None
 
     @property
     def num_partitions(self) -> int:
         return self._relation.num_partitions
 
     def compute(self, split: int) -> Iterator[tuple]:
+        if self._keep is not None and split not in self._keep:
+            return iter(())
         return self._relation._compute_partition(split, self._columns)  # type: ignore[attr-defined]
 
 
@@ -103,8 +139,13 @@ class RowRelation(BaseRelation):
         cols = columns
         return (tuple(row[c] for c in cols) for row in rows)
 
-    def to_rdd(self, ctx: EngineContext, columns: Sequence[int] | None = None) -> RDD:
-        return _RelationRDD(ctx, self, columns)
+    def to_rdd(
+        self,
+        ctx: EngineContext,
+        columns: Sequence[int] | None = None,
+        keep: Sequence[int] | None = None,
+    ) -> RDD:
+        return _RelationRDD(ctx, self, columns, keep)
 
     def iter_rows(self) -> Iterator[tuple]:
         for part in self._partitions:
@@ -159,8 +200,13 @@ class ColumnarRelation(BaseRelation):
         # Pruned scan: only the requested vectors are touched.
         return iter(zip(*(cols[c] for c in columns)))
 
-    def to_rdd(self, ctx: EngineContext, columns: Sequence[int] | None = None) -> RDD:
-        return _RelationRDD(ctx, self, columns)
+    def to_rdd(
+        self,
+        ctx: EngineContext,
+        columns: Sequence[int] | None = None,
+        keep: Sequence[int] | None = None,
+    ) -> RDD:
+        return _RelationRDD(ctx, self, columns, keep)
 
     def iter_rows(self) -> Iterator[tuple]:
         for split in range(self.num_partitions):

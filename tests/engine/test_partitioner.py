@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 from repro.engine.partitioner import (
     HashPartitioner,
     RangePartitioner,
+    bucket_keys,
     portable_hash,
 )
 
@@ -97,3 +98,37 @@ class TestRangePartitioner:
         keys = sorted(sample)
         partitions = [p.partition(k) for k in keys]
         assert partitions == sorted(partitions)
+
+
+class TestBucketKeys:
+    """The shared routing helper: lookups, pruning, and appends must
+    agree on which partition holds a key."""
+
+    def test_routes_match_partitioner(self):
+        p = HashPartitioner(4)
+        buckets = bucket_keys(range(50), p)
+        assert len(buckets) == 4
+        for index, bucket in enumerate(buckets):
+            for key in bucket:
+                assert p.partition(key) == index
+        assert sorted(k for b in buckets for k in b) == list(range(50))
+
+    def test_dedupes_preserving_first_seen_order(self):
+        p = HashPartitioner(1)
+        assert bucket_keys([3, 1, 3, 2, 1], p) == [[3, 1, 2]]
+        assert bucket_keys([3, 1, 3], p, dedupe=False) == [[3, 1, 3]]
+
+    def test_none_keys_dropped_by_default(self):
+        p = HashPartitioner(2)
+        assert all(None not in b for b in bucket_keys([None, 1, None], p))
+        kept = bucket_keys([None, 1], p, skip_none=False)
+        assert sum(len(b) for b in kept) == 2
+
+    @given(st.lists(st.one_of(st.integers(), st.text(), st.none()), max_size=100),
+           st.integers(1, 8))
+    def test_every_non_null_key_lands_exactly_once(self, keys, n):
+        buckets = bucket_keys(keys, HashPartitioner(n))
+        routed = [k for b in buckets for k in b]
+        assert sorted(routed, key=repr) == sorted(
+            {k for k in keys if k is not None}, key=repr
+        )

@@ -108,6 +108,27 @@ class TestLineageRecomputation:
         assert metrics.recomputed_map_stages >= 1
         assert ctx.shuffle_manager.lost_map_outputs == 1
 
+    def test_fetch_failures_do_not_burn_crash_budget(self, make_ctx):
+        # A coalesced reduce task reads many map buckets, so a single
+        # attempt makes many fetch draws. Those losses are repaired by
+        # recomputation and draw on their own budget (4x); charging
+        # them against task_max_retries would exhaust a small crash
+        # budget in proportion to the coalesce width.
+        ctx = make_ctx(
+            faults=FaultProfile(seed=3, shuffle_loss_p=1.0, max_fires_per_site=6),
+            task_max_retries=2,
+            shuffle_partitions=16,
+            adaptive_enabled=True,
+        )
+        pairs = ctx.parallelize([(i % 4, 1) for i in range(200)], 4)
+        counts = dict(
+            pairs.reduce_by_key(lambda a, b: a + b, num_partitions=16).collect()
+        )
+        assert counts == {k: 50 for k in range(4)}
+        metrics = ctx.scheduler.metrics
+        assert metrics.fetch_failures > ctx.config.task_max_retries
+        assert metrics.coalesced_shuffles >= 1
+
     def test_repeated_loss_within_budget(self, make_ctx):
         ctx = make_ctx(
             faults=FaultProfile(seed=2, shuffle_loss_p=1.0, max_fires_per_site=3),
