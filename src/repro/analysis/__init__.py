@@ -1,0 +1,21 @@
+"""Project-specific static analysis and runtime sanitizers.
+
+Run the static pass over a tree with ``python -m repro.analysis src/``.
+Modules:
+
+* :mod:`repro.analysis.report` — rule registry and Violation records;
+* :mod:`repro.analysis.lockcheck` — lock-discipline rules (LD*);
+* :mod:`repro.analysis.plancheck` — physical-plan contracts (PC*);
+* :mod:`repro.analysis.codegen_rules` — generated-code rules (CG*),
+  also called by the compiler on every kernel before ``exec``;
+* :mod:`repro.analysis.interleave` — deterministic interleaving driver
+  over the instrumented atomics (for tests).
+
+The runtime sanitizers (SZ*) live with the data structures they poison
+(:mod:`repro.stats`, :mod:`repro.core.rowbatch`) behind
+``Config.sanitizers_enabled``.
+"""
+
+from repro.analysis.report import RULES, Violation
+
+__all__ = ["RULES", "Violation"]

@@ -1,0 +1,135 @@
+"""CLI entry point: ``python -m repro.analysis [paths...]``.
+
+Walks the given files/directories, applies the lock-discipline and
+plan-contract rules to every ``*.py`` file and the generated-code
+rules to every ``*.gensrc`` file (captured kernel sources, used by the
+regression fixtures), prints one ``path:line: RULE message`` line per
+finding, and exits nonzero if anything was found.
+
+``--self-check`` (on by default) additionally compiles a set of
+representative expression kernels through :mod:`repro.codegen`, which
+runs the CG rules on the real emitter output — a cheap end-to-end
+guarantee that the shipped emitters satisfy their own contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis import codegen_rules, lockcheck, plancheck
+from repro.analysis.report import RULES, Violation
+
+
+def iter_source_files(paths: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+            files.extend(sorted(path.rglob("*.gensrc")))
+        else:
+            files.append(path)
+    return files
+
+
+def check_paths(paths: list[str]) -> list[Violation]:
+    violations: list[Violation] = []
+    for path in iter_source_files(paths):
+        if path.suffix == ".gensrc":
+            violations.extend(codegen_rules.check_file(path))
+            continue
+        violations.extend(lockcheck.check_file(path))
+        violations.extend(plancheck.check_file(path))
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return violations
+
+
+def self_check() -> list[str]:
+    """Compile representative kernels; return error strings (empty = ok)."""
+    from repro.codegen import compile_predicate, compile_projection
+    from repro.errors import CodegenError
+    from repro.sql import expressions as E
+    from repro.sql.types import IntegerType, StringType
+
+    age = E.BoundReference(0, IntegerType(), "age")
+    name = E.BoundReference(1, StringType(), "name")
+    cases = [
+        ("predicate", lambda: compile_predicate(
+            E.And(
+                E.GreaterThan(age, E.Literal(21)),
+                E.IsNotNull(name),
+            )
+        )),
+        ("projection", lambda: compile_projection(
+            [E.Add(age, E.Literal(1)), name]
+        )),
+        ("arithmetic", lambda: compile_projection(
+            [E.Divide(E.Multiply(age, age), E.Subtract(age, E.Literal(1)))]
+        )),
+    ]
+    errors: list[str] = []
+    for label, build in cases:
+        try:
+            build()
+        except CodegenError as exc:
+            errors.append(f"self-check kernel {label!r} failed validation: {exc}")
+        except Exception as exc:  # pragma: no cover - unexpected breakage
+            errors.append(f"self-check kernel {label!r} raised {exc!r}")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-specific static analysis (lock discipline, "
+        "plan contracts, generated-code rules).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    parser.add_argument(
+        "--no-self-check", action="store_true",
+        help="skip compiling representative codegen kernels",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, description in sorted(RULES.items()):
+            print(f"{rule}  {description}")
+        return 0
+
+    files = iter_source_files(args.paths)
+    violations = check_paths(args.paths)
+    for violation in violations:
+        print(violation.render())
+
+    errors: list[str] = []
+    if not args.no_self_check:
+        errors = self_check()
+        for error in errors:
+            print(error)
+
+    if violations or errors:
+        print(
+            f"repro.analysis: {len(violations)} violation(s), "
+            f"{len(errors)} self-check failure(s)",
+            file=sys.stderr,
+        )
+        return 1
+    check = "skipped" if args.no_self_check else "ok"
+    print(
+        f"analysis: {len(files)} files checked, 0 violations, "
+        f"self-check {check}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,271 @@
+"""AST lock-discipline checker (rules LD001–LD004).
+
+The concurrency invariants of the storage and engine layers were
+previously enforced by comments ("caller holds the lock"). This module
+turns those comments into machine-checked annotations:
+
+* ``# guarded-by: <lock>`` on the line where a field is first assigned
+  (``self.field = ...`` in ``__init__``, or a class-level / dataclass
+  field declaration) declares that every write to the field must happen
+  inside a ``with self.<lock>:`` block;
+* ``# requires-lock: <lock>`` on a ``def`` line declares that the
+  method may only be called with the lock already held — inside the
+  method the lock is assumed held, and every intra-class call site is
+  checked (rule LD003).
+
+Scope (kept deliberately narrow so every finding is actionable):
+
+* only writes through ``self`` are checked — ``self.f = ...``,
+  ``self.f += ...``, ``self.f[k] = ...``, ``del self.f[k]``, and
+  mutating method calls ``self.f.append(...)`` etc. Writes through a
+  local alias (``zones = self._zones; zones.append(...)``) are
+  invisible, which is why the hot loops that alias are themselves
+  ``requires-lock`` methods or hold the lock around the aliasing block;
+* ``__init__`` / ``__post_init__`` / ``__new__`` are exempt — the
+  object is not yet shared;
+* closures defined inside a method are analyzed with an *empty* lock
+  set: a closure can escape and run after the enclosing ``with`` block
+  released the lock, so only locks it acquires itself count.
+
+A finding can be silenced on its line with ``# lint: allow[LD001]``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from repro.analysis.report import Violation
+
+_ANNOT_RE = re.compile(
+    r"#\s*(guarded-by|requires-lock):\s*([A-Za-z_][A-Za-z0-9_]*)"
+)
+_ALLOW_RE = re.compile(r"#\s*lint:\s*allow\[([A-Z0-9_, ]+)\]")
+
+#: Method names that mutate their receiver. A call
+#: ``self.<guarded>.<mutator>(...)`` outside the lock is LD002.
+MUTATORS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+        "update", "add", "discard", "setdefault", "sort", "reverse",
+        # domain-specific mutators of the structures we guard
+        "update_row", "merge", "readonly_snapshot", "seal",
+    }
+)
+
+#: Methods where unguarded writes are allowed (object not shared yet).
+_EXEMPT_METHODS = frozenset({"__init__", "__post_init__", "__new__"})
+
+
+def _parse_comments(source: str) -> tuple[dict[int, tuple[str, str]], dict[int, set[str]]]:
+    """Per-line annotations and suppressions from the raw source."""
+    annotations: dict[int, tuple[str, str]] = {}
+    allows: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _ANNOT_RE.search(line)
+        if m:
+            annotations[lineno] = (m.group(1), m.group(2))
+        m = _ALLOW_RE.search(line)
+        if m:
+            allows[lineno] = {r.strip() for r in m.group(1).split(",") if r.strip()}
+    return annotations, allows
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``self.X`` → ``"X"``; anything else → None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _write_target(node: ast.expr) -> str | None:
+    """Resolve a write target to the guarded ``self`` field it touches.
+
+    Handles ``self.f``, ``self.f[k]`` (and nested subscripts).
+    """
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return _self_attr(node)
+
+
+class _ClassChecker:
+    def __init__(
+        self,
+        path: str,
+        cls: ast.ClassDef,
+        annotations: dict[int, tuple[str, str]],
+        allows: dict[int, set[str]],
+    ):
+        self.path = path
+        self.cls = cls
+        self.annotations = annotations
+        self.allows = allows
+        self.violations: list[Violation] = []
+        self.guarded: dict[str, str] = {}       # field → lock
+        self.requires: dict[str, str] = {}      # method → lock
+        self.defined_attrs: set[str] = set()
+        self._collect()
+
+    # -- declaration pass ------------------------------------------------
+
+    def _collect(self) -> None:
+        for stmt in self.cls.body:
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                for name in self._decl_names(stmt):
+                    self.defined_attrs.add(name)
+                    ann = self.annotations.get(stmt.lineno)
+                    if ann and ann[0] == "guarded-by":
+                        self.guarded[name] = ann[1]
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                ann = self.annotations.get(stmt.lineno)
+                if ann and ann[0] == "requires-lock":
+                    self.requires[stmt.name] = ann[1]
+                for node in ast.walk(stmt):
+                    if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                        targets = (
+                            node.targets
+                            if isinstance(node, ast.Assign)
+                            else [node.target]
+                        )
+                        for target in targets:
+                            field = _self_attr(target)
+                            if field is None:
+                                continue
+                            self.defined_attrs.add(field)
+                            ann = self.annotations.get(node.lineno)
+                            if ann and ann[0] == "guarded-by":
+                                self.guarded[field] = ann[1]
+
+    @staticmethod
+    def _decl_names(stmt: ast.Assign | ast.AnnAssign) -> list[str]:
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        return [t.id for t in targets if isinstance(t, ast.Name)]
+
+    # -- enforcement pass ------------------------------------------------
+
+    def check(self) -> list[Violation]:
+        for (field, lock) in sorted(self.guarded.items()):
+            if lock not in self.defined_attrs:
+                self._report(
+                    "LD004",
+                    self.cls.lineno,
+                    f"{self.cls.name}.{field} is guarded by unknown lock "
+                    f"{lock!r} (never assigned in the class)",
+                )
+        for (method, lock) in sorted(self.requires.items()):
+            if lock not in self.defined_attrs:
+                self._report(
+                    "LD004",
+                    self.cls.lineno,
+                    f"{self.cls.name}.{method} requires unknown lock {lock!r}",
+                )
+        for stmt in self.cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name in _EXEMPT_METHODS:
+                continue
+            held = frozenset(
+                {self.requires[stmt.name]} if stmt.name in self.requires else set()
+            )
+            for child in stmt.body:
+                self._visit(child, held)
+        return self.violations
+
+    def _report(self, rule: str, lineno: int, message: str) -> None:
+        if rule in self.allows.get(lineno, ()):
+            return
+        self.violations.append(Violation(rule, self.path, lineno, message))
+
+    def _visit(self, node: ast.AST, held: frozenset[str]) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = set(held)
+            for item in node.items:
+                lock = _self_attr(item.context_expr)
+                if lock is not None:
+                    acquired.add(lock)
+                self._visit(item.context_expr, held)
+            for child in node.body:
+                self._visit(child, frozenset(acquired))
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # A closure may outlive the enclosing with-block.
+            body = node.body if isinstance(node.body, list) else [node.body]
+            for child in body:
+                self._visit(child, frozenset())
+            return
+
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                self._check_write(target, node.lineno, held)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                self._check_write(target, node.lineno, held)
+        elif isinstance(node, ast.Call):
+            self._check_call(node, held)
+
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, held)
+
+    def _check_write(self, target: ast.expr, lineno: int, held: frozenset[str]) -> None:
+        field = _write_target(target)
+        if field is None:
+            return
+        lock = self.guarded.get(field)
+        if lock is not None and lock not in held:
+            self._report(
+                "LD001",
+                lineno,
+                f"write to {self.cls.name}.{field} outside `with self.{lock}:`",
+            )
+
+    def _check_call(self, node: ast.Call, held: frozenset[str]) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        # self.<guarded>.<mutator>(...)
+        receiver = _write_target(func.value)
+        if receiver is not None and func.attr in MUTATORS:
+            lock = self.guarded.get(receiver)
+            if lock is not None and lock not in held:
+                self._report(
+                    "LD002",
+                    node.lineno,
+                    f"{self.cls.name}.{receiver}.{func.attr}() outside "
+                    f"`with self.{lock}:`",
+                )
+        # self.<requires-lock method>(...)
+        method = _self_attr(func)
+        if method is not None and method in self.requires:
+            lock = self.requires[method]
+            if lock not in held:
+                self._report(
+                    "LD003",
+                    node.lineno,
+                    f"call to {self.cls.name}.{method}() without holding "
+                    f"self.{lock} (requires-lock)",
+                )
+
+
+def check_source(source: str, path: str = "<string>") -> list[Violation]:
+    """Run the lock-discipline rules over one module's source."""
+    annotations, allows = _parse_comments(source)
+    tree = ast.parse(source)
+    violations: list[Violation] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            checker = _ClassChecker(path, node, annotations, allows)
+            violations.extend(checker.check())
+    return violations
+
+
+def check_file(path: str | Path) -> list[Violation]:
+    path = Path(path)
+    return check_source(path.read_text(encoding="utf-8"), str(path))

@@ -1,0 +1,55 @@
+"""Violation records and the rule registry for ``repro.analysis``.
+
+Every check in the static-analysis pass (and every runtime sanitizer)
+is identified by a stable rule ID. The registry below is the single
+source of truth: the CLI's ``--list-rules`` output, the DESIGN.md §9
+catalogue, and the test suite all key off it. Rule families:
+
+* ``LD*`` — lock discipline (guarded-by / requires-lock annotations);
+* ``PC*`` — physical-plan contracts (partitioning + EXPLAIN markers);
+* ``CG*`` — generated-code rules (validated on the emitted AST);
+* ``SZ*`` — runtime sanitizers (write-poisoned sealed state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: rule id → one-line invariant description.
+RULES: dict[str, str] = {
+    "LD001": "guarded field written outside a `with self.<lock>:` block",
+    "LD002": "guarded field mutated (method call) outside its lock",
+    "LD003": "requires-lock method called without the lock held",
+    "LD004": "guarded-by / requires-lock names a lock the class never defines",
+    "PC001": "physical operator missing a valid PARTITIONING declaration",
+    "PC002": "declared PARTITIONING contradicts the operator body",
+    "PC003": "pruning operator without metrics recording or EXPLAIN marker",
+    "PC004": "runtime adaptive decision not surfaced in describe()",
+    "PC005": "partition_by placement produced but not consumed partition-locally",
+    "CG001": "generated kernel reads a name outside the codegen whitelist",
+    "CG002": "generated kernel captures mutable outer state",
+    "CG003": "generated kernel uses an operand without a NULL guard",
+    "CG004": "generated kernel contains a banned construct",
+    "SZ001": "mutation of a sealed zone map",
+    "SZ002": "sealed row-batch region modified (CRC seal mismatch)",
+}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: ``path:line: RULE message``."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.rule not in RULES:
+            raise ValueError(f"unknown rule id {self.rule!r}")
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+    def __str__(self) -> str:
+        return self.render()

@@ -40,6 +40,7 @@ from typing import Any, Callable, Iterable, Iterator, Sequence
 
 import logging
 
+from repro.analysis.codegen_rules import validate_generated_source
 from repro.errors import CodegenError
 from repro.sql import expressions as E
 
@@ -406,6 +407,12 @@ def _assemble(
     lines.extend("    " + h for h in header)
     lines.extend(em.lines)
     src = "\n".join(lines) + "\n"
+    problems = validate_generated_source(src, consts=em.consts)
+    if problems:
+        raise CodegenError(
+            f"kernel {name} failed validation: "
+            + "; ".join(f"{p.rule} {p.message}" for p in problems)
+        )
     namespace: dict[str, Any] = {
         f"_k{i}": value for i, value in enumerate(em.consts)
     }

@@ -35,6 +35,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Iterable, Sequence, TYPE_CHECKING
 
+from repro.analysis.codegen_rules import validate_generated_source
 from repro.errors import CodegenError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -151,6 +152,19 @@ class _RowEmitter:
         name = f"_decode{next(_decoder_ids)}"
         defaults = "".join(f", {n}={n}" for n in self.consts)
         src = "\n".join([f"def {name}({params}{defaults}):"] + self.lines) + "\n"
+        # Decoders read raw bitmap bytes on purpose, so the 3VL guard
+        # rule does not apply; str/bytes are the only builtins allowed.
+        problems = validate_generated_source(
+            src,
+            consts=tuple(self.consts.values()),
+            allowed_builtins=frozenset({"str", "bytes"}),
+            check_null_guards=False,
+        )
+        if problems:
+            raise CodegenError(
+                f"decoder {name} failed validation: "
+                + "; ".join(f"{p.rule} {p.message}" for p in problems)
+            )
         namespace = dict(self.consts)
         code = compile(src, f"<repro.codegen:{name}>", "exec")
         exec(code, namespace)

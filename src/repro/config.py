@@ -26,11 +26,18 @@ for the whole session.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.errors import CapacityError
 from repro.faults import FaultProfile
+
+def _sanitizers_default() -> bool:
+    """Env override so a whole test run can be sanitized without
+    touching every Config construction site: ``REPRO_SANITIZERS=1``."""
+    return os.environ.get("REPRO_SANITIZERS", "") == "1"
+
 
 #: Paper §2: row batches of 4 MB.
 DEFAULT_BATCH_SIZE = 4 * 1024 * 1024
@@ -116,6 +123,13 @@ class Config:
     #: Target bytes per reduce partition when adaptive execution
     #: coalesces small adjacent shuffle buckets.
     target_reduce_bytes: int = 256 * 1024
+    #: Runtime sanitizers (opt-in, for tests): sealed row batches and
+    #: snapshot-shared zone maps become write-poisoned — any mutation
+    #: raises :class:`~repro.errors.SanitizerError` instead of silently
+    #: corrupting MVCC snapshots. Costs a CRC pass per snapshot, so it
+    #: stays off outside the test/CI configurations. ``REPRO_SANITIZERS=1``
+    #: in the environment flips the default on for a whole run.
+    sanitizers_enabled: bool = field(default_factory=_sanitizers_default)
     #: Seeded chaos-injection profile; ``None`` (the default) disables
     #: all fault injection.
     faults: FaultProfile | None = None

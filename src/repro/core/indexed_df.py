@@ -71,6 +71,7 @@ def create_index(
             session.config.batch_size_bytes,
             session.config.max_row_bytes,
             zone_maps=session.config.zone_maps_enabled,
+            sanitizers=session.config.sanitizers_enabled,
         )
         for _ in range(n)
     ]
@@ -247,6 +248,7 @@ class IndexedDataFrame:
                 config.batch_size_bytes,
                 config.max_row_bytes,
                 zone_maps=config.zone_maps_enabled,
+                sanitizers=config.sanitizers_enabled,
             )
             for _ in range(self.num_partitions)
         ]

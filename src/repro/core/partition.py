@@ -192,30 +192,42 @@ class IndexedPartition:
         batch_size_bytes: int,
         max_row_bytes: int,
         zone_maps: bool = True,
+        sanitizers: bool = False,
     ):
         self.schema = schema
         self.key_ordinal = key_ordinal
         self.codec = codec_for(schema, max_row_bytes)
-        self.batches = BatchManager(layout, batch_size_bytes)
-        self.trie = CTrie()
+        self._sanitize = sanitizers
+        self.batches = BatchManager(  # guarded-by: _append_lock
+            layout, batch_size_bytes, sanitize=sanitizers
+        )
+        self.trie = CTrie()  # guarded-by: _append_lock
         self._append_lock = threading.Lock()
-        self._row_count = 0
-        self._distinct_keys = 0
+        self._row_count = 0  # guarded-by: _append_lock
+        self._distinct_keys = 0  # guarded-by: _append_lock
         # One zone map per row batch plus a partition-level rollup,
         # maintained under the append lock. Batch zones seal along with
-        # their batch: once a newer batch exists, nothing touches them.
+        # their batch: once a newer batch exists, nothing touches them
+        # (with sanitizers on, "nothing" is enforced — see _record_row).
         self._num_columns = len(schema)
-        self._batch_zones: list[ZoneMap] | None = (
+        self._batch_zones: list[ZoneMap] | None = (  # guarded-by: _append_lock
             [ZoneMap(self._num_columns)] if zone_maps else None
         )
-        self._zone: ZoneMap | None = ZoneMap(self._num_columns) if zone_maps else None
+        self._zone: ZoneMap | None = (  # guarded-by: _append_lock
+            ZoneMap(self._num_columns) if zone_maps else None
+        )
 
     # -- writes ------------------------------------------------------------
 
-    def _record_row(self, row: Sequence[Any]) -> None:
-        """Update zone maps for one appended row (caller holds the lock)."""
+    def _record_row(self, row: Sequence[Any]) -> None:  # requires-lock: _append_lock
+        """Update zone maps for one appended row."""
         zones = self._batch_zones
         while len(zones) < self.batches.num_batches:
+            # The previous batch just rolled: its zone is final. With
+            # sanitizers on it becomes write-poisoned, matching the CRC
+            # seal the BatchManager put on the batch itself.
+            if self._sanitize:
+                zones[-1].seal()
             zones.append(ZoneMap(self._num_columns))
         zones[-1].update_row(row)
         self._zone.update_row(row)
@@ -276,6 +288,15 @@ class IndexedPartition:
                 # the watermark stay invisible to this snapshot.
                 batch_zones = self._batch_zones[:-1] + [self._batch_zones[-1].copy()]
                 zone = self._zone.copy()
+                if self._sanitize:
+                    # Snapshot-owned copies are immutable by contract
+                    # too: poison them so any consumer that tries to
+                    # fold new rows into a snapshot's zone map trips
+                    # SZ001 instead of skewing pruning decisions.
+                    batch_zones[-1].seal()
+                    zone.seal()
+            if self._sanitize:
+                self.batches.verify_seals()
         return PartitionSnapshot(
             self, trie, watermark, count, distinct, batch_zones, zone
         )

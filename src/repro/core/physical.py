@@ -38,6 +38,8 @@ class IndexedScanExec(PhysicalPlan):
     why Figure 2 shows projection *slower* than the columnar cache.
     """
 
+    PARTITIONING = "source"
+
     def __init__(
         self,
         ctx: EngineContext,
@@ -150,6 +152,8 @@ class IndexedScanExec(PhysicalPlan):
 class IndexLookupExec(PhysicalPlan):
     """Point lookups for literal keys on the indexed column."""
 
+    PARTITIONING = "source"
+
     def __init__(
         self,
         ctx: EngineContext,
@@ -176,6 +180,8 @@ class IndexedJoinExec(PhysicalPlan):
     logical plan. Probe rows whose key is NULL never match (inner-join
     SQL semantics).
     """
+
+    PARTITIONING = "exchange"
 
     def __init__(
         self,
@@ -293,6 +299,8 @@ class GuardedIndexExec(PhysicalPlan):
     The output attributes are the primary's, so downstream operators
     bind identically against either path.
     """
+
+    PARTITIONING = "driver"
 
     def __init__(
         self,

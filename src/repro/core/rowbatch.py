@@ -19,10 +19,11 @@ owning partition (Spark runs one task per partition).
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import Iterator
 
 from repro.core.pointers import NULL_POINTER, PointerLayout
-from repro.errors import CapacityError
+from repro.errors import CapacityError, SanitizerError
 
 _HEADER = struct.Struct("<QH")  # (prev_pointer, payload_length)
 HEADER_SIZE = _HEADER.size  # 10 bytes
@@ -35,11 +36,34 @@ class BatchManager:
     resolves a packed pointer back to (prev_pointer, payload memoryview).
     """
 
-    def __init__(self, layout: PointerLayout, batch_size_bytes: int):
+    def __init__(
+        self, layout: PointerLayout, batch_size_bytes: int, sanitize: bool = False
+    ):
         self.layout = layout
         self.batch_size = batch_size_bytes
         self._batches: list[bytearray] = [bytearray(batch_size_bytes)]
         self._lengths: list[int] = [0]
+        #: With sanitizers on, every batch the cursor rolls past is
+        #: *sealed*: its CRC is recorded here, and `verify_seals`
+        #: re-checks the whole list — any later write to a sealed
+        #: region (which snapshots read lock-free) is detected as an
+        #: SZ002 invariant violation instead of corrupting readers.
+        self.sanitize = sanitize
+        self._seals: list[int] = []
+
+    def _seal_crc(self, batch_no: int) -> int:
+        end = self._lengths[batch_no]
+        return zlib.crc32(memoryview(self._batches[batch_no])[:end])
+
+    def verify_seals(self) -> None:
+        """Re-CRC every sealed batch; raise ``SanitizerError`` on drift."""
+        for batch_no in range(len(self._seals)):
+            if self._seal_crc(batch_no) != self._seals[batch_no]:
+                raise SanitizerError(
+                    "SZ002",
+                    f"sealed batch {batch_no} was modified after sealing "
+                    "(CRC mismatch)",
+                )
 
     # ------------------------------------------------------------------
 
@@ -79,6 +103,8 @@ class BatchManager:
             )
         used = self._lengths[-1]
         if used + record_size > self.batch_size:
+            if self.sanitize:
+                self._seals.append(self._seal_crc(len(self._batches) - 1))
             self._batches.append(bytearray(self.batch_size))
             self._lengths.append(0)
             used = 0

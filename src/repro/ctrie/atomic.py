@@ -14,7 +14,26 @@ pointer.
 from __future__ import annotations
 
 import threading
-from typing import Any
+from typing import Any, Callable
+
+#: Instrumented yield point for the deterministic interleaving driver
+#: (:mod:`repro.analysis.interleave`). When installed, every atomic
+#: operation calls the hook *on entry, before taking the cell lock* —
+#: never while holding it, so the driver can park a thread here without
+#: wedging other threads on the same cell. ``None`` (the default) costs
+#: one global read per operation.
+_yield_hook: Callable[[str], None] | None = None
+
+
+def install_yield_hook(hook: Callable[[str], None]) -> None:
+    """Install a yield hook; it receives the operation name per call."""
+    global _yield_hook
+    _yield_hook = hook
+
+
+def clear_yield_hook() -> None:
+    global _yield_hook
+    _yield_hook = None
 
 
 class AtomicReference:
@@ -27,16 +46,22 @@ class AtomicReference:
         self._lock = threading.Lock()
 
     def get(self) -> Any:
+        if _yield_hook is not None:
+            _yield_hook("get")
         # A plain read is atomic under the GIL.
         return self._value
 
     def set(self, value: Any) -> None:
+        if _yield_hook is not None:
+            _yield_hook("set")
         with self._lock:
             self._value = value
 
     def compare_and_set(self, expect: Any, update: Any) -> bool:
         """Atomically set to ``update`` iff the current value *is*
         ``expect``. Returns True on success."""
+        if _yield_hook is not None:
+            _yield_hook("compare_and_set")
         with self._lock:
             if self._value is expect:
                 self._value = update
@@ -44,6 +69,8 @@ class AtomicReference:
             return False
 
     def get_and_set(self, value: Any) -> Any:
+        if _yield_hook is not None:
+            _yield_hook("get_and_set")
         with self._lock:
             old = self._value
             self._value = value

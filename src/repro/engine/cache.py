@@ -86,7 +86,7 @@ class BlockManager:
             raise ValueError("capacity_bytes must be >= 0")
         self.capacity_bytes = capacity_bytes
         self._lock = threading.RLock()
-        self._blocks: OrderedDict[Hashable, tuple[Any, int]] = OrderedDict()
+        self._blocks: OrderedDict[Hashable, tuple[Any, int]] = OrderedDict()  # guarded-by: _lock
         self.stats = CacheStats()
 
     def get(self, key: Hashable) -> Any | None:
@@ -159,8 +159,7 @@ class BlockManager:
             with self.stats._lock:
                 self.stats.stored_bytes = 0
 
-    def _evict_until_fits(self, incoming: int) -> None:
-        # Caller holds the lock.
+    def _evict_until_fits(self, incoming: int) -> None:  # requires-lock: _lock
         while self._blocks and self.stats.stored_bytes + incoming > self.capacity_bytes:
             _key, (_value, size) = self._blocks.popitem(last=False)
             with self.stats._lock:

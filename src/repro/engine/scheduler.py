@@ -135,20 +135,20 @@ class JobMetrics:
 class SchedulerMetrics:
     """Cumulative scheduler counters."""
 
-    jobs: int = 0
-    stages: int = 0
-    tasks: int = 0
-    task_failures: int = 0
-    task_retries: int = 0
-    fetch_failures: int = 0
-    recomputed_map_stages: int = 0
-    speculative_tasks: int = 0
-    speculative_wins: int = 0
-    stage_timeouts: int = 0
-    index_fallbacks: int = 0
-    coalesced_shuffles: int = 0
-    coalesced_partitions: int = 0
-    runtime_broadcast_joins: int = 0
+    jobs: int = 0  # guarded-by: _lock
+    stages: int = 0  # guarded-by: _lock
+    tasks: int = 0  # guarded-by: _lock
+    task_failures: int = 0  # guarded-by: _lock
+    task_retries: int = 0  # guarded-by: _lock
+    fetch_failures: int = 0  # guarded-by: _lock
+    recomputed_map_stages: int = 0  # guarded-by: _lock
+    speculative_tasks: int = 0  # guarded-by: _lock
+    speculative_wins: int = 0  # guarded-by: _lock
+    stage_timeouts: int = 0  # guarded-by: _lock
+    index_fallbacks: int = 0  # guarded-by: _lock
+    coalesced_shuffles: int = 0  # guarded-by: _lock
+    coalesced_partitions: int = 0  # guarded-by: _lock
+    runtime_broadcast_joins: int = 0  # guarded-by: _lock
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record_job(self, job: JobMetrics) -> None:
@@ -209,9 +209,8 @@ class DAGScheduler:
         # concurrent jobs sharing lineage would race on map-output state.
         self._job_lock = threading.RLock()
         # Lineage of the active job: shuffle_id → dependency, consulted
-        # when a fetch failure demands recomputation. Guarded by
-        # _job_lock (one job at a time).
-        self._lineage: dict[int, ShuffleDependency] = {}
+        # when a fetch failure demands recomputation (one job at a time).
+        self._lineage: dict[int, ShuffleDependency] = {}  # guarded-by: _job_lock
         self.metrics = SchedulerMetrics()
 
     # ------------------------------------------------------------------

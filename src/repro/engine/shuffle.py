@@ -103,9 +103,9 @@ class ShuffleManager:
 
     def __init__(self, injector: FaultInjector | None = None) -> None:
         self._lock = threading.Lock()
-        self._shuffles: dict[int, _ShuffleState] = {}
+        self._shuffles: dict[int, _ShuffleState] = {}  # guarded-by: _lock
         self._injector = injector or NULL_INJECTOR
-        self.lost_map_outputs = 0
+        self.lost_map_outputs = 0  # guarded-by: _lock
 
     def register_shuffle(self, shuffle_id: int, num_maps: int) -> None:
         """Declare a shuffle before its map stage runs (idempotent)."""

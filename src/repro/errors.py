@@ -143,3 +143,20 @@ class ConcurrencyError(ReproError):
 
 class StreamingError(ReproError):
     """Error in the in-process broker / ingestion layer."""
+
+
+class SanitizerError(Exception):
+    """A runtime sanitizer observed an invariant violation.
+
+    Deliberately **not** a :class:`ReproError`: the retry / fallback
+    machinery (scheduler retries, ``GuardedIndexExec`` degradation,
+    ingestion supervision) absorbs library errors by design, and a
+    sanitizer trip — a write to a sealed row batch, a mutation of a
+    snapshot-shared zone map — is a bug that must surface, never be
+    healed by re-execution. Raised only when
+    ``Config.sanitizers_enabled`` is on.
+    """
+
+    def __init__(self, rule: str, message: str):
+        self.rule = rule
+        super().__init__(f"[{rule}] {message}")

@@ -50,7 +50,17 @@ def bind_expression(expr: Expression, input_attrs: Sequence[Attribute]) -> Expre
 
 
 class PhysicalPlan:
-    """Base class for physical operators."""
+    """Base class for physical operators.
+
+    Every concrete operator declares its **partitioning contract** with
+    a class-level ``PARTITIONING`` attribute — ``"source"`` (creates
+    partitions), ``"narrow"`` (per-partition transform), ``"exchange"``
+    (repartitions by key), or ``"driver"`` (materializes on the
+    driver). The declaration is checked against the operator body by
+    ``python -m repro.analysis`` (rules PC001/PC002), which also
+    enforces the EXPLAIN-marker contracts: pruning and adaptive
+    decisions must be visible in :meth:`describe` output.
+    """
 
     children: tuple["PhysicalPlan", ...] = ()
 
@@ -79,6 +89,8 @@ class ScanExec(PhysicalPlan):
     touches only the projected column vectors — vanilla Spark's edge in
     the projection microbenchmark.
     """
+
+    PARTITIONING = "source"
 
     def __init__(
         self,
@@ -136,6 +148,8 @@ class ScanExec(PhysicalPlan):
 class LocalDataExec(PhysicalPlan):
     """A small local list of rows (constant relations)."""
 
+    PARTITIONING = "source"
+
     def __init__(self, ctx: EngineContext, rows: list[tuple], output: Sequence[Attribute]):
         super().__init__(ctx, output)
         self.rows = rows
@@ -145,6 +159,8 @@ class LocalDataExec(PhysicalPlan):
 
 
 class FilterExec(PhysicalPlan):
+    PARTITIONING = "narrow"
+
     def __init__(self, condition: Expression, child: PhysicalPlan):
         super().__init__(child.ctx, child.output)
         self.children = (child,)
@@ -177,6 +193,8 @@ class ProjectExec(PhysicalPlan):
     projection run as one compiled batch kernel (the moral equivalent
     of Spark fusing both into a single WholeStageCodegen stage).
     """
+
+    PARTITIONING = "narrow"
 
     def __init__(
         self,
@@ -228,6 +246,8 @@ class ProjectExec(PhysicalPlan):
 
 
 class UnionExec(PhysicalPlan):
+    PARTITIONING = "narrow"
+
     def __init__(self, left: PhysicalPlan, right: PhysicalPlan):
         super().__init__(left.ctx, left.output)
         self.children = (left, right)
@@ -237,6 +257,8 @@ class UnionExec(PhysicalPlan):
 
 
 class LimitExec(PhysicalPlan):
+    PARTITIONING = "driver"
+
     def __init__(self, n: int, child: PhysicalPlan):
         super().__init__(child.ctx, child.output)
         self.children = (child,)
@@ -251,6 +273,8 @@ class LimitExec(PhysicalPlan):
 
 
 class DistinctExec(PhysicalPlan):
+    PARTITIONING = "exchange"
+
     def __init__(self, child: PhysicalPlan):
         super().__init__(child.ctx, child.output)
         self.children = (child,)
@@ -284,6 +308,8 @@ class _SortKey:
 
 class SortExec(PhysicalPlan):
     """Total sort: range partition on the composite key, sort locally."""
+
+    PARTITIONING = "exchange"
 
     def __init__(self, orders: Sequence[SortOrder], child: PhysicalPlan):
         super().__init__(child.ctx, child.output)
@@ -333,6 +359,8 @@ class TakeOrderedExec(PhysicalPlan):
     Spark's ``TakeOrderedAndProject``. Avoids the full shuffle sort
     for the very common "most recent k" query shape (e.g. SNB SQ2).
     """
+
+    PARTITIONING = "driver"
 
     def __init__(self, n: int, orders: Sequence[SortOrder], child: PhysicalPlan):
         super().__init__(child.ctx, child.output)
@@ -541,6 +569,8 @@ class HashAggregateExec(PhysicalPlan):
     """Two-phase hash aggregation: partial per partition, shuffle by
     group key, final merge (Spark's partial/final HashAggregate)."""
 
+    PARTITIONING = "driver"
+
     def __init__(
         self,
         grouping: Sequence[Expression],
@@ -678,6 +708,8 @@ class ShuffledHashJoinExec(PhysicalPlan):
     joins they are re-emitted padded with NULLs.
     """
 
+    PARTITIONING = "exchange"
+
     def __init__(
         self,
         left: PhysicalPlan,
@@ -808,6 +840,8 @@ class BroadcastHashJoinExec(PhysicalPlan):
     match tracking.
     """
 
+    PARTITIONING = "driver"
+
     SUPPORTED = ("inner", "cross", "left", "semi", "anti")
 
     def __init__(
@@ -899,6 +933,8 @@ class PrematerializedExec(PhysicalPlan):
     rows instead of recomputing the subtree.
     """
 
+    PARTITIONING = "source"
+
     def __init__(
         self,
         ctx: EngineContext,
@@ -927,6 +963,8 @@ class AdaptiveJoinExec(PhysicalPlan):
     shuffle input), so the extra cost is holding the rows, not
     recomputing them.
     """
+
+    PARTITIONING = "driver"
 
     def __init__(
         self,
@@ -977,6 +1015,8 @@ class AdaptiveJoinExec(PhysicalPlan):
 
 class CartesianProductExec(PhysicalPlan):
     """Nested-loop cross product (with optional residual condition)."""
+
+    PARTITIONING = "driver"
 
     def __init__(
         self,

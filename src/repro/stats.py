@@ -95,20 +95,44 @@ class ColumnStats:
 
 
 class ZoneMap:
-    """Per-column summaries for one zone (a row batch or a partition)."""
+    """Per-column summaries for one zone (a row batch or a partition).
 
-    __slots__ = ("columns", "rows")
+    Zone maps are shared by reference across MVCC snapshots (only the
+    active tail zone is copied), so a sealed zone must never change
+    again. :meth:`seal` write-poisons the zone: with sanitizers on, the
+    storage layer seals every zone it publishes to a snapshot or rolls
+    past, and any later :meth:`update_row` / :meth:`merge` raises
+    :class:`~repro.errors.SanitizerError` (rule SZ001) instead of
+    silently corrupting every snapshot that shares the zone.
+    """
+
+    __slots__ = ("columns", "rows", "sealed")
 
     def __init__(self, num_columns: int):
         self.columns = [ColumnStats() for _ in range(num_columns)]
         self.rows = 0
+        self.sealed = False
+
+    def seal(self) -> None:
+        self.sealed = True
+
+    def _poisoned(self, action: str) -> None:
+        from repro.errors import SanitizerError
+
+        raise SanitizerError(
+            "SZ001", f"{action} on a sealed (snapshot-shared) ZoneMap"
+        )
 
     def update_row(self, row: Sequence[Any]) -> None:
+        if self.sealed:
+            self._poisoned("update_row")
         self.rows += 1
         for stats, value in zip(self.columns, row):
             stats.update(value)
 
     def merge(self, other: "ZoneMap") -> None:
+        if self.sealed:
+            self._poisoned("merge")
         self.rows += other.rows
         for mine, theirs in zip(self.columns, other.columns):
             mine.merge(theirs)
@@ -283,12 +307,12 @@ class PruningMetrics:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self.scans = 0
-        self.partitions_total = 0
-        self.partitions_pruned = 0
-        self.partitions_routed = 0
-        self.batches_total = 0
-        self.batches_pruned = 0
+        self.scans = 0  # guarded-by: _lock
+        self.partitions_total = 0  # guarded-by: _lock
+        self.partitions_pruned = 0  # guarded-by: _lock
+        self.partitions_routed = 0  # guarded-by: _lock
+        self.batches_total = 0  # guarded-by: _lock
+        self.batches_pruned = 0  # guarded-by: _lock
 
     def record_scan(
         self,

@@ -58,12 +58,12 @@ class Broker:
     """
 
     def __init__(self, injector: FaultInjector | None = None) -> None:
-        self._topics: dict[str, list[_PartitionLog]] = {}
+        self._topics: dict[str, list[_PartitionLog]] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
         self._injector = injector or NULL_INJECTOR
         # Committed consumer-group offsets live on the broker (as in
         # Kafka), keyed by (group, topic) → {partition: offset}.
-        self._committed: dict[tuple[str, str], dict[int, int]] = {}
+        self._committed: dict[tuple[str, str], dict[int, int]] = {}  # guarded-by: _lock
 
     def create_topic(self, name: str, partitions: int = 1) -> None:
         if partitions < 1:

@@ -64,7 +64,7 @@ class IndexedIngest:
             config.ingest_max_retries if max_retries is None else max_retries
         )
         self.backoff_s = config.ingest_backoff_s if backoff_s is None else backoff_s
-        self._current = indexed
+        self._current = indexed  # guarded-by: _lock
         self._lock = threading.Lock()
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
@@ -72,16 +72,16 @@ class IndexedIngest:
         # Starts at the committed offsets — everything below them was
         # applied by definition of the commit-after-apply contract.
         committed = broker.committed_offsets(group, topic)
-        self._applied: dict[int, int] = {
+        self._applied: dict[int, int] = {  # guarded-by: _lock
             p: committed.get(p, 0) for p in range(broker.num_partitions(topic))
         }
-        self.batches_applied = 0
-        self.rows_applied = 0
-        self.poll_failures = 0
-        self.commit_failures = 0
-        self.duplicates_skipped = 0
-        self.loop_restarts = 0
-        self.last_error: BaseException | None = None
+        self.batches_applied = 0  # guarded-by: _lock
+        self.rows_applied = 0  # guarded-by: _lock
+        self.poll_failures = 0  # guarded-by: _lock
+        self.commit_failures = 0  # guarded-by: _lock
+        self.duplicates_skipped = 0  # guarded-by: _lock
+        self.loop_restarts = 0  # guarded-by: _lock
+        self.last_error: BaseException | None = None  # guarded-by: _lock
 
     @property
     def current(self) -> IndexedDataFrame:
@@ -105,7 +105,8 @@ class IndexedIngest:
             return 0
         fresh = [r for r in records if r.offset >= self._applied.get(r.partition, 0)]
         if len(fresh) < len(records):
-            self.duplicates_skipped += len(records) - len(fresh)
+            with self._lock:
+                self.duplicates_skipped += len(records) - len(fresh)
         if not fresh:
             # Positions moved past already-applied records; persist that.
             self._try_commit()
@@ -125,8 +126,9 @@ class IndexedIngest:
             self.consumer.seek(dict(self._applied))
             raise
         self._try_commit()
-        self.batches_applied += 1
-        self.rows_applied += len(rows)
+        with self._lock:
+            self.batches_applied += 1
+            self.rows_applied += len(rows)
         if self.on_batch is not None:
             self.on_batch(current, len(rows))
         return len(rows)
@@ -137,8 +139,9 @@ class IndexedIngest:
             try:
                 return self.consumer.poll(self.batch_size)
             except ReproError as exc:
-                self.poll_failures += 1
-                self.last_error = exc
+                with self._lock:
+                    self.poll_failures += 1
+                    self.last_error = exc
                 if attempt >= self.max_retries:
                     raise RetryExhaustedError(
                         "ingest poll", attempt + 1, exc
@@ -151,8 +154,9 @@ class IndexedIngest:
         try:
             self.consumer.commit()
         except ReproError as exc:
-            self.commit_failures += 1
-            self.last_error = exc
+            with self._lock:
+                self.commit_failures += 1
+                self.last_error = exc
 
     def drain(self) -> int:
         """Apply batches until the topic is empty; returns total rows."""
@@ -180,8 +184,9 @@ class IndexedIngest:
                 except ReproError as exc:
                     # The worker died; restart it from the applied
                     # watermark after a bounded backoff.
-                    self.last_error = exc
-                    self.loop_restarts += 1
+                    with self._lock:
+                        self.last_error = exc
+                        self.loop_restarts += 1
                     self.consumer.seek(dict(self._applied))
                     self._stop.wait(
                         min(poll_interval * (2 ** min(self.loop_restarts, 6)),

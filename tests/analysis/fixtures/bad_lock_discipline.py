@@ -1,0 +1,35 @@
+"""Seeded lock-discipline violations (regression fixture, never imported).
+
+Each method below violates one LD rule on purpose; the test suite and
+the CI analysis job assert that ``python -m repro.analysis`` reports
+every one of them (nonzero exit, rule ID + file:line).
+"""
+
+import threading
+
+
+class RacyCounter:
+    total: int = 0  # guarded-by: _lock
+    phantom: int = 0  # guarded-by: _no_such_lock  (LD004: lock never defined)
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.events = []  # guarded-by: _lock
+
+    def guarded_ok(self):
+        with self._lock:
+            self.total += 1
+            self.events.append("ok")
+
+    def unguarded_write(self):
+        self.total += 1  # LD001: write outside the lock
+
+    def unguarded_mutation(self):
+        self.events.append("boom")  # LD002: mutating call outside the lock
+
+    def _drain(self):  # requires-lock: _lock
+        self.events.clear()
+        self.total = 0
+
+    def forgets_the_lock(self):
+        self._drain()  # LD003: requires-lock callee, lock not held

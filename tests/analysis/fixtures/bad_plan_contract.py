@@ -1,0 +1,86 @@
+"""Seeded plan-contract violations (regression fixture, never imported).
+
+Standalone mock of the operator shape — the plan-contract linter is
+purely syntactic, so a local ``PhysicalPlan`` base is enough to
+exercise every PC rule.
+"""
+
+
+class PhysicalPlan:
+    children = ()
+
+    def execute(self):
+        raise NotImplementedError
+
+
+class UndeclaredExec(PhysicalPlan):
+    # PC001: no PARTITIONING declaration at all.
+    def __init__(self, child):
+        self.children = (child,)
+
+    def execute(self):
+        return self.children[0].execute().map(lambda r: r)
+
+
+class LyingNarrowExec(PhysicalPlan):
+    PARTITIONING = "narrow"  # PC002: body collects on the driver
+
+    def __init__(self, ctx, child):
+        self.ctx = ctx
+        self.children = (child,)
+
+    def execute(self):
+        rows = self.children[0].execute().collect()
+        return self.ctx.parallelize(rows, 1)
+
+
+class SilentPrunerExec(PhysicalPlan):
+    PARTITIONING = "source"
+
+    def __init__(self, relation):
+        self.relation = relation
+        self.pruned = 0
+
+    def apply_pruning(self, predicates):
+        # PC003: prunes without record_scan, and describe() below
+        # emits no pruning marker.
+        self.pruned += 1
+        return [z for z in self.relation.zones if z.may_match(predicates)]
+
+    def execute(self):
+        return self.relation.to_rdd()
+
+    def describe(self):
+        return "SilentPrunerExec"
+
+
+class QuietAdaptiveExec(PhysicalPlan):
+    PARTITIONING = "driver"
+
+    def __init__(self, ctx, child):
+        self.ctx = ctx
+        self.children = (child,)
+        self.decision = None
+
+    def execute(self):
+        rows = self.children[0].execute().collect()
+        # PC004: runtime decision recorded but describe() hides it.
+        self.decision = "broadcast" if len(rows) < 100 else "shuffle"
+        return self.ctx.parallelize(rows, 1)
+
+    def describe(self):
+        return "QuietAdaptiveExec"
+
+
+class WastedPlacementExec(PhysicalPlan):
+    PARTITIONING = "exchange"
+
+    def __init__(self, child, key):
+        self.children = (child,)
+        self.key = key
+
+    def execute(self):
+        # PC005: produces key placement, then throws it away with a
+        # plain map instead of consuming it partition-locally.
+        placed = self.children[0].execute().partition_by(self.key, 8)
+        return placed.map(lambda r: r)

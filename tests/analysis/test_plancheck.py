@@ -1,0 +1,63 @@
+"""Plan-contract linter: fixture rules and the shipped operator files."""
+
+from pathlib import Path
+
+from repro.analysis import plancheck
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC = Path(__file__).parent.parent.parent / "src" / "repro"
+
+
+def test_fixture_reports_every_pc_rule():
+    violations = plancheck.check_file(FIXTURES / "bad_plan_contract.py")
+    assert {"PC001", "PC002", "PC003", "PC004", "PC005"} == {
+        v.rule for v in violations
+    }
+    by_rule = {v.rule: v for v in violations}
+    assert "UndeclaredExec" in by_rule["PC001"].message
+    assert "LyingNarrowExec" in by_rule["PC002"].message
+    assert "'driver'" in by_rule["PC002"].message
+    assert "WastedPlacementExec" in by_rule["PC005"].message
+
+
+def test_shipped_operator_files_are_clean():
+    violations = []
+    for name in ("sql/physical.py", "sql/planner.py", "core/physical.py"):
+        violations.extend(plancheck.check_file(SRC / name))
+    assert violations == [], [str(v) for v in violations]
+
+
+def test_every_shipped_operator_declares_partitioning():
+    from repro.core import physical as core_physical
+    from repro.sql import physical as sql_physical
+    from repro.sql.physical import PhysicalPlan
+
+    operators = [
+        cls
+        for module in (sql_physical, core_physical)
+        for cls in vars(module).values()
+        if isinstance(cls, type)
+        and issubclass(cls, PhysicalPlan)
+        and cls is not PhysicalPlan
+    ]
+    assert len(operators) >= 15
+    for cls in operators:
+        assert getattr(cls, "PARTITIONING", None) in plancheck.PLACEMENTS, cls
+
+
+def test_abstract_base_is_skipped():
+    violations = plancheck.check_source(
+        """
+class PhysicalPlan:
+    def execute(self):
+        raise NotImplementedError
+
+
+class StillAbstract(PhysicalPlan):
+    \"\"\"No concrete execute -> not an operator yet.\"\"\"
+
+    def execute(self):
+        raise NotImplementedError
+"""
+    )
+    assert violations == []
