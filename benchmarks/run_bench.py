@@ -13,8 +13,13 @@ Two suites share the harness (``--suite``):
   (reduce-partition coalescing), and a small-probe join the optimizer
   misestimates (runtime broadcast replanning). Writes
   ``BENCH_PR3.json`` with pruning counters and plan markers embedded.
+* ``pr5`` — the durability overhead/recovery benchmarks: micro-batch
+  append throughput with durability off, on, and on-without-fsync
+  (the WAL-append overhead the paper's update path would pay), plus
+  cold-recovery latency from WAL replay vs from a checkpoint at two
+  dataset sizes. Writes ``BENCH_PR5.json``.
 
-Both JSON schemas are documented in ``benchmarks/figures.txt``.
+All JSON schemas are documented in ``benchmarks/figures.txt``.
 
 Usage::
 
@@ -349,6 +354,197 @@ def check_pr3(result: dict) -> int:
     return 1 if failures else 0
 
 
+# ----------------------------------------------------------------------
+# PR5 suite: WAL append overhead and cold-recovery latency
+# ----------------------------------------------------------------------
+
+
+def make_durable_session(root: Path | str | None, fsync: bool) -> Session:
+    """A session for the durability A/B. Checkpoint thresholds are
+    parked at infinity so the background checkpointer never races the
+    timed appends — checkpoints in this suite are explicit."""
+    options: dict = {}
+    if root is not None:
+        options = dict(
+            durability_enabled=True,
+            durability_dir=str(root),
+            wal_fsync=fsync,
+            wal_checkpoint_bytes=1 << 40,
+            wal_checkpoint_age_s=1e9,
+        )
+    session = Session(
+        Config(
+            executor_threads=1,
+            shuffle_partitions=2,
+            default_parallelism=2,
+            batch_size_bytes=1024 * 1024,
+            **options,
+        )
+    )
+    enable_indexing(session)
+    return session
+
+
+def _timed_append(session: Session, rows: list[tuple], batch: int) -> float:
+    """Build an (optionally durable) index and append ``rows`` in
+    micro-batches of ``batch``; returns elapsed milliseconds for the
+    append loop only (the paper's low-latency update path)."""
+    durable = session.durability is not None
+    df = session.create_dataframe([], SCHEMA, validate=False)
+    indexed = create_index(df, "id", durable_name="bench" if durable else None)
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        for at in range(0, len(rows), batch):
+            indexed = indexed.append_rows(rows[at : at + batch])
+        return (time.perf_counter() - start) * 1000.0
+    finally:
+        gc.enable()
+
+
+def run_pr5(scale: float, rounds: int, seed: int) -> dict:
+    import shutil
+    import tempfile
+
+    n = max(1000, int(BASE_ROWS * scale))
+    rows = make_rows(n, seed)
+    batch = max(50, n // 100)  # ~100 micro-batches, Kafka-step sized
+
+    modes = {
+        "plain": dict(root=False, fsync=False),
+        "durable_fsync": dict(root=True, fsync=True),
+        "durable_nofsync": dict(root=True, fsync=False),
+    }
+    append_ms: dict[str, float] = {}
+    wal_bytes = 0
+    staging = Path(tempfile.mkdtemp(prefix="repro-bench-pr5-"))
+    try:
+        for mode, spec in modes.items():
+            samples = []
+            for round_no in range(rounds):
+                root = staging / f"{mode}-{round_no}" if spec["root"] else None
+                session = make_durable_session(root, spec["fsync"])
+                try:
+                    samples.append(_timed_append(session, rows, batch))
+                    if root is not None:
+                        wal_bytes = session.durability.store("bench").wal_bytes()
+                finally:
+                    session.stop()
+            append_ms[mode] = statistics.median(samples)
+            print(f"append/{mode:16s} {append_ms[mode]:9.2f} ms")
+
+        # Cold recovery: one durable store per size, timed twice — first
+        # replaying the WAL, then from an explicit checkpoint.
+        recovery: dict[str, dict] = {}
+        for label, frac in (("quarter", 0.25), ("full", 1.0)):
+            subset = rows[: max(1, int(n * frac))]
+            root = staging / f"recover-{label}"
+            seed_session = make_durable_session(root, fsync=False)
+            try:
+                _timed_append(seed_session, subset, batch)
+                size_wal = seed_session.durability.store("bench").wal_bytes()
+            finally:
+                seed_session.stop()
+            entry: dict = {"rows": len(subset), "wal_bytes": size_wal}
+            for phase in ("wal_replay", "checkpoint"):
+                samples = []
+                recovered_rows = 0
+                for _ in range(rounds):
+                    session = make_durable_session(root, fsync=False)
+                    try:
+                        gc.collect()
+                        start = time.perf_counter()
+                        recovered = session.durability.recover("bench")
+                        samples.append((time.perf_counter() - start) * 1000.0)
+                        recovered_rows = recovered.count()
+                    finally:
+                        session.stop()
+                entry[f"{phase}_ms"] = round(statistics.median(samples), 3)
+                entry[f"{phase}_rows_ok"] = recovered_rows == len(subset)
+                if phase == "wal_replay":
+                    # Convert the store for the second timing pass.
+                    session = make_durable_session(root, fsync=False)
+                    try:
+                        session.durability.recover("bench")
+                        session.durability.store("bench").checkpoint()
+                    finally:
+                        session.stop()
+            recovery[label] = entry
+            print(
+                f"recover/{label:8s} {entry['rows']:7d} rows   "
+                f"wal {entry['wal_replay_ms']:8.2f} ms   "
+                f"checkpoint {entry['checkpoint_ms']:8.2f} ms"
+            )
+    finally:
+        shutil.rmtree(staging, ignore_errors=True)
+
+    def ratio(a: float, b: float):
+        return round(a / b, 3) if b > 0 else None
+
+    return {
+        "meta": {
+            "bench": "PR5 WAL append overhead and cold-recovery latency",
+            "scale": scale,
+            "rows": n,
+            "batch_rows": batch,
+            "rounds": rounds,
+            "seed": seed,
+            "python": sys.version.split()[0],
+            "wal_bytes_full_run": wal_bytes,
+        },
+        "append": {
+            "plain_ms": round(append_ms["plain"], 3),
+            "durable_fsync_ms": round(append_ms["durable_fsync"], 3),
+            "durable_nofsync_ms": round(append_ms["durable_nofsync"], 3),
+            "fsync_overhead": ratio(append_ms["durable_fsync"], append_ms["plain"]),
+            "nofsync_overhead": ratio(
+                append_ms["durable_nofsync"], append_ms["plain"]
+            ),
+            "rows_per_s_plain": (
+                round(n / (append_ms["plain"] / 1000.0))
+                if append_ms["plain"] > 0 else None
+            ),
+            "rows_per_s_durable_fsync": (
+                round(n / (append_ms["durable_fsync"] / 1000.0))
+                if append_ms["durable_fsync"] > 0 else None
+            ),
+        },
+        "recovery": recovery,
+    }
+
+
+def check_pr5(result: dict) -> int:
+    """Nonzero when the durability evidence is missing or wrong.
+
+    Latency ratios vary with the disk under the runner, but the
+    *correctness* markers must hold at any scale: every recovery pass
+    restored exactly the appended rows, and the durable run actually
+    wrote a WAL.
+    """
+    failures = []
+    if result["meta"]["wal_bytes_full_run"] <= 0:
+        failures.append("durable append wrote an empty WAL")
+    for label, entry in result["recovery"].items():
+        for phase in ("wal_replay", "checkpoint"):
+            if not entry[f"{phase}_rows_ok"]:
+                failures.append(
+                    f"recovery/{label} via {phase} lost or duplicated rows"
+                )
+    overhead = result["append"]["fsync_overhead"]
+    if overhead is None or overhead <= 0:
+        failures.append(f"no measurable durable append overhead ({overhead})")
+    for failure in failures:
+        print(f"REGRESSION: {failure}", file=sys.stderr)
+    if not failures:
+        print(
+            f"check ok: fsync overhead {overhead:.2f}x, "
+            f"recovery counts verified at "
+            f"{sorted(result['recovery'])} sizes"
+        )
+    return 1 if failures else 0
+
+
 #: First line of the schema section in figures.txt — run_bench refreshes
 #: everything from this marker on; the pytest bench suite (conftest.py)
 #: preserves it when rewriting the figure tables above it.
@@ -446,6 +642,51 @@ Regenerate: python benchmarks/run_bench.py --suite pr3 [--scale F]
 [--rounds N] [--seed N] [--out PATH] [--check]. --check exits nonzero
 if the selective scan pruned zero batches or the small-probe join was
 not replanned to broadcast at runtime.
+
+==== BENCH_PR5.json schema ====
+Written by benchmarks/run_bench.py --suite pr5 to BENCH_PR5.json at
+the repo root. Same dataset/generator as PR2. The append workload
+replays the paper's update path — ~100 micro-batches of
+``IndexedDataFrame.append_rows`` — under three configurations:
+durability off (plain), on (WAL + fsync per batch), and on with
+``wal_fsync=False``. Recovery is timed cold (fresh session) per mode.
+
+{
+  "meta": {
+    "bench":      harness title,
+    "scale":      row-count multiplier (1.0 = 120000 rows),
+    "rows":       rows appended per timed run,
+    "batch_rows": rows per append_rows micro-batch,
+    "rounds":     timed rounds (median reported),
+    "seed":       RNG seed for row generation,
+    "python":     interpreter version,
+    "wal_bytes_full_run": live WAL bytes after one full durable run
+  },
+  "append": {
+    "plain_ms":           median append-loop latency, durability off,
+    "durable_fsync_ms":   ... durability on, fsync per WAL batch,
+    "durable_nofsync_ms": ... durability on, wal_fsync=False,
+    "fsync_overhead":     durable_fsync_ms / plain_ms,
+    "nofsync_overhead":   durable_nofsync_ms / plain_ms,
+    "rows_per_s_plain":          throughput at the plain median,
+    "rows_per_s_durable_fsync":  throughput at the durable median
+  },
+  "recovery": {
+    <size>: {    # quarter | full  (fraction of the dataset)
+      "rows":              rows in the recovered store,
+      "wal_bytes":         WAL size the wal_replay pass reads,
+      "wal_replay_ms":     median cold recovery, WAL replay only,
+      "wal_replay_rows_ok":   recovered count == appended count,
+      "checkpoint_ms":     median cold recovery from a checkpoint,
+      "checkpoint_rows_ok":   recovered count == appended count
+    }
+  }
+}
+
+Regenerate: python benchmarks/run_bench.py --suite pr5 [--scale F]
+[--rounds N] [--seed N] [--out PATH] [--check]. --check exits nonzero
+if any recovery pass lost or duplicated rows, or the durable run wrote
+an empty WAL.
 """
 )
 
@@ -531,8 +772,9 @@ def run(scale: float, rounds: int, seed: int) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--suite", choices=("pr2", "pr3"), default="pr2",
-                        help="pr2: codegen A/B; pr3: zone-map/adaptive A/B")
+    parser.add_argument("--suite", choices=("pr2", "pr3", "pr5"), default="pr2",
+                        help="pr2: codegen A/B; pr3: zone-map/adaptive A/B; "
+                             "pr5: durability overhead + cold recovery")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="row-count multiplier (1.0 = %d rows)" % BASE_ROWS)
     parser.add_argument("--rounds", type=int, default=5,
@@ -548,6 +790,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.suite == "pr3":
         result = run_pr3(args.scale, args.rounds, args.seed)
+    elif args.suite == "pr5":
+        result = run_pr5(args.scale, args.rounds, args.seed)
     else:
         result = run(args.scale, args.rounds, args.seed)
     out.write_text(json.dumps(result, indent=2) + "\n")
@@ -557,6 +801,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.check:
         if args.suite == "pr3":
             return check_pr3(result)
+        if args.suite == "pr5":
+            return check_pr5(result)
         speedup = result["ops"]["filter_project"]["speedup"]
         if speedup is None or speedup < 1.0:
             print(

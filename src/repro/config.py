@@ -33,10 +33,45 @@ from typing import Any
 from repro.errors import CapacityError
 from repro.faults import FaultProfile
 
+#: Spellings accepted by :func:`_env_flag`. Every ``REPRO_*`` boolean
+#: flag parses through the same sets, so ``REPRO_SANITIZERS=true`` and
+#: ``REPRO_DURABILITY=1`` behave identically.
+_ENV_TRUE = frozenset({"1", "true", "yes", "on"})
+_ENV_FALSE = frozenset({"", "0", "false", "no", "off"})
+
+
+def _env_flag(name: str, default: bool = False) -> bool:
+    """Parse a ``REPRO_*`` boolean environment flag consistently.
+
+    Case-insensitive: ``1/true/yes/on`` enable, ``0/false/no/off`` (or
+    empty/unset) disable. Anything else raises ``ValueError`` — a typo
+    like ``REPRO_SANITIZERS=yse`` must not silently run unsanitized.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    value = raw.strip().lower()
+    if value in _ENV_TRUE:
+        return True
+    if value in _ENV_FALSE:
+        return False
+    raise ValueError(
+        f"{name}={raw!r} is not a valid boolean flag "
+        f"(accepted: {'/'.join(sorted(_ENV_TRUE))} or "
+        f"{'/'.join(sorted(_ENV_FALSE - frozenset({''})))})"
+    )
+
+
 def _sanitizers_default() -> bool:
     """Env override so a whole test run can be sanitized without
     touching every Config construction site: ``REPRO_SANITIZERS=1``."""
-    return os.environ.get("REPRO_SANITIZERS", "") == "1"
+    return _env_flag("REPRO_SANITIZERS")
+
+
+def _durability_default() -> bool:
+    """Env override to switch on durable state for a whole run:
+    ``REPRO_DURABILITY=1``."""
+    return _env_flag("REPRO_DURABILITY")
 
 
 #: Paper §2: row batches of 4 MB.
@@ -130,6 +165,27 @@ class Config:
     #: stays off outside the test/CI configurations. ``REPRO_SANITIZERS=1``
     #: in the environment flips the default on for a whole run.
     sanitizers_enabled: bool = field(default_factory=_sanitizers_default)
+    #: Durable state: write-ahead-log every indexed append and restore
+    #: from checkpoint + WAL replay on startup. Off by default — with
+    #: durability off the engine behaves bit-identically to a build
+    #: without the subsystem. ``REPRO_DURABILITY=1`` flips the default
+    #: on for a whole run.
+    durability_enabled: bool = field(default_factory=_durability_default)
+    #: Root directory for WAL segments and checkpoints. ``None`` means
+    #: the ``REPRO_DURABILITY_DIR`` environment variable, falling back
+    #: to ``.repro_state`` under the working directory.
+    durability_dir: str | None = None
+    #: ``fsync`` WAL batches before acknowledging the append. On is the
+    #: production contract (a committed record survives OS death); off
+    #: trades that for throughput when only process death matters.
+    wal_fsync: bool = True
+    #: Checkpoint once a store's live WAL grows past this many bytes.
+    wal_checkpoint_bytes: int = 4 * 1024 * 1024
+    #: ... or once the oldest uncheckpointed WAL record is older than
+    #: this many seconds (whichever comes first).
+    wal_checkpoint_age_s: float = 30.0
+    #: Poll interval of the background checkpointer thread.
+    checkpoint_poll_s: float = 0.1
     #: Seeded chaos-injection profile; ``None`` (the default) disables
     #: all fault injection.
     faults: FaultProfile | None = None
@@ -168,6 +224,12 @@ class Config:
             raise ValueError("ingest_backoff_s must be >= 0")
         if self.target_reduce_bytes < 1:
             raise ValueError("target_reduce_bytes must be >= 1")
+        if self.wal_checkpoint_bytes < 1:
+            raise ValueError("wal_checkpoint_bytes must be >= 1")
+        if self.wal_checkpoint_age_s <= 0:
+            raise ValueError("wal_checkpoint_age_s must be positive")
+        if self.checkpoint_poll_s <= 0:
+            raise ValueError("checkpoint_poll_s must be positive")
 
     def with_options(self, **changes: Any) -> "Config":
         """Return a copy of this config with the given fields replaced."""

@@ -43,15 +43,34 @@ def create_index(
     df: DataFrame,
     column: str | int,
     num_partitions: int | None = None,
+    durable_name: str | None = None,
 ) -> "IndexedDataFrame":
     """Build an Indexed DataFrame from a regular DataFrame.
 
     The rows are hash-partitioned on the indexed column (shuffled
     through the engine, as in the paper's *Index Creation*) and loaded
     into per-partition cTrie + row-batch storage.
+
+    ``durable_name`` (with ``Config.durability_enabled``) binds the
+    index to a named on-disk store: if the store already exists, the
+    previous run's state is **recovered** — checkpoint plus WAL replay
+    — and returned *instead of* loading ``df`` (the durable state is
+    the source of truth; delete the store directory to rebuild from
+    scratch). Otherwise the store is created and the WAL attached
+    before the initial load, so even the first rows survive a crash.
     """
     session = df.session
     schema = df.schema
+    durability = session.durability if durable_name is not None else None
+    if durable_name is not None and durability is None:
+        raise IndexError_(
+            "durable_name requires Config.durability_enabled "
+            "(or REPRO_DURABILITY=1)"
+        )
+    if durability is not None:
+        recovered = durability.recover(durable_name)
+        if recovered is not None:
+            return recovered
     if isinstance(column, int):
         if not 0 <= column < len(schema):
             raise IndexError_(f"column ordinal {column} out of range")
@@ -77,6 +96,9 @@ def create_index(
     ]
     store = VersionedStore(partitions)
     indexed = IndexedDataFrame(session, schema, key_ordinal, store, store.capture())
+    if durability is not None:
+        # Bind before the load: the initial rows go through the WAL too.
+        durability.make_durable(indexed, durable_name)
     return indexed.append_rows(df)
 
 

@@ -12,9 +12,12 @@ from __future__ import annotations
 
 import itertools
 import threading
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.partition import IndexedPartition, PartitionSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.durability.checkpoint import DurableStore
 
 _version_ids = itertools.count(1)
 
@@ -55,6 +58,12 @@ class VersionedStore:
             raise ValueError("a versioned store needs at least one partition")
         self.partitions = list(partitions)
         self._capture_lock = threading.Lock()
+        # Set by the durability coordinator when this store is bound to
+        # an on-disk DurableStore (WAL + checkpoints); None for plain
+        # in-memory stores. The ingestion loop reads it to persist
+        # applied-offset watermarks next to the row log, and recovery
+        # sets it on the store it rebuilds.
+        self.durable_store: "DurableStore | None" = None
 
     @property
     def num_partitions(self) -> int:

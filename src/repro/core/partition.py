@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import threading
 from itertools import chain
-from typing import Any, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 from repro.core.pointers import NULL_POINTER, PointerLayout
 from repro.core.rowbatch import HEADER_SIZE, BatchManager
@@ -27,6 +27,9 @@ from repro.core.rowcodec import RowCodec, codec_for
 from repro.ctrie import CTrie
 from repro.sql.types import StructType
 from repro.stats import PruningPredicate, ZoneMap
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.durability.wal import WALWriter
 
 
 class PartitionSnapshot:
@@ -216,6 +219,11 @@ class IndexedPartition:
         self._zone: ZoneMap | None = (  # guarded-by: _append_lock
             ZoneMap(self._num_columns) if zone_maps else None
         )
+        # Optional write-ahead log: when attached, every append batch
+        # is logged (and fsynced) *before* the in-memory apply, both
+        # under the same lock — so a checkpoint rotating the WAL under
+        # that lock sees exactly the applied rows in the old segment.
+        self._wal: "WALWriter | None" = None  # guarded-by: _append_lock
 
     # -- writes ------------------------------------------------------------
 
@@ -237,6 +245,8 @@ class IndexedPartition:
         payload = self.codec.encode(row)
         key = row[self.key_ordinal]
         with self._append_lock:
+            if self._wal is not None:
+                self._wal.append_rows([payload])
             prev = self.trie.get(key, NULL_POINTER)
             pointer = self.batches.append(payload, prev)
             self.trie.insert(key, pointer)
@@ -248,17 +258,26 @@ class IndexedPartition:
         return pointer
 
     def append_many(self, rows: Sequence[Sequence[Any]]) -> int:
-        """Append a batch of rows; returns how many were stored."""
+        """Append a batch of rows; returns how many were stored.
+
+        All-or-nothing at the encode step: every row is encoded (and
+        thereby schema/capacity-validated) before the first one is
+        stored, matching the atomic-apply contract the MVCC watermark
+        dedup relies on — and letting the WAL log the whole batch with
+        one write + fsync before any in-memory mutation.
+        """
         count = 0
         codec = self.codec
         key_ordinal = self.key_ordinal
         with self._append_lock:
+            payloads = [codec.encode(row) for row in rows]
+            if self._wal is not None and payloads:
+                self._wal.append_rows(payloads)
             trie = self.trie
             batches = self.batches
             track_zones = self._batch_zones is not None
             fresh_keys = 0
-            for row in rows:
-                payload = codec.encode(row)
+            for row, payload in zip(rows, payloads):
                 key = row[key_ordinal]
                 prev = trie.get(key, NULL_POINTER)
                 pointer = batches.append(payload, prev)
@@ -300,6 +319,114 @@ class IndexedPartition:
         return PartitionSnapshot(
             self, trie, watermark, count, distinct, batch_zones, zone
         )
+
+    # -- durability -----------------------------------------------------------
+
+    def attach_wal(self, wal: "WALWriter | None") -> None:
+        """Attach (or detach) the write-ahead log for this partition."""
+        with self._append_lock:
+            self._wal = wal
+
+    def _export_locked(self) -> dict:  # requires-lock: _append_lock
+        """Checkpointable state: sealed batch bytes, the cTrie manifest
+        (key → packed pointer), counters, and zone-map copies."""
+        state: dict[str, Any] = {
+            "batches": self.batches.export_batches(),
+            "index": self.trie.to_dict(),
+            "row_count": self._row_count,
+            "distinct_keys": self._distinct_keys,
+            "batch_zones": None,
+            "zone": None,
+        }
+        if self._batch_zones is not None:
+            state["batch_zones"] = [zone.copy() for zone in self._batch_zones]
+            state["zone"] = self._zone.copy()
+        return state
+
+    def export_state(self) -> dict:
+        """A consistent checkpoint image of this partition."""
+        with self._append_lock:
+            return self._export_locked()
+
+    def rotate_wal(self, new_wal: "WALWriter | None") -> dict:
+        """Atomically export checkpoint state and switch WAL segments.
+
+        Under the append lock, so the exported state contains exactly
+        the rows logged to the *old* segment: every row in an older
+        epoch is inside this export, which is what lets the old epochs
+        be deleted once the checkpoint commits.
+        """
+        with self._append_lock:
+            state = self._export_locked()
+            old = self._wal
+            self._wal = new_wal
+        if old is not None:
+            old.close()
+        return state
+
+    @classmethod
+    def from_state(
+        cls,
+        schema: StructType,
+        key_ordinal: int,
+        layout: PointerLayout,
+        batch_size_bytes: int,
+        max_row_bytes: int,
+        state: dict,
+        zone_maps: bool = True,
+        sanitizers: bool = False,
+    ) -> "IndexedPartition":
+        """Rebuild a partition from :meth:`export_state` output."""
+        partition = cls(
+            schema,
+            key_ordinal,
+            layout,
+            batch_size_bytes,
+            max_row_bytes,
+            zone_maps=zone_maps,
+            sanitizers=sanitizers,
+        )
+        with partition._append_lock:
+            partition.batches = BatchManager.restore(
+                layout, batch_size_bytes, state["batches"], sanitize=sanitizers
+            )
+            partition.trie = CTrie.from_items(state["index"].items())
+            partition._row_count = state["row_count"]
+            partition._distinct_keys = state["distinct_keys"]
+            if zone_maps:
+                zones = state.get("batch_zones")
+                zone = state.get("zone")
+                if zones is None or len(zones) != partition.batches.num_batches:
+                    zones, zone = partition._rebuild_zones_locked()
+                if sanitizers:
+                    # Restored rolled-past zones are final again; the
+                    # active tail zone stays live for further appends.
+                    for sealed_zone in zones[:-1]:
+                        sealed_zone.seal()
+                partition._batch_zones = zones
+                partition._zone = zone
+            else:
+                partition._batch_zones = None
+                partition._zone = None
+        return partition
+
+    def _rebuild_zones_locked(  # requires-lock: _append_lock
+        self,
+    ) -> tuple[list[ZoneMap], ZoneMap]:
+        """Recompute per-batch + rollup zone maps by scanning storage
+        (used when a checkpoint predates zone maps being enabled)."""
+        codec = self.codec
+        zones: list[ZoneMap] = []
+        rollup = ZoneMap(self._num_columns)
+        watermark = self.batches.watermark()
+        for batch_no in range(self.batches.num_batches):
+            zone = ZoneMap(self._num_columns)
+            for payload in self.batches.scan(watermark, {batch_no}):
+                row = codec.decode(payload)
+                zone.update_row(row)
+                rollup.update_row(row)
+            zones.append(zone)
+        return zones, rollup
 
     # -- live reads (latest version) --------------------------------------------
 

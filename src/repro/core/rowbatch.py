@@ -140,6 +140,60 @@ class BatchManager:
             pointer, payload = self.read(pointer)
             yield payload
 
+    # ------------------------------------------------------------------
+    # Durability: checkpoint export / restore
+    # ------------------------------------------------------------------
+
+    def export_batches(self) -> list[bytes]:
+        """Copy out the used prefix of every batch, for checkpointing.
+
+        The copies are taken while the owning partition holds its
+        append lock, so each reflects a record boundary; sealed batches
+        additionally get their CRCs re-verified first when sanitizers
+        are on (a corrupt batch must never be checkpointed as truth).
+        """
+        if self.sanitize:
+            self.verify_seals()
+        return [
+            bytes(memoryview(batch)[: self._lengths[i]])
+            for i, batch in enumerate(self._batches)
+        ]
+
+    @classmethod
+    def restore(
+        cls,
+        layout: PointerLayout,
+        batch_size_bytes: int,
+        exported: list[bytes],
+        sanitize: bool = False,
+    ) -> "BatchManager":
+        """Rebuild a manager from :meth:`export_batches` output.
+
+        Buffers are re-padded to the configured batch size (packed
+        pointers address ``(batch, offset)`` so the used prefix must
+        land at the same offsets) and sealed batches are re-sealed from
+        the restored bytes.
+        """
+        manager = cls(layout, batch_size_bytes, sanitize=sanitize)
+        if not exported:
+            return manager
+        for data in exported:
+            if len(data) > batch_size_bytes:
+                raise CapacityError(
+                    f"restored batch of {len(data)} bytes exceeds the "
+                    f"configured batch size {batch_size_bytes}"
+                )
+        manager._batches = [
+            bytearray(data) + bytearray(batch_size_bytes - len(data))
+            for data in exported
+        ]
+        manager._lengths = [len(data) for data in exported]
+        if sanitize:
+            manager._seals = [
+                manager._seal_crc(i) for i in range(len(exported) - 1)
+            ]
+        return manager
+
     def watermark(self) -> tuple[int, int]:
         """Current append frontier: ``(batch_count, last_batch_length)``.
 

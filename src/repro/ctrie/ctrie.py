@@ -162,6 +162,21 @@ class CTrie:
     # Insert
     # ------------------------------------------------------------------
 
+    @classmethod
+    def from_items(cls, items: "Any") -> "CTrie":
+        """Bulk-load a fresh trie from ``(key, value)`` pairs.
+
+        The checkpoint-restore path: a recovered cTrie is rebuilt from
+        its serialized manifest (``to_dict``) before the trie is shared,
+        so the loop needs no CAS retries beyond the ones ``insert``
+        already performs on a private structure.
+        """
+        trie = cls()
+        insert = trie.insert
+        for key, value in items:
+            insert(key, value)
+        return trie
+
     def insert(self, key: Any, value: Any) -> None:
         """Insert or overwrite ``key``."""
         if self._readonly:

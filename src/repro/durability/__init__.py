@@ -1,0 +1,39 @@
+"""Durable state for Indexed DataFrames: WAL, checkpoints, recovery.
+
+The paper's system keeps row batches and the cTrie entirely in executor
+memory — a crash loses every append since load. This package closes
+that gap with the classic three-part protocol:
+
+* **write-ahead log** (:mod:`repro.durability.wal`) — every appended
+  row is written to a per-partition, CRC32-sealed log *before* the
+  in-memory apply; a crash mid-write leaves a torn tail that replay
+  truncates;
+* **checkpoints** (:mod:`repro.durability.checkpoint`) — sealed row
+  batches plus a compact cTrie manifest are serialized under an atomic
+  rename commit protocol, after which the WAL prefix is discarded;
+* **recovery** (:mod:`repro.durability.recovery`) — on startup the
+  store is rebuilt from checkpoint + WAL replay, reconstructing
+  backward-pointer chains, zone maps, MVCC state, and the broker
+  consumer offsets that make replayed micro-batches dedupe cleanly.
+
+Everything is gated by ``Config.durability_enabled`` (or
+``REPRO_DURABILITY=1``); with the flag off nothing in this package is
+imported and the engine behaves bit-identically to a build without it.
+"""
+
+from repro.durability.checkpoint import CHECKPOINT_PREFIX, CURRENT_FILE, DurableStore
+from repro.durability.coordinator import DurabilityCoordinator
+from repro.durability.recovery import RecoveryManager
+from repro.durability.wal import RT_OFFSETS, RT_ROW, WALWriter, replay_wal
+
+__all__ = [
+    "CHECKPOINT_PREFIX",
+    "CURRENT_FILE",
+    "DurabilityCoordinator",
+    "DurableStore",
+    "RecoveryManager",
+    "RT_OFFSETS",
+    "RT_ROW",
+    "WALWriter",
+    "replay_wal",
+]

@@ -1,0 +1,196 @@
+"""Per-partition write-ahead log.
+
+One WAL segment file per (epoch, partition). Records are length-
+prefixed and CRC32-sealed — the frame of :mod:`repro.durability.files`
+with a one-byte record type prepended to the payload::
+
+    [ length : u32 ][ crc32 : u32 ][ type : u8 ][ body : length-1 bytes ]
+
+Two record types exist:
+
+* ``RT_ROW`` — one RowCodec-encoded row, written *before* the
+  in-memory apply (the commit point of an append);
+* ``RT_OFFSETS`` — an applied-watermark marker from the streaming
+  ingestion loop (``(group, topic) → {partition: next_offset}``),
+  written after the rows of a micro-batch so recovery can restore
+  broker consumer offsets and the existing watermark dedup absorbs
+  replayed-but-committed batches.
+
+Replay walks the frames in order and stops at the first record whose
+length or CRC does not hold — the *torn tail* a crash mid-write leaves
+behind — truncating the file back to the last intact record. Committed
+records are exactly the intact prefix; a record that never finished
+writing was never acknowledged, so truncating it cannot lose committed
+data.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import threading
+import zlib
+from pathlib import Path
+
+from repro.durability.files import FRAME_SIZE, maybe_fsync, read_bytes_retry, write_all
+from repro.faults import NULL_INJECTOR, FaultInjector
+
+_FRAME = struct.Struct("<II")  # (payload_length, crc32)
+
+#: Record types (first payload byte).
+RT_ROW = 0
+RT_OFFSETS = 1
+
+
+def encode_record(rtype: int, body: bytes) -> bytes:
+    """Frame one record: sealed ``type byte + body``."""
+    payload = bytes((rtype,)) + body
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def encode_offsets(group: str, topic: str, offsets: dict[int, int]) -> bytes:
+    """Body of an ``RT_OFFSETS`` marker."""
+    return pickle.dumps((group, topic, dict(offsets)), protocol=4)
+
+
+def decode_offsets(body: bytes) -> tuple[str, str, dict[int, int]]:
+    group, topic, offsets = pickle.loads(body)
+    return group, topic, offsets
+
+
+class WALWriter:
+    """Append-only writer for one WAL segment file.
+
+    Thread-safe; the owning partition additionally serializes appends
+    under its own append lock, so the internal lock only matters for
+    the checkpointer reading :meth:`size_bytes` concurrently.
+    """
+
+    def __init__(
+        self,
+        path: Path | str,
+        injector: FaultInjector = NULL_INJECTOR,
+        fsync: bool = True,
+    ):
+        self.path = Path(path)
+        self._injector = injector
+        self._fsync = fsync
+        self._lock = threading.Lock()
+        self._fh = open(self.path, "ab")  # guarded-by: _lock
+        self._size = self.path.stat().st_size  # guarded-by: _lock
+
+    def append_rows(self, payloads: list[bytes]) -> None:
+        """Log one batch of encoded rows (single write, single fsync).
+
+        Raises :class:`~repro.errors.SimulatedCrash` at the seeded
+        crash points: ``crash.pre_wal`` before anything is written
+        (the batch is lost — it was never acknowledged) and
+        ``crash.post_wal`` after the records are durable but before
+        the caller applies them in memory (the batch is recovered by
+        replay). A clean failure (injected fsync error) rolls the file
+        back to its pre-batch length so a caller-level retry cannot
+        double-log the rows.
+        """
+        self._injector.maybe_crash("crash.pre_wal")
+        data = b"".join(encode_record(RT_ROW, p) for p in payloads)
+        self._append(data)
+        self._injector.maybe_crash("crash.post_wal")
+
+    def append_offsets(self, group: str, topic: str, offsets: dict[int, int]) -> None:
+        """Log an applied-watermark marker for the ingestion loop."""
+        self._append(encode_record(RT_OFFSETS, encode_offsets(group, topic, offsets)))
+
+    def _append(self, data: bytes) -> None:
+        with self._lock:
+            start = self._size
+            try:
+                write_all(self._fh, data, self._injector)
+                maybe_fsync(self._fh, self._injector, self._fsync)
+            except Exception:
+                # Clean failure (not a simulated crash): undo the
+                # partial append so the record cannot be half-committed
+                # and a retry cannot duplicate it.
+                try:
+                    self._fh.truncate(start)
+                    self._fh.seek(0, os.SEEK_END)
+                except OSError:  # pragma: no cover - undo is best-effort
+                    pass
+                raise
+            self._size = start + len(data)
+
+    def size_bytes(self) -> int:
+        with self._lock:
+            return self._size
+
+    def close(self) -> None:
+        with self._lock:
+            self._fh.close()
+
+    def __repr__(self) -> str:
+        return f"WALWriter({self.path.name}, {self.size_bytes()} bytes)"
+
+
+def replay_wal(
+    path: Path | str,
+    injector: FaultInjector = NULL_INJECTOR,
+    truncate: bool = True,
+) -> list[tuple[int, bytes]]:
+    """Read every intact record of a WAL segment, in append order.
+
+    Returns ``[(record_type, body), ...]``. The first frame whose
+    length overruns the file or whose CRC32 seal fails marks the torn
+    tail: everything from there on is discarded and (with ``truncate``)
+    physically removed, so a later append cannot interleave new records
+    with torn garbage.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    data = read_bytes_retry(path, injector)
+    records: list[tuple[int, bytes]] = []
+    offset = 0
+    n = len(data)
+    while offset + FRAME_SIZE <= n:
+        length, crc = _FRAME.unpack_from(data, offset)
+        end = offset + FRAME_SIZE + length
+        if length < 1 or end > n:
+            break  # torn tail: header or payload never finished
+        payload = data[offset + FRAME_SIZE : end]
+        if zlib.crc32(payload) != crc:
+            break  # torn tail: payload bytes incomplete or damaged
+        records.append((payload[0], bytes(payload[1:])))
+        offset = end
+    if truncate and offset < n:
+        with open(path, "r+b") as fh:
+            fh.truncate(offset)
+            fh.flush()
+            os.fsync(fh.fileno())
+    return records
+
+
+def replay_rows(records: list[tuple[int, bytes]]) -> list[bytes]:
+    """The encoded row payloads of a replayed record list."""
+    return [body for rtype, body in records if rtype == RT_ROW]
+
+
+def latest_offsets(
+    records: list[tuple[int, bytes]],
+    into: dict[tuple[str, str], dict[int, int]] | None = None,
+) -> dict[tuple[str, str], dict[int, int]]:
+    """Fold ``RT_OFFSETS`` markers into an advance-only watermark map.
+
+    Markers are cumulative, so later markers supersede earlier ones —
+    but per-partition offsets only ever move forward, guarding against
+    a marker logged by a laggy consumer regressing the watermark.
+    """
+    out: dict[tuple[str, str], dict[int, int]] = into if into is not None else {}
+    for rtype, body in records:
+        if rtype != RT_OFFSETS:
+            continue
+        group, topic, offsets = decode_offsets(body)
+        current = out.setdefault((group, topic), {})
+        for partition, offset in offsets.items():
+            if offset > current.get(partition, 0):
+                current[partition] = offset
+    return out

@@ -60,6 +60,7 @@ class CacheStats:
     evictions: int = 0
     stored_bytes: int = 0
     failed_computes: int = 0
+    recovery_invalidations: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def snapshot(self) -> dict[str, int]:
@@ -70,6 +71,7 @@ class CacheStats:
                 "evictions": self.evictions,
                 "stored_bytes": self.stored_bytes,
                 "failed_computes": self.failed_computes,
+                "recovery_invalidations": self.recovery_invalidations,
             }
 
 
@@ -158,6 +160,23 @@ class BlockManager:
             self._blocks.clear()
             with self.stats._lock:
                 self.stats.stored_bytes = 0
+
+    def invalidate_all(self) -> int:
+        """Drop every block after crash recovery; returns count dropped.
+
+        Cached blocks can hold references into pre-recovery storage
+        objects (batch buffers, snapshots) that the rebuilt store no
+        longer owns — serving them would mix two incarnations of the
+        data. Counted separately from ordinary evictions so tests can
+        assert recovery actually flushed the cache.
+        """
+        with self._lock:
+            dropped = len(self._blocks)
+            self._blocks.clear()
+            with self.stats._lock:
+                self.stats.stored_bytes = 0
+                self.stats.recovery_invalidations += dropped
+        return dropped
 
     def _evict_until_fits(self, incoming: int) -> None:  # requires-lock: _lock
         while self._blocks and self.stats.stored_bytes + incoming > self.capacity_bytes:

@@ -51,6 +51,7 @@ from repro.config import Config
 from repro.engine.rdd import RDD, ShuffleDependencyEdge
 from repro.engine.shuffle import ShuffleDependency, ShuffleManager
 from repro.errors import (
+    DurabilityError,
     FetchFailedError,
     InjectedFault,
     RetryExhaustedError,
@@ -77,12 +78,25 @@ def _find_transient(exc: BaseException | None) -> BaseException | None:
     """The transient cause inside a (possibly nested) task failure.
 
     Walks ``TaskError.cause`` chains looking for an injected fault, a
-    shuffle fetch failure, or an OS-level error — the failure classes a
-    retry can plausibly heal.
+    shuffle fetch failure, a WAL/checkpoint I/O failure, or an OS-level
+    error — the failure classes a retry can plausibly heal. A
+    :class:`~repro.errors.RecoveryError` is deliberately *not* here: a
+    failed restore means durable state is corrupt, and replaying the
+    task would only mask that.
     """
     depth = 0
     while exc is not None and depth < 16:
-        if isinstance(exc, (InjectedFault, FetchFailedError, ConnectionError, TimeoutError, OSError)):
+        if isinstance(
+            exc,
+            (
+                InjectedFault,
+                FetchFailedError,
+                DurabilityError,
+                ConnectionError,
+                TimeoutError,
+                OSError,
+            ),
+        ):
             return exc
         exc = getattr(exc, "cause", None) or exc.__cause__
         depth += 1

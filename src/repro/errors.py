@@ -145,6 +145,45 @@ class StreamingError(ReproError):
     """Error in the in-process broker / ingestion layer."""
 
 
+class DurabilityError(ReproError):
+    """A write-ahead-log or checkpoint I/O operation failed.
+
+    Covers fsync failures, unwritable WAL segments, and checkpoint
+    commits that could not complete. Transient in the same sense as a
+    broker fault: the in-memory state is still intact and the
+    operation may be retried.
+    """
+
+
+class RecoveryError(Exception):
+    """Durable state could not be restored on startup.
+
+    Deliberately **not** a :class:`ReproError` (same reasoning as
+    :class:`SanitizerError`): task retry, index fallback, and ingestion
+    supervision absorb library errors by design, but a checkpoint whose
+    CRC seal no longer matches — or a missing durable manifest — means
+    the recovered store would silently diverge from the pre-crash
+    state. That must abort startup loudly, never be healed by
+    re-execution. A *torn WAL tail* is not a recovery error: it is the
+    expected signature of a crash mid-write and is truncated silently.
+    """
+
+
+class SimulatedCrash(BaseException):
+    """An injected process death (chaos testing only).
+
+    Derives from :class:`BaseException` so that no recovery layer —
+    scheduler retries, ingestion supervision, index fallback — can
+    absorb it: a real ``kill -9`` is not catchable either. The chaos
+    harness catches it at the outermost test level, discards every
+    in-memory structure, and restarts from the durable state on disk.
+    """
+
+    def __init__(self, site: str):
+        self.site = site
+        super().__init__(f"simulated crash at site {site!r}")
+
+
 class SanitizerError(Exception):
     """A runtime sanitizer observed an invariant violation.
 

@@ -12,12 +12,14 @@ from repro.faults.injector import (
     FaultInjector,
     FaultProfile,
     chaos_profile,
+    durability_chaos_profile,
 )
 
 __all__ = [
     "FaultInjector",
     "FaultProfile",
     "chaos_profile",
+    "durability_chaos_profile",
     "NULL_INJECTOR",
     "SITES",
 ]

@@ -28,10 +28,16 @@ import time
 from dataclasses import dataclass
 from typing import Any, Sequence
 
-from repro.errors import InjectedFault
+from repro.errors import InjectedFault, SimulatedCrash
 
 #: Injection sites recognised by the engine. Anything else is legal
-#: (the injector is generic) but these are the ones wired in.
+#: (the injector is generic) but these are the ones wired in. Naming
+#: convention (documented in DESIGN.md §10): ``<component>.<operation>``
+#: with an optional ``.<mode>`` suffix for distinct failure shapes of
+#: the same operation (``disk.write`` fails cleanly, ``disk.write.torn``
+#: dies mid-write). ``crash.*`` sites simulate whole-process death
+#: (:class:`~repro.errors.SimulatedCrash`) at a named point of the
+#: durability protocol rather than a recoverable operation failure.
 SITES = (
     "task",
     "task.slow",
@@ -39,6 +45,15 @@ SITES = (
     "broker.read",
     "broker.commit",
     "index.probe",
+    # file-I/O faults (durability layer)
+    "disk.write.torn",
+    "disk.read.short",
+    "disk.fsync",
+    # crash points of the WAL/checkpoint protocol
+    "crash.pre_wal",
+    "crash.post_wal",
+    "crash.mid_checkpoint",
+    "crash.post_checkpoint",
 )
 
 
@@ -67,6 +82,21 @@ class FaultProfile:
     broker_commit_p: float = 0.0
     #: P(an index probe — cTrie lookup or indexed-join probe — fails).
     index_probe_p: float = 0.0
+    #: P(a WAL write dies mid-record, leaving a torn tail on disk).
+    disk_torn_write_p: float = 0.0
+    #: P(a WAL/checkpoint read returns fewer bytes than are on disk).
+    disk_short_read_p: float = 0.0
+    #: P(an fsync fails — the bytes may or may not be durable).
+    disk_fsync_p: float = 0.0
+    #: P(process dies just *before* the WAL write of a batch).
+    crash_pre_wal_p: float = 0.0
+    #: P(process dies after the WAL write but *before* the in-memory
+    #: apply — the window the WAL exists to close).
+    crash_post_wal_p: float = 0.0
+    #: P(process dies mid-checkpoint, before the atomic commit rename).
+    crash_mid_checkpoint_p: float = 0.0
+    #: P(process dies after checkpoint commit, before WAL cleanup).
+    crash_post_checkpoint_p: float = 0.0
     #: Cap on fires per site; ``None`` means unbounded. With a
     #: probability of 1.0 this gives "fail exactly N times" semantics.
     max_fires_per_site: int | None = None
@@ -79,6 +109,13 @@ class FaultProfile:
             "broker_read_p",
             "broker_commit_p",
             "index_probe_p",
+            "disk_torn_write_p",
+            "disk_short_read_p",
+            "disk_fsync_p",
+            "crash_pre_wal_p",
+            "crash_post_wal_p",
+            "crash_mid_checkpoint_p",
+            "crash_post_checkpoint_p",
         ):
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
@@ -96,6 +133,13 @@ class FaultProfile:
             "broker.read": self.broker_read_p,
             "broker.commit": self.broker_commit_p,
             "index.probe": self.index_probe_p,
+            "disk.write.torn": self.disk_torn_write_p,
+            "disk.read.short": self.disk_short_read_p,
+            "disk.fsync": self.disk_fsync_p,
+            "crash.pre_wal": self.crash_pre_wal_p,
+            "crash.post_wal": self.crash_post_wal_p,
+            "crash.mid_checkpoint": self.crash_mid_checkpoint_p,
+            "crash.post_checkpoint": self.crash_post_checkpoint_p,
         }.get(site, 0.0)
 
 
@@ -109,6 +153,26 @@ def chaos_profile(seed: int = 1337, max_fires_per_site: int | None = None) -> Fa
         shuffle_loss_p=0.1,
         broker_read_p=0.1,
         broker_commit_p=0.1,
+        max_fires_per_site=max_fires_per_site,
+    )
+
+
+def durability_chaos_profile(
+    seed: int = 1337, max_fires_per_site: int | None = 1
+) -> FaultProfile:
+    """The crash-recovery chaos mix: every crash point of the WAL/
+    checkpoint protocol armed at a moderate probability, plus torn
+    writes, so one seeded run dies at an unpredictable-but-replayable
+    point. Capped at one fire per site by default — after the first
+    simulated death the test harness restarts from disk, and a second
+    crash inside *recovery* is a different experiment."""
+    return FaultProfile(
+        seed=seed,
+        disk_torn_write_p=0.15,
+        crash_pre_wal_p=0.15,
+        crash_post_wal_p=0.15,
+        crash_mid_checkpoint_p=0.3,
+        crash_post_checkpoint_p=0.3,
         max_fires_per_site=max_fires_per_site,
     )
 
@@ -163,6 +227,15 @@ class FaultInjector:
         """Raise :class:`InjectedFault` when the site's draw fires."""
         if self.should_fire(site):
             raise InjectedFault(site)
+
+    def maybe_crash(self, site: str) -> None:
+        """Raise :class:`SimulatedCrash` when the site's draw fires.
+
+        Unlike :meth:`maybe_fail`, the raised exception derives from
+        ``BaseException``: no retry or supervision layer may absorb it.
+        """
+        if self.should_fire(site):
+            raise SimulatedCrash(site)
 
     def maybe_delay(self, site: str = "task.slow") -> None:
         """Sleep ``slow_delay_s`` when the straggler draw fires."""

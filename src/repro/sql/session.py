@@ -81,6 +81,14 @@ class Session:
         self.catalog = Catalog()
         self.extensions = extensions or SessionExtensions()
         self.analyzer = Analyzer()
+        # Durable state (WAL + checkpoints + recovery). Imported lazily
+        # and only when enabled: with the flag off the session carries
+        # no durability machinery at all and behaves bit-identically.
+        self.durability = None
+        if self.config.durability_enabled:
+            from repro.durability import DurabilityCoordinator
+
+            self.durability = DurabilityCoordinator(self)
         self._rebuild_pipeline()
 
     def _rebuild_pipeline(self) -> None:
@@ -275,6 +283,8 @@ class Session:
     # ------------------------------------------------------------------
 
     def stop(self) -> None:
+        if self.durability is not None:
+            self.durability.close()
         self.ctx.stop()
 
     def __enter__(self) -> "Session":

@@ -135,6 +135,34 @@ class Broker:
     def commit_offsets(
         self, group: str, topic: str, positions: dict[int, int]
     ) -> None:
+        """Persist consumer-group positions — **advance-only** per
+        partition.
+
+        A consumer that crashed between poll and commit (or a laggy
+        concurrent consumer in the same group committing stale
+        positions) must never rewind the group below offsets another
+        member already committed: rewinding would re-deliver records a
+        restarted consumer treats as fresh. Deliberate rewinds go
+        through :meth:`Consumer.seek`, which is in-memory per consumer.
+        """
         self._injector.maybe_fail("broker.commit")
         with self._lock:
-            self._committed[(group, topic)] = dict(positions)
+            current = self._committed.setdefault((group, topic), {})
+            for partition, offset in positions.items():
+                if offset > current.get(partition, 0):
+                    current[partition] = offset
+
+    def restore_committed_offsets(
+        self, group: str, topic: str, positions: dict[int, int]
+    ) -> None:
+        """Install recovered offsets (crash recovery), advance-only.
+
+        Identical merge semantics to :meth:`commit_offsets` but without
+        the injected-fault site: recovery must not be tripped by the
+        chaos profile that killed the previous incarnation.
+        """
+        with self._lock:
+            current = self._committed.setdefault((group, topic), {})
+            for partition, offset in positions.items():
+                if offset > current.get(partition, 0):
+                    current[partition] = offset

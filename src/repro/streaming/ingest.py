@@ -125,6 +125,7 @@ class IndexedIngest:
             # so the batch is re-polled rather than silently skipped.
             self.consumer.seek(dict(self._applied))
             raise
+        self._log_watermark()
         self._try_commit()
         with self._lock:
             self.batches_applied += 1
@@ -148,6 +149,32 @@ class IndexedIngest:
                     ) from exc
                 time.sleep(min(self.backoff_s * (2**attempt), _MAX_LOOP_BACKOFF_S))
                 attempt += 1
+
+    def _log_watermark(self) -> None:
+        """Persist the applied watermark to the durable store (if any).
+
+        Written *after* the rows were applied (and therefore WAL-logged)
+        and *before* the broker commit: recovery restores broker offsets
+        from the last durable marker, so a batch that reached this point
+        is never re-applied after a restart. A crash in the small window
+        between the row log and this marker degrades that one batch to
+        at-least-once — the standard gap for non-transactional sinks —
+        which the chaos suite tolerates explicitly.
+        """
+        durable = getattr(self.current.store, "durable_store", None)
+        if durable is None:
+            return
+        with self._lock:
+            watermark = dict(self._applied)
+        try:
+            durable.log_offsets(self.consumer.group, self.consumer.topic, watermark)
+        except ReproError as exc:
+            # Same tolerance as a commit failure: the next successful
+            # marker persists strictly newer offsets; worst case is a
+            # replayed batch, which dedup absorbs.
+            with self._lock:
+                self.commit_failures += 1
+                self.last_error = exc
 
     def _try_commit(self) -> None:
         """Commit offsets; tolerate failure (replays are deduplicated)."""

@@ -1,0 +1,195 @@
+"""Unit tests for the write-ahead log: framing, torn tails, faults."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.durability.wal import (
+    RT_OFFSETS,
+    RT_ROW,
+    WALWriter,
+    encode_record,
+    latest_offsets,
+    replay_rows,
+    replay_wal,
+)
+from repro.errors import DurabilityError, SimulatedCrash
+from repro.faults import FaultInjector, FaultProfile
+
+
+def rows_in(path):
+    return replay_rows(replay_wal(path))
+
+
+class TestRoundTrip:
+    def test_append_and_replay(self, tmp_path):
+        path = tmp_path / "p.wal"
+        writer = WALWriter(path)
+        writer.append_rows([b"row-a", b"row-b"])
+        writer.append_rows([b"row-c"])
+        writer.close()
+        assert rows_in(path) == [b"row-a", b"row-b", b"row-c"]
+
+    def test_replay_missing_file_is_empty(self, tmp_path):
+        assert replay_wal(tmp_path / "nope.wal") == []
+
+    def test_size_tracks_bytes(self, tmp_path):
+        writer = WALWriter(tmp_path / "p.wal")
+        assert writer.size_bytes() == 0
+        writer.append_rows([b"abc"])
+        assert writer.size_bytes() == (tmp_path / "p.wal").stat().st_size
+        writer.close()
+
+    def test_reopen_appends_after_existing_records(self, tmp_path):
+        path = tmp_path / "p.wal"
+        first = WALWriter(path)
+        first.append_rows([b"one"])
+        first.close()
+        second = WALWriter(path)
+        second.append_rows([b"two"])
+        second.close()
+        assert rows_in(path) == [b"one", b"two"]
+
+
+class TestTornTail:
+    def test_partial_frame_is_truncated(self, tmp_path):
+        path = tmp_path / "p.wal"
+        writer = WALWriter(path)
+        writer.append_rows([b"good"])
+        writer.close()
+        intact = path.stat().st_size
+        with open(path, "ab") as fh:
+            fh.write(encode_record(RT_ROW, b"torn-victim")[:7])  # mid-header
+        assert rows_in(path) == [b"good"]
+        assert path.stat().st_size == intact  # physically truncated
+
+    def test_bad_crc_stops_replay(self, tmp_path):
+        path = tmp_path / "p.wal"
+        writer = WALWriter(path)
+        writer.append_rows([b"good", b"soon-bad"])
+        writer.close()
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip a payload byte of the last record
+        path.write_bytes(bytes(data))
+        assert rows_in(path) == [b"good"]
+
+    def test_truncation_then_append_stays_clean(self, tmp_path):
+        path = tmp_path / "p.wal"
+        writer = WALWriter(path)
+        writer.append_rows([b"good"])
+        writer.close()
+        with open(path, "ab") as fh:
+            fh.write(b"\xde\xad\xbe\xef")  # garbage tail
+        replay_wal(path)  # truncates
+        writer = WALWriter(path)
+        writer.append_rows([b"after"])
+        writer.close()
+        assert rows_in(path) == [b"good", b"after"]
+
+    def test_zero_length_frame_is_torn(self, tmp_path):
+        path = tmp_path / "p.wal"
+        with open(path, "wb") as fh:
+            fh.write(struct.pack("<II", 0, 0))
+        assert replay_wal(path) == []
+        assert path.stat().st_size == 0
+
+
+class TestInjectedFaults:
+    def test_torn_write_leaves_prefix_and_raises_crash(self, tmp_path):
+        path = tmp_path / "p.wal"
+        clean = WALWriter(path)
+        clean.append_rows([b"committed"])
+        clean.close()
+        injector = FaultInjector(
+            FaultProfile(seed=7, disk_torn_write_p=1.0, max_fires_per_site=1)
+        )
+        writer = WALWriter(path, injector)
+        with pytest.raises(SimulatedCrash):
+            writer.append_rows([b"torn"])
+        # Torn bytes stay on disk (that's the point) but replay drops them.
+        assert path.stat().st_size > 0
+        assert rows_in(path) == [b"committed"]
+
+    def test_torn_write_cut_is_seeded(self, tmp_path):
+        sizes = []
+        for run in range(2):
+            path = tmp_path / f"p{run}.wal"
+            injector = FaultInjector(
+                FaultProfile(seed=42, disk_torn_write_p=1.0, max_fires_per_site=1)
+            )
+            writer = WALWriter(path, injector)
+            with pytest.raises(SimulatedCrash):
+                writer.append_rows([b"x" * 100])
+            sizes.append(path.stat().st_size)
+        assert sizes[0] == sizes[1]  # same seed → same cut point
+
+    def test_fsync_failure_rolls_back_so_retry_cannot_double_log(self, tmp_path):
+        path = tmp_path / "p.wal"
+        injector = FaultInjector(
+            FaultProfile(seed=3, disk_fsync_p=1.0, max_fires_per_site=1)
+        )
+        writer = WALWriter(path, injector)
+        with pytest.raises(DurabilityError):
+            writer.append_rows([b"row"])
+        assert path.stat().st_size == 0  # undone
+        writer.append_rows([b"row"])  # caller-level retry
+        writer.close()
+        assert rows_in(path) == [b"row"]  # exactly once
+
+    def test_short_read_is_retried(self, tmp_path):
+        path = tmp_path / "p.wal"
+        writer = WALWriter(path)
+        writer.append_rows([b"row"])
+        writer.close()
+        injector = FaultInjector(
+            FaultProfile(seed=5, disk_short_read_p=1.0, max_fires_per_site=2)
+        )
+        assert replay_rows(replay_wal(path, injector)) == [b"row"]
+
+    def test_short_read_exhaustion_raises_transient_error(self, tmp_path):
+        path = tmp_path / "p.wal"
+        writer = WALWriter(path)
+        writer.append_rows([b"row"])
+        writer.close()
+        injector = FaultInjector(FaultProfile(seed=5, disk_short_read_p=1.0))
+        with pytest.raises(DurabilityError):
+            replay_wal(path, injector)
+        # Crucially the data was NOT truncated by the failed read.
+        assert rows_in(path) == [b"row"]
+
+
+class TestOffsetMarkers:
+    def test_markers_interleave_with_rows(self, tmp_path):
+        path = tmp_path / "meta.wal"
+        writer = WALWriter(path)
+        writer.append_rows([b"r1"])
+        writer.append_offsets("g", "topic", {0: 5, 1: 2})
+        writer.append_rows([b"r2"])
+        writer.append_offsets("g", "topic", {0: 9})
+        writer.close()
+        records = replay_wal(path)
+        assert replay_rows(records) == [b"r1", b"r2"]
+        assert latest_offsets(records) == {("g", "topic"): {0: 9, 1: 2}}
+
+    def test_fold_is_advance_only(self, tmp_path):
+        path = tmp_path / "meta.wal"
+        writer = WALWriter(path)
+        writer.append_offsets("g", "t", {0: 9})
+        writer.append_offsets("g", "t", {0: 4})  # laggy writer, stale marker
+        writer.close()
+        assert latest_offsets(replay_wal(path)) == {("g", "t"): {0: 9}}
+
+    def test_fold_into_existing_map(self, tmp_path):
+        path = tmp_path / "meta.wal"
+        writer = WALWriter(path)
+        writer.append_offsets("g", "t", {0: 4, 1: 7})
+        writer.close()
+        base = {("g", "t"): {0: 6}}
+        merged = latest_offsets(replay_wal(path), into=base)
+        assert merged is base
+        assert merged == {("g", "t"): {0: 6, 1: 7}}
+
+    def test_record_types_are_distinct(self):
+        assert RT_ROW != RT_OFFSETS

@@ -1,0 +1,172 @@
+"""Broker offset rotation under concurrent consumers.
+
+The committed-offset merge on the broker is advance-only per partition
+(see :meth:`Broker.commit_offsets`). These tests pin down the property
+that motivated it: a consumer crashing between poll and commit — or a
+laggy member of the group committing stale positions late — must never
+regress the group's committed offsets and thereby re-deliver records
+another member already processed and committed.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import StreamingError
+from repro.streaming import Broker, Consumer, Producer
+
+
+def make_broker(records=60, partitions=3, topic="t"):
+    broker = Broker()
+    broker.create_topic(topic, partitions=partitions)
+    producer = Producer(broker, topic)
+    producer.send_all(
+        [(i, f"v{i}") for i in range(records)], key_fn=lambda r: r[0]
+    )
+    return broker
+
+
+class TestAdvanceOnlyCommit:
+    def test_stale_commit_does_not_rewind(self):
+        broker = make_broker()
+        broker.commit_offsets("g", "t", {0: 10, 1: 7})
+        broker.commit_offsets("g", "t", {0: 4, 1: 9, 2: 3})
+        assert broker.committed_offsets("g", "t") == {0: 10, 1: 9, 2: 3}
+
+    def test_crash_between_poll_and_commit_is_harmless(self):
+        """Consumer A polls and commits; consumer B (same group) polled
+        earlier, crashed before committing, and its stale in-memory
+        positions are flushed late — the group must not move backward."""
+        broker = make_broker()
+        crasher = Consumer(broker, "t", group="g")
+        crasher.poll(10)  # polled but will "crash" before committing
+        worker = Consumer(broker, "t", group="g")
+        worker.poll(40)
+        worker.commit()
+        committed = broker.committed_offsets("g", "t")
+        # The crashed consumer's stale positions arrive after the fact
+        # (e.g. a shutdown hook flushing state): a no-op, not a rewind.
+        crasher.commit()
+        assert broker.committed_offsets("g", "t") == committed
+
+    def test_restart_resumes_from_high_watermark(self):
+        broker = make_broker(records=30, partitions=2)
+        first = Consumer(broker, "t", group="g")
+        seen = {(r.partition, r.offset) for r in first.poll(100)}
+        first.commit()
+        # A restarted group member resumes past everything committed.
+        second = Consumer(broker, "t", group="g")
+        replayed = {(r.partition, r.offset) for r in second.poll(100)}
+        assert not seen & replayed
+
+    def test_groups_are_independent(self):
+        broker = make_broker()
+        broker.commit_offsets("g1", "t", {0: 10})
+        broker.commit_offsets("g2", "t", {0: 3})
+        assert broker.committed_offsets("g1", "t") == {0: 10}
+        assert broker.committed_offsets("g2", "t") == {0: 3}
+
+    def test_restore_matches_commit_semantics(self):
+        """Crash-recovery restore obeys the same advance-only merge."""
+        broker = make_broker()
+        broker.commit_offsets("g", "t", {0: 8, 1: 2})
+        broker.restore_committed_offsets("g", "t", {0: 5, 1: 6, 2: 1})
+        assert broker.committed_offsets("g", "t") == {0: 8, 1: 6, 2: 1}
+
+
+class TestConcurrentCommitters:
+    def test_racing_commits_converge_to_per_partition_max(self):
+        """Many threads committing interleaved positions: the final
+        committed map is the per-partition max of everything offered,
+        regardless of arrival order."""
+        broker = Broker()
+        broker.create_topic("t", partitions=4)
+        offers = [
+            {p: (i * 7 + p * 3) % 50 for p in range(4)} for i in range(32)
+        ]
+        barrier = threading.Barrier(8)
+
+        def committer(chunk):
+            barrier.wait()
+            for positions in chunk:
+                broker.commit_offsets("g", "t", positions)
+
+        threads = [
+            threading.Thread(target=committer, args=(offers[i::8],))
+            for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        expected = {
+            p: max(o.get(p, 0) for o in offers) for p in range(4)
+        }
+        assert broker.committed_offsets("g", "t") == expected
+
+    def test_concurrent_poll_commit_never_regresses(self):
+        """Consumers polling and committing concurrently while a
+        producer appends: sampled committed offsets are monotone."""
+        broker = Broker()
+        broker.create_topic("t", partitions=2)
+        producer = Producer(broker, "t")
+        stop = threading.Event()
+        regressions = []
+
+        def produce():
+            i = 0
+            while not stop.is_set():
+                producer.send(f"v{i}", key=i)
+                i += 1
+
+        def consume():
+            consumer = Consumer(broker, "t", group="g")
+            while not stop.is_set():
+                if consumer.poll(5):
+                    consumer.commit()
+
+        def watch():
+            last: dict[int, int] = {}
+            while not stop.is_set():
+                now = broker.committed_offsets("g", "t")
+                for p, off in now.items():
+                    if off < last.get(p, 0):
+                        regressions.append((p, last[p], off))
+                    last[p] = max(last.get(p, 0), off)
+
+        threads = [
+            threading.Thread(target=fn)
+            for fn in (produce, consume, consume, watch)
+        ]
+        for t in threads:
+            t.start()
+        stop.wait(0.3)
+        stop.set()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert regressions == []
+
+
+class TestRotationFairness:
+    def test_poll_rotation_covers_all_partitions(self):
+        """Small polls rotate their starting partition, so a busy
+        partition 0 cannot starve the rest of the topic."""
+        broker = Broker()
+        broker.create_topic("t", partitions=3)
+        for p in range(3):
+            for i in range(10):
+                broker.append("t", p, i, f"p{p}i{i}")
+        consumer = Consumer(broker, "t", group="g")
+        first_partition_per_poll = []
+        for _ in range(6):
+            records = consumer.poll(2)
+            if records:
+                first_partition_per_poll.append(records[0].partition)
+        assert len(set(first_partition_per_poll)) == 3
+
+    def test_unknown_topic_is_rejected(self):
+        broker = Broker()
+        with pytest.raises(StreamingError):
+            broker.num_partitions("nope")

@@ -40,3 +40,67 @@ class TestConfig:
         config = Config(extra={"demo.dashboard": True})
         assert config.get("demo.dashboard") is True
         assert config.get("missing", "fallback") == "fallback"
+
+
+class TestEnvFlags:
+    """Shared REPRO_* boolean parsing (`_env_flag`)."""
+
+    def test_true_spellings(self, monkeypatch):
+        from repro.config import _env_flag
+
+        for raw in ("1", "true", "TRUE", "Yes", "on", " ON "):
+            monkeypatch.setenv("REPRO_X", raw)
+            assert _env_flag("REPRO_X") is True, raw
+
+    def test_false_spellings(self, monkeypatch):
+        from repro.config import _env_flag
+
+        for raw in ("0", "false", "FALSE", "No", "off", ""):
+            monkeypatch.setenv("REPRO_X", raw)
+            assert _env_flag("REPRO_X", default=True) is False, raw
+
+    def test_unset_uses_default(self, monkeypatch):
+        from repro.config import _env_flag
+
+        monkeypatch.delenv("REPRO_X", raising=False)
+        assert _env_flag("REPRO_X") is False
+        assert _env_flag("REPRO_X", default=True) is True
+
+    def test_typo_is_loud(self, monkeypatch):
+        from repro.config import _env_flag
+
+        monkeypatch.setenv("REPRO_X", "yse")
+        with pytest.raises(ValueError, match="REPRO_X"):
+            _env_flag("REPRO_X")
+
+    def test_sanitizers_default_tracks_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZERS", "1")
+        assert Config().sanitizers_enabled is True
+        monkeypatch.delenv("REPRO_SANITIZERS")
+        assert Config().sanitizers_enabled is False
+
+    def test_durability_default_tracks_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DURABILITY", "on")
+        assert Config().durability_enabled is True
+        monkeypatch.delenv("REPRO_DURABILITY")
+        assert Config().durability_enabled is False
+
+    def test_explicit_config_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DURABILITY", "1")
+        assert Config(durability_enabled=False).durability_enabled is False
+
+
+class TestDurabilityKnobs:
+    def test_defaults(self):
+        config = Config()
+        assert config.durability_enabled is False
+        assert config.wal_fsync is True
+        assert config.wal_checkpoint_bytes == 4 * 1024 * 1024
+
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ValueError):
+            Config(wal_checkpoint_bytes=0)
+        with pytest.raises(ValueError):
+            Config(wal_checkpoint_age_s=0)
+        with pytest.raises(ValueError):
+            Config(checkpoint_poll_s=0)
