@@ -18,6 +18,13 @@ Two suites share the harness (``--suite``):
   (the WAL-append overhead the paper's update path would pay), plus
   cold-recovery latency from WAL replay vs from a checkpoint at two
   dataset sizes. Writes ``BENCH_PR5.json``.
+* ``pr6`` — the closed-loop concurrent-serving benchmark: several
+  worker threads issue a mixed lookup/analytic/scan stream (with a
+  concurrent appender, the paper's updatable-data scenario) in three
+  modes — ungoverned ``.sql()``, governed ``.serve()`` with a
+  deliberately undersized admission pool, and governed under the
+  serving chaos profile. Reports p50/p99 latency and the typed
+  outcome mix. Writes ``BENCH_PR6.json``.
 
 All JSON schemas are documented in ``benchmarks/figures.txt``.
 
@@ -545,6 +552,289 @@ def check_pr5(result: dict) -> int:
     return 1 if failures else 0
 
 
+# ----------------------------------------------------------------------
+# PR6 suite: closed-loop concurrent serving under admission control
+# ----------------------------------------------------------------------
+
+#: Concurrent closed-loop workers per mode.
+PR6_WORKERS = 6
+#: Governed modes run with this many slots — fewer than the workers on
+#: purpose, so the admission controller has real shedding to do.
+PR6_SLOTS = 2
+
+
+def make_serving_bench_session(mode: str, seed: int) -> Session:
+    """One session per serving mode.
+
+    ``static`` is the ungoverned baseline (plain ``.sql()``, serving
+    layer never constructed). The governed modes undersize the pool
+    (2 slots, depth-2 queue, 50 ms queue timeout) relative to the 6
+    workers so overload shedding actually fires; ``governed_chaos``
+    adds the overload fault mix on top with a capped fire budget so the
+    run drains back to health.
+    """
+    options: dict = {}
+    if mode != "static":
+        options.update(
+            serving_enabled=True,
+            serving_max_concurrent=PR6_SLOTS,
+            serving_queue_depth=2,
+            serving_queue_timeout_s=0.05,
+            serving_default_deadline_s=30.0,
+        )
+    if mode == "governed_chaos":
+        from repro.faults import serving_chaos_profile
+
+        options["faults"] = serving_chaos_profile(seed=seed, max_fires_per_site=8)
+        options["task_max_retries"] = 2
+        options["retry_backoff_s"] = 0.001
+    session = Session(
+        Config(
+            executor_threads=2,
+            shuffle_partitions=4,
+            default_parallelism=2,
+            batch_size_bytes=64 * 1024,
+            **options,
+        )
+    )
+    enable_indexing(session)
+    return session
+
+
+def _percentile(sorted_ms: list[float], q: float) -> float | None:
+    if not sorted_ms:
+        return None
+    at = min(len(sorted_ms) - 1, int(round(q * (len(sorted_ms) - 1))))
+    return round(sorted_ms[at], 3)
+
+
+def _run_serving_mode(mode: str, rows: list[tuple], ops: int, seed: int) -> dict:
+    """One closed-loop run: PR6_WORKERS threads, ``ops`` queries each,
+    plus a concurrent appender. Returns latency percentiles over the
+    completed queries and the full typed-outcome mix."""
+    import threading
+
+    from repro.errors import (
+        QueryCancelledError,
+        QueryRejectedError,
+        ReproError,
+    )
+
+    session = make_serving_bench_session(mode, seed)
+    n = len(rows)
+    try:
+        df = session.create_dataframe(rows, SCHEMA, validate=False).cache()
+        indexed = create_index(df, "id")
+        session.create_or_replace_temp_view("t", indexed.to_df())
+
+        lock = threading.Lock()
+        latencies: list[float] = []
+        shed_ms: list[float] = []
+        outcomes = {
+            "completed": 0,
+            "rejected": 0,
+            "cancelled": 0,
+            "failed": 0,
+            "untyped": 0,
+            "appender_untyped": 0,
+        }
+        stop_appender = threading.Event()
+
+        def query_text(worker_id: int, i: int) -> str:
+            kind = (worker_id + i) % 3
+            if kind == 0:
+                key = (worker_id * 131 + i * 17) % n
+                return f"SELECT id, name FROM t WHERE id = {key}"
+            if kind == 1:
+                return "SELECT city, count(*) AS c FROM t GROUP BY city"
+            return "SELECT count(*) AS c FROM t WHERE score > 0.5"
+
+        def work(worker_id: int) -> None:
+            for i in range(ops):
+                text = query_text(worker_id, i)
+                start = time.perf_counter()
+                try:
+                    if mode == "static":
+                        session.sql(text).collect()
+                    else:
+                        session.serve(text, tenant=f"t{worker_id % 2}")
+                    elapsed = (time.perf_counter() - start) * 1000.0
+                    with lock:
+                        outcomes["completed"] += 1
+                        latencies.append(elapsed)
+                except QueryRejectedError:
+                    elapsed = (time.perf_counter() - start) * 1000.0
+                    with lock:
+                        outcomes["rejected"] += 1
+                        shed_ms.append(elapsed)
+                except QueryCancelledError:
+                    with lock:
+                        outcomes["cancelled"] += 1
+                except ReproError:
+                    with lock:
+                        outcomes["failed"] += 1
+                except BaseException:  # noqa: BLE001 - the check criterion
+                    with lock:
+                        outcomes["untyped"] += 1
+
+        def append_loop() -> None:
+            # The paper's scenario: micro-batch updates racing the
+            # queries. Typed failures are fine (chaos mode crashes
+            # tasks); untyped ones count against the run.
+            live = indexed
+            batch_no = 0
+            while not stop_appender.is_set():
+                batch = [
+                    (n + batch_no * 20 + i, 0.5, 30, f"new_{batch_no}_{i}", "ghent")
+                    for i in range(20)
+                ]
+                try:
+                    live = live.append_rows(batch)
+                except (ReproError, QueryCancelledError):
+                    pass
+                except BaseException:  # noqa: BLE001
+                    with lock:
+                        outcomes["appender_untyped"] += 1
+                batch_no += 1
+
+        threads = [
+            threading.Thread(target=work, args=(w,)) for w in range(PR6_WORKERS)
+        ]
+        appender = threading.Thread(target=append_loop)
+        start = time.perf_counter()
+        appender.start()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300.0)
+        stop_appender.set()
+        appender.join(timeout=60.0)
+        wall_s = time.perf_counter() - start
+
+        hung = sum(t.is_alive() for t in threads) + appender.is_alive()
+        latencies.sort()
+        shed_ms.sort()
+        entry = {
+            "workers": PR6_WORKERS,
+            "ops_per_worker": ops,
+            "wall_s": round(wall_s, 3),
+            "qps": (
+                round(outcomes["completed"] / wall_s, 2) if wall_s > 0 else None
+            ),
+            "p50_ms": _percentile(latencies, 0.50),
+            "p99_ms": _percentile(latencies, 0.99),
+            "max_ms": _percentile(latencies, 1.0),
+            "shed_p99_ms": _percentile(shed_ms, 0.99),
+            "outcomes": outcomes,
+            "hung_threads": hung,
+        }
+        if mode != "static":
+            stats = session.serving.stats()
+            entry["drained"] = (
+                stats["admission"]["running"] == 0
+                and stats["admission"]["queued"] == 0
+                and stats["memory"]["active_queries"] == 0
+                and stats["memory"]["total_bytes"] == 0
+            )
+            entry["serving"] = stats["serving"]
+            entry["peak_queue_depth"] = stats["admission"]["peak_queue_depth"]
+            entry["breaker_states"] = {
+                site: snap["state"] for site, snap in stats["breakers"].items()
+            }
+        return entry
+    finally:
+        session.stop()
+
+
+def run_pr6(scale: float, rounds: int, seed: int) -> dict:
+    # Serving measures per-query latency under concurrency, not bulk
+    # scan throughput: a tenth of the pr2 dataset keeps each analytic
+    # query in the tens-of-milliseconds band where queueing behavior —
+    # not row decoding — dominates the percentiles.
+    n = max(800, int(BASE_ROWS * scale * 0.1))
+    ops = max(4, rounds * 2)
+    rows = make_rows(n, seed)
+
+    modes: dict[str, dict] = {}
+    for mode in ("static", "governed", "governed_chaos"):
+        modes[mode] = _run_serving_mode(mode, rows, ops, seed)
+        entry = modes[mode]
+        p50 = entry["p50_ms"] if entry["p50_ms"] is not None else float("nan")
+        p99 = entry["p99_ms"] if entry["p99_ms"] is not None else float("nan")
+        print(
+            f"{mode:16s} p50 {p50:8.2f} ms   p99 {p99:8.2f} ms   "
+            f"outcomes {entry['outcomes']}"
+        )
+
+    return {
+        "meta": {
+            "bench": "PR6 closed-loop concurrent serving under admission control",
+            "scale": scale,
+            "rows": n,
+            "workers": PR6_WORKERS,
+            "slots": PR6_SLOTS,
+            "ops_per_worker": ops,
+            "rounds": rounds,
+            "seed": seed,
+            "python": sys.version.split()[0],
+        },
+        "modes": modes,
+    }
+
+
+def check_pr6(result: dict) -> int:
+    """Nonzero when the overload-safety evidence is missing.
+
+    Latency percentiles vary with the runner, but the safety properties
+    must hold at any scale: every thread joins, every error is typed,
+    the undersized governed pool actually sheds, and the governance
+    accounting drains to zero afterwards.
+    """
+    failures = []
+    total = result["meta"]["workers"] * result["meta"]["ops_per_worker"]
+    for mode, entry in result["modes"].items():
+        if entry["hung_threads"]:
+            failures.append(f"{mode}: {entry['hung_threads']} thread(s) hung")
+        untyped = (
+            entry["outcomes"]["untyped"] + entry["outcomes"]["appender_untyped"]
+        )
+        if untyped:
+            failures.append(f"{mode}: {untyped} untyped error(s)")
+        # Conservation: every submitted query ended exactly once. The
+        # appender may add untyped errors on its own thread, so only the
+        # worker-loop buckets participate.
+        mix = sum(
+            entry["outcomes"][k]
+            for k in ("completed", "rejected", "cancelled", "failed", "untyped")
+        )
+        if mix != total:
+            failures.append(f"{mode}: outcome mix sums to {mix}, not {total}")
+    static = result["modes"]["static"]
+    if static["outcomes"]["completed"] != total:
+        failures.append(
+            "static baseline dropped queries "
+            f"(completed {static['outcomes']['completed']}/{total})"
+        )
+    governed = result["modes"]["governed"]
+    if governed["outcomes"]["rejected"] <= 0:
+        failures.append(
+            "governed mode shed nothing despite 6 workers on 2 slots"
+        )
+    for mode in ("governed", "governed_chaos"):
+        if not result["modes"][mode].get("drained", False):
+            failures.append(f"{mode}: governance accounting did not drain")
+    for failure in failures:
+        print(f"REGRESSION: {failure}", file=sys.stderr)
+    if not failures:
+        print(
+            "check ok: "
+            f"governed shed {governed['outcomes']['rejected']}/{total}, "
+            f"p99 static {static['p99_ms']} ms vs governed "
+            f"{governed['p99_ms']} ms, all outcomes typed, accounting drained"
+        )
+    return 1 if failures else 0
+
+
 #: First line of the schema section in figures.txt — run_bench refreshes
 #: everything from this marker on; the pytest bench suite (conftest.py)
 #: preserves it when rewriting the figure tables above it.
@@ -687,6 +977,62 @@ Regenerate: python benchmarks/run_bench.py --suite pr5 [--scale F]
 [--rounds N] [--seed N] [--out PATH] [--check]. --check exits nonzero
 if any recovery pass lost or duplicated rows, or the durable run wrote
 an empty WAL.
+
+==== BENCH_PR6.json schema ====
+Written by benchmarks/run_bench.py --suite pr6 to BENCH_PR6.json at
+the repo root. Six closed-loop worker threads each issue a mixed
+stream (indexed point lookup, GROUP BY analytic, filtered scan)
+against an indexed table while an appender thread races them with
+micro-batch append_rows — the paper's low-latency-queries-on-
+updatable-data scenario under deliberate overload (6 workers on a
+2-slot admission pool).
+
+{
+  "meta": {
+    "bench":          harness title,
+    "scale":          row-count multiplier (dataset = 12000 rows @ 1.0),
+    "rows":           rows in the benchmark table,
+    "workers":        closed-loop worker threads per mode,
+    "slots":          serving_max_concurrent in the governed modes,
+    "ops_per_worker": queries each worker issues (2 * --rounds),
+    "rounds":         --rounds as given,
+    "seed":           RNG seed (rows, chaos profile),
+    "python":         interpreter version
+  },
+  "modes": {
+    <mode>: {    # static          - ungoverned .sql() baseline
+                 # governed        - .serve() on the undersized pool
+                 # governed_chaos  - governed + serving chaos profile
+                 #                   (capped fire budget)
+      "workers", "ops_per_worker": as in meta,
+      "wall_s":      wall-clock for the whole closed loop,
+      "qps":         completed queries per second,
+      "p50_ms":      median latency over *completed* queries,
+      "p99_ms":      99th-percentile latency over completed queries,
+      "max_ms":      slowest completed query,
+      "shed_p99_ms": p99 latency of *rejections* (shedding must be
+                     cheap; null when nothing was shed),
+      "outcomes": {  # every worker query lands in exactly one bucket
+        "completed", "rejected", "cancelled", "failed",
+        "untyped",          # non-typed worker errors - must be 0
+        "appender_untyped"  # non-typed appender errors - must be 0
+      },
+      "hung_threads": threads still alive after the join budget,
+      # governed modes only:
+      "drained":          admission/memory accounting all zero after,
+      "serving":          ServingRuntime counter snapshot,
+      "peak_queue_depth": deepest the admission queue got,
+      "breaker_states":   site -> closed|open|half_open at the end
+    }
+  }
+}
+
+Regenerate: python benchmarks/run_bench.py --suite pr6 [--scale F]
+[--rounds N] [--seed N] [--out PATH] [--check]. --check exits nonzero
+if any thread hung, any error was untyped, the outcome mix is not
+conserved, the static baseline dropped a query, governed mode shed
+nothing despite the undersized pool, or governance accounting failed
+to drain.
 """
 )
 
@@ -772,9 +1118,11 @@ def run(scale: float, rounds: int, seed: int) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--suite", choices=("pr2", "pr3", "pr5"), default="pr2",
+    parser.add_argument("--suite", choices=("pr2", "pr3", "pr5", "pr6"),
+                        default="pr2",
                         help="pr2: codegen A/B; pr3: zone-map/adaptive A/B; "
-                             "pr5: durability overhead + cold recovery")
+                             "pr5: durability overhead + cold recovery; "
+                             "pr6: closed-loop concurrent serving")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="row-count multiplier (1.0 = %d rows)" % BASE_ROWS)
     parser.add_argument("--rounds", type=int, default=5,
@@ -792,6 +1140,8 @@ def main(argv: list[str] | None = None) -> int:
         result = run_pr3(args.scale, args.rounds, args.seed)
     elif args.suite == "pr5":
         result = run_pr5(args.scale, args.rounds, args.seed)
+    elif args.suite == "pr6":
+        result = run_pr6(args.scale, args.rounds, args.seed)
     else:
         result = run(args.scale, args.rounds, args.seed)
     out.write_text(json.dumps(result, indent=2) + "\n")
@@ -803,6 +1153,8 @@ def main(argv: list[str] | None = None) -> int:
             return check_pr3(result)
         if args.suite == "pr5":
             return check_pr5(result)
+        if args.suite == "pr6":
+            return check_pr6(result)
         speedup = result["ops"]["filter_project"]["speedup"]
         if speedup is None or speedup < 1.0:
             print(

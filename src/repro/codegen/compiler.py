@@ -606,9 +606,17 @@ def chunked(
     whole partition through the kernel.
     """
 
+    from repro.serving.context import check_cancelled
+
     def run(rows: Iterator[tuple]) -> Iterator[tuple]:
         it = iter(rows)
         while True:
+            # Cooperative cancellation poll once per chunk: a served
+            # query abandoned mid-kernel stops after the current block
+            # rather than pushing the whole partition through. One
+            # ContextVar read per chunk_rows rows — noise next to the
+            # kernel itself, and a no-op outside the serving layer.
+            check_cancelled()
             block = list(islice(it, chunk_rows))
             if not block:
                 return

@@ -30,7 +30,7 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import Any
 
-from repro.errors import CapacityError
+from repro.errors import CapacityError, ConfigError
 from repro.faults import FaultProfile
 
 #: Spellings accepted by :func:`_env_flag`. Every ``REPRO_*`` boolean
@@ -72,6 +72,12 @@ def _durability_default() -> bool:
     """Env override to switch on durable state for a whole run:
     ``REPRO_DURABILITY=1``."""
     return _env_flag("REPRO_DURABILITY")
+
+
+def _serving_default() -> bool:
+    """Env override to switch on the serving/resource-governance layer
+    for a whole run: ``REPRO_SERVING=1``."""
+    return _env_flag("REPRO_SERVING")
 
 
 #: Paper §2: row batches of 4 MB.
@@ -186,19 +192,70 @@ class Config:
     wal_checkpoint_age_s: float = 30.0
     #: Poll interval of the background checkpointer thread.
     checkpoint_poll_s: float = 0.1
+    #: Serving / resource governance: admission control, per-query
+    #: deadlines with cooperative cancellation, memory budgets, circuit
+    #: breakers, and deadline-driven degraded plans. Off by default —
+    #: with the flag off the engine never installs a query context and
+    #: behaves bit-identically to a build without the subsystem.
+    #: ``REPRO_SERVING=1`` flips the default on for a whole run.
+    serving_enabled: bool = field(default_factory=_serving_default)
+    #: Queries allowed to execute concurrently; further admissions wait
+    #: in the bounded queue.
+    serving_max_concurrent: int = 4
+    #: Queries allowed to *wait* for a slot; beyond this depth the
+    #: controller sheds load with :class:`~repro.errors.QueryRejectedError`.
+    serving_queue_depth: int = 16
+    #: Longest a query may wait in the admission queue before it is
+    #: rejected (also the basis of the retry-after hint).
+    serving_queue_timeout_s: float = 1.0
+    #: Per-tenant cap on concurrently executing queries.
+    serving_tenant_max_concurrent: int = 2
+    #: Default per-query deadline in seconds; ``None`` means unbounded
+    #: unless the caller passes one.
+    serving_default_deadline_s: float | None = None
+    #: Global memory budget charged by row-batch decode, shuffle write,
+    #: and broadcast allocations across all running queries. On breach
+    #: the governor cancels the largest query (kill-largest policy).
+    serving_memory_budget_bytes: int = 256 * 1024 * 1024
+    #: Per-query memory budget; a query exceeding it is cancelled.
+    serving_query_memory_bytes: int = 64 * 1024 * 1024
+    #: Consecutive failures at a guarded fault site before its circuit
+    #: breaker trips open (fast-fail).
+    serving_breaker_failures: int = 5
+    #: Seconds an open breaker fast-fails before letting one half-open
+    #: probe through.
+    serving_breaker_reset_s: float = 1.0
+    #: Deadline-driven degradation: when the planner's zone-map row
+    #: estimates predict the exact plan blows the remaining deadline,
+    #: fall back to a sampled scan marked ``degraded=True``. Requires
+    #: ``serving_enabled``.
+    serving_degrade_enabled: bool = True
+    #: Cost-model rate (rows/s a scan is assumed to sustain) used by
+    #: the deadline-aware degradation decision.
+    serving_scan_rows_per_s: float = 2_000_000.0
+    #: Smallest fraction of partitions a degraded scan keeps.
+    serving_min_sample_fraction: float = 0.05
     #: Seeded chaos-injection profile; ``None`` (the default) disables
     #: all fault injection.
     faults: FaultProfile | None = None
     #: Extra free-form options (namespaced strings, like Spark conf keys).
     extra: dict[str, Any] = field(default_factory=dict)
 
+    def _require(self, knob: str, ok: bool, requirement: str) -> None:
+        """One validation: a failed requirement is a loud
+        :class:`~repro.errors.ConfigError` at construction (also a
+        ``ValueError``) naming the knob and its actual value — never a
+        misbehaving engine at runtime."""
+        if not ok:
+            raise ConfigError(
+                f"{knob} must be {requirement}, got {getattr(self, knob)!r}"
+            )
+
     def __post_init__(self) -> None:
-        if self.shuffle_partitions < 1:
-            raise ValueError("shuffle_partitions must be >= 1")
-        if self.default_parallelism < 1:
-            raise ValueError("default_parallelism must be >= 1")
-        if self.executor_threads < 1:
-            raise ValueError("executor_threads must be >= 1")
+        require = self._require
+        require("shuffle_partitions", self.shuffle_partitions >= 1, ">= 1")
+        require("default_parallelism", self.default_parallelism >= 1, ">= 1")
+        require("executor_threads", self.executor_threads >= 1, ">= 1")
         if self.batch_size_bytes < 1024:
             raise CapacityError("batch_size_bytes must be at least 1 KiB")
         if self.max_row_bytes < 16:
@@ -208,28 +265,65 @@ class Config:
                 "max_row_bytes cannot exceed batch_size_bytes: "
                 f"{self.max_row_bytes} > {self.batch_size_bytes}"
             )
-        if self.task_max_retries < 0:
-            raise ValueError("task_max_retries must be >= 0")
-        if self.retry_backoff_s < 0:
-            raise ValueError("retry_backoff_s must be >= 0")
-        if self.stage_timeout_s is not None and self.stage_timeout_s <= 0:
-            raise ValueError("stage_timeout_s must be positive (or None)")
-        if self.speculation_multiplier < 1.0:
-            raise ValueError("speculation_multiplier must be >= 1")
-        if not 0.0 < self.speculation_quantile <= 1.0:
-            raise ValueError("speculation_quantile must be in (0, 1]")
-        if self.ingest_max_retries < 0:
-            raise ValueError("ingest_max_retries must be >= 0")
-        if self.ingest_backoff_s < 0:
-            raise ValueError("ingest_backoff_s must be >= 0")
-        if self.target_reduce_bytes < 1:
-            raise ValueError("target_reduce_bytes must be >= 1")
-        if self.wal_checkpoint_bytes < 1:
-            raise ValueError("wal_checkpoint_bytes must be >= 1")
-        if self.wal_checkpoint_age_s <= 0:
-            raise ValueError("wal_checkpoint_age_s must be positive")
-        if self.checkpoint_poll_s <= 0:
-            raise ValueError("checkpoint_poll_s must be positive")
+        require("task_max_retries", self.task_max_retries >= 0, ">= 0")
+        require("retry_backoff_s", self.retry_backoff_s >= 0, ">= 0")
+        require(
+            "stage_timeout_s",
+            self.stage_timeout_s is None or self.stage_timeout_s > 0,
+            "positive (or None)",
+        )
+        require(
+            "speculation_multiplier", self.speculation_multiplier >= 1.0, ">= 1"
+        )
+        require(
+            "speculation_quantile",
+            0.0 < self.speculation_quantile <= 1.0,
+            "in (0, 1]",
+        )
+        require("ingest_max_retries", self.ingest_max_retries >= 0, ">= 0")
+        require("ingest_backoff_s", self.ingest_backoff_s >= 0, ">= 0")
+        require("target_reduce_bytes", self.target_reduce_bytes >= 1, ">= 1")
+        require("wal_checkpoint_bytes", self.wal_checkpoint_bytes >= 1, ">= 1")
+        require("wal_checkpoint_age_s", self.wal_checkpoint_age_s > 0, "positive")
+        require("checkpoint_poll_s", self.checkpoint_poll_s > 0, "positive")
+        require("serving_max_concurrent", self.serving_max_concurrent >= 1, ">= 1")
+        require("serving_queue_depth", self.serving_queue_depth >= 0, ">= 0")
+        require(
+            "serving_queue_timeout_s", self.serving_queue_timeout_s > 0, "positive"
+        )
+        require(
+            "serving_tenant_max_concurrent",
+            self.serving_tenant_max_concurrent >= 1,
+            ">= 1",
+        )
+        require(
+            "serving_default_deadline_s",
+            self.serving_default_deadline_s is None
+            or self.serving_default_deadline_s > 0,
+            "positive (or None)",
+        )
+        require(
+            "serving_memory_budget_bytes",
+            self.serving_memory_budget_bytes >= 1,
+            ">= 1",
+        )
+        require(
+            "serving_query_memory_bytes", self.serving_query_memory_bytes >= 1, ">= 1"
+        )
+        require(
+            "serving_breaker_failures", self.serving_breaker_failures >= 1, ">= 1"
+        )
+        require(
+            "serving_breaker_reset_s", self.serving_breaker_reset_s > 0, "positive"
+        )
+        require(
+            "serving_scan_rows_per_s", self.serving_scan_rows_per_s > 0, "positive"
+        )
+        require(
+            "serving_min_sample_fraction",
+            0.0 < self.serving_min_sample_fraction <= 1.0,
+            "in (0, 1]",
+        )
 
     def with_options(self, **changes: Any) -> "Config":
         """Return a copy of this config with the given fields replaced."""

@@ -55,6 +55,7 @@ class IndexedScanExec(PhysicalPlan):
         self._pruned = 0
         self._routed = False
         self._batches_pruned = 0
+        self._sample_fraction: float | None = None
 
     def apply_pruning(self, condition: Expression) -> None:
         """Skip partitions and row batches the filter cannot match.
@@ -125,6 +126,33 @@ class IndexedScanExec(PhysicalPlan):
             routed=self._routed,
         )
 
+    def estimated_rows(self) -> int | None:
+        """Row estimate for deadline-aware planning, scaled by any
+        partition pruning already applied."""
+        snapshots = self.version.snapshots
+        if self._keep is None:
+            return self.version.row_count()
+        return sum(len(snapshots[i]) for i in self._keep)
+
+    def apply_sampling(self, fraction: float) -> bool:
+        """Degrade to a strided subset of the surviving partitions
+        (see ``ScanExec.apply_sampling``; same contract, composing
+        with both hash routing and zone pruning)."""
+        candidates = (
+            self._keep
+            if self._keep is not None
+            else list(range(len(self.version.snapshots)))
+        )
+        if len(candidates) <= 1:
+            return False
+        target = max(1, round(len(candidates) * fraction))
+        if target >= len(candidates):
+            return False
+        step = len(candidates) / target
+        self._keep = [candidates[int(i * step)] for i in range(target)]
+        self._sample_fraction = fraction
+        return True
+
     def execute(self) -> RDD:
         return IndexedRowBatchRDD(
             self.ctx,
@@ -138,12 +166,14 @@ class IndexedScanExec(PhysicalPlan):
         cols = "all" if self.columns is None else self.columns
         base = f"IndexedScan[version={self.version.version_id}, columns={cols}"
         markers = []
-        if self._keep is not None:
+        if self._pruned and self._keep is not None:
             total = self._pruned + len(self._keep)
             kind = "key_routed" if self._routed else "zone_pruned"
             markers.append(f"{kind}={self._pruned}/{total}")
         if self._batches_pruned:
             markers.append(f"batches_pruned={self._batches_pruned}")
+        if self._sample_fraction is not None:
+            markers.append(f"degraded=True, sample={self._sample_fraction:.3f}")
         if markers:
             return base + ", " + ", ".join(markers) + "]"
         return base + "]"
@@ -316,12 +346,24 @@ class GuardedIndexExec(PhysicalPlan):
 
     def execute(self) -> RDD:
         primary = self.children[0]
+        # Circuit breaker on the indexed path (serving mode only): once
+        # index failures trip it, skip the doomed primary attempt and go
+        # straight to the vanilla fallback until a probe closes it.
+        serving = getattr(self.ctx, "serving", None)
+        breaker = None if serving is None else serving.breaker("index.fallback")
+        if breaker is not None and not breaker.allow():
+            self.ctx.scheduler.metrics.record_index_fallback(self.label)
+            return self.fallback_factory().execute()
         try:
             rows = primary.execute().collect()
         except ReproError as exc:
             self.last_error = exc
+            if breaker is not None:
+                breaker.record_failure()
             self.ctx.scheduler.metrics.record_index_fallback(self.label)
             return self.fallback_factory().execute()
+        if breaker is not None:
+            breaker.record_success()
         parts = min(max(1, len(rows)), self.ctx.config.default_parallelism)
         return self.ctx.parallelize(rows, parts)
 

@@ -90,10 +90,14 @@ class DurableStore:
         checkpoint_bytes: int = 4 * 1024 * 1024,
         checkpoint_age_s: float = 30.0,
         poll_s: float = 0.1,
+        breaker=None,
     ):
         self.directory = Path(directory)
         self._injector = injector
         self._fsync = fsync
+        # Optional "wal.fsync" CircuitBreaker (serving mode): handed to
+        # every WAL writer this store opens.
+        self._breaker = breaker
         self._checkpoint_bytes = checkpoint_bytes
         self._checkpoint_age_s = checkpoint_age_s
         self._poll_s = poll_s
@@ -218,13 +222,19 @@ class DurableStore:
             self._writers = []
             for i, partition in enumerate(self._partitions):
                 writer = WALWriter(
-                    self.wal_path(epoch, i), self._injector, self._fsync
+                    self.wal_path(epoch, i),
+                    self._injector,
+                    self._fsync,
+                    breaker=self._breaker,
                 )
                 self._writers.append(writer)
                 partition.attach_wal(writer)
             with self._meta_lock:
                 self._meta_wal = WALWriter(
-                    self.meta_wal_path(epoch), self._injector, self._fsync
+                    self.meta_wal_path(epoch),
+                    self._injector,
+                    self._fsync,
+                    breaker=self._breaker,
                 )
             self._next_epoch = epoch + 1
             self._last_checkpoint = time.monotonic()
@@ -319,7 +329,10 @@ class DurableStore:
             writers = []
             for i, partition in enumerate(self._partitions):
                 writer = WALWriter(
-                    self.wal_path(epoch, i), self._injector, self._fsync
+                    self.wal_path(epoch, i),
+                    self._injector,
+                    self._fsync,
+                    breaker=self._breaker,
                 )
                 writers.append(writer)
                 states.append(partition.rotate_wal(writer))
@@ -327,7 +340,10 @@ class DurableStore:
             with self._meta_lock:
                 old_meta = self._meta_wal
                 self._meta_wal = WALWriter(
-                    self.meta_wal_path(epoch), self._injector, self._fsync
+                    self.meta_wal_path(epoch),
+                    self._injector,
+                    self._fsync,
+                    breaker=self._breaker,
                 )
             if old_meta is not None:
                 old_meta.close()

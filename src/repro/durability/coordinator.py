@@ -66,6 +66,11 @@ class DurabilityCoordinator:
             found = self._stores.get(name)
             if found is None:
                 config = self.session.config
+                # Serving mode guards fsync with the "wal.fsync"
+                # breaker; the session attribute is created lazily so
+                # read it here, at store-construction time.
+                serving = getattr(self.session, "serving", None)
+                breaker = None if serving is None else serving.breaker("wal.fsync")
                 found = DurableStore(
                     self.root / name,
                     injector=self._injector,
@@ -73,6 +78,7 @@ class DurabilityCoordinator:
                     checkpoint_bytes=config.wal_checkpoint_bytes,
                     checkpoint_age_s=config.wal_checkpoint_age_s,
                     poll_s=config.checkpoint_poll_s,
+                    breaker=breaker,
                 )
                 self._stores[name] = found
             return found

@@ -72,10 +72,15 @@ class WALWriter:
         path: Path | str,
         injector: FaultInjector = NULL_INJECTOR,
         fsync: bool = True,
+        breaker=None,
     ):
         self.path = Path(path)
         self._injector = injector
         self._fsync = fsync
+        # Optional serving-layer CircuitBreaker for the "wal.fsync"
+        # site: persistent write/fsync failures trip it so callers
+        # fast-fail instead of hammering a dead disk on every append.
+        self._breaker = breaker
         self._lock = threading.Lock()
         self._fh = open(self.path, "ab")  # guarded-by: _lock
         self._size = self.path.stat().st_size  # guarded-by: _lock
@@ -102,6 +107,8 @@ class WALWriter:
         self._append(encode_record(RT_OFFSETS, encode_offsets(group, topic, offsets)))
 
     def _append(self, data: bytes) -> None:
+        if self._breaker is not None:
+            self._breaker.guard()
         with self._lock:
             start = self._size
             try:
@@ -116,8 +123,12 @@ class WALWriter:
                     self._fh.seek(0, os.SEEK_END)
                 except OSError:  # pragma: no cover - undo is best-effort
                     pass
+                if self._breaker is not None:
+                    self._breaker.record_failure()
                 raise
             self._size = start + len(data)
+        if self._breaker is not None:
+            self._breaker.record_success()
 
     def size_bytes(self) -> int:
         with self._lock:

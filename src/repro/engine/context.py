@@ -16,8 +16,10 @@ from repro.engine.broadcast import Broadcast
 from repro.engine.cache import BlockManager
 from repro.engine.rdd import RDD, ParallelCollectionRDD
 from repro.engine.scheduler import DAGScheduler
+from repro.engine.cache import estimate_size
 from repro.engine.shuffle import ShuffleManager
 from repro.faults import FaultInjector
+from repro.serving.context import current_query
 from repro.stats import PruningMetrics
 
 T = TypeVar("T")
@@ -53,6 +55,9 @@ class EngineContext:
         # Zone-map / partition-pruning counters, bumped by scan
         # operators at plan time (tests and EXPLAIN read them back).
         self.pruning_metrics = PruningMetrics()
+        # Set by the ServingRuntime when resource governance is enabled
+        # (GuardedIndexExec and friends read breakers through it).
+        self.serving = None
         self._stopped = False
 
     # ------------------------------------------------------------------
@@ -69,6 +74,9 @@ class EngineContext:
 
     def broadcast(self, value: T) -> Broadcast[T]:
         """Share a read-only value with every task."""
+        query = current_query()
+        if query is not None and query.governor is not None:
+            query.governor.charge(query, estimate_size(value))
         return Broadcast(value)
 
     def long_accumulator(self, name: str | None = None) -> Accumulator[int]:

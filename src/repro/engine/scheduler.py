@@ -51,17 +51,21 @@ from repro.config import Config
 from repro.engine.rdd import RDD, ShuffleDependencyEdge
 from repro.engine.shuffle import ShuffleDependency, ShuffleManager
 from repro.errors import (
+    CircuitOpenError,
     DurabilityError,
     FetchFailedError,
     InjectedFault,
+    QueryCancelledError,
     RetryExhaustedError,
     StageTimeoutError,
     TaskError,
 )
 from repro.faults import NULL_INJECTOR, FaultInjector
+from repro.serving.context import QueryContext, activate, current_query, deactivate
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.context import EngineContext
+    from repro.serving.runtime import ServingRuntime
 
 #: Upper bound on one retry backoff sleep.
 _MAX_BACKOFF_S = 1.0
@@ -111,6 +115,56 @@ def _find_fetch_failure(exc: BaseException | None) -> FetchFailedError | None:
         exc = getattr(exc, "cause", None) or exc.__cause__
         depth += 1
     return None
+
+
+def _find_cancellation(exc: BaseException | None) -> QueryCancelledError | None:
+    """A cooperative cancellation buried in a task-failure chain.
+
+    A :class:`QueryCancelledError` raised inside a task gets wrapped in
+    :class:`TaskError` like any other failure; it must be unwrapped and
+    re-raised — never retried — so the whole job unwinds and releases
+    its slots (the entire point of cancellation).
+    """
+    depth = 0
+    while exc is not None and depth < 16:
+        if isinstance(exc, QueryCancelledError):
+            return exc
+        exc = getattr(exc, "cause", None) or exc.__cause__
+        depth += 1
+    return None
+
+
+class _StageClock:
+    """Per-stage deadline, and the **single** place ``stage_timeouts``
+    is bumped.
+
+    The old code bumped the counter at both the inline and the pooled
+    check site, so one expiry observed on both paths (a pooled stage
+    unwinding through a nested inline recomputation) double-counted.
+    The once-flag makes the metric mean what it says: one expired stage,
+    one count — however many frames re-observe the expiry.
+    """
+
+    __slots__ = ("stage_id", "deadline", "timeout_s", "_metrics", "_counted")
+
+    def __init__(
+        self,
+        stage_id: int,
+        timeout_s: float | None,
+        metrics: "SchedulerMetrics",
+    ):
+        self.stage_id = stage_id
+        self.timeout_s = timeout_s
+        self.deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        self._metrics = metrics
+        self._counted = False
+
+    def check(self) -> None:
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            if not self._counted:
+                self._counted = True
+                self._metrics.bump("stage_timeouts")
+            raise StageTimeoutError(self.stage_id, self.timeout_s or 0.0)
 
 
 # Fetch failures draw on their own retry budget, task_max_retries times
@@ -226,6 +280,9 @@ class DAGScheduler:
         # when a fetch failure demands recomputation (one job at a time).
         self._lineage: dict[int, ShuffleDependency] = {}  # guarded-by: _job_lock
         self.metrics = SchedulerMetrics()
+        # Set by the serving runtime when resource governance is on;
+        # None keeps every serving hook a single attribute check.
+        self.serving: "ServingRuntime | None" = None
 
     # ------------------------------------------------------------------
 
@@ -238,37 +295,83 @@ class DAGScheduler:
         """Run ``func`` over the given partitions of ``rdd``; returns the
         per-partition results in partition order."""
         job = JobMetrics(job_id=next(DAGScheduler._job_ids))
-        with self._job_lock:
-            missing, lineage, readers, index_sensitive = self._collect_shuffles(rdd)
-            self._lineage = lineage
-            # Coalescing renumbers reduce partitions, so it is only
-            # attempted when (a) adaptivity is on, (b) the caller asked
-            # for *all* partitions (explicit indices, e.g. take(), were
-            # chosen against the planned count), and (c) nothing in the
-            # job graph depends on partition identity.
-            coalesce = (
-                self._config.adaptive_enabled
-                and partitions is None
-                and not index_sensitive
-            )
-            try:
-                for dep in missing:
-                    self._run_map_stage(dep, job)
-                    if coalesce:
-                        # Map-output sizes are now recorded: shrink tiny
-                        # adjacent reduce buckets before anything reads
-                        # them (the next map stage or the result stage).
-                        for reader in readers.get(dep.shuffle_id, ()):
-                            self._maybe_coalesce(dep, reader)
-                if partitions is None:
-                    # Resolved only now: coalescing may have shrunk the
-                    # target RDD's partition count.
-                    partitions = range(rdd.num_partitions)
-                results = self._run_result_stage(rdd, func, partitions, job)
-            finally:
-                self._lineage = {}
+        query = current_query()
+        # Polling acquire (deadline-aware for served queries), then a
+        # reentrant with-block so the lock discipline stays textual.
+        self._acquire_job_lock(query)
+        try:
+            with self._job_lock:
+                results = self._run_job_locked(rdd, func, partitions, job, query)
+        finally:
+            self._job_lock.release()
         self.metrics.record_job(job)
         return results
+
+    def _run_job_locked(  # requires-lock: _job_lock
+        self,
+        rdd: RDD,
+        func: Callable[[Iterator[Any]], Any],
+        partitions: Sequence[int] | None,
+        job: JobMetrics,
+        query: QueryContext | None,
+    ) -> list[Any]:
+        missing, lineage, readers, index_sensitive = self._collect_shuffles(rdd)
+        self._lineage = lineage
+        # Coalescing renumbers reduce partitions, so it is only
+        # attempted when (a) adaptivity is on, (b) the caller asked
+        # for *all* partitions (explicit indices, e.g. take(), were
+        # chosen against the planned count), and (c) nothing in the
+        # job graph depends on partition identity.
+        coalesce = (
+            self._config.adaptive_enabled
+            and partitions is None
+            and not index_sensitive
+        )
+        try:
+            for dep in missing:
+                if query is not None:
+                    query.check()
+                self._run_map_stage(dep, job)
+                if coalesce:
+                    # Map-output sizes are now recorded: shrink tiny
+                    # adjacent reduce buckets before anything reads
+                    # them (the next map stage or the result stage).
+                    for reader in readers.get(dep.shuffle_id, ()):
+                        self._maybe_coalesce(dep, reader)
+            if partitions is None:
+                # Resolved only now: coalescing may have shrunk the
+                # target RDD's partition count.
+                partitions = range(rdd.num_partitions)
+            return self._run_result_stage(rdd, func, partitions, job)
+        except QueryCancelledError:
+            # A cancelled job must not leave half-written shuffle
+            # state behind: a later run would see the shuffle as
+            # registered-but-incomplete and fetch into lineage
+            # recomputation against stale partial outputs. Complete
+            # shuffles are durable job results and stay reusable.
+            self._drop_incomplete_shuffles(lineage)
+            raise
+        finally:
+            self._lineage = {}
+
+    def _acquire_job_lock(self, query: QueryContext | None) -> None:
+        """Take the whole-job lock; a served query polls its deadline /
+        cancellation token while queued behind other jobs instead of
+        blocking indefinitely."""
+        if query is None:
+            self._job_lock.acquire()
+            return
+        while not self._job_lock.acquire(timeout=_DRIVER_TICK_S):
+            query.check()
+
+    def _drop_incomplete_shuffles(
+        self, lineage: dict[int, ShuffleDependency]
+    ) -> None:
+        # Caller holds _job_lock (acquired explicitly in run_job, so a
+        # textual with-block annotation cannot express it).
+        for shuffle_id in lineage:
+            if not self._shuffles.is_complete(shuffle_id):
+                self._shuffles.remove_shuffle(shuffle_id)
 
     def _maybe_coalesce(self, dep: ShuffleDependency, reader: "Any") -> None:
         """Merge adjacent small reduce buckets of one completed shuffle."""
@@ -375,7 +478,9 @@ class DAGScheduler:
                 injector.maybe_fail("task")
                 records = parent.iterator(map_index)
                 self._shuffles.write_map_output(dep, map_index, records)
-            except TaskError:
+            except (TaskError, QueryCancelledError):
+                # Cancellation is not a task failure: it propagates
+                # untouched so the failure policy re-raises it verbatim.
                 raise
             except Exception as exc:  # noqa: BLE001 - wrap any task failure
                 raise TaskError(stage_id, map_index, exc) from exc
@@ -400,7 +505,7 @@ class DAGScheduler:
                 injector.maybe_delay("task.slow")
                 injector.maybe_fail("task")
                 return func(rdd.iterator(split))
-            except TaskError:
+            except (TaskError, QueryCancelledError):
                 raise
             except Exception as exc:  # noqa: BLE001 - wrap any task failure
                 raise TaskError(stage_id, split, exc) from exc
@@ -421,17 +526,13 @@ class DAGScheduler:
         splits = list(splits)
         if not splits:
             return []
-        deadline = (
-            time.monotonic() + self._config.stage_timeout_s
-            if self._config.stage_timeout_s is not None
-            else None
-        )
+        clock = _StageClock(stage_id, self._config.stage_timeout_s, self.metrics)
         if len(splits) == 1:
             # Inline fast path: deterministic single-task stages never
             # touch the pool (and never deadlock a saturated pool during
             # nested recomputation).
-            return [self._run_task_inline(task, splits[0], job, stage_id, deadline)]
-        return self._run_stage_pooled(task, splits, job, stage_id, deadline)
+            return [self._run_task_inline(task, splits[0], job, stage_id, clock)]
+        return self._run_stage_pooled(task, splits, job, stage_id, clock)
 
     def _run_task_inline(
         self,
@@ -439,13 +540,14 @@ class DAGScheduler:
         split: int,
         job: JobMetrics,
         stage_id: int,
-        deadline: float | None,
+        clock: _StageClock,
     ) -> Any:
         failures = _TaskFailures()
+        query = current_query()
         while True:
-            if deadline is not None and time.monotonic() > deadline:
-                self.metrics.bump("stage_timeouts")
-                raise StageTimeoutError(stage_id, self._config.stage_timeout_s or 0.0)
+            clock.check()
+            if query is not None:
+                query.check()
             try:
                 return task(split)
             except BaseException as exc:  # noqa: BLE001 - central retry policy
@@ -460,7 +562,7 @@ class DAGScheduler:
         splits: list[int],
         job: JobMetrics,
         stage_id: int,
-        deadline: float | None,
+        clock: _StageClock,
     ) -> list[Any]:
         cfg = self._config
         abort = threading.Event()
@@ -469,13 +571,24 @@ class DAGScheduler:
         speculated: set[int] = set()
         durations: list[float] = []
         inflight: dict[Future, tuple[int, bool, float]] = {}
+        # Pool threads do not inherit the driver's contextvars: capture
+        # the served query here and re-activate it around each attempt
+        # so in-task poll sites (shuffle drain, codegen chunks) see it.
+        query = current_query()
 
         def attempt(split: int, delay: float) -> Any:
             if delay:
                 time.sleep(delay)
             if abort.is_set():
                 raise _StageAborted()
-            return task(split)
+            if query is None:
+                return task(split)
+            token = activate(query)
+            try:
+                query.check()
+                return task(split)
+            finally:
+                deactivate(token)
 
         def submit(split: int, delay: float = 0.0, speculative: bool = False) -> None:
             fut = self._pool.submit(attempt, split, delay)
@@ -486,9 +599,9 @@ class DAGScheduler:
 
         try:
             while len(results) < len(splits):
-                if deadline is not None and time.monotonic() > deadline:
-                    self.metrics.bump("stage_timeouts")
-                    raise StageTimeoutError(stage_id, cfg.stage_timeout_s or 0.0)
+                clock.check()
+                if query is not None:
+                    query.check()
                 done, _ = wait(
                     list(inflight), timeout=_DRIVER_TICK_S, return_when=FIRST_COMPLETED
                 )
@@ -575,11 +688,33 @@ class DAGScheduler:
         coalesced) shuffle buckets must not burn its crash budget on
         losses it did not cause.
         """
+        cancelled = _find_cancellation(exc)
+        if cancelled is not None:
+            # Not a failure to retry around: surface the cancellation
+            # itself so the job unwinds and releases its slots.
+            raise cancelled
         self.metrics.bump("task_failures")
         fetch = _find_fetch_failure(exc)
         if fetch is not None:
             self.metrics.bump("fetch_failures")
+            breaker = None if self.serving is None else self.serving.breaker(
+                "shuffle.fetch"
+            )
+            if breaker is not None:
+                breaker.record_failure()
+                if not breaker.allow():
+                    # Persistent fetch failure: fast-fail instead of
+                    # burning the fetch retry budget on a dead shuffle.
+                    raise RetryExhaustedError(
+                        f"stage {stage_id}, partition {split}",
+                        failures.attempts + 1,
+                        CircuitOpenError("shuffle.fetch", breaker.retry_after()),
+                    ) from exc
             self._recover_lost_shuffle(fetch, job)
+            if breaker is not None:
+                # Lineage recomputation is the repair for a lost fetch;
+                # reaching here means the recompute succeeded.
+                breaker.record_success()
         transient = _find_transient(exc)
         if transient is None and not self._config.retry_all_errors:
             raise exc

@@ -25,6 +25,7 @@ from repro.engine.cache import estimate_size
 from repro.engine.partitioner import Partitioner
 from repro.errors import EngineError, FetchFailedError
 from repro.faults import NULL_INJECTOR, FaultInjector
+from repro.serving.context import check_cancelled, current_query
 
 
 @dataclass
@@ -152,6 +153,12 @@ class ShuffleManager:
             for key, value in records:
                 appends[partition_of(key)]((key, value))
         sizes = [_bucket_size(bucket) for bucket in buckets]
+        query = current_query()
+        if query is not None and query.governor is not None:
+            # Charge the shuffle write against the serving memory
+            # budgets before the buckets become reachable: a kill
+            # decision then unwinds before the state is registered.
+            query.governor.charge(query, sum(est for _rows, est in sizes))
         with self._lock:
             state = self._shuffles.get(dep.shuffle_id)
             if state is None:
@@ -193,6 +200,10 @@ class ShuffleManager:
 
         def drain() -> Iterator[tuple[Any, Any]]:
             for bucket in outputs:
+                # Cooperative cancellation poll once per map bucket: a
+                # cancelled query stops fetching instead of draining
+                # every remaining bucket through the reduce task.
+                check_cancelled()
                 yield from bucket
 
         return drain()

@@ -97,6 +97,77 @@ class StageTimeoutError(EngineError):
         )
 
 
+class ConfigError(ReproError, ValueError):
+    """A configuration value is invalid.
+
+    Raised by :class:`~repro.config.Config` at construction so a bad
+    knob (negative deadline, zero budget) fails loudly before any query
+    runs, never as mysterious runtime behavior. Also a
+    :class:`ValueError` so callers validating config generically keep
+    working.
+    """
+
+
+class ServingError(ReproError):
+    """Error in the serving / resource-governance layer."""
+
+
+class QueryRejectedError(ServingError):
+    """Admission control shed this query before it ran.
+
+    **Retryable**: the engine was overloaded (queue full, concurrency or
+    memory budget exhausted) at submission time. ``retry_after_s`` is
+    the controller's backoff hint; nothing about the query itself is
+    wrong.
+    """
+
+    def __init__(self, reason: str, retry_after_s: float, tenant: str | None = None):
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+        self.tenant = tenant
+        where = f" (tenant {tenant!r})" if tenant else ""
+        super().__init__(
+            f"query rejected{where}: {reason}; retry after {retry_after_s:.3f}s"
+        )
+
+
+class QueryCancelledError(Exception):
+    """A query's cooperative cancellation token fired mid-execution.
+
+    ``reason`` names why: ``"deadline"`` (the per-query deadline
+    expired — retryable with a larger deadline), ``"memory"`` (the
+    memory governor killed the largest query on budget breach —
+    retryable once load drains), ``"user"``/``"shutdown"``, or an
+    injected-chaos reason. **Fail-stop for this attempt**: the query
+    released its pool slots and produced no result.
+
+    Deliberately **not** a :class:`ReproError` (the
+    :class:`SanitizerError` reasoning): task retry, index fallback, and
+    ingestion supervision absorb library errors by design, but a
+    cancelled query must *stop* — re-executing it through a fallback
+    path would keep draining exactly the resources cancellation exists
+    to release. Only the serving front end catches it.
+    """
+
+    def __init__(self, query_id: str, reason: str):
+        self.query_id = query_id
+        self.reason = reason
+        super().__init__(f"query {query_id} cancelled: {reason}")
+
+
+class CircuitOpenError(ServingError):
+    """A circuit breaker is open: the guarded fault site failed
+    persistently and calls now fail fast instead of burning retries.
+    Retryable after the breaker's reset window (half-open probe)."""
+
+    def __init__(self, site: str, retry_after_s: float):
+        self.site = site
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            f"circuit {site!r} open; fast-failing, probe in {retry_after_s:.3f}s"
+        )
+
+
 class AnalysisError(ReproError):
     """The SQL analyzer could not resolve or type-check a query."""
 

@@ -13,6 +13,7 @@ from repro.faults.injector import (
     FaultProfile,
     chaos_profile,
     durability_chaos_profile,
+    serving_chaos_profile,
 )
 
 __all__ = [
@@ -20,6 +21,7 @@ __all__ = [
     "FaultProfile",
     "chaos_profile",
     "durability_chaos_profile",
+    "serving_chaos_profile",
     "NULL_INJECTOR",
     "SITES",
 ]

@@ -54,6 +54,10 @@ SITES = (
     "crash.post_wal",
     "crash.mid_checkpoint",
     "crash.post_checkpoint",
+    # serving / resource-governance layer
+    "serving.admit",
+    "serving.cancel",
+    "serving.breaker_probe",
 )
 
 
@@ -97,6 +101,13 @@ class FaultProfile:
     crash_mid_checkpoint_p: float = 0.0
     #: P(process dies after checkpoint commit, before WAL cleanup).
     crash_post_checkpoint_p: float = 0.0
+    #: P(admission sheds a query spuriously — converted by the
+    #: controller into a :class:`~repro.errors.QueryRejectedError`).
+    serving_admit_p: float = 0.0
+    #: P(an admitted query is cancelled right after its slot grant).
+    serving_cancel_p: float = 0.0
+    #: P(a half-open circuit-breaker probe fails before running).
+    serving_breaker_probe_p: float = 0.0
     #: Cap on fires per site; ``None`` means unbounded. With a
     #: probability of 1.0 this gives "fail exactly N times" semantics.
     max_fires_per_site: int | None = None
@@ -116,6 +127,9 @@ class FaultProfile:
             "crash_post_wal_p",
             "crash_mid_checkpoint_p",
             "crash_post_checkpoint_p",
+            "serving_admit_p",
+            "serving_cancel_p",
+            "serving_breaker_probe_p",
         ):
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
@@ -140,6 +154,9 @@ class FaultProfile:
             "crash.post_wal": self.crash_post_wal_p,
             "crash.mid_checkpoint": self.crash_mid_checkpoint_p,
             "crash.post_checkpoint": self.crash_post_checkpoint_p,
+            "serving.admit": self.serving_admit_p,
+            "serving.cancel": self.serving_cancel_p,
+            "serving.breaker_probe": self.serving_breaker_probe_p,
         }.get(site, 0.0)
 
 
@@ -173,6 +190,28 @@ def durability_chaos_profile(
         crash_post_wal_p=0.15,
         crash_mid_checkpoint_p=0.3,
         crash_post_checkpoint_p=0.3,
+        max_fires_per_site=max_fires_per_site,
+    )
+
+
+def serving_chaos_profile(
+    seed: int = 1337, max_fires_per_site: int | None = None
+) -> FaultProfile:
+    """The overload chaos mix for the serving layer: spurious admission
+    sheds, post-grant cancellations, failed breaker probes, plus the
+    engine faults (task crashes, shuffle loss, index-probe failures)
+    that drive breakers through their trip → half-open → close cycle.
+    Probabilities are moderate so a closed-loop run sees *every* error
+    class — rejections, cancellations, fallbacks — without starving the
+    success path the latency assertions need."""
+    return FaultProfile(
+        seed=seed,
+        task_crash_p=0.05,
+        shuffle_loss_p=0.05,
+        index_probe_p=0.05,
+        serving_admit_p=0.1,
+        serving_cancel_p=0.1,
+        serving_breaker_probe_p=0.3,
         max_fires_per_site=max_fires_per_site,
     )
 

@@ -1,0 +1,152 @@
+"""Circuit breakers: fast-fail persistent fault sites, then probe.
+
+A breaker guards one named fault site (``"shuffle.fetch"``,
+``"index.fallback"``, ``"wal.fsync"``). The classic three-state
+machine:
+
+* **CLOSED** — healthy. Calls pass; consecutive failures are counted
+  and ``serving_breaker_failures`` of them trip the breaker.
+* **OPEN** — persistent failure. Calls fail fast (no retries burned,
+  no pool slots drained) for ``serving_breaker_reset_s``.
+* **HALF_OPEN** — the reset window elapsed; exactly one *probe* call is
+  let through. Success closes the breaker, failure reopens it for
+  another window.
+
+The ``serving.breaker_probe`` chaos site makes probes themselves
+injectable: a fired draw counts the granted probe as an immediate
+failure, forcing the OPEN → HALF_OPEN → OPEN loop tests exercise.
+
+Callers use the pair ``allow()`` / ``record_success()`` /
+``record_failure()``, or :meth:`guard` to raise a typed
+:class:`~repro.errors.CircuitOpenError` carrying the retry-after hint.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import CircuitOpenError
+from repro.faults import NULL_INJECTOR, FaultInjector
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Three-state breaker for one fault site. Thread-safe."""
+
+    def __init__(
+        self,
+        site: str,
+        failure_threshold: int,
+        reset_s: float,
+        injector: FaultInjector | None = None,
+        clock=time.monotonic,
+    ):
+        self.site = site
+        self._threshold = failure_threshold
+        self._reset_s = reset_s
+        self._injector = injector or NULL_INJECTOR
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED  # guarded-by: _lock
+        self._failures = 0  # guarded-by: _lock
+        self._opened_at = 0.0  # guarded-by: _lock
+        self._probe_at = 0.0  # guarded-by: _lock
+        # -- counters surfaced by snapshot() --
+        self.trips = 0  # guarded-by: _lock
+        self.fast_fails = 0  # guarded-by: _lock
+        self.probes = 0  # guarded-by: _lock
+        self.probes_failed = 0  # guarded-by: _lock
+
+    # ------------------------------------------------------------------
+
+    def _reopen(self, now: float) -> None:  # requires-lock: _lock
+        self._state = OPEN
+        self._opened_at = now
+        self._failures = 0
+
+    def allow(self) -> bool:
+        """May this call proceed? False means fail fast."""
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            now = self._clock()
+            if self._state == OPEN:
+                if now - self._opened_at < self._reset_s:
+                    self.fast_fails += 1
+                    return False
+                self._state = HALF_OPEN
+                self._probe_at = now
+            elif now - self._probe_at >= self._reset_s:
+                # A probe was granted but its outcome never recorded
+                # (caller died): don't stay stuck — grant another.
+                self._probe_at = now
+            else:
+                self.fast_fails += 1
+                return False
+            # HALF_OPEN with the probe slot ours.
+            self.probes += 1
+            if self._injector.should_fire("serving.breaker_probe"):
+                # Injected probe failure: the probe is consumed and
+                # fails before the caller even runs it.
+                self.probes_failed += 1
+                self._reopen(now)
+                return False
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            if self._state != CLOSED:
+                self._state = CLOSED
+
+    def record_failure(self) -> None:
+        with self._lock:
+            now = self._clock()
+            if self._state == HALF_OPEN:
+                self.probes_failed += 1
+                self._reopen(now)
+                return
+            if self._state == OPEN:
+                return
+            self._failures += 1
+            if self._failures >= self._threshold:
+                self.trips += 1
+                self._reopen(now)
+
+    # ------------------------------------------------------------------
+
+    def retry_after(self) -> float:
+        """Seconds until the next probe opportunity (0 when closed)."""
+        with self._lock:
+            if self._state == CLOSED:
+                return 0.0
+            reference = self._opened_at if self._state == OPEN else self._probe_at
+            return max(0.0, reference + self._reset_s - self._clock())
+
+    def guard(self) -> None:
+        """Raise :class:`CircuitOpenError` unless the call may proceed."""
+        if not self.allow():
+            raise CircuitOpenError(self.site, self.retry_after())
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def snapshot(self) -> dict[str, int | str]:
+        with self._lock:
+            return {
+                "state": self._state,
+                "failures": self._failures,
+                "trips": self.trips,
+                "fast_fails": self.fast_fails,
+                "probes": self.probes,
+                "probes_failed": self.probes_failed,
+            }
+
+    def __repr__(self) -> str:
+        return f"CircuitBreaker({self.site!r}, state={self.state})"

@@ -89,6 +89,14 @@ class Session:
             from repro.durability import DurabilityCoordinator
 
             self.durability = DurabilityCoordinator(self)
+        # Serving layer (admission control, deadlines, memory budgets,
+        # circuit breakers). Same lazy pattern: with the flag off the
+        # session carries none of the governance machinery.
+        self.serving = None
+        if self.config.serving_enabled:
+            from repro.serving import ServingRuntime
+
+            self.serving = ServingRuntime(self)
         self._rebuild_pipeline()
 
     def _rebuild_pipeline(self) -> None:
@@ -282,7 +290,36 @@ class Session:
     # Lifecycle
     # ------------------------------------------------------------------
 
+    def serve(
+        self,
+        text: str,
+        *,
+        tenant: str = "default",
+        deadline_s: float | None = None,
+        priority: int = 0,
+    ) -> "Any":
+        """Run a SQL query through the serving layer.
+
+        Unlike :meth:`sql` (which returns a lazy DataFrame), this
+        admits the query through the admission controller, executes it
+        under its deadline/memory budgets, and returns a
+        :class:`~repro.serving.ServingResult` with the collected rows.
+        Raises :class:`~repro.errors.QueryRejectedError` under
+        overload and :class:`~repro.errors.QueryCancelledError` when
+        the deadline or a memory kill fires.
+        """
+        if self.serving is None:
+            raise AnalysisError(
+                "serving is disabled; construct the Session with "
+                "Config(serving_enabled=True) or set REPRO_SERVING=1"
+            )
+        return self.serving.execute(
+            text, tenant=tenant, deadline_s=deadline_s, priority=priority
+        )
+
     def stop(self) -> None:
+        if self.serving is not None:
+            self.serving.cancel_all("session stopped")
         if self.durability is not None:
             self.durability.close()
         self.ctx.stop()

@@ -96,3 +96,46 @@ class TestParallelism:
         ctx.stop()
         with pytest.raises(RuntimeError):
             rdd.collect()
+
+
+class TestMetricsSnapshot:
+    def test_snapshot_includes_every_counter(self, ctx):
+        snap = ctx.scheduler.metrics.snapshot()
+        for key in (
+            "jobs",
+            "stages",
+            "tasks",
+            "task_failures",
+            "task_retries",
+            "fetch_failures",
+            "recomputed_map_stages",
+            "speculative_tasks",
+            "speculative_wins",
+            "stage_timeouts",
+            "index_fallbacks",
+            "coalesced_shuffles",
+            "coalesced_partitions",
+            "runtime_broadcast_joins",
+        ):
+            assert key in snap, key
+        assert snap["stage_timeouts"] == 0
+
+    def test_timed_out_stage_bumps_snapshot_exactly_once(self):
+        # _StageClock is the single bump site for ``stage_timeouts``; a
+        # timed-out stage must count once in the snapshot no matter how
+        # many driver-loop ticks observe the expired deadline.
+        import time
+
+        from repro.errors import StageTimeoutError
+
+        context = EngineContext(
+            Config(executor_threads=2, stage_timeout_s=0.05, task_max_retries=3)
+        )
+        try:
+            with pytest.raises(StageTimeoutError):
+                context.parallelize(range(4), 4).map(
+                    lambda x: time.sleep(0.4) or x
+                ).collect()
+            assert context.scheduler.metrics.snapshot()["stage_timeouts"] == 1
+        finally:
+            context.stop()

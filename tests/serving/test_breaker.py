@@ -1,0 +1,114 @@
+"""Circuit breaker state machine: trip, fast-fail, probe, close."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CircuitOpenError
+from repro.faults import FaultInjector, FaultProfile
+from repro.serving.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+def make_breaker(clock, threshold=3, reset_s=1.0, injector=None) -> CircuitBreaker:
+    return CircuitBreaker(
+        "test.site", threshold, reset_s, injector=injector, clock=clock
+    )
+
+
+class TestStateMachine:
+    def test_trips_after_threshold_failures(self, clock):
+        breaker = make_breaker(clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.snapshot()["trips"] == 1
+
+    def test_success_resets_the_failure_count(self, clock):
+        breaker = make_breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # never reached 3 consecutive
+
+    def test_open_fast_fails_within_reset_window(self, clock):
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()
+        assert not breaker.allow()
+        assert breaker.snapshot()["fast_fails"] == 2
+        assert 0 < breaker.retry_after() <= 1.0
+
+    def test_probe_success_closes(self, clock):
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()  # the half-open probe
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens(self, clock):
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()  # a fresh reset window started
+        assert breaker.snapshot()["probes_failed"] == 1
+
+    def test_single_probe_per_window(self, clock):
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        # Second caller while the probe is outstanding: fast-fail.
+        assert not breaker.allow()
+
+    def test_stale_probe_is_regranted(self, clock):
+        # A probe whose caller died (outcome never recorded) must not
+        # wedge the breaker in HALF_OPEN forever.
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        clock.advance(1.5)  # probe outcome never recorded
+        assert breaker.allow()
+
+    def test_guard_raises_typed_error(self, clock):
+        breaker = make_breaker(clock)
+        breaker.guard()  # closed: no raise
+        for _ in range(3):
+            breaker.record_failure()
+        with pytest.raises(CircuitOpenError) as exc:
+            breaker.guard()
+        assert exc.value.site == "test.site"
+        assert exc.value.retry_after_s > 0
+
+
+class TestInjectedProbeFailure:
+    def test_chaos_probe_counts_as_failure(self, clock):
+        injector = FaultInjector(
+            FaultProfile(seed=7, serving_breaker_probe_p=1.0)
+        )
+        breaker = make_breaker(clock, injector=injector)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.5)
+        # The probe is granted internally but consumed by the injected
+        # fault: the caller sees a fast-fail and the breaker reopens.
+        assert not breaker.allow()
+        snap = breaker.snapshot()
+        assert snap["state"] == OPEN
+        assert snap["probes"] == 1
+        assert snap["probes_failed"] == 1

@@ -1,0 +1,128 @@
+"""Graceful degradation: deadline-aware sampled scans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import create_index
+from repro.serving.context import QueryContext
+
+
+class TestScanSampling:
+    def test_exact_when_no_deadline(self, serving_session):
+        result = serving_session.serve("SELECT count(*) FROM rows")
+        assert result.rows == [(400,)]
+        assert not result.degraded
+        assert result.sample_fraction is None
+
+    def test_exact_when_plan_fits_the_deadline(self, serving_session):
+        # Default throughput (2M rows/s) makes 400 rows trivially cheap.
+        result = serving_session.serve("SELECT count(*) FROM rows", deadline_s=10.0)
+        assert result.rows == [(400,)]
+        assert not result.degraded
+
+    def test_slow_scan_degrades_to_sample(self, make_serving_session):
+        # 400 rows at 100 rows/s ≈ 4s > the 1s deadline: the planner
+        # keeps budget/estimated = 100/400 = 25% of the partitions.
+        session = make_serving_session(serving_scan_rows_per_s=100.0)
+        df = session.create_dataframe(
+            [(i, float(i)) for i in range(400)],
+            [("id", "long"), ("value", "double")],
+            num_partitions=8,
+        )
+        session.create_or_replace_temp_view("big", df)
+        result = session.serve("SELECT count(*) FROM big", deadline_s=1.0)
+        assert result.degraded
+        # Slightly under 0.25: queueing latency eats into the remaining
+        # deadline before the planner computes the budget.
+        assert result.sample_fraction == pytest.approx(0.25, rel=0.05)
+        # 2 of 8 partitions survive; partitions are equal-sized.
+        assert result.rows == [(100,)]
+
+    def test_degraded_marker_in_execution_plan(self, make_serving_session):
+        session = make_serving_session(serving_scan_rows_per_s=100.0)
+        df = session.create_dataframe(
+            [(i, float(i)) for i in range(400)],
+            [("id", "long"), ("value", "double")],
+            num_partitions=8,
+        )
+        session.create_or_replace_temp_view("big", df)
+        session.serve("SELECT count(*) FROM big", deadline_s=1.0)
+        # The runtime records the planned physical tree on the served
+        # DataFrame; the scan carries the degradation marker.
+        stats = session.serving.stats()
+        assert stats["serving"]["degraded"] == 1
+
+    def test_fraction_floor_applies(self, make_serving_session):
+        # An absurdly slow scan still samples at least the configured
+        # minimum fraction, never zero partitions.
+        session = make_serving_session(
+            serving_scan_rows_per_s=0.001, serving_min_sample_fraction=0.25
+        )
+        df = session.create_dataframe(
+            [(i,) for i in range(400)], [("id", "long")], num_partitions=8
+        )
+        session.create_or_replace_temp_view("big", df)
+        result = session.serve("SELECT count(*) FROM big", deadline_s=0.5)
+        assert result.degraded
+        assert result.sample_fraction == pytest.approx(0.25)
+        assert result.rows[0][0] > 0
+
+    def test_degrade_disabled_runs_exact(self, make_serving_session):
+        session = make_serving_session(
+            serving_scan_rows_per_s=100.0, serving_degrade_enabled=False
+        )
+        df = session.create_dataframe(
+            [(i,) for i in range(400)], [("id", "long")], num_partitions=8
+        )
+        session.create_or_replace_temp_view("big", df)
+        result = session.serve("SELECT count(*) FROM big", deadline_s=5.0)
+        assert not result.degraded
+        assert result.rows == [(400,)]
+
+
+class TestIndexedScanSampling:
+    def test_indexed_scan_estimates_and_samples(self, make_serving_session):
+        session = make_serving_session(indexed=True)
+        df = session.create_dataframe(
+            [(i, f"u{i}") for i in range(200)],
+            [("id", "long"), ("name", "string")],
+            num_partitions=8,
+        )
+        indexed = create_index(df, "id")
+        attrs = indexed.to_df().analyzed_plan().output()
+        from repro.core.physical import IndexedScanExec
+
+        scan = IndexedScanExec(session.ctx, indexed.version, attrs)
+        assert scan.estimated_rows() == 200
+        assert scan.apply_sampling(0.5)
+        assert scan.estimated_rows() < 200
+        assert "degraded=True" in scan.describe()
+        sampled = scan.execute().collect()
+        assert 0 < len(sampled) < 200
+        # Sampling a single-partition candidate set is refused.
+        tiny = IndexedScanExec(session.ctx, indexed.version, attrs)
+        tiny._keep = [0]
+        assert not tiny.apply_sampling(0.5)
+
+
+class TestDegradationContext:
+    def test_remaining_budget_drives_the_fraction(self, make_serving_session):
+        # Same query, tighter deadline → smaller fraction.
+        session = make_serving_session(serving_scan_rows_per_s=100.0)
+        df = session.create_dataframe(
+            [(i,) for i in range(400)], [("id", "long")], num_partitions=8
+        )
+        session.create_or_replace_temp_view("big", df)
+        loose = session.serve("SELECT count(*) FROM big", deadline_s=2.0)
+        tight = session.serve("SELECT count(*) FROM big", deadline_s=1.0)
+        assert loose.degraded and tight.degraded
+        assert tight.sample_fraction < loose.sample_fraction
+
+    def test_queries_without_deadline_skip_the_pass(self, serving_session):
+        query = QueryContext.create()
+        runtime = serving_session.serving
+        df = serving_session.sql("SELECT count(*) FROM rows")
+        _physical, degraded, fraction = runtime._plan(df, query)
+        assert not degraded
+        assert fraction is None

@@ -104,3 +104,58 @@ class TestDurabilityKnobs:
             Config(wal_checkpoint_age_s=0)
         with pytest.raises(ValueError):
             Config(checkpoint_poll_s=0)
+
+
+class TestServingKnobs:
+    def test_defaults(self):
+        config = Config()
+        assert config.serving_enabled is False
+        assert config.serving_max_concurrent == 4
+        assert config.serving_queue_depth == 16
+        assert config.serving_memory_budget_bytes == 256 * 1024 * 1024
+
+    def test_serving_default_tracks_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVING", "1")
+        assert Config().serving_enabled is True
+        monkeypatch.delenv("REPRO_SERVING")
+        assert Config().serving_enabled is False
+
+    def test_explicit_config_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVING", "1")
+        assert Config(serving_enabled=False).serving_enabled is False
+
+    def test_rejects_bad_time_and_size_knobs(self):
+        from repro.errors import ConfigError
+
+        bad = [
+            dict(serving_max_concurrent=0),
+            dict(serving_queue_depth=-1),
+            dict(serving_queue_timeout_s=0),
+            dict(serving_tenant_max_concurrent=0),
+            dict(serving_default_deadline_s=-1.0),
+            dict(serving_memory_budget_bytes=0),
+            dict(serving_query_memory_bytes=-5),
+            dict(serving_breaker_failures=0),
+            dict(serving_breaker_reset_s=-0.1),
+            dict(serving_scan_rows_per_s=0),
+            dict(serving_min_sample_fraction=0),
+            dict(serving_min_sample_fraction=1.5),
+            dict(stage_timeout_s=0),
+            dict(target_reduce_bytes=0),
+        ]
+        for overrides in bad:
+            with pytest.raises(ConfigError):
+                Config(**overrides)
+
+    def test_config_error_is_a_value_error(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ValueError):
+            Config(serving_max_concurrent=0)
+        assert issubclass(ConfigError, ValueError)
+
+    def test_error_names_the_knob_and_value(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="serving_queue_timeout_s"):
+            Config(serving_queue_timeout_s=-2)
