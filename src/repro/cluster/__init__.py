@@ -1,0 +1,24 @@
+"""Multi-process sharded executors: GIL-free parallel task execution.
+
+Enabled by ``Config(executors=N)`` (or ``REPRO_EXECUTORS=N``); the
+default ``executors=0`` keeps the engine fully in-process with plans
+and results bit-identical to every prior release. See DESIGN.md §13
+for the process model.
+"""
+
+from repro.cluster.backend import ExecutorBackend, LocalBackend, ProcessBackend
+from repro.cluster.shm import DriverShipStore, WorkerShipCache
+from repro.cluster.shuffle import ClusterShuffleManager, WorkerShuffleClient
+from repro.cluster.spill import MapStatus, SpillMapWriter
+
+__all__ = [
+    "ClusterShuffleManager",
+    "DriverShipStore",
+    "ExecutorBackend",
+    "LocalBackend",
+    "MapStatus",
+    "ProcessBackend",
+    "SpillMapWriter",
+    "WorkerShipCache",
+    "WorkerShuffleClient",
+]

@@ -1,0 +1,332 @@
+"""Executor backends: where a scheduled task attempt actually runs.
+
+The DAG scheduler is backend-agnostic: every pooled task attempt goes
+through :meth:`ExecutorBackend.run_task`. :class:`LocalBackend` calls
+the task closure in-process — byte-for-byte the pre-cluster engine.
+:class:`ProcessBackend` dispatches it to one of N forked worker
+processes over a duplex pipe, with the closure pickled by the task
+codec, heavy leaf data shipped once through shared memory, and shuffle
+output spilled to per-worker files.
+
+Topology: one pipe + one driver-side dispatcher thread per worker.
+A worker runs one task at a time (Spark's one-core executor), so the
+dispatcher serialises envelopes per worker; parallelism comes from the
+worker *count*. Partition ownership is static modulo respawn:
+``split % num_workers`` picks the slot, so repeated scans of the same
+data hit the same worker's shared-memory attachments and page cache.
+
+Worker death (injected ``cluster.worker_crash`` or a real SIGKILL)
+surfaces as EOF on the pipe. The dispatcher respawns the slot (bumping
+its generation), invalidates every map output the dead pid produced —
+promoting PR 1's fetch-failure fault model to real process loss — and
+fails the in-flight attempt with :class:`~repro.errors.WorkerLostError`,
+which the scheduler's retry policy treats as transient.
+
+Cross-process cancellation mirrors the active query's token into a
+shared one-byte flag (sound because the scheduler's job lock admits one
+job at a time): every worker-side ``check_cancelled`` poll reads the
+flag through a :class:`~repro.cluster.worker.SharedFlagToken`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import Future
+from queue import SimpleQueue
+from typing import Any, Callable
+
+from repro.cluster.codec import TaskCodec, loads_reply
+from repro.cluster.worker import (
+    MSG_CRASH,
+    MSG_STOP,
+    MSG_TASK,
+    encode_cancel_reason,
+    worker_main,
+)
+from repro.errors import EngineError, WorkerLostError
+from repro.faults import NULL_INJECTOR, FaultInjector
+from repro.serving.context import QueryContext, current_query
+
+#: Queue sentinel that shuts a dispatcher down.
+_STOP = object()
+#: Grace period for a worker to exit after MSG_STOP before SIGTERM.
+_JOIN_TIMEOUT_S = 2.0
+
+
+class ExecutorBackend:
+    """Where task attempts run; the scheduler calls only this surface."""
+
+    def run_task(self, task: Callable[[int], Any], split: int) -> Any:
+        raise NotImplementedError
+
+    def begin_job(self, query: QueryContext | None) -> None:
+        """Called under the scheduler's job lock before a job starts."""
+
+    def end_job(self, query: QueryContext | None) -> None:
+        """Called under the scheduler's job lock after a job finishes."""
+
+    def stats(self) -> dict[str, int]:
+        return {}
+
+    def stop(self) -> None:
+        pass
+
+
+class LocalBackend(ExecutorBackend):
+    """In-process execution: exactly the pre-cluster engine."""
+
+    def run_task(self, task: Callable[[int], Any], split: int) -> Any:
+        return task(split)
+
+
+class _WorkerSlot:
+    """One worker process plus its driver-side plumbing."""
+
+    __slots__ = ("slot_id", "generation", "process", "conn", "queue", "thread", "pid")
+
+    def __init__(self, slot_id: int) -> None:
+        self.slot_id = slot_id
+        self.generation = 0
+        self.process = None
+        self.conn = None
+        self.queue: SimpleQueue = SimpleQueue()
+        self.thread: threading.Thread | None = None
+        self.pid: int | None = None
+
+
+class ProcessBackend(ExecutorBackend):
+    """N forked worker processes behind per-worker dispatch threads."""
+
+    def __init__(
+        self,
+        num_workers: int,
+        config,
+        shuffles,
+        ship_store,
+        injector: FaultInjector | None = None,
+    ) -> None:
+        if num_workers < 1:
+            raise EngineError("ProcessBackend requires at least one worker")
+        try:
+            self._mp = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+            raise EngineError(
+                "the process backend requires the fork start method"
+            ) from exc
+        self._config = config
+        self._worker_config = self._strip_config(config)
+        self._shuffles = shuffles
+        self._ship = ship_store
+        self._injector = injector or NULL_INJECTOR
+        self._codec = TaskCodec(ship_store)
+        #: Shared one-byte cancellation flag, inherited through fork.
+        #: 0 = live; nonzero = a cancel reason code (worker.py).
+        self._flag = self._mp.RawValue("i", 0)
+        self._listener: tuple[Any, Callable[[str], None]] | None = None
+        self._lock = threading.Lock()
+        self._counters = {  # guarded-by: _lock
+            "tasks_dispatched": 0,
+            "codec_fallbacks": 0,
+            "workers_lost": 0,
+            "crashes_injected": 0,
+        }
+        self._stopped = False
+        self._slots = [_WorkerSlot(i) for i in range(num_workers)]
+        for slot in self._slots:
+            self._spawn(slot)
+            slot.thread = threading.Thread(
+                target=self._dispatch_loop,
+                args=(slot,),
+                name=f"repro-dispatch-{slot.slot_id}",
+                daemon=True,
+            )
+            slot.thread.start()
+
+    @staticmethod
+    def _strip_config(config):
+        """The config workers fork with: no nested executors, no fault
+        profile (fault draws happen at dispatch on the driver so seeded
+        site streams advance exactly once per logical event)."""
+        import dataclasses
+
+        return dataclasses.replace(config, executors=0, faults=None)
+
+    # -- process lifecycle ---------------------------------------------
+
+    def _spawn(self, slot: _WorkerSlot) -> int:
+        parent_conn, child_conn = self._mp.Pipe(duplex=True)
+        slot.generation += 1
+        process = self._mp.Process(
+            target=worker_main,
+            args=(child_conn, slot.slot_id, self._worker_config, self._flag),
+            name=f"repro-worker-{slot.slot_id}-g{slot.generation}",
+            daemon=True,
+        )
+        process.start()
+        # Close the driver's copy of the child end: worker death then
+        # surfaces as EOF on the very next recv instead of a hang.
+        child_conn.close()
+        slot.process = process
+        slot.conn = parent_conn
+        slot.pid = process.pid
+        return slot.generation
+
+    def _dispatch_loop(self, slot: _WorkerSlot) -> None:
+        """Per-worker dispatcher: serialise envelopes down the pipe, one
+        in flight at a time, respawning the worker on death."""
+        while True:
+            item = slot.queue.get()
+            if item is _STOP:
+                try:
+                    slot.conn.send_bytes(MSG_STOP)
+                except (OSError, BrokenPipeError, ValueError):
+                    pass
+                return
+            payload, box = item
+            try:
+                slot.conn.send_bytes(payload)
+                raw = slot.conn.recv_bytes()
+            except (EOFError, OSError, BrokenPipeError):
+                dead_pid = slot.pid or -1
+                try:
+                    slot.conn.close()
+                except OSError:
+                    pass
+                if self._stopped:
+                    box.set_exception(
+                        EngineError("executor backend stopped mid-task")
+                    )
+                    return
+                generation = self._spawn(slot)
+                # Invalidate *before* failing the attempt: the retry
+                # must observe the missing map outputs, not stale
+                # statuses pointing at deleted spill files.
+                lost = self._shuffles.handle_worker_death(dead_pid)
+                self._bump("workers_lost")
+                box.set_exception(
+                    WorkerLostError(
+                        slot.slot_id,
+                        generation,
+                        f"pid {dead_pid} died mid-task; "
+                        f"{lost} map outputs invalidated",
+                    )
+                )
+                continue
+            try:
+                status, payload_obj, deltas = loads_reply(raw)
+            except Exception as exc:  # noqa: BLE001 - defensive decode
+                box.set_exception(
+                    EngineError(f"undecodable worker reply: {exc!r}")
+                )
+                continue
+            self._replay_deltas(deltas)
+            if status == "ok":
+                box.set_result(payload_obj)
+            else:
+                box.set_exception(payload_obj)
+
+    def _replay_deltas(self, deltas: list) -> None:
+        """Fold worker-side accumulator adds into the driver objects."""
+        for accumulator_id, values in deltas:
+            accumulator = self._codec.accumulators.get(accumulator_id)
+            if accumulator is None:
+                continue
+            for value in values:
+                accumulator.add(value)
+
+    # -- backend surface ------------------------------------------------
+
+    def run_task(self, task: Callable[[int], Any], split: int) -> Any:
+        if self._injector.should_fire("cluster.worker_crash"):
+            # A crash directive instead of the task: the worker hard-
+            # exits, the dispatcher raises WorkerLostError, and the
+            # scheduler's transient-retry path re-runs the attempt.
+            self._bump("crashes_injected")
+            payload = MSG_CRASH
+        else:
+            envelope = {
+                "task": task,
+                "split": split,
+                "query": self._query_info(current_query()),
+                "plan": self._shuffles.export_plan(),
+            }
+            try:
+                payload = MSG_TASK + self._codec.dumps_envelope(envelope)
+            except Exception:  # noqa: BLE001 - exotic closures degrade
+                self._bump("codec_fallbacks")
+                return task(split)
+        slot = self._slots[split % len(self._slots)]
+        box: Future = Future()
+        slot.queue.put((payload, box))
+        self._bump("tasks_dispatched")
+        return box.result()
+
+    @staticmethod
+    def _query_info(query: QueryContext | None) -> dict[str, Any] | None:
+        if query is None:
+            return None
+        # Deadline ships as the absolute monotonic instant: CLOCK_MONOTONIC
+        # shares an epoch across processes on Linux.
+        return {
+            "query_id": query.query_id,
+            "tenant": query.tenant,
+            "priority": query.priority,
+            "deadline": query.deadline,
+        }
+
+    def begin_job(self, query: QueryContext | None) -> None:
+        # One job at a time (scheduler job lock), so a single shared
+        # flag and a single mirrored token are sound.
+        self._flag.value = 0
+        if query is None:
+            return
+        flag = self._flag
+
+        def mirror(reason: str) -> None:
+            if flag.value == 0:
+                flag.value = encode_cancel_reason(reason)
+
+        self._listener = (query.token, mirror)
+        query.token.add_listener(mirror)
+
+    def end_job(self, query: QueryContext | None) -> None:
+        if self._listener is not None:
+            token, mirror = self._listener
+            token.remove_listener(mirror)
+            self._listener = None
+        self._flag.value = 0
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            counters = dict(self._counters)
+        counters["workers"] = len(self._slots)
+        counters["generations"] = sum(s.generation for s in self._slots)
+        return counters
+
+    def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        for slot in self._slots:
+            slot.queue.put(_STOP)
+        for slot in self._slots:
+            if slot.thread is not None:
+                slot.thread.join(timeout=_JOIN_TIMEOUT_S)
+        for slot in self._slots:
+            process = slot.process
+            if process is None:
+                continue
+            process.join(timeout=_JOIN_TIMEOUT_S)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=_JOIN_TIMEOUT_S)
+            try:
+                slot.conn.close()
+            except OSError:
+                pass
+        self._ship.close()
+
+    def _bump(self, counter: str) -> None:
+        with self._lock:
+            self._counters[counter] += 1

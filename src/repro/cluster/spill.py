@@ -1,0 +1,138 @@
+"""Shuffle spill files: the cluster backend's map-output medium.
+
+In-process shuffle keeps buckets as Python lists in the driver's
+:class:`~repro.engine.shuffle.ShuffleManager`. Across processes the
+map side instead spills each reduce bucket to a per-map file (pickled,
+one contiguous region per bucket) and returns a compact
+:class:`MapStatus` — path, per-bucket offsets, per-bucket
+``(rows, est_bytes)`` — that the coordinator commits into its
+registry. Reduce tasks receive the committed statuses in their task
+envelope and read exactly the one region their bucket needs.
+
+Files are named by writer pid so the coordinator can invalidate (and
+delete) everything a dead worker produced — worker death loses that
+executor's map outputs, exactly Spark's fault model, and the lineage
+machinery recomputes them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.engine.cache import estimate_size
+from repro.errors import FetchFailedError
+from repro.serialize import PICKLE_PROTOCOL
+
+_spill_seq = itertools.count()
+
+
+@dataclass(frozen=True)
+class MapStatus:
+    """One committed map output: where its buckets live on disk."""
+
+    shuffle_id: int
+    map_index: int
+    path: str
+    #: Per reduce bucket: (file offset, byte length).
+    offsets: tuple[tuple[int, int], ...]
+    #: Per reduce bucket: (rows, est_bytes) — adaptive planning input.
+    sizes: tuple[tuple[int, int], ...]
+    #: pid of the writing process; dead-worker invalidation key.
+    pid: int
+
+
+def _bucket_size(bucket: list[Any]) -> tuple[int, int]:
+    rows = len(bucket)
+    if rows == 0:
+        return 0, 0
+    return rows, rows * max(1, estimate_size(bucket[0]))
+
+
+@dataclass(frozen=True)
+class SpillMapWriter:
+    """Picklable map-output writer shipped inside map-task closures.
+
+    Carries no locks and no manager reference, so it crosses the
+    process boundary; the partitioner and (by-value pickled) aggregator
+    callables reproduce :meth:`ShuffleManager.write_map_output`'s
+    bucketization exactly.
+    """
+
+    root: str
+    shuffle_id: int
+    partitioner: Any
+    aggregator: Any
+    map_side_combine: bool
+
+    def __call__(
+        self, map_index: int, records: Iterable[tuple[Any, Any]]
+    ) -> MapStatus:
+        n = self.partitioner.num_partitions
+        partition_of = self.partitioner.partition
+        buckets: list[list[Any]] = [[] for _ in range(n)]
+        if self.map_side_combine and self.aggregator is not None:
+            agg = self.aggregator
+            agg_create, agg_merge = agg.create, agg.merge
+            combined: list[dict[Any, Any]] = [dict() for _ in range(n)]
+            _missing = object()
+            for key, value in records:
+                bucket = combined[partition_of(key)]
+                acc = bucket.get(key, _missing)
+                bucket[key] = (
+                    agg_create(value) if acc is _missing else agg_merge(acc, value)
+                )
+            for i, bucket in enumerate(combined):
+                buckets[i] = list(bucket.items())
+        else:
+            appends = [bucket.append for bucket in buckets]
+            for key, value in records:
+                appends[partition_of(key)]((key, value))
+        sizes = tuple(_bucket_size(bucket) for bucket in buckets)
+        # Unique per (map attempt, process): a speculative duplicate or
+        # retried attempt never clobbers a file a reduce task may
+        # already be reading.
+        name = (
+            f"s{self.shuffle_id}_m{map_index}_"
+            f"p{os.getpid()}_{next(_spill_seq)}.bin"
+        )
+        path = os.path.join(self.root, name)
+        offsets = []
+        with open(path, "wb") as fh:
+            at = 0
+            for bucket in buckets:
+                blob = pickle.dumps(bucket, protocol=PICKLE_PROTOCOL)
+                fh.write(blob)
+                offsets.append((at, len(blob)))
+                at += len(blob)
+        return MapStatus(
+            self.shuffle_id,
+            map_index,
+            path,
+            tuple(offsets),
+            sizes,
+            os.getpid(),
+        )
+
+
+def read_bucket(status: MapStatus, reduce_index: int) -> list[Any]:
+    """Read one bucket region; any I/O problem is a fetch failure (the
+    file died with its worker, or was invalidated under us)."""
+    offset, length = status.offsets[reduce_index]
+    try:
+        with open(status.path, "rb") as fh:
+            fh.seek(offset)
+            blob = fh.read(length)
+        if len(blob) != length:
+            raise OSError("short read")
+        return pickle.loads(blob)
+    except (OSError, pickle.UnpicklingError, EOFError) as exc:
+        raise FetchFailedError(
+            status.shuffle_id,
+            status.map_index,
+            f"shuffle {status.shuffle_id}: map output {status.map_index} "
+            f"unreadable ({exc})",
+        ) from None

@@ -62,6 +62,28 @@ def _env_flag(name: str, default: bool = False) -> bool:
     )
 
 
+def _env_int(name: str, default: int) -> int:
+    """Parse a ``REPRO_*`` integer environment knob consistently.
+
+    Unset/empty keeps the default; anything non-numeric raises
+    ``ValueError`` — a typo like ``REPRO_EXECUTORS=fuor`` must not
+    silently fall back to single-process execution.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return int(raw.strip())
+    except ValueError:
+        raise ValueError(f"{name}={raw!r} is not a valid integer") from None
+
+
+def _executors_default() -> int:
+    """Env override for the cluster backend: ``REPRO_EXECUTORS=N``
+    runs every session with N worker processes (0 = in-process)."""
+    return _env_int("REPRO_EXECUTORS", 0)
+
+
 def _sanitizers_default() -> bool:
     """Env override so a whole test run can be sanitized without
     touching every Config construction site: ``REPRO_SANITIZERS=1``."""
@@ -235,6 +257,22 @@ class Config:
     serving_scan_rows_per_s: float = 2_000_000.0
     #: Smallest fraction of partitions a degraded scan keeps.
     serving_min_sample_fraction: float = 0.05
+    #: Worker *processes* for the cluster backend. ``0`` (the default)
+    #: keeps everything in-process — bit-identical plans and results to
+    #: a build without the subsystem. ``N > 0`` forks N executors that
+    #: own partitions by ``split % N``, receive pickled task closures
+    #: over pipes, read sealed row batches zero-copy out of
+    #: ``multiprocessing.shared_memory``, and exchange shuffle data via
+    #: per-worker spill files. ``REPRO_EXECUTORS=N`` flips the default
+    #: for a whole run.
+    executors: int = field(default_factory=_executors_default)
+    #: Directory for cluster shuffle spill files; ``None`` uses a
+    #: session-scoped temporary directory removed at ``stop()``.
+    cluster_spill_dir: str | None = None
+    #: Analyzed+optimized logical plans memoized per session, keyed by
+    #: a parameterized plan fingerprint (literal values slotted out).
+    #: ``0`` disables the plan cache entirely.
+    plan_cache_size: int = 128
     #: Seeded chaos-injection profile; ``None`` (the default) disables
     #: all fault injection.
     faults: FaultProfile | None = None
@@ -324,6 +362,8 @@ class Config:
             0.0 < self.serving_min_sample_fraction <= 1.0,
             "in (0, 1]",
         )
+        require("executors", 0 <= self.executors <= 64, "in [0, 64]")
+        require("plan_cache_size", self.plan_cache_size >= 0, ">= 0")
 
     def with_options(self, **changes: Any) -> "Config":
         """Return a copy of this config with the given fields replaced."""

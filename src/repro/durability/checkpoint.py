@@ -48,6 +48,7 @@ import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
 
+from repro.serialize import PICKLE_PROTOCOL
 from repro.durability.files import (
     atomic_write,
     fsync_dir,
@@ -197,7 +198,7 @@ class DurableStore:
         self.wal_root.mkdir(exist_ok=True)
         self.checkpoints_root.mkdir(exist_ok=True)
         atomic_write(
-            self.directory / META_FILE, seal(pickle.dumps(meta, protocol=4))
+            self.directory / META_FILE, seal(pickle.dumps(meta, protocol=PICKLE_PROTOCOL))
         )
 
     def exists(self) -> bool:
@@ -355,15 +356,15 @@ class DurableStore:
             tmp.mkdir(parents=True)
             for i, state in enumerate(states):
                 self._write_blob(
-                    tmp / f"p{i:05d}.bin", seal(pickle.dumps(state, protocol=4))
+                    tmp / f"p{i:05d}.bin", seal(pickle.dumps(state, protocol=PICKLE_PROTOCOL))
                 )
                 self._injector.maybe_crash("crash.mid_checkpoint")
             self._write_blob(
-                tmp / "offsets.bin", seal(pickle.dumps(offsets, protocol=4))
+                tmp / "offsets.bin", seal(pickle.dumps(offsets, protocol=PICKLE_PROTOCOL))
             )
             manifest = {"epoch": epoch, "num_partitions": len(states)}
             self._write_blob(
-                tmp / "MANIFEST", seal(pickle.dumps(manifest, protocol=4))
+                tmp / "MANIFEST", seal(pickle.dumps(manifest, protocol=PICKLE_PROTOCOL))
             )
             fsync_dir(tmp)
             # 3. Commit: rename + CURRENT swing.

@@ -35,6 +35,7 @@ from pathlib import Path
 
 from repro.durability.files import FRAME_SIZE, maybe_fsync, read_bytes_retry, write_all
 from repro.faults import NULL_INJECTOR, FaultInjector
+from repro.serialize import PICKLE_PROTOCOL
 
 _FRAME = struct.Struct("<II")  # (payload_length, crc32)
 
@@ -51,7 +52,7 @@ def encode_record(rtype: int, body: bytes) -> bytes:
 
 def encode_offsets(group: str, topic: str, offsets: dict[int, int]) -> bytes:
     """Body of an ``RT_OFFSETS`` marker."""
-    return pickle.dumps((group, topic, dict(offsets)), protocol=4)
+    return pickle.dumps((group, topic, dict(offsets)), protocol=PICKLE_PROTOCOL)
 
 
 def decode_offsets(body: bytes) -> tuple[str, str, dict[int, int]]:

@@ -7,6 +7,8 @@ broadcast variables. One context per :class:`~repro.sql.session.Session`.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Iterator, Sequence, TypeVar
 
@@ -43,14 +45,50 @@ class EngineContext:
         # One seeded injector per context: engine, shuffle, and indexed
         # operators all draw from the same reproducible fault streams.
         self.fault_injector = FaultInjector(self.config.faults)
-        self.shuffle_manager = ShuffleManager(self.fault_injector)
+        self._spill_root: str | None = None
+        self._owns_spill_root = False
+        if self.config.executors > 0:
+            # Cluster mode: spill-file shuffle, shared-memory ship
+            # store, and N forked worker processes behind the backend.
+            from repro.cluster.backend import ProcessBackend
+            from repro.cluster.shm import DriverShipStore
+            from repro.cluster.shuffle import ClusterShuffleManager
+
+            if self.config.cluster_spill_dir is not None:
+                self._spill_root = self.config.cluster_spill_dir
+            else:
+                self._spill_root = tempfile.mkdtemp(prefix="repro-spill-")
+                self._owns_spill_root = True
+            self.shuffle_manager: ShuffleManager = ClusterShuffleManager(
+                self._spill_root, self.fault_injector
+            )
+            self.ship_store = DriverShipStore()
+            self.backend = ProcessBackend(
+                self.config.executors,
+                self.config,
+                self.shuffle_manager,
+                self.ship_store,
+                self.fault_injector,
+            )
+            pool_workers = max(self.config.executor_threads, self.config.executors)
+        else:
+            from repro.cluster.backend import LocalBackend
+
+            self.shuffle_manager = ShuffleManager(self.fault_injector)
+            self.ship_store = None
+            self.backend = LocalBackend()
+            pool_workers = self.config.executor_threads
         self.block_manager = BlockManager(self.config.cache_capacity_bytes)
         self._pool = ThreadPoolExecutor(
-            max_workers=self.config.executor_threads,
+            max_workers=pool_workers,
             thread_name_prefix="repro-executor",
         )
         self.scheduler = DAGScheduler(
-            self.shuffle_manager, self._pool, self.config, self.fault_injector
+            self.shuffle_manager,
+            self._pool,
+            self.config,
+            self.fault_injector,
+            backend=self.backend,
         )
         # Zone-map / partition-pruning counters, bumped by scan
         # operators at plan time (tests and EXPLAIN read them back).
@@ -109,6 +147,9 @@ class EngineContext:
         if not self._stopped:
             self._stopped = True
             self._pool.shutdown(wait=True)
+            self.backend.stop()
+            if self._owns_spill_root and self._spill_root is not None:
+                shutil.rmtree(self._spill_root, ignore_errors=True)
 
     def __enter__(self) -> "EngineContext":
         return self

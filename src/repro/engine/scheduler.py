@@ -59,6 +59,7 @@ from repro.errors import (
     RetryExhaustedError,
     StageTimeoutError,
     TaskError,
+    WorkerLostError,
 )
 from repro.faults import NULL_INJECTOR, FaultInjector
 from repro.serving.context import QueryContext, activate, current_query, deactivate
@@ -82,11 +83,11 @@ def _find_transient(exc: BaseException | None) -> BaseException | None:
     """The transient cause inside a (possibly nested) task failure.
 
     Walks ``TaskError.cause`` chains looking for an injected fault, a
-    shuffle fetch failure, a WAL/checkpoint I/O failure, or an OS-level
-    error — the failure classes a retry can plausibly heal. A
-    :class:`~repro.errors.RecoveryError` is deliberately *not* here: a
-    failed restore means durable state is corrupt, and replaying the
-    task would only mask that.
+    shuffle fetch failure, a WAL/checkpoint I/O failure, a lost worker
+    process, or an OS-level error — the failure classes a retry can
+    plausibly heal. A :class:`~repro.errors.RecoveryError` is
+    deliberately *not* here: a failed restore means durable state is
+    corrupt, and replaying the task would only mask that.
     """
     depth = 0
     while exc is not None and depth < 16:
@@ -96,6 +97,7 @@ def _find_transient(exc: BaseException | None) -> BaseException | None:
                 InjectedFault,
                 FetchFailedError,
                 DurabilityError,
+                WorkerLostError,
                 ConnectionError,
                 TimeoutError,
                 OSError,
@@ -213,6 +215,9 @@ class SchedulerMetrics:
     speculative_tasks: int = 0  # guarded-by: _lock
     speculative_wins: int = 0  # guarded-by: _lock
     stage_timeouts: int = 0  # guarded-by: _lock
+    workers_lost: int = 0  # guarded-by: _lock
+    plan_cache_hits: int = 0  # guarded-by: _lock
+    plan_cache_misses: int = 0  # guarded-by: _lock
     index_fallbacks: int = 0  # guarded-by: _lock
     coalesced_shuffles: int = 0  # guarded-by: _lock
     coalesced_partitions: int = 0  # guarded-by: _lock
@@ -249,6 +254,9 @@ class SchedulerMetrics:
                     "speculative_tasks",
                     "speculative_wins",
                     "stage_timeouts",
+                    "workers_lost",
+                    "plan_cache_hits",
+                    "plan_cache_misses",
                     "index_fallbacks",
                     "coalesced_shuffles",
                     "coalesced_partitions",
@@ -268,11 +276,17 @@ class DAGScheduler:
         pool: ThreadPoolExecutor,
         config: Config | None = None,
         injector: FaultInjector | None = None,
+        backend: "Any | None" = None,
     ):
         self._shuffles = shuffle_manager
         self._pool = pool
         self._config = config or Config()
         self._injector = injector or NULL_INJECTOR
+        if backend is None:
+            from repro.cluster.backend import LocalBackend
+
+            backend = LocalBackend()
+        self._backend = backend
         # Serialize whole jobs: tasks within a stage are parallel, but two
         # concurrent jobs sharing lineage would race on map-output state.
         self._job_lock = threading.RLock()
@@ -301,7 +315,14 @@ class DAGScheduler:
         self._acquire_job_lock(query)
         try:
             with self._job_lock:
-                results = self._run_job_locked(rdd, func, partitions, job, query)
+                # The backend hooks run under the job lock: one job at a
+                # time, so the cluster backend's single shared cancel
+                # flag always belongs to *this* job's query.
+                self._backend.begin_job(query)
+                try:
+                    results = self._run_job_locked(rdd, func, partitions, job, query)
+                finally:
+                    self._backend.end_job(query)
         finally:
             self._job_lock.release()
         self.metrics.record_job(job)
@@ -471,13 +492,19 @@ class DAGScheduler:
         stage_id = job.stages
         job.stages += 1
         injector = self._injector
+        # The writer is a standalone callable (not a bound method of the
+        # manager) so map tasks stay picklable for the process backend;
+        # the in-memory writer registers directly and the commit below
+        # is a no-op, the cluster writer spills and returns a MapStatus
+        # that the commit registers.
+        writer = self._shuffles.map_writer(dep)
 
-        def map_task(map_index: int) -> None:
+        def map_task(map_index: int) -> Any:
             try:
                 injector.maybe_delay("task.slow")
                 injector.maybe_fail("task")
                 records = parent.iterator(map_index)
-                self._shuffles.write_map_output(dep, map_index, records)
+                return writer(map_index, records)
             except (TaskError, QueryCancelledError):
                 # Cancellation is not a task failure: it propagates
                 # untouched so the failure policy re-raises it verbatim.
@@ -486,7 +513,10 @@ class DAGScheduler:
                 raise TaskError(stage_id, map_index, exc) from exc
 
         job.tasks += len(indices)
-        self._run_stage(map_task, indices, job, stage_id)
+        statuses = self._run_stage(map_task, indices, job, stage_id)
+        self._shuffles.commit_map_outputs(
+            dep.shuffle_id, [s for s in statuses if s is not None]
+        )
 
     def _run_result_stage(
         self,
@@ -576,17 +606,25 @@ class DAGScheduler:
         # so in-task poll sites (shuffle drain, codegen chunks) see it.
         query = current_query()
 
+        # Pooled attempts go through the executor backend: in-process
+        # for LocalBackend, dispatched to a worker process for
+        # ProcessBackend. Inline single-split stages deliberately stay
+        # driver-side (_run_task_inline) so result closures that cannot
+        # cross a process boundary — take()'s collectors, local-variable
+        # sinks — keep working regardless of backend.
+        backend = self._backend
+
         def attempt(split: int, delay: float) -> Any:
             if delay:
                 time.sleep(delay)
             if abort.is_set():
                 raise _StageAborted()
             if query is None:
-                return task(split)
+                return backend.run_task(task, split)
             token = activate(query)
             try:
                 query.check()
-                return task(split)
+                return backend.run_task(task, split)
             finally:
                 deactivate(token)
 
@@ -716,6 +754,8 @@ class DAGScheduler:
                 # reaching here means the recompute succeeded.
                 breaker.record_success()
         transient = _find_transient(exc)
+        if isinstance(transient, WorkerLostError):
+            self.metrics.bump("workers_lost")
         if transient is None and not self._config.retry_all_errors:
             raise exc
         budget = self._config.task_max_retries

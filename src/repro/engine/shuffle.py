@@ -119,6 +119,26 @@ class ShuffleManager:
             state = self._shuffles.get(shuffle_id)
             return state is not None and state.complete()
 
+    def map_writer(
+        self, dep: ShuffleDependency
+    ) -> Callable[[int, Iterable[tuple[Any, Any]]], Any]:
+        """A callable the map task runs to persist its output.
+
+        The in-memory manager writes straight into the registry and
+        returns nothing; the cluster manager overrides this with a
+        picklable spill-file writer returning a ``MapStatus`` that the
+        scheduler hands to :meth:`commit_map_outputs` after the stage.
+        """
+
+        def write(map_index: int, records: Iterable[tuple[Any, Any]]) -> None:
+            self.write_map_output(dep, map_index, records)
+
+        return write
+
+    def commit_map_outputs(self, shuffle_id: int, statuses: list[Any]) -> None:
+        """Commit per-map writer results after a map stage (no-op here:
+        :meth:`write_map_output` already registered the buckets)."""
+
     def write_map_output(
         self,
         dep: ShuffleDependency,

@@ -32,6 +32,14 @@ class TaskError(EngineError):
             f"task failed in stage {stage_id}, partition {partition}: {cause!r}"
         )
 
+    def __reduce__(self):
+        # Exceptions with multi-argument __init__ do not survive the
+        # default Exception pickling (which replays cls(*args) with the
+        # formatted message only); the cluster backend ships task
+        # failures back from worker processes, so spell out the real
+        # constructor arguments.
+        return (type(self), (self.stage_id, self.partition, self.cause))
+
 
 class InjectedFault(ReproError):
     """A fault raised on purpose by the deterministic fault injector.
@@ -45,6 +53,9 @@ class InjectedFault(ReproError):
     def __init__(self, site: str):
         self.site = site
         super().__init__(f"injected fault at site {site!r}")
+
+    def __reduce__(self):
+        return (type(self), (self.site,))
 
 
 class FetchFailedError(EngineError):
@@ -68,6 +79,9 @@ class FetchFailedError(EngineError):
             message = f"shuffle {shuffle_id}{where}: map output(s) missing"
         super().__init__(message)
 
+    def __reduce__(self):
+        return (type(self), (self.shuffle_id, self.map_index, str(self)))
+
 
 class RetryExhaustedError(EngineError):
     """A transient failure persisted through every allowed retry.
@@ -85,6 +99,31 @@ class RetryExhaustedError(EngineError):
             f"{site} failed permanently after {attempts} attempt(s): {cause!r}"
         )
 
+    def __reduce__(self):
+        return (type(self), (self.site, self.attempts, self.cause))
+
+
+class WorkerLostError(EngineError):
+    """A cluster worker process died while tasks were in flight.
+
+    The process-backend analogue of Spark's ``ExecutorLostFailure``:
+    transient by definition — the backend respawns the worker slot, the
+    dead worker's shuffle spill outputs are invalidated, and the
+    scheduler retries the in-flight task (lineage recomputation covers
+    any map outputs that died with the process).
+    """
+
+    def __init__(self, worker_id: int, generation: int, detail: str = ""):
+        self.worker_id = worker_id
+        self.generation = generation
+        suffix = f": {detail}" if detail else ""
+        super().__init__(
+            f"worker {worker_id} (generation {generation}) lost{suffix}"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.worker_id, self.generation))
+
 
 class StageTimeoutError(EngineError):
     """A stage exceeded its configured deadline (``Config.stage_timeout_s``)."""
@@ -95,6 +134,9 @@ class StageTimeoutError(EngineError):
         super().__init__(
             f"stage {stage_id} exceeded its deadline of {timeout_s:.3f}s"
         )
+
+    def __reduce__(self):
+        return (type(self), (self.stage_id, self.timeout_s))
 
 
 class ConfigError(ReproError, ValueError):
@@ -153,6 +195,9 @@ class QueryCancelledError(Exception):
         self.query_id = query_id
         self.reason = reason
         super().__init__(f"query {query_id} cancelled: {reason}")
+
+    def __reduce__(self):
+        return (type(self), (self.query_id, self.reason))
 
 
 class CircuitOpenError(ServingError):

@@ -12,6 +12,7 @@ from repro.faults.injector import (
     FaultInjector,
     FaultProfile,
     chaos_profile,
+    cluster_chaos_profile,
     durability_chaos_profile,
     serving_chaos_profile,
 )
@@ -20,6 +21,7 @@ __all__ = [
     "FaultInjector",
     "FaultProfile",
     "chaos_profile",
+    "cluster_chaos_profile",
     "durability_chaos_profile",
     "serving_chaos_profile",
     "NULL_INJECTOR",

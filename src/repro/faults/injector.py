@@ -58,6 +58,8 @@ SITES = (
     "serving.admit",
     "serving.cancel",
     "serving.breaker_probe",
+    # cluster backend: a worker process dies (os._exit) mid-dispatch
+    "cluster.worker_crash",
 )
 
 
@@ -108,6 +110,9 @@ class FaultProfile:
     serving_cancel_p: float = 0.0
     #: P(a half-open circuit-breaker probe fails before running).
     serving_breaker_probe_p: float = 0.0
+    #: P(a dispatched cluster task kills its worker process instead of
+    #: running — exercises respawn + spill invalidation + lineage).
+    cluster_worker_crash_p: float = 0.0
     #: Cap on fires per site; ``None`` means unbounded. With a
     #: probability of 1.0 this gives "fail exactly N times" semantics.
     max_fires_per_site: int | None = None
@@ -130,6 +135,7 @@ class FaultProfile:
             "serving_admit_p",
             "serving_cancel_p",
             "serving_breaker_probe_p",
+            "cluster_worker_crash_p",
         ):
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
@@ -157,6 +163,7 @@ class FaultProfile:
             "serving.admit": self.serving_admit_p,
             "serving.cancel": self.serving_cancel_p,
             "serving.breaker_probe": self.serving_breaker_probe_p,
+            "cluster.worker_crash": self.cluster_worker_crash_p,
         }.get(site, 0.0)
 
 
@@ -212,6 +219,21 @@ def serving_chaos_profile(
         serving_admit_p=0.1,
         serving_cancel_p=0.1,
         serving_breaker_probe_p=0.3,
+        max_fires_per_site=max_fires_per_site,
+    )
+
+
+def cluster_chaos_profile(
+    seed: int = 1337, max_fires_per_site: int | None = 2
+) -> FaultProfile:
+    """The worker-kill chaos mix for the cluster backend: dispatched
+    tasks occasionally poison their worker into ``os._exit``, forcing
+    respawn, spill-output invalidation, and lineage recomputation.
+    Capped per site by default so a seeded run makes progress instead
+    of killing every attempt."""
+    return FaultProfile(
+        seed=seed,
+        cluster_worker_crash_p=0.25,
         max_fires_per_site=max_fires_per_site,
     )
 

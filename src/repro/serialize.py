@@ -1,0 +1,30 @@
+"""Single source of truth for on-the-wire / on-disk pickle framing.
+
+Every subsystem that pickles data — the durability WAL, checkpoint
+images, and the cluster task-dispatch codec — must agree on one
+protocol number, or artifacts written by one component (say, a
+checkpoint taken on the driver) stop being readable by another (a
+worker process replaying it).  Protocol 4 is the floor for framed
+out-of-band-friendly pickles and is supported by every interpreter
+this project targets (3.9+), so artifacts stay portable across minor
+Python upgrades; protocol 5 buffers are deliberately avoided because
+WAL segments must be byte-stable across writer versions.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+#: The one pickle protocol used for WAL frames, checkpoint images, and
+#: cluster task dispatch.  Bump deliberately and in one place only.
+PICKLE_PROTOCOL = 4
+
+
+def dumps(obj: Any) -> bytes:
+    """``pickle.dumps`` pinned to :data:`PICKLE_PROTOCOL`."""
+    return pickle.dumps(obj, protocol=PICKLE_PROTOCOL)
+
+
+def loads(data: bytes) -> Any:
+    return pickle.loads(data)

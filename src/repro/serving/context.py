@@ -39,19 +39,44 @@ _query_ids = itertools.count(1)
 class CancellationToken:
     """One-shot, thread-safe cancellation flag with a reason."""
 
-    __slots__ = ("_lock", "_reason")
+    __slots__ = ("_lock", "_reason", "_listeners")
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._reason: str | None = None  # guarded-by: _lock
+        self._listeners: list = []  # guarded-by: _lock
 
     def cancel(self, reason: str) -> bool:
         """Arm the token; returns True iff this call was the first."""
         with self._lock:
             if self._reason is None:
                 self._reason = reason
-                return True
-            return False
+                listeners = list(self._listeners)
+            else:
+                return False
+        # Outside the lock: listeners (e.g. the cluster backend's
+        # shared-memory flag writer) may do arbitrary work.
+        for listener in listeners:
+            listener(reason)
+        return True
+
+    def add_listener(self, fn) -> None:
+        """Call ``fn(reason)`` on first cancel — immediately if the
+        token is already armed. The cluster backend uses this to mirror
+        cancellation into a cross-process shared flag."""
+        with self._lock:
+            reason = self._reason
+            if reason is None:
+                self._listeners.append(fn)
+        if reason is not None:
+            fn(reason)
+
+    def remove_listener(self, fn) -> None:
+        with self._lock:
+            try:
+                self._listeners.remove(fn)
+            except ValueError:
+                pass
 
     @property
     def reason(self) -> str | None:

@@ -225,7 +225,7 @@ class ServingRuntime:
     ) -> tuple[Any, bool, float | None]:
         session = self._session
         analyzed = df.analyzed_plan()
-        optimized = session.optimizer.optimize(analyzed)
+        optimized = session.optimize_plan(analyzed)
         physical = session.planner.plan(optimized)
         degraded, fraction = self._maybe_degrade(physical, query)
         # Mirror DataFrame._execute: runtime markers (sampling included)

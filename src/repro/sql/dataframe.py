@@ -105,7 +105,7 @@ class DataFrame:
         planner's row estimate (the numbers broadcast decisions use).
         """
         analyzed = self.analyzed_plan()
-        optimized = self.session.optimizer.optimize(analyzed)
+        optimized = self.session.optimize_plan(analyzed)
         physical = self.session.planner.plan(optimized)
         if cost:
             from repro.sql.planner import estimate_rows
@@ -236,7 +236,7 @@ class DataFrame:
 
     def _execute(self):
         analyzed = self.analyzed_plan()
-        optimized = self.session.optimizer.optimize(analyzed)
+        optimized = self.session.optimize_plan(analyzed)
         physical = self.session.planner.plan(optimized)
         # Retained so runtime-adaptive markers (join decisions, pruning
         # counters) are inspectable after the action completes.

@@ -487,6 +487,10 @@ class Optimizer:
     """
 
     def __init__(self, extra_rules: Sequence[Rule] | None = None):
+        #: Standard (value-independent-cacheable) batches; the
+        #: extensions batch is held separately so the plan cache can
+        #: memoize standard output while index-aware rewrites — which
+        #: bake literal values and MVCC versions — always run fresh.
         self.batches = [
             Batch("finish analysis", [eliminate_subquery_aliases], max_iterations=1),
             Batch(
@@ -509,10 +513,21 @@ class Optimizer:
             Batch("column pruning", [prune_columns, collapse_projects,
                                      remove_redundant_projects], max_iterations=1),
         ]
-        if extra_rules:
-            self.batches.append(Batch("extensions", list(extra_rules)))
+        self.extension_batch = (
+            Batch("extensions", list(extra_rules)) if extra_rules else None
+        )
 
-    def optimize(self, plan: LogicalPlan) -> LogicalPlan:
+    def optimize_standard(self, plan: LogicalPlan) -> LogicalPlan:
+        """Run only the standard batches (the cacheable prefix)."""
         for batch in self.batches:
             plan = batch.execute(plan)
         return plan
+
+    def run_extensions(self, plan: LogicalPlan) -> LogicalPlan:
+        """Run only the injected extension rules (never cached)."""
+        if self.extension_batch is not None:
+            plan = self.extension_batch.execute(plan)
+        return plan
+
+    def optimize(self, plan: LogicalPlan) -> LogicalPlan:
+        return self.run_extensions(self.optimize_standard(plan))

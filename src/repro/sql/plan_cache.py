@@ -1,0 +1,296 @@
+"""Plan cache: memoized logical optimization with parameter slots.
+
+Low-latency serving repeats the same query shapes with different
+constants (``WHERE id = ?``), and logical optimization — a dozen rules
+run to fixed point over the whole tree — is pure overhead the second
+time around. This cache memoizes the *standard-batch* optimized plan
+keyed by a fingerprint of the analyzed plan, with comparison literals
+masked out as parameter slots so ``id = 5`` and ``id = 7`` share one
+template.
+
+Scope is deliberately the standard batches only: the extensions batch
+(the index-aware rewrites) bakes literal values and MVCC versions into
+physical-ish nodes, so it always runs fresh on the (substituted) copy.
+All optimizer rules are functional — a rule that changes nothing
+returns the same object, and rewrites build new trees — so a cached
+template is never mutated by reuse.
+
+Soundness of slot masking:
+
+* Only a :class:`~repro.sql.expressions.Literal` that is the *direct
+  child* of a :class:`~repro.sql.expressions.BinaryComparison` with
+  exactly one literal side is a slot. No standard rule's decision
+  depends on the *value* of such a literal, only on its presence —
+  unless the other side folds to a literal too, in which case
+  ``constant_folding`` consumes it.
+* Every other literal (IN lists, arithmetic operands, booleans under
+  And/Or, fold results) is baked into the fingerprint by value, so
+  value-sensitive rules (``boolean_simplification``,
+  ``simplify_in_lists``, ``prune_filters``, ...) key the cache.
+* At insert time each slot literal is checked for *identity survival*
+  into the optimized template. Survivors become substitutable slots
+  (reuse rewrites the template with the new literal); casualties —
+  a comparison that folded away — demote to exact-match slots, which
+  hit only when the incoming value equals the cached one.
+
+Relation leaves key by object identity (the cached template keeps them
+alive, so ids cannot be recycled while the entry lives), and MVCC
+versions key by ``version_id`` — an append moves the version and
+naturally misses, so a stale index-era template is never replayed.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any
+
+from repro.sql.expressions import (
+    Attribute,
+    BinaryComparison,
+    Expression,
+    Literal,
+)
+from repro.sql.logical import LogicalPlan
+from repro.sql.relation import BaseRelation
+
+
+class _FingerprintState:
+    """Accumulator threaded through one fingerprint walk."""
+
+    __slots__ = ("slots", "pins", "_expr_ids")
+
+    def __init__(self) -> None:
+        self.slots: list[Literal] = []  # eligible literals, walk order
+        self.pins: list[Any] = []  # identity-keyed leaves (keep alive)
+        self._expr_ids: dict[int, int] = {}  # expr_id -> first-seen index
+
+    def norm_expr_id(self, expr_id: int) -> int:
+        """Attribute ids are minted per query; normalize to occurrence
+        order so two instantiations of one shape fingerprint equal."""
+        return self._expr_ids.setdefault(expr_id, len(self._expr_ids))
+
+
+def _scalar_token(value: Any) -> Any:
+    """A hashable, deterministic token for a non-tree attribute."""
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return value
+    if isinstance(value, (tuple, list)):
+        return ("seq", tuple(_scalar_token(v) for v in value))
+    if isinstance(value, dict):
+        return (
+            "map",
+            tuple(sorted((str(k), _scalar_token(v)) for k, v in value.items())),
+        )
+    # DataTypes, StructTypes, etc. define value-based reprs; anything
+    # with a default (address-bearing) repr would just always miss.
+    return ("repr", type(value).__name__, repr(value))
+
+
+def _node_attrs(node: Any) -> list[tuple[str, Any]]:
+    attrs = getattr(node, "__dict__", None)
+    if attrs is not None:
+        return sorted(attrs.items())
+    return sorted(
+        (name, getattr(node, name))
+        for name in getattr(type(node), "__slots__", ())
+        if hasattr(node, name)
+    )
+
+
+def _walk_value(value: Any, state: _FingerprintState) -> Any:
+    if isinstance(value, Expression):
+        return _walk_expr(value, state, slot_ok=False)
+    if isinstance(value, LogicalPlan):
+        return _walk_plan(value, state)
+    if isinstance(value, (tuple, list)):
+        return ("seq", tuple(_walk_value(v, state) for v in value))
+    if isinstance(value, BaseRelation):
+        state.pins.append(value)
+        return ("rel", id(value))
+    version_id = getattr(value, "version_id", None)
+    if version_id is not None and type(value).__name__ == "Version":
+        return ("ver", version_id)
+    if type(value).__module__ == "repro.sql.types":
+        return _scalar_token(value)  # DataTypes compare (and repr) by value
+    if type(value).__module__.startswith("repro."):
+        # Opaque engine object (e.g. an IndexedDataFrame): identity key,
+        # pinned so the id stays unambiguous for the entry's lifetime.
+        state.pins.append(value)
+        return ("obj", type(value).__name__, id(value))
+    return _scalar_token(value)
+
+
+def _walk_expr(expr: Expression, state: _FingerprintState, slot_ok: bool) -> Any:
+    if isinstance(expr, Literal):
+        if slot_ok:
+            state.slots.append(expr)
+            return ("?", len(state.slots) - 1, _scalar_token(expr.dtype))
+        return ("lit", _scalar_token(expr.value), _scalar_token(expr.dtype))
+    if isinstance(expr, Attribute):
+        return (
+            "attr",
+            state.norm_expr_id(expr.expr_id),
+            expr.name,
+            _scalar_token(expr.dtype),
+            expr.nullable,
+        )
+    children = expr.children
+    if isinstance(expr, BinaryComparison) and len(children) == 2:
+        # Exactly one literal side -> that literal is a parameter slot.
+        literal_sides = sum(isinstance(c, Literal) for c in children)
+        child_ok = literal_sides == 1
+    else:
+        child_ok = False
+    walked_children = tuple(
+        _walk_expr(c, state, slot_ok=child_ok and isinstance(c, Literal))
+        for c in children
+    )
+    extras = tuple(
+        # Expression ids (Alias and friends) are minted per query, like
+        # Attribute ids — normalize them the same way.
+        (name, state.norm_expr_id(value))
+        if name == "expr_id" and isinstance(value, int)
+        else (name, _walk_value(value, state))
+        for name, value in _node_attrs(expr)
+        if name != "children"
+        and not isinstance(value, Expression)
+        and not (
+            isinstance(value, (tuple, list))
+            and any(isinstance(v, Expression) for v in value)
+        )
+    )
+    return ("e", type(expr).__name__, walked_children, extras)
+
+
+def _walk_plan(plan: LogicalPlan, state: _FingerprintState) -> Any:
+    walked_children = tuple(_walk_plan(c, state) for c in plan.children)
+    extras = tuple(
+        (name, _walk_value(value, state))
+        for name, value in _node_attrs(plan)
+        if not isinstance(value, LogicalPlan)
+        and not (
+            isinstance(value, (tuple, list))
+            and any(isinstance(v, LogicalPlan) for v in value)
+        )
+    )
+    return ("p", type(plan).__name__, walked_children, extras)
+
+
+def fingerprint(plan: LogicalPlan) -> tuple[Any, list[Literal], list[Any]]:
+    """Returns ``(key, slot_literals, pinned_objects)`` for a plan."""
+    state = _FingerprintState()
+    key = _walk_plan(plan, state)
+    return key, state.slots, state.pins
+
+
+def _substitute_by_identity(
+    plan: LogicalPlan, mapping: dict[int, Literal]
+) -> LogicalPlan:
+    """Functional rewrite replacing template literals (by id) with the
+    incoming query's literals; the template itself is untouched."""
+
+    def sub(expr: Expression) -> Expression:
+        replacement = mapping.get(id(expr))
+        return expr if replacement is None else replacement
+
+    return plan.transform_expressions(sub)
+
+
+class _Entry:
+    __slots__ = ("template", "specs", "pins")
+
+    def __init__(self, template: LogicalPlan, specs: list[tuple], pins: list[Any]):
+        self.template = template
+        #: Per slot, aligned with the fingerprint's slot walk order:
+        #: ``("sub", template_literal)`` for identity-surviving slots,
+        #: ``("exact", value, dtype)`` for folded-away ones.
+        self.specs = specs
+        self.pins = pins
+
+
+class PlanCache:
+    """LRU cache of standard-optimized plan templates.
+
+    Thread-safe: served queries optimize concurrently. Lookup and
+    insert are O(plan size); the stored template is shared and only
+    ever read (substitution builds a fresh tree).
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Any, _Entry]" = OrderedDict()  # guarded-by: _lock
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def lookup(self, key: Any, slots: list[Literal]) -> LogicalPlan | None:
+        """A reusable optimized plan for this fingerprint, or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            self._entries.move_to_end(key)
+        mapping: dict[int, Literal] = {}
+        for literal, spec in zip(slots, entry.specs):
+            if spec[0] == "exact":
+                _, value, dtype = spec
+                if literal.value != value or literal.dtype != dtype:
+                    return None  # value-sensitive slot changed: miss
+            else:
+                template_literal = spec[1]
+                if template_literal.value != literal.value:
+                    mapping[id(template_literal)] = literal
+        if not mapping:
+            return entry.template
+        return _substitute_by_identity(entry.template, mapping)
+
+    def insert(
+        self,
+        key: Any,
+        slots: list[Literal],
+        pins: list[Any],
+        template: LogicalPlan,
+    ) -> None:
+        if self.capacity <= 0:
+            return
+        survivors = {id(node) for node in _collect_literals(template)}
+        counts: dict[int, int] = {}
+        for literal in slots:
+            counts[id(literal)] = counts.get(id(literal), 0) + 1
+        specs: list[tuple] = []
+        for literal in slots:
+            # A literal object shared between two slots cannot be
+            # substituted per-slot; demote every occurrence to exact.
+            if counts[id(literal)] == 1 and id(literal) in survivors:
+                specs.append(("sub", literal))
+            else:
+                specs.append(("exact", literal.value, literal.dtype))
+        entry = _Entry(template, specs, pins)
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+
+def _collect_literals(plan: LogicalPlan):
+    stack: list[Any] = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, LogicalPlan):
+            stack.extend(node.children)
+            stack.extend(node.expressions())
+        elif isinstance(node, Expression):
+            if isinstance(node, Literal):
+                yield node
+            stack.extend(node.children)
+
+
+__all__ = ["PlanCache", "fingerprint"]

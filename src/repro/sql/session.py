@@ -101,10 +101,44 @@ class Session:
 
     def _rebuild_pipeline(self) -> None:
         """(Re)build optimizer/planner after extension registration."""
+        from repro.sql.plan_cache import PlanCache
+
         self.optimizer = Optimizer(extra_rules=self.extensions.optimizer_rules)
         self.planner = Planner(
             self, extra_strategies=self.extensions.planner_strategies
         )
+        # Rebuilt (empty) alongside the optimizer: a cached template is
+        # only valid for the rule set that produced it.
+        self.plan_cache = (
+            PlanCache(self.config.plan_cache_size)
+            if self.config.plan_cache_size > 0
+            else None
+        )
+
+    def optimize_plan(self, analyzed: LogicalPlan) -> LogicalPlan:
+        """Optimize an analyzed plan, memoizing the standard batches.
+
+        The plan cache keys on a fingerprint of the analyzed tree with
+        comparison literals masked as parameter slots, so repeated
+        query shapes (``id = ?``) skip the rule fixed-point entirely.
+        Extension rules always run fresh — they bake literal values and
+        MVCC versions into the plan (see :mod:`repro.sql.plan_cache`).
+        """
+        cache = self.plan_cache
+        if cache is None:
+            return self.optimizer.optimize(analyzed)
+        from repro.sql.plan_cache import fingerprint
+
+        metrics = self.ctx.scheduler.metrics
+        key, slots, pins = fingerprint(analyzed)
+        plan = cache.lookup(key, slots)
+        if plan is None:
+            metrics.bump("plan_cache_misses")
+            plan = self.optimizer.optimize_standard(analyzed)
+            cache.insert(key, slots, pins, plan)
+        else:
+            metrics.bump("plan_cache_hits")
+        return self.optimizer.run_extensions(plan)
 
     # ------------------------------------------------------------------
     # DataFrame construction

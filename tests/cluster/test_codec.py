@@ -1,0 +1,147 @@
+"""Unit tests for the task codec and the shared-memory ship store."""
+
+from __future__ import annotations
+
+import struct
+import threading
+
+import pytest
+
+from repro.cluster.codec import TaskCodec, dumps_reply, loads_envelope, loads_reply
+from repro.cluster.shm import DriverShipStore, WorkerShipCache
+from repro.cluster.worker import _AccumulatorProxy
+from repro.engine.accumulators import long_accumulator
+from repro.errors import EngineError
+
+MODULE_GLOBAL = 17
+
+
+def module_level_helper(x):
+    return x + MODULE_GLOBAL
+
+
+class _FakeWorker:
+    """Just the surface TaskUnpickler.persistent_load resolves."""
+
+    def __init__(self) -> None:
+        self.ship_cache = WorkerShipCache()
+        self._proxies: dict[int, _AccumulatorProxy] = {}
+
+    def accumulator_proxy(self, accumulator_id: int) -> _AccumulatorProxy:
+        proxy = self._proxies.get(accumulator_id)
+        if proxy is None:
+            proxy = self._proxies[accumulator_id] = _AccumulatorProxy(accumulator_id)
+        return proxy
+
+
+@pytest.fixture()
+def ship():
+    store = DriverShipStore()
+    yield store
+    store.close()
+
+
+def roundtrip(ship, payload):
+    codec = TaskCodec(ship)
+    worker = _FakeWorker()
+    try:
+        return loads_envelope(codec.dumps_envelope(payload), worker), worker, codec
+    finally:
+        worker.ship_cache.close()
+
+
+def test_lambda_with_closure_and_globals(ship):
+    offset = 5
+    fn = lambda x: module_level_helper(x) + offset + MODULE_GLOBAL  # noqa: E731
+    out, _worker, _codec = roundtrip(ship, {"fn": fn})
+    assert out["fn"](1) == (1 + 17) + 5 + 17
+
+
+def test_nested_function_with_defaults(ship):
+    def make(base):
+        def inner(x, scale=3, *, bias=base):
+            return x * scale + bias
+
+        return inner
+
+    out, _worker, _codec = roundtrip(ship, {"fn": make(100)})
+    assert out["fn"](2) == 106
+    assert out["fn"](2, scale=1, bias=0) == 2
+
+
+def test_module_level_function_by_reference(ship):
+    out, _worker, _codec = roundtrip(ship, {"fn": module_level_helper})
+    assert out["fn"] is module_level_helper
+
+
+def test_struct_objects_roundtrip(ship):
+    packer = struct.Struct("<qd")
+
+    def pack(row, _s=packer):
+        return _s.pack(*row)
+
+    out, _worker, _codec = roundtrip(ship, {"fn": pack})
+    assert out["fn"]((7, 2.5)) == packer.pack(7, 2.5)
+
+
+def test_accumulator_becomes_write_only_proxy(ship):
+    acc = long_accumulator("rows")
+
+    def bump(n, _acc=acc):
+        _acc.add(n)
+        return n
+
+    out, worker, codec = roundtrip(ship, {"fn": bump})
+    assert out["fn"](4) == 4
+    proxy = worker._proxies[acc.accumulator_id]
+    assert proxy.deltas == [4]
+    with pytest.raises(EngineError):
+        _ = proxy.value
+    # driver side registered the real accumulator for delta replay
+    assert codec.accumulators[acc.accumulator_id] is acc
+
+
+def test_reply_falls_back_on_unpicklable_payload():
+    status, payload, deltas = loads_reply(
+        dumps_reply("ok", threading.Lock(), [(1, [2])])
+    )
+    assert status == "err"
+    assert isinstance(payload, EngineError)
+    assert "unpicklable" in str(payload)
+    assert deltas == [(1, [2])]  # deltas survive the substitution
+
+
+def test_reply_ok_roundtrip():
+    status, payload, deltas = loads_reply(dumps_reply("ok", [1, 2, 3], []))
+    assert (status, payload, deltas) == ("ok", [1, 2, 3], [])
+
+
+def test_ship_store_publishes_once(ship):
+    from repro.engine.broadcast import Broadcast
+
+    value = Broadcast({"a": 1})
+    token_a = ship.token_for_object(value)
+    token_b = ship.token_for_object(value)
+    assert token_a == token_b
+
+    cache = WorkerShipCache()
+    try:
+        loaded = cache.load(token_a)
+        assert loaded.value == {"a": 1}
+        assert cache.load(token_a) is loaded  # cached, one attach
+    finally:
+        cache.close()
+
+
+def test_unpicklable_closure_raises_for_fallback(ship):
+    """Closures over live locks must *fail* to encode — the backend's
+    local-execution fallback (mutating ingest tasks) depends on it."""
+    lock = threading.Lock()
+
+    def guarded(x, _lock=lock):
+        with _lock:
+            return x
+
+    codec = TaskCodec(ship)
+    with pytest.raises(Exception):
+        codec.dumps_envelope({"fn": guarded})

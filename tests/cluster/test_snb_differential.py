@@ -1,0 +1,71 @@
+"""SNB differential: every short-read query bit-identical across
+in-process and multi-process backends, on both storage paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import Config
+from repro.core import enable_indexing
+from repro.snb import ALL_QUERIES, generate, load_indexed, load_vanilla, run_query
+from repro.sql.session import Session
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate(scale_factor=0.15, seed=11)
+
+
+def _session(executors: int) -> Session:
+    session = Session(
+        Config(
+            executors=executors,
+            executor_threads=2,
+            shuffle_partitions=4,
+            default_parallelism=2,
+            batch_size_bytes=256 * 1024,
+        )
+    )
+    enable_indexing(session)
+    return session
+
+
+def _params(dataset, kind: str) -> list:
+    ids = dataset.person_ids() if kind == "person" else dataset.message_ids()
+    return ids[:: max(1, len(ids) // 2)][:2]
+
+
+def _run_all(session, dataset) -> dict:
+    vanilla = load_vanilla(session, dataset)
+    indexed = load_indexed(session, dataset)
+    results: dict = {}
+    for name, (_fn, kind) in ALL_QUERIES.items():
+        for param in _params(dataset, kind):
+            results[("vanilla", name, param)] = sorted(
+                map(tuple, run_query(vanilla, name, param))
+            )
+            results[("indexed", name, param)] = sorted(
+                map(tuple, run_query(indexed, name, param))
+            )
+    return results
+
+
+@pytest.fixture(scope="module")
+def local_results(dataset):
+    session = _session(0)
+    try:
+        return _run_all(session, dataset)
+    finally:
+        session.stop()
+
+
+@pytest.mark.parametrize("executors", [2, 4])
+def test_snb_bit_identical(dataset, local_results, executors):
+    session = _session(executors)
+    try:
+        actual = _run_all(session, dataset)
+        stats = session.ctx.backend.stats()
+    finally:
+        session.stop()
+    assert actual == local_results
+    assert stats["workers_lost"] == 0

@@ -1,0 +1,171 @@
+"""Plan cache: parameterized reuse, value-sensitive invalidation,
+LRU bounds, and MVCC-version keying."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import Config
+from repro.core import enable_indexing
+from repro.sql.session import Session
+from tests.conftest import small_config
+
+
+@pytest.fixture()
+def cached_session():
+    s = Session(small_config())
+    s.create_dataframe(
+        [(i, f"n{i % 5}", i * 1.5) for i in range(100)],
+        [("id", "long"), ("name", "string"), ("score", "double")],
+    ).create_or_replace_temp_view("t")
+    yield s
+    s.stop()
+
+
+def counters(session):
+    snapshot = session.ctx.scheduler.metrics.snapshot()
+    return snapshot["plan_cache_hits"], snapshot["plan_cache_misses"]
+
+
+class TestParameterSlots:
+    def test_equality_literal_reuses_template(self, cached_session):
+        s = cached_session
+        assert s.sql("SELECT name FROM t WHERE id = 5").collect_tuples() == [("n0",)]
+        assert s.sql("SELECT name FROM t WHERE id = 7").collect_tuples() == [("n2",)]
+        assert s.sql("SELECT name FROM t WHERE id = 9").collect_tuples() == [("n4",)]
+        assert counters(s) == (2, 1)
+
+    def test_range_literal_reuses_template(self, cached_session):
+        s = cached_session
+        a = s.sql("SELECT count(*) FROM t WHERE id < 10").collect_tuples()
+        b = s.sql("SELECT count(*) FROM t WHERE id < 50").collect_tuples()
+        assert (a, b) == ([(10,)], [(50,)])
+        assert counters(s) == (1, 1)
+
+    def test_different_shapes_miss(self, cached_session):
+        s = cached_session
+        s.sql("SELECT name FROM t WHERE id = 5").collect_tuples()
+        s.sql("SELECT score FROM t WHERE id = 5").collect_tuples()
+        s.sql("SELECT name FROM t WHERE score > 5").collect_tuples()
+        assert counters(s) == (0, 3)
+
+    def test_in_list_values_are_baked(self, cached_session):
+        """IN lists feed value-sensitive rules (dedupe/collapse), so
+        different lists must be different cache entries."""
+        s = cached_session
+        a = s.sql("SELECT count(*) FROM t WHERE id IN (1, 2, 3)").collect_tuples()
+        b = s.sql("SELECT count(*) FROM t WHERE id IN (4, 5)").collect_tuples()
+        c = s.sql("SELECT count(*) FROM t WHERE id IN (1, 2, 3)").collect_tuples()
+        assert (a, b, c) == ([(3,)], [(2,)], [(3,)])
+        hits, misses = counters(s)
+        assert misses == 2 and hits == 1
+
+    def test_folded_comparison_demotes_to_exact(self, cached_session):
+        """``1 = 1`` folds away: same constant hits, changed constant
+        misses (it folds differently), and results stay correct."""
+        s = cached_session
+        e1 = s.sql("SELECT count(*) FROM t WHERE 1 = 1 AND id < 3").collect_tuples()
+        e2 = s.sql("SELECT count(*) FROM t WHERE 1 = 1 AND id < 6").collect_tuples()
+        e3 = s.sql("SELECT count(*) FROM t WHERE 1 = 2 AND id < 6").collect_tuples()
+        assert (e1, e2, e3) == ([(3,)], [(6,)], [(0,)])
+        hits, misses = counters(s)
+        assert hits == 1 and misses == 2
+
+    def test_aggregate_shape_reuse(self, cached_session):
+        s = cached_session
+        q = "SELECT name, count(*) FROM t WHERE score > {v} GROUP BY name"
+        x1 = sorted(s.sql(q.format(v=30)).collect_tuples())
+        x2 = sorted(s.sql(q.format(v=90)).collect_tuples())
+        expected1 = {}
+        expected2 = {}
+        for i in range(100):
+            name = f"n{i % 5}"
+            if i * 1.5 > 30:
+                expected1[name] = expected1.get(name, 0) + 1
+            if i * 1.5 > 90:
+                expected2[name] = expected2.get(name, 0) + 1
+        assert x1 == sorted(expected1.items())
+        assert x2 == sorted(expected2.items())
+        assert counters(s) == (1, 1)
+
+
+class TestLifecycle:
+    def test_capacity_zero_disables(self):
+        with Session(small_config(plan_cache_size=0)) as s:
+            assert s.plan_cache is None
+            s.create_dataframe(
+                [(1, "a")], [("id", "long"), ("name", "string")]
+            ).create_or_replace_temp_view("u")
+            assert s.sql("SELECT name FROM u WHERE id = 1").collect_tuples() == [("a",)]
+            assert counters(s) == (0, 0)
+
+    def test_lru_eviction(self):
+        with Session(small_config(plan_cache_size=2)) as s:
+            s.create_dataframe(
+                [(1, "a", 2.0)],
+                [("id", "long"), ("name", "string"), ("score", "double")],
+            ).create_or_replace_temp_view("u")
+            shapes = [
+                "SELECT name FROM u WHERE id = 1",
+                "SELECT score FROM u WHERE id = 1",
+                "SELECT id FROM u WHERE score > 0",
+            ]
+            for text in shapes:
+                s.sql(text).collect_tuples()
+            assert len(s.plan_cache) == 2
+            s.sql(shapes[0]).collect_tuples()  # evicted: miss again
+            assert counters(s) == (0, 4)
+
+    def test_explain_goes_through_cache(self, cached_session):
+        s = cached_session
+        s.sql("SELECT name FROM t WHERE id = 1").explain()
+        s.sql("SELECT name FROM t WHERE id = 2").explain()
+        assert counters(s) == (1, 1)
+
+
+class TestIndexedVersions:
+    def test_append_invalidates_by_version(self):
+        with Session(small_config()) as s:
+            enable_indexing(s)
+            df = s.create_dataframe(
+                [(i, f"n{i}") for i in range(50)],
+                [("id", "long"), ("name", "string")],
+            )
+            idf = df.create_index("id")
+            idf.to_df().create_or_replace_temp_view("it")
+            assert s.sql("SELECT name FROM it WHERE id = 10").collect_tuples() == [
+                ("n10",)
+            ]
+            assert s.sql("SELECT name FROM it WHERE id = 20").collect_tuples() == [
+                ("n20",)
+            ]
+            hits_before, _ = counters(s)
+            assert hits_before >= 1
+
+            extra = s.create_dataframe(
+                [(1000, "x0")], [("id", "long"), ("name", "string")]
+            )
+            idf2 = idf.append_rows(extra)
+            idf2.to_df().create_or_replace_temp_view("it")
+            # New MVCC version: the stale template must not be replayed.
+            assert s.sql("SELECT name FROM it WHERE id = 1000").collect_tuples() == [
+                ("x0",)
+            ]
+            assert s.sql("SELECT name FROM it WHERE id = 10").collect_tuples() == [
+                ("n10",)
+            ]
+            # The old handle still reads the old version.
+            assert idf.lookup_latest(1000) is None
+
+    def test_index_path_preserved_on_hit(self):
+        with Session(small_config()) as s:
+            enable_indexing(s)
+            df = s.create_dataframe(
+                [(i, f"n{i}") for i in range(50)],
+                [("id", "long"), ("name", "string")],
+            )
+            idf = df.create_index("id")
+            idf.to_df().create_or_replace_temp_view("it")
+            s.sql("SELECT name FROM it WHERE id = 1").collect_tuples()
+            plan_text = s.sql("SELECT name FROM it WHERE id = 2").explain()
+            assert "Lookup" in plan_text, plan_text
