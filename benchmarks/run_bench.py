@@ -25,8 +25,15 @@ Two suites share the harness (``--suite``):
   deliberately undersized admission pool, and governed under the
   serving chaos profile. Reports p50/p99 latency and the typed
   outcome mix. Writes ``BENCH_PR6.json``.
+* ``pr8`` — the bitmap-index planner A/B: multi-predicate selective
+  scans where the costed bitmap-AND plan races the cTrie IN-list
+  lookup and the zone-map-pruned scan over the same rows, plus the
+  shared-arrangement run (one build, every later consumer shares by
+  reference). Writes ``BENCH_PR8.json`` with EXPLAIN markers and
+  registry counters embedded.
 
 All JSON schemas are documented in ``benchmarks/figures.txt``.
+Every suite stamps ``cpu_count`` and host identity into ``meta``.
 
 Usage::
 
@@ -102,6 +109,26 @@ def make_rows(n: int, seed: int = 42) -> list[tuple]:
             )
         )
     return rows
+
+
+def host_meta() -> dict:
+    """Host identification stamped into every ``BENCH_*.json`` meta.
+
+    ``--check`` thresholds are hardware-aware (pr7 scales its speedup
+    floor by core count, pr8 relaxes on single-core hosts), so every
+    committed figure must say what hardware produced it.
+    """
+    import os
+    import platform
+
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "host": {
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "python_implementation": platform.python_implementation(),
+        },
+    }
 
 
 def make_session(codegen_enabled: bool) -> Session:
@@ -1083,6 +1110,323 @@ def check_pr7(result: dict) -> int:
     return 1 if failures else 0
 
 
+# ----------------------------------------------------------------------
+# PR8 suite: bitmap-AND vs cTrie lookup vs zone-map-pruned scan
+# ----------------------------------------------------------------------
+
+#: Concurrent consumers racing create_index in the sharing run.
+PR8_CONSUMERS = 4
+#: Sequential re-acquire timings after the first build.
+PR8_SHARE_SAMPLES = 3
+
+
+def _pr8_session(bitmap_enabled: bool) -> Session:
+    """Single-threaded on purpose (like pr2): the suite measures rows
+    touched per query, not parallelism. Zone maps stay on so the scan
+    rival gets every pruning opportunity it has — the interleaved city
+    assignment (``i % 6``) defeats them by construction, which is
+    exactly the workload bitmap indexes exist for."""
+    session = Session(
+        Config(
+            executor_threads=1,
+            shuffle_partitions=4,
+            default_parallelism=2,
+            batch_size_bytes=256 * 1024,
+            bitmap_indexes_enabled=bitmap_enabled,
+        )
+    )
+    enable_indexing(session)
+    return session
+
+
+def _pr8_queries(indexed) -> dict:
+    """The three measured predicate shapes over one indexed relation."""
+    base = indexed.to_df()
+    return {
+        # One covered equality: BitmapScanExec (bitmap_chosen).
+        "single_eq": base.filter(col("age") == 42),
+        # Selective conjunction: BitmapIndexAndExec (bitmap_and) — the
+        # headline op, raced against cTrie lookup and pruned scan.
+        "and_eq": base.filter(
+            (col("city") == "dresden") & (col("age") == 42)
+        ),
+        # Disjunction under a range residual: bitmap OR + AND program.
+        "or_range": base.filter(
+            ((col("city") == "bremen") | (col("city") == "cardiff"))
+            & (col("age") >= 87)
+        ),
+    }
+
+
+def _pr8_plan_marker(df) -> str:
+    """The planner-decision line from the last executed physical plan."""
+    plan = df.last_execution_plan() or ""
+    for line in plan.splitlines():
+        if any(
+            needle in line
+            for needle in ("bitmap_chosen", "bitmap_and", "index_rejected")
+        ):
+            return line.strip()
+    return "none"
+
+
+def run_pr8(scale: float, rounds: int, seed: int) -> dict:
+    import threading
+
+    from repro.index.registry import bitmap_registry
+
+    n = max(1000, int(BASE_ROWS * scale))
+    rows = make_rows(n, seed)
+    registry = bitmap_registry()
+    stores = []
+
+    scan_session = _pr8_session(bitmap_enabled=False)
+    bitmap_session = _pr8_session(bitmap_enabled=True)
+    try:
+        scan_df = scan_session.create_dataframe(
+            rows, SCHEMA, validate=False
+        ).cache()
+        scan_indexed = create_index(scan_df, "id")
+        bitmap_df = bitmap_session.create_dataframe(
+            rows, SCHEMA, validate=False
+        ).cache()
+        bitmap_indexed = (
+            create_index(bitmap_df, "id")
+            .create_index("city")
+            .create_index("age")
+        )
+        stores.append(bitmap_indexed.store)
+
+        scan_q = _pr8_queries(scan_indexed)
+        bitmap_q = _pr8_queries(bitmap_indexed)
+        # The cTrie rival for the conjunctive query: the primary index
+        # answers only key probes, so the application must maintain the
+        # city → ids mapping itself and push it back as an IN-list; the
+        # residual (age) still filters row by row after the probes.
+        dresden_ids = [row[0] for row in rows if row[4] == "dresden"]
+        ctrie_q = scan_indexed.to_df().filter(
+            col("id").isin(*dresden_ids) & (col("age") == 42)
+        )
+
+        ops: dict[str, dict] = {}
+        for name in scan_q:
+            scan_rows = sorted(scan_q[name].collect_tuples())
+            bitmap_rows = sorted(bitmap_q[name].collect_tuples())
+            med_scan = statistics.median(
+                time_op(lambda q=scan_q[name]: q.collect_tuples(), rounds)
+            )
+            med_bitmap = statistics.median(
+                time_op(lambda q=bitmap_q[name]: q.collect_tuples(), rounds)
+            )
+            entry = {
+                "rows": n,
+                "selected": len(bitmap_rows),
+                "rounds": rounds,
+                "scan_ms": round(med_scan, 3),
+                "bitmap_ms": round(med_bitmap, 3),
+                "speedup_vs_scan": (
+                    round(med_scan / med_bitmap, 3) if med_bitmap > 0 else None
+                ),
+                "identical": scan_rows == bitmap_rows,
+            }
+            if name == "and_eq":
+                ctrie_rows = sorted(ctrie_q.collect_tuples())
+                med_ctrie = statistics.median(
+                    time_op(lambda: ctrie_q.collect_tuples(), rounds)
+                )
+                entry["ctrie_ms"] = round(med_ctrie, 3)
+                entry["ctrie_keys"] = len(dresden_ids)
+                entry["speedup_vs_ctrie"] = (
+                    round(med_ctrie / med_bitmap, 3) if med_bitmap > 0 else None
+                )
+                entry["identical"] = (
+                    entry["identical"] and ctrie_rows == bitmap_rows
+                )
+            ops[name] = entry
+            line = (
+                f"{name:12s} scan {med_scan:9.2f} ms   "
+                f"bitmap {med_bitmap:9.2f} ms   "
+                f"speedup {entry['speedup_vs_scan']:.2f}x"
+            )
+            if "ctrie_ms" in entry:
+                line += (
+                    f"   (ctrie {entry['ctrie_ms']:9.2f} ms, "
+                    f"{entry['speedup_vs_ctrie']:.2f}x)"
+                )
+            print(line)
+
+        markers = {name: _pr8_plan_marker(bitmap_q[name]) for name in bitmap_q}
+        # index_rejected evidence: near-total selectivity makes the
+        # per-row fetch cost dwarf the scan rival, so the planner must
+        # fall back — visibly (EXPLAIN marker) and audibly (counters).
+        before = bitmap_session.ctx.pruning_metrics.snapshot()
+        rejected_q = bitmap_indexed.to_df().filter(col("age") >= 21)
+        rejected_q.collect_tuples()
+        after = bitmap_session.ctx.pruning_metrics.snapshot()
+        markers["rejected"] = _pr8_plan_marker(rejected_q)
+        markers["pruning"] = {k: after[k] - before[k] for k in after}
+
+        # Shared-arrangement amortization: one fresh store, the first
+        # create_index pays the backfill, every later consumer —
+        # sequential re-acquires, then PR8_CONSUMERS racing threads on
+        # an unindexed column — shares the maintained arrangement.
+        share_df = bitmap_session.create_dataframe(rows, SCHEMA, validate=False)
+        share_indexed = create_index(share_df, "id")
+        stores.append(share_indexed.store)
+        before_reg = registry.snapshot()
+        start = time.perf_counter()
+        share_indexed.create_index("city")
+        build_ms = (time.perf_counter() - start) * 1000.0
+        share_ms = []
+        for _ in range(PR8_SHARE_SAMPLES):
+            start = time.perf_counter()
+            share_indexed.create_index("city")
+            share_ms.append((time.perf_counter() - start) * 1000.0)
+        mid_reg = registry.snapshot()
+
+        barrier = threading.Barrier(PR8_CONSUMERS)
+        durations = [0.0] * PR8_CONSUMERS
+
+        def consumer(slot: int) -> None:
+            barrier.wait()
+            t = time.perf_counter()
+            share_indexed.create_index("age")
+            durations[slot] = (time.perf_counter() - t) * 1000.0
+
+        threads = [
+            threading.Thread(target=consumer, args=(slot,))
+            for slot in range(PR8_CONSUMERS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        after_reg = registry.snapshot()
+        ranked = sorted(durations)
+        med_share = statistics.median(share_ms)
+        sharing = {
+            "build_ms": round(build_ms, 3),
+            "share_ms": round(med_share, 3),
+            "amortization": round(build_ms / max(med_share, 1e-6), 1),
+            "sequential": {
+                "builds": mid_reg["builds"] - before_reg["builds"],
+                "shares": mid_reg["shares"] - before_reg["shares"],
+            },
+            "concurrent": {
+                "consumers": PR8_CONSUMERS,
+                "builds": after_reg["builds"] - mid_reg["builds"],
+                "shares": after_reg["shares"] - mid_reg["shares"],
+                "first_ms": round(ranked[-1], 3),
+                "rest_ms": round(statistics.median(ranked[:-1]), 3),
+            },
+            "registry": after_reg,
+        }
+        print(
+            f"sharing      build {build_ms:9.2f} ms   "
+            f"share {med_share:9.2f} ms   "
+            f"concurrent builds={sharing['concurrent']['builds']} "
+            f"shares={sharing['concurrent']['shares']}"
+        )
+    finally:
+        for store in stores:
+            registry.release(store)
+        scan_session.stop()
+        bitmap_session.stop()
+
+    return {
+        "meta": {
+            "bench": "PR8 updatable bitmap indexes vs cTrie lookup and "
+                     "pruned scan",
+            "scale": scale,
+            "rows": n,
+            "rounds": rounds,
+            "seed": seed,
+            "python": sys.version.split()[0],
+            "markers": markers,
+        },
+        "ops": ops,
+        "sharing": sharing,
+    }
+
+
+def check_pr8(result: dict) -> int:
+    """Nonzero when the bitmap evidence is missing.
+
+    The decision evidence is hardware-independent and applies at any
+    scale: the planner must choose each bitmap plan (EXPLAIN markers),
+    reject the non-selective one with pruning counters recorded, return
+    bit-identical rows on every path, and amortize index builds across
+    consumers. The ≥3x speedup floors apply to committed full-scale
+    figures (``scale >= 1.0``), relaxed to 2x on single-core hosts
+    where loaded-machine timer noise dominates short medians.
+    """
+    failures = []
+    meta = result["meta"]
+    markers = meta["markers"]
+    for op_name, needle in (
+        ("single_eq", "bitmap_chosen=True"),
+        ("and_eq", "bitmap_and=True"),
+        ("or_range", "bitmap_and=True"),
+    ):
+        if needle not in markers[op_name]:
+            failures.append(
+                f"{op_name}: planner did not emit {needle} "
+                f"(plan line: {markers[op_name]!r})"
+            )
+    if "index_rejected=" not in markers["rejected"]:
+        failures.append(
+            "non-selective predicate was not visibly rejected "
+            f"(plan line: {markers['rejected']!r})"
+        )
+    if markers["pruning"].get("index_rejected", 0) <= 0:
+        failures.append(
+            "index_rejected fallback did not record pruning metrics "
+            f"(counters: {markers['pruning']})"
+        )
+    for name, entry in result["ops"].items():
+        if not entry["identical"]:
+            failures.append(
+                f"{name}: bitmap rows diverge from the scan/cTrie rows"
+            )
+    sharing = result["sharing"]
+    sequential = sharing["sequential"]
+    if sequential["builds"] != 1 or sequential["shares"] < PR8_SHARE_SAMPLES:
+        failures.append(f"sequential sharing did not amortize: {sequential}")
+    concurrent = sharing["concurrent"]
+    if (
+        concurrent["builds"] != 1
+        or concurrent["shares"] != concurrent["consumers"] - 1
+    ):
+        failures.append(
+            f"concurrent consumers did not share one arrangement: {concurrent}"
+        )
+    if sharing["registry"]["hits"] <= 0:
+        failures.append("no planner decision used a shared arrangement")
+    if meta["scale"] >= 1.0:
+        cores = meta["cpu_count"]
+        floor = 3.0 if cores >= 2 else 2.0
+        and_eq = result["ops"]["and_eq"]
+        for label in ("speedup_vs_scan", "speedup_vs_ctrie"):
+            value = and_eq[label]
+            if value is None or value < floor:
+                failures.append(
+                    f"and_eq {label} is {value}x < {floor}x on a "
+                    f"{cores}-core host"
+                )
+    for failure in failures:
+        print(f"REGRESSION: {failure}", file=sys.stderr)
+    if not failures:
+        and_eq = result["ops"]["and_eq"]
+        print(
+            "check ok: bitmap-AND "
+            f"{and_eq['speedup_vs_scan']}x vs scan, "
+            f"{and_eq['speedup_vs_ctrie']}x vs cTrie; "
+            f"sharing builds={sharing['concurrent']['builds']} "
+            f"shares={sharing['concurrent']['shares']}"
+        )
+    return 1 if failures else 0
+
+
 #: First line of the schema section in figures.txt — run_bench refreshes
 #: everything from this marker on; the pytest bench suite (conftest.py)
 #: preserves it when rewriting the figure tables above it.
@@ -1329,6 +1673,71 @@ query-path codec fallback or worker death occurred, task parity is
 worse than 1.4x, or wall speedup misses the hardware-scaled bar
 (>=2x aggregate at 4 workers on >=4 cores; >=1.2x at 2 workers on
 2-3 cores; sanity bound only on 1 core).
+
+==== BENCH_PR8.json schema ====
+Written by benchmarks/run_bench.py --suite pr8 to BENCH_PR8.json at
+the repo root. A/B of the costed bitmap-index plans against the cTrie
+IN-list lookup and the zone-map-pruned scan, plus the shared-
+arrangement amortization run. Every meta also carries the cpu_count /
+host block stamped into all suites.
+
+{
+  "meta": {
+    "bench":   suite description,
+    "scale":   row-count multiplier (1.0 = 120000 rows),
+    "rows":    dataset size,
+    "rounds":  timed rounds per op (median reported),
+    "seed":    dataset RNG seed,
+    "python":  interpreter version,
+    "cpu_count": host cores (stamped into every suite's meta),
+    "host":    {"platform", "machine", "python_implementation"},
+    "markers": {
+      "single_eq": BitmapScan EXPLAIN line (bitmap_chosen=True),
+      "and_eq":    BitmapIndexAnd EXPLAIN line (bitmap_and=True),
+      "or_range":  BitmapIndexAnd EXPLAIN line (OR+AND program),
+      "rejected":  IndexedScan line carrying index_rejected=<reason>
+                   for the non-selective predicate the cost model
+                   sent back to the scan path,
+      "pruning":   pruning-counter deltas for the rejected query —
+                   index_rejected must be > 0 (EXPLAIN and metrics
+                   agree on the fallback)
+    }
+  },
+  "ops": {
+    <op>: {          # single_eq | and_eq | or_range
+      "rows":            dataset rows,
+      "selected":        rows the predicate keeps,
+      "scan_ms":         median latency, bitmap_indexes_enabled=False,
+      "bitmap_ms":       median latency, bitmap plan chosen,
+      "speedup_vs_scan": scan_ms / bitmap_ms,
+      "identical":       true iff every path returned the same rows,
+      # and_eq only — the cTrie rival (application-maintained
+      # city→ids mapping pushed through the primary index):
+      "ctrie_ms":         median latency of the IN-list plan,
+      "ctrie_keys":       keys in that IN-list,
+      "speedup_vs_ctrie": ctrie_ms / bitmap_ms
+    }
+  },
+  "sharing": {
+    "build_ms":      first create_index (pays the backfill),
+    "share_ms":      median re-acquire (shares by reference),
+    "amortization":  build_ms / share_ms,
+    "sequential":    {"builds": 1, "shares": re-acquire count},
+    "concurrent": {  # N threads racing create_index on a fresh column
+      "consumers", "builds" (must be 1), "shares" (N-1),
+      "first_ms" (the builder), "rest_ms" (median sharer)
+    },
+    "registry":      process-wide builds/shares/hits counters
+  }
+}
+
+Regenerate: python benchmarks/run_bench.py --suite pr8 [--scale F]
+[--rounds N] [--seed N] [--out PATH] [--check]. --check exits nonzero
+if any EXPLAIN marker is missing, the rejected fallback left no
+pruning counters, any path's rows diverge, sharing failed to amortize
+(builds != 1), or — on full-scale figures — bitmap-AND misses the
+hardware-scaled floor (>=3x vs both rivals on multi-core hosts, >=2x
+on 1 core).
 """
 )
 
@@ -1414,12 +1823,14 @@ def run(scale: float, rounds: int, seed: int) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--suite", choices=("pr2", "pr3", "pr5", "pr6", "pr7"),
+    parser.add_argument("--suite",
+                        choices=("pr2", "pr3", "pr5", "pr6", "pr7", "pr8"),
                         default="pr2",
                         help="pr2: codegen A/B; pr3: zone-map/adaptive A/B; "
                              "pr5: durability overhead + cold recovery; "
                              "pr6: closed-loop concurrent serving; "
-                             "pr7: multi-process executors vs in-process")
+                             "pr7: multi-process executors vs in-process; "
+                             "pr8: bitmap indexes vs cTrie/pruned scan")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="row-count multiplier (1.0 = %d rows)" % BASE_ROWS)
     parser.add_argument("--rounds", type=int, default=5,
@@ -1441,8 +1852,14 @@ def main(argv: list[str] | None = None) -> int:
         result = run_pr6(args.scale, args.rounds, args.seed)
     elif args.suite == "pr7":
         result = run_pr7(args.scale, args.rounds, args.seed)
+    elif args.suite == "pr8":
+        result = run_pr8(args.scale, args.rounds, args.seed)
     else:
         result = run(args.scale, args.rounds, args.seed)
+    # Every suite's figures carry the producing hardware: --check
+    # thresholds are hardware-aware, so figures without host identity
+    # cannot be audited.
+    result["meta"].update(host_meta())
     out.write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {out}")
     ensure_schema_doc(Path(__file__).resolve().parent / "figures.txt")
@@ -1456,6 +1873,8 @@ def main(argv: list[str] | None = None) -> int:
             return check_pr6(result)
         if args.suite == "pr7":
             return check_pr7(result)
+        if args.suite == "pr8":
+            return check_pr8(result)
         speedup = result["ops"]["filter_project"]["speedup"]
         if speedup is None or speedup < 1.0:
             print(

@@ -177,6 +177,13 @@ class Config:
     #: batches and partitions that provably cannot match a filter. Off
     #: restores the scan-everything behavior bit for bit.
     zone_maps_enabled: bool = True
+    #: Let the planner use updatable bitmap indexes (``create_index(...,
+    #: kind="bitmap")``) for analytical predicates: low-cardinality
+    #: equality, ranges, and AND/OR combinations compile to bitmap
+    #: intersections costed against the zone-map-pruned scan and the
+    #: cTrie lookup. Off restores the pre-bitmap plans bit for bit —
+    #: attached bitmap indexes are still maintained, just never chosen.
+    bitmap_indexes_enabled: bool = True
     #: Runtime adaptivity over the DAG scheduler (the AQE analogue):
     #: coalesce tiny reduce partitions from recorded map-output sizes
     #: and replan shuffle joins into broadcast joins when the measured

@@ -44,12 +44,19 @@ def create_index(
     column: str | int,
     num_partitions: int | None = None,
     durable_name: str | None = None,
+    kind: str = "ctrie",
 ) -> "IndexedDataFrame":
     """Build an Indexed DataFrame from a regular DataFrame.
 
     The rows are hash-partitioned on the indexed column (shuffled
     through the engine, as in the paper's *Index Creation*) and loaded
     into per-partition cTrie + row-batch storage.
+
+    ``kind`` selects the index family: ``"ctrie"`` (the paper's
+    point-lookup hash index, always present as the primary) or
+    ``"bitmap"``, which additionally attaches a CUBIT-style updatable
+    bitmap index on ``column`` — equivalent to
+    ``create_index(df, column).create_index(column, kind="bitmap")``.
 
     ``durable_name`` (with ``Config.durability_enabled``) binds the
     index to a named on-disk store: if the store already exists, the
@@ -59,6 +66,8 @@ def create_index(
     scratch). Otherwise the store is created and the WAL attached
     before the initial load, so even the first rows survive a crash.
     """
+    if kind not in ("ctrie", "bitmap"):
+        raise IndexError_(f"unknown index kind {kind!r} (ctrie or bitmap)")
     session = df.session
     schema = df.schema
     durability = session.durability if durable_name is not None else None
@@ -70,6 +79,11 @@ def create_index(
     if durability is not None:
         recovered = durability.recover(durable_name)
         if recovered is not None:
+            if kind == "bitmap":
+                # Checkpoint restore already revives attached bitmap
+                # state; attaching is idempotent and backfills only if
+                # the recovered store predates the bitmap index.
+                return recovered.create_index(column, kind="bitmap")
             return recovered
     if isinstance(column, int):
         if not 0 <= column < len(schema):
@@ -99,6 +113,10 @@ def create_index(
     if durability is not None:
         # Bind before the load: the initial rows go through the WAL too.
         durability.make_durable(indexed, durable_name)
+    if kind == "bitmap":
+        # Attach before the load so the bitmaps fill on the append path
+        # instead of a backfill scan.
+        indexed = indexed.create_index(column, kind="bitmap")
     return indexed.append_rows(df)
 
 
@@ -156,6 +174,56 @@ class IndexedDataFrame:
         """Paper-API parity: indexed storage already lives in (executor)
         memory, so caching is inherent; returns self."""
         return self
+
+    def create_index(
+        self, column: str | int, kind: str = "bitmap"
+    ) -> "IndexedDataFrame":
+        """Attach a secondary index on ``column``; returns the handle at
+        the next version (whose snapshots carry the index views).
+
+        Only ``kind="bitmap"`` adds anything today — the cTrie primary
+        always exists on the key column. The bitmap arrangement is
+        acquired through the process-wide sharing registry: the first
+        caller for this (store, column) pays the build/backfill, every
+        later caller — any session, any concurrent query — shares the
+        maintained arrangement by reference (Shared Arrangements,
+        arxiv 1812.02639).
+        """
+        from repro.index.registry import bitmap_registry
+
+        if kind == "ctrie":
+            ordinal = (
+                column
+                if isinstance(column, int)
+                else self.schema.field_index(column)
+            )
+            if ordinal != self.key_ordinal:
+                raise IndexError_(
+                    "the cTrie primary index is fixed to the key column "
+                    f"{self.key_column!r}; use kind='bitmap' for secondary "
+                    "columns"
+                )
+            return self
+        if kind != "bitmap":
+            raise IndexError_(f"unknown index kind {kind!r} (ctrie or bitmap)")
+        if isinstance(column, int):
+            if not 0 <= column < len(self.schema):
+                raise IndexError_(f"column ordinal {column} out of range")
+            ordinal = column
+        else:
+            ordinal = self.schema.field_index(column)
+        store = self.store
+        bitmap_registry().acquire(
+            store,
+            ordinal,
+            lambda: [
+                partition.attach_bitmap_index(ordinal)
+                for partition in store.partitions
+            ],
+        )
+        return IndexedDataFrame(
+            self.session, self.schema, self.key_ordinal, store, store.capture()
+        )
 
     def get_rows(self, key: Any) -> DataFrame:
         """All rows whose indexed column equals ``key``, as a DataFrame.

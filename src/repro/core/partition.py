@@ -43,6 +43,7 @@ class PartitionSnapshot:
         "distinct_keys",
         "batch_zones",
         "zone",
+        "bitmaps",
     )
 
     def __init__(
@@ -54,6 +55,7 @@ class PartitionSnapshot:
         distinct_keys: int = 0,
         batch_zones: "list[ZoneMap] | None" = None,
         zone: "ZoneMap | None" = None,
+        bitmaps: "dict[int, Any] | None" = None,
     ):
         self.partition = partition
         self.trie = trie
@@ -66,6 +68,9 @@ class PartitionSnapshot:
         # the rows below ``watermark`` even while appends continue.
         self.batch_zones = batch_zones
         self.zone = zone
+        # Bitmap-index views at this version (storage ordinal →
+        # BitmapColumnView), None when no bitmap index is attached.
+        self.bitmaps = bitmaps
 
     # -- reads -----------------------------------------------------------
 
@@ -224,6 +229,11 @@ class IndexedPartition:
         # under the same lock — so a checkpoint rotating the WAL under
         # that lock sees exactly the applied rows in the old segment.
         self._wal: "WALWriter | None" = None  # guarded-by: _append_lock
+        # Secondary bitmap indexes by storage ordinal. Each index has
+        # its own inner lock (always acquired *inside* the append lock,
+        # never the other way around); the dict itself — attach, lookup,
+        # iteration on the append path — is append-lock territory.
+        self._bitmap_indexes: dict = {}  # guarded-by: _append_lock
 
     # -- writes ------------------------------------------------------------
 
@@ -255,6 +265,8 @@ class IndexedPartition:
                 self._distinct_keys += 1
             if self._batch_zones is not None:
                 self._record_row(row)
+            for bitmap_index in self._bitmap_indexes.values():
+                bitmap_index.record(row, pointer)
         return pointer
 
     def append_many(self, rows: Sequence[Sequence[Any]]) -> int:
@@ -276,6 +288,7 @@ class IndexedPartition:
             trie = self.trie
             batches = self.batches
             track_zones = self._batch_zones is not None
+            bitmap_indexes = list(self._bitmap_indexes.values())
             fresh_keys = 0
             for row, payload in zip(rows, payloads):
                 key = row[key_ordinal]
@@ -287,6 +300,8 @@ class IndexedPartition:
                     fresh_keys += 1
                 if track_zones:
                     self._record_row(row)
+                for bitmap_index in bitmap_indexes:
+                    bitmap_index.record(row, pointer)
             self._row_count += count
             self._distinct_keys += fresh_keys
         return count
@@ -316,9 +331,45 @@ class IndexedPartition:
                     zone.seal()
             if self._sanitize:
                 self.batches.verify_seals()
+            bitmaps = None
+            if self._bitmap_indexes:
+                bitmaps = {
+                    ordinal: index.snapshot_view()
+                    for ordinal, index in self._bitmap_indexes.items()
+                }
         return PartitionSnapshot(
-            self, trie, watermark, count, distinct, batch_zones, zone
+            self, trie, watermark, count, distinct, batch_zones, zone, bitmaps
         )
+
+    # -- secondary indexes -----------------------------------------------------
+
+    def attach_bitmap_index(self, ordinal: int):
+        """Attach (or return the existing) bitmap index on ``ordinal``.
+
+        Backfills from storage under the append lock — the walk
+        reconstructs each row's packed pointer from the batch headers —
+        so the index is exactly caught up when the lock drops and every
+        later append flows through :meth:`append` / :meth:`append_many`.
+        Idempotent: one maintained index per column, shared by every
+        consumer (the Shared Arrangements contract).
+        """
+        from repro.index.bitmap import PartitionBitmapIndex
+
+        with self._append_lock:
+            existing = self._bitmap_indexes.get(ordinal)
+            if existing is not None:
+                return existing
+            index = PartitionBitmapIndex(ordinal)
+            codec = self.codec
+            for pointer, payload in self.batches.records():
+                index.record(codec.decode(payload), pointer)
+            self._bitmap_indexes[ordinal] = index
+        return index
+
+    def bitmap_index(self, ordinal: int):
+        """The attached bitmap index on ``ordinal``, or None."""
+        with self._append_lock:
+            return self._bitmap_indexes.get(ordinal)
 
     # -- durability -----------------------------------------------------------
 
@@ -341,6 +392,11 @@ class IndexedPartition:
         if self._batch_zones is not None:
             state["batch_zones"] = [zone.copy() for zone in self._batch_zones]
             state["zone"] = self._zone.copy()
+        if self._bitmap_indexes:
+            state["bitmaps"] = {
+                ordinal: index.export_state()
+                for ordinal, index in self._bitmap_indexes.items()
+            }
         return state
 
     def export_state(self) -> dict:
@@ -408,6 +464,14 @@ class IndexedPartition:
             else:
                 partition._batch_zones = None
                 partition._zone = None
+            bitmap_states = state.get("bitmaps")
+            if bitmap_states:
+                from repro.index.bitmap import PartitionBitmapIndex
+
+                partition._bitmap_indexes = {
+                    ordinal: PartitionBitmapIndex.from_state(bitmap_state)
+                    for ordinal, bitmap_state in bitmap_states.items()
+                }
         return partition
 
     def _rebuild_zones_locked(  # requires-lock: _append_lock

@@ -56,6 +56,13 @@ class IndexedScanExec(PhysicalPlan):
         self._routed = False
         self._batches_pruned = 0
         self._sample_fraction: float | None = None
+        self._index_rejected: str | None = None
+
+    def mark_index_rejected(self, reason: str) -> None:
+        """The planner costed a bitmap-index plan here and this scan
+        won; recorded so EXPLAIN shows the decision (the metrics-side
+        counterpart is ``PruningMetrics.record_index_rejected``)."""
+        self._index_rejected = reason
 
     def apply_pruning(self, condition: Expression) -> None:
         """Skip partitions and row batches the filter cannot match.
@@ -174,6 +181,8 @@ class IndexedScanExec(PhysicalPlan):
             markers.append(f"batches_pruned={self._batches_pruned}")
         if self._sample_fraction is not None:
             markers.append(f"degraded=True, sample={self._sample_fraction:.3f}")
+        if self._index_rejected is not None:
+            markers.append(f"index_rejected={self._index_rejected}")
         if markers:
             return base + ", " + ", ".join(markers) + "]"
         return base + "]"
@@ -194,11 +203,22 @@ class IndexLookupExec(PhysicalPlan):
         super().__init__(ctx, output)
         self.version = version
         self.keys = list(keys)
+        self._index_rejected: str | None = None
+
+    def mark_index_rejected(self, reason: str) -> None:
+        """The planner costed a bitmap plan against this lookup and the
+        cTrie won; recorded so EXPLAIN shows the decision."""
+        self._index_rejected = reason
 
     def execute(self) -> RDD:
         return IndexLookupRDD(self.ctx, self.version.snapshots, self.keys)
 
     def describe(self) -> str:
+        if self._index_rejected is not None:
+            return (
+                f"IndexLookup[keys={self.keys!r}, "
+                f"index_rejected={self._index_rejected}]"
+            )
         return f"IndexLookup[keys={self.keys!r}]"
 
 

@@ -263,6 +263,33 @@ class BatchManager:
                 yield view[start : start + length]
                 offset = start + length
 
+    def records(
+        self, watermark: tuple[int, int] | None = None
+    ) -> Iterator[tuple[int, memoryview]]:
+        """Yield ``(packed_pointer, payload_view)`` in append order.
+
+        Like :meth:`scan`, but also reconstructs each record's packed
+        pointer from its position — what a secondary index attached
+        after rows already exist needs to backfill itself.
+        """
+        if watermark is None:
+            watermark = self.watermark()
+        batch_count, last_length = watermark
+        pack = self.layout.pack
+        for batch_no in range(batch_count):
+            batch = self._batches[batch_no]
+            if batch_no == batch_count - 1:
+                end = last_length
+            else:
+                end = self._lengths[batch_no]
+            view = memoryview(batch)
+            offset = 0
+            while offset < end:
+                _prev, length = _HEADER.unpack_from(batch, offset)
+                start = offset + HEADER_SIZE
+                yield pack(batch_no, offset, length), view[start : start + length]
+                offset = start + length
+
     def __repr__(self) -> str:
         return (
             f"BatchManager({self.num_batches} batches, "

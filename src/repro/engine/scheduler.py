@@ -218,6 +218,7 @@ class SchedulerMetrics:
     workers_lost: int = 0  # guarded-by: _lock
     plan_cache_hits: int = 0  # guarded-by: _lock
     plan_cache_misses: int = 0  # guarded-by: _lock
+    plan_cache_full_hits: int = 0  # guarded-by: _lock
     index_fallbacks: int = 0  # guarded-by: _lock
     coalesced_shuffles: int = 0  # guarded-by: _lock
     coalesced_partitions: int = 0  # guarded-by: _lock
@@ -257,6 +258,7 @@ class SchedulerMetrics:
                     "workers_lost",
                     "plan_cache_hits",
                     "plan_cache_misses",
+                    "plan_cache_full_hits",
                     "index_fallbacks",
                     "coalesced_shuffles",
                     "coalesced_partitions",

@@ -1,0 +1,34 @@
+"""Secondary index families beyond the cTrie point-lookup index.
+
+The paper's Indexed DataFrame carries exactly one index — the cTrie
+hash index keyed on the primary column — which makes point lookups
+cheap but leaves analytical predicates (low-cardinality equality,
+ranges, AND/OR combinations) to the scan path. This package adds the
+second family: CUBIT-style updatable bitmap indexes whose snapshot
+semantics mirror the cTrie's (readers never block writers), plus the
+inter-query sharing registry that lets concurrent sessions reuse one
+maintained arrangement instead of each building its own.
+
+* :mod:`repro.index.bitmap` — the per-partition updatable bitmap index
+  and its immutable snapshot views, plus the predicate compiler that
+  turns filter conditions into bitmap programs.
+* :mod:`repro.index.registry` — the process-wide shared-arrangement
+  registry with build/share/hit counters.
+"""
+
+from repro.index.bitmap import (
+    BitmapColumnView,
+    PartitionBitmapIndex,
+    compile_bitmap_program,
+    evaluate_program,
+)
+from repro.index.registry import BitmapIndexRegistry, bitmap_registry
+
+__all__ = [
+    "BitmapColumnView",
+    "BitmapIndexRegistry",
+    "PartitionBitmapIndex",
+    "bitmap_registry",
+    "compile_bitmap_program",
+    "evaluate_program",
+]

@@ -1,0 +1,120 @@
+"""Inter-query bitmap-arrangement sharing (Shared Arrangements style).
+
+Building a bitmap index is a full scan of the relation; a serving
+deployment where every session (or every query) rebuilds its own copy
+pays that scan once per consumer. Following Shared Arrangements
+(arxiv 1812.02639), this registry keeps **one maintained arrangement
+per (store, column)**: the first ``create_index(col, kind="bitmap")``
+builds and attaches the per-partition indexes, every later request —
+from any session sharing the process — gets the same arrangement by
+reference and pays nothing. Across ``cluster`` workers the arrangement
+ships inside :class:`~repro.core.partition.PartitionSnapshot` exactly
+like the cTrie snapshot does, over the PR 7 shared-memory row batches.
+
+Counters (``builds`` / ``shares`` / ``hits``) surface in
+:meth:`snapshot` so benchmarks and the metrics endpoint can prove the
+amortization: in the concurrent-sessions run, ``builds`` stays 1 while
+``shares`` counts every additional consumer.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+
+class _Arrangement:
+    """One shared (store, column) bitmap arrangement."""
+
+    __slots__ = ("store", "ordinal", "indexes")
+
+    def __init__(self, store: Any, ordinal: int, indexes: list):
+        # Strong reference on purpose: it keeps ``id(store)`` unambiguous
+        # for the arrangement's lifetime and keeps the arrangement's
+        # partitions alive for late-joining sessions.
+        self.store = store
+        self.ordinal = ordinal
+        self.indexes = indexes
+
+
+class BitmapIndexRegistry:
+    """Process-wide registry of shared bitmap arrangements.
+
+    Thread-safe; one instance per process (see :func:`bitmap_registry`)
+    so concurrent serving sessions share arrangements by construction.
+    A build runs under the registry lock — two sessions racing to index
+    the same column serialize, and the loser gets the winner's
+    arrangement instead of building a duplicate.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: (id(store), ordinal) → arrangement.
+        self._arrangements: dict[tuple[int, int], _Arrangement] = {}  # guarded-by: _lock
+        self.builds = 0  # guarded-by: _lock
+        self.shares = 0  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+
+    def acquire(
+        self, store: Any, ordinal: int, builder: Callable[[], list]
+    ) -> _Arrangement:
+        """The shared arrangement for ``(store, ordinal)``, building it
+        via ``builder`` (which attaches per-partition indexes and
+        returns them) only if no session has yet."""
+        key = (id(store), ordinal)
+        with self._lock:
+            arrangement = self._arrangements.get(key)
+            if arrangement is not None and arrangement.store is store:
+                self.shares += 1
+                return arrangement
+            arrangement = _Arrangement(store, ordinal, builder())
+            self._arrangements[key] = arrangement
+            self.builds += 1
+            return arrangement
+
+    def record_hit(self) -> None:
+        """A planner decision used a shared arrangement."""
+        with self._lock:
+            self.hits += 1
+
+    def release(self, store: Any) -> None:
+        """Drop every arrangement for ``store`` (table dropped or test
+        teardown); the per-partition indexes stay attached to their
+        partitions and die with them."""
+        with self._lock:
+            for key in [
+                key
+                for key, arrangement in self._arrangements.items()
+                if arrangement.store is store
+            ]:
+                del self._arrangements[key]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._arrangements.clear()
+            self.builds = 0
+            self.shares = 0
+            self.hits = 0
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "arrangements": len(self._arrangements),
+                "builds": self.builds,
+                "shares": self.shares,
+                "hits": self.hits,
+            }
+
+    def __repr__(self) -> str:
+        return f"BitmapIndexRegistry({self.snapshot()})"
+
+
+_REGISTRY = BitmapIndexRegistry()
+
+
+def bitmap_registry() -> BitmapIndexRegistry:
+    """The process-wide shared-arrangement registry."""
+    return _REGISTRY
+
+
+__all__ = ["BitmapIndexRegistry", "bitmap_registry"]

@@ -280,9 +280,14 @@ class ServingRuntime:
             breakers = {
                 site: breaker.snapshot() for site, breaker in self._breakers.items()
             }
+        from repro.index.registry import bitmap_registry
+
         return {
             "serving": self.metrics.snapshot(),
             "admission": self.admission.snapshot(),
             "memory": self.memory.snapshot(),
             "breakers": breakers,
+            # Shared bitmap arrangements (builds/shares/hits) so the
+            # amortization across concurrent sessions is observable.
+            "index_sharing": bitmap_registry().snapshot(),
         }

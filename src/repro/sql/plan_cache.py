@@ -221,14 +221,69 @@ class PlanCache:
         self.capacity = capacity
         self._lock = threading.Lock()
         self._entries: "OrderedDict[Any, _Entry]" = OrderedDict()  # guarded-by: _lock
+        #: Fully-optimized plans (extensions batch included), keyed by
+        #: (template key, exact slot values). Extension rewrites bake
+        #: literal keys and MVCC versions into the tree, so these
+        #: entries are only reusable verbatim — and because Version
+        #: leaves fingerprint as ("ver", version_id), an append moves
+        #: the version and every full entry for the old version (its
+        #: bitmap-vs-cTrie era included) naturally misses.
+        self._full: "OrderedDict[Any, _Entry]" = OrderedDict()  # guarded-by: _lock
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
+    def full_len(self) -> int:
+        with self._lock:
+            return len(self._full)
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._full.clear()
+
+    @staticmethod
+    def _full_key(key: Any, slots: list[Literal]) -> Any:
+        return (
+            key,
+            tuple(
+                (_scalar_token(s.value), _scalar_token(s.dtype)) for s in slots
+            ),
+        )
+
+    def lookup_full(self, key: Any, slots: list[Literal]) -> LogicalPlan | None:
+        """A fully-optimized plan for this exact (shape, values) pair.
+
+        No substitution happens here: a full entry already went through
+        the extensions batch, which bakes slot values in (an IN-list of
+        cTrie keys, a costed bitmap choice), so only an exact value
+        match may reuse it.
+        """
+        full_key = self._full_key(key, slots)
+        with self._lock:
+            entry = self._full.get(full_key)
+            if entry is None:
+                return None
+            self._full.move_to_end(full_key)
+            return entry.template
+
+    def insert_full(
+        self,
+        key: Any,
+        slots: list[Literal],
+        pins: list[Any],
+        plan: LogicalPlan,
+    ) -> None:
+        if self.capacity <= 0:
+            return
+        entry = _Entry(plan, [], pins)
+        full_key = self._full_key(key, slots)
+        with self._lock:
+            self._full[full_key] = entry
+            self._full.move_to_end(full_key)
+            while len(self._full) > self.capacity:
+                self._full.popitem(last=False)
 
     def lookup(self, key: Any, slots: list[Literal]) -> LogicalPlan | None:
         """A reusable optimized plan for this fingerprint, or ``None``."""

@@ -131,6 +131,16 @@ class Session:
 
         metrics = self.ctx.scheduler.metrics
         key, slots, pins = fingerprint(analyzed)
+        # Full-plan level: extension output (index rewrites with their
+        # literal keys and MVCC versions baked in) memoized by exact
+        # (shape, values). Versions live in the fingerprint key, so an
+        # append invalidates by construction and a stale bitmap-vs-
+        # cTrie era plan is never replayed.
+        full = cache.lookup_full(key, slots)
+        if full is not None:
+            metrics.bump("plan_cache_hits")
+            metrics.bump("plan_cache_full_hits")
+            return full
         plan = cache.lookup(key, slots)
         if plan is None:
             metrics.bump("plan_cache_misses")
@@ -138,7 +148,9 @@ class Session:
             cache.insert(key, slots, pins, plan)
         else:
             metrics.bump("plan_cache_hits")
-        return self.optimizer.run_extensions(plan)
+        final = self.optimizer.run_extensions(plan)
+        cache.insert_full(key, slots, pins, final)
+        return final
 
     # ------------------------------------------------------------------
     # DataFrame construction

@@ -313,6 +313,7 @@ class PruningMetrics:
         self.partitions_routed = 0  # guarded-by: _lock
         self.batches_total = 0  # guarded-by: _lock
         self.batches_pruned = 0  # guarded-by: _lock
+        self.index_rejected = 0  # guarded-by: _lock
 
     def record_scan(
         self,
@@ -331,6 +332,14 @@ class PruningMetrics:
             if routed:
                 self.partitions_routed += partitions_pruned
 
+    def record_index_rejected(self) -> None:
+        """A bitmap-index candidate lost the cost comparison and the
+        query took the (already-recorded) pruned-scan or lookup path.
+        Counted so EXPLAIN's ``index_rejected`` markers and the metrics
+        snapshot agree."""
+        with self._lock:
+            self.index_rejected += 1
+
     def snapshot(self) -> dict[str, int]:
         with self._lock:
             return {
@@ -342,6 +351,7 @@ class PruningMetrics:
                     "partitions_routed",
                     "batches_total",
                     "batches_pruned",
+                    "index_rejected",
                 )
             }
 

@@ -255,6 +255,7 @@ class TestPruningMetrics:
         metrics.record_scan(
             partitions_total=4, partitions_pruned=1, batches_total=8, batches_pruned=5
         )
+        metrics.record_index_rejected()
         snap = metrics.snapshot()
         assert snap == {
             "scans": 2,
@@ -263,4 +264,5 @@ class TestPruningMetrics:
             "partitions_routed": 3,
             "batches_total": 8,
             "batches_pruned": 5,
+            "index_rejected": 1,
         }

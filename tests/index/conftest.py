@@ -1,0 +1,38 @@
+"""Fixtures for the bitmap-index suite.
+
+The sharing registry is process-wide by design (that is the sharing),
+so every test starts from cleared counters to keep builds/shares
+assertions deterministic regardless of test order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import enable_indexing
+from repro.index.registry import bitmap_registry
+from repro.sql.session import Session
+from tests.conftest import small_config
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    bitmap_registry().clear()
+    yield
+    bitmap_registry().clear()
+
+
+@pytest.fixture()
+def make_bitmap_session():
+    """Factory for sessions (indexing enabled); stops them on teardown."""
+    created: list[Session] = []
+
+    def factory(**overrides) -> Session:
+        session = Session(small_config(**overrides))
+        enable_indexing(session)
+        created.append(session)
+        return session
+
+    yield factory
+    for session in created:
+        session.stop()

@@ -1,0 +1,92 @@
+"""Chaos: the bitmap fetch path shares the ``index.probe`` fault site.
+
+Across 20 seeds, injected probe deaths either retry away or degrade
+through GuardedIndexExec to the vanilla scan — and whatever path runs,
+the rows are exactly the fault-free answer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import create_index
+from repro.faults import FaultProfile
+from repro.sql.functions import col
+from repro.sql.session import Session
+from tests.conftest import small_config
+
+SCHEMA = [("id", "long"), ("city", "string"), ("age", "long")]
+CITIES = ["nl", "de", "us", "fr", "uk", "jp"]
+SEEDS = range(20)
+
+
+def make_rows(n: int = 120) -> list[tuple]:
+    return [(i, CITIES[i % len(CITIES)], 20 + i % 5) for i in range(n)]
+
+
+def load(session: Session):
+    df = session.create_dataframe(make_rows(), SCHEMA)
+    return create_index(df, "id").create_index("city").create_index("age")
+
+
+def query_rows(indexed) -> list[list[tuple]]:
+    base = indexed.to_df()
+    queries = (
+        base.filter(col("city") == "de"),
+        base.filter((col("city") == "de") & (col("age") == 21)),
+        base.filter((col("city") == "de") | (col("city") == "jp")),
+    )
+    return [sorted(q.collect_tuples()) for q in queries]
+
+
+@pytest.fixture(scope="module")
+def reference(request):
+    from repro.core import enable_indexing
+
+    session = Session(small_config())
+    enable_indexing(session)
+    request.addfinalizer(session.stop)
+    return query_rows(load(session))
+
+
+class TestSeededProbeChaos:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_chaotic_run_equals_fault_free_run(
+        self, make_bitmap_session, reference, seed
+    ):
+        session = make_bitmap_session(
+            faults=FaultProfile(seed=seed, index_probe_p=0.25),
+            task_max_retries=2,
+            retry_backoff_s=0.0005,
+        )
+        assert query_rows(load(session)) == reference
+
+
+class TestGuaranteedFallback:
+    def test_dead_probe_degrades_to_scan(self, make_bitmap_session, reference):
+        session = make_bitmap_session(
+            faults=FaultProfile(seed=5, index_probe_p=1.0),
+            task_max_retries=0,
+        )
+        indexed = load(session)
+        # The planner still chooses the bitmap plan (planning does not
+        # probe); execution dies and the guard swaps in the scan.
+        assert "bitmap_chosen=True" in (
+            indexed.to_df().filter(col("city") == "de").explain()
+        )
+        assert query_rows(indexed) == reference
+        # The OR query is cost-rejected (1/3 of the rows), so exactly
+        # the two chosen bitmap plans degrade.
+        assert session.ctx.scheduler.metrics.index_fallbacks >= 2
+
+    def test_fallback_disabled_surfaces_the_failure(self, make_bitmap_session):
+        from repro.errors import RetryExhaustedError
+
+        session = make_bitmap_session(
+            faults=FaultProfile(seed=5, index_probe_p=1.0),
+            task_max_retries=0,
+            index_fallback=False,
+        )
+        indexed = load(session)
+        with pytest.raises(RetryExhaustedError):
+            indexed.to_df().filter(col("city") == "de").collect_tuples()

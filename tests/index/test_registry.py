@@ -1,0 +1,114 @@
+"""The shared-arrangement registry: build once, share by reference."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core import create_index
+from repro.index.registry import bitmap_registry
+from repro.sql.functions import col
+
+SCHEMA = [("id", "long"), ("city", "string"), ("age", "long")]
+
+
+class TestAcquire:
+    def test_first_builds_then_shares(self):
+        registry = bitmap_registry()
+        store = object()
+        built: list[int] = []
+
+        def builder():
+            built.append(1)
+            return ["arrangement"]
+
+        first = registry.acquire(store, 1, builder)
+        second = registry.acquire(store, 1, builder)
+        assert first is second
+        assert built == [1]
+        snap = registry.snapshot()
+        assert (snap["builds"], snap["shares"], snap["arrangements"]) == (1, 1, 1)
+
+    def test_distinct_columns_are_distinct_arrangements(self):
+        registry = bitmap_registry()
+        store = object()
+        registry.acquire(store, 1, lambda: ["a"])
+        registry.acquire(store, 2, lambda: ["b"])
+        snap = registry.snapshot()
+        assert (snap["builds"], snap["arrangements"]) == (2, 2)
+
+    def test_release_forgets_the_store(self):
+        registry = bitmap_registry()
+        store = object()
+        registry.acquire(store, 1, lambda: ["a"])
+        registry.release(store)
+        assert registry.snapshot()["arrangements"] == 0
+        registry.acquire(store, 1, lambda: ["rebuilt"])
+        assert registry.snapshot()["builds"] == 2
+
+    def test_concurrent_acquires_build_exactly_once(self):
+        registry = bitmap_registry()
+        store = object()
+        consumers = 8
+        barrier = threading.Barrier(consumers)
+        built: list[int] = []
+        results: list = [None] * consumers
+
+        def consumer(slot: int) -> None:
+            barrier.wait()
+            results[slot] = registry.acquire(
+                store, 3, lambda: built.append(1) or ["arr"]
+            )
+
+        threads = [
+            threading.Thread(target=consumer, args=(slot,))
+            for slot in range(consumers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert built == [1]
+        assert all(r is results[0] for r in results)
+        snap = registry.snapshot()
+        assert (snap["builds"], snap["shares"]) == (1, consumers - 1)
+
+
+class TestEngineIntegration:
+    def make_indexed(self, session):
+        rows = [(i, "ab"[i % 2], 20 + i % 5) for i in range(80)]
+        df = session.create_dataframe(rows, SCHEMA)
+        return create_index(df, "id")
+
+    def test_create_index_twice_shares_one_arrangement(self, make_bitmap_session):
+        session = make_bitmap_session()
+        indexed = self.make_indexed(session)
+        indexed.create_index("city")
+        indexed.create_index("city")
+        snap = bitmap_registry().snapshot()
+        assert (snap["builds"], snap["shares"]) == (1, 1)
+
+    def test_two_handles_of_one_store_share(self, make_bitmap_session):
+        session = make_bitmap_session()
+        indexed = self.make_indexed(session)
+        h1 = indexed.create_index("age")
+        h2 = indexed.create_index("age")
+        assert h1.store is h2.store
+        snap = bitmap_registry().snapshot()
+        assert (snap["builds"], snap["shares"]) == (1, 1)
+
+    def test_planner_decisions_count_as_hits(self, make_bitmap_session):
+        session = make_bitmap_session()
+        indexed = self.make_indexed(session).create_index("age")
+        before = bitmap_registry().snapshot()["hits"]
+        rows = indexed.to_df().filter(col("age") == 21).collect_tuples()
+        assert rows
+        assert bitmap_registry().snapshot()["hits"] > before
+
+    def test_distinct_stores_do_not_alias(self, make_bitmap_session):
+        session = make_bitmap_session()
+        a = self.make_indexed(session)
+        b = self.make_indexed(session)
+        a.create_index("city")
+        b.create_index("city")
+        snap = bitmap_registry().snapshot()
+        assert (snap["builds"], snap["shares"], snap["arrangements"]) == (2, 0, 2)

@@ -114,7 +114,9 @@ class TestStats:
     def test_stats_shape(self, serving_session):
         serving_session.serve("SELECT count(*) FROM rows")
         stats = serving_session.serving.stats()
-        assert set(stats) == {"serving", "admission", "memory", "breakers"}
+        assert set(stats) == {
+            "serving", "admission", "memory", "breakers", "index_sharing",
+        }
         assert stats["serving"]["submitted"] == 1
         assert stats["serving"]["completed"] == 1
         assert stats["admission"]["admitted"] == 1

@@ -169,3 +169,62 @@ class TestIndexedVersions:
             s.sql("SELECT name FROM it WHERE id = 1").collect_tuples()
             plan_text = s.sql("SELECT name FROM it WHERE id = 2").explain()
             assert "Lookup" in plan_text, plan_text
+
+
+class TestFullPlanLevel:
+    """The second cache level: fully-optimized plans (extensions batch
+    included) reused only on an exact (shape, values, version) match."""
+
+    def full_hits(self, session) -> int:
+        return session.ctx.scheduler.metrics.snapshot()["plan_cache_full_hits"]
+
+    def test_exact_repeat_skips_the_extensions_batch(self, cached_session):
+        s = cached_session
+        a = s.sql("SELECT name FROM t WHERE id = 5").collect_tuples()
+        b = s.sql("SELECT name FROM t WHERE id = 5").collect_tuples()
+        assert a == b == [("n0",)]
+        assert self.full_hits(s) == 1
+        assert s.plan_cache.full_len() == 1
+
+    def test_changed_literal_misses_full_but_hits_template(self, cached_session):
+        s = cached_session
+        s.sql("SELECT name FROM t WHERE id = 5").collect_tuples()
+        s.sql("SELECT name FROM t WHERE id = 7").collect_tuples()
+        assert self.full_hits(s) == 0
+        assert counters(s) == (1, 1)  # the template level still reuses
+
+    def test_append_invalidates_full_entries_by_version(self):
+        with Session(small_config()) as s:
+            enable_indexing(s)
+            df = s.create_dataframe(
+                [(i, "ab"[i % 2]) for i in range(60)],
+                [("id", "long"), ("kind", "string")],
+            )
+            idf = df.create_index("id").create_index("kind")
+            idf.to_df().create_or_replace_temp_view("it")
+            q = "SELECT count(*) FROM it WHERE kind = 'a'"
+            assert s.sql(q).collect_tuples() == [(30,)]
+            assert s.sql(q).collect_tuples() == [(30,)]
+            full_before = s.ctx.scheduler.metrics.snapshot()["plan_cache_full_hits"]
+            assert full_before == 1
+
+            idf2 = idf.append_rows([(1000, "a"), (1001, "a")])
+            idf2.to_df().create_or_replace_temp_view("it")
+            # New MVCC version: the baked bitmap-vs-cTrie era must not
+            # replay — the query replans and sees the appended rows.
+            assert s.sql(q).collect_tuples() == [(32,)]
+            after = s.ctx.scheduler.metrics.snapshot()["plan_cache_full_hits"]
+            assert after == full_before
+            # The new version becomes its own full entry.
+            assert s.sql(q).collect_tuples() == [(32,)]
+            assert (
+                s.ctx.scheduler.metrics.snapshot()["plan_cache_full_hits"]
+                == full_before + 1
+            )
+
+    def test_clear_drops_both_levels(self, cached_session):
+        s = cached_session
+        s.sql("SELECT name FROM t WHERE id = 5").collect_tuples()
+        assert len(s.plan_cache) == 1 and s.plan_cache.full_len() == 1
+        s.plan_cache.clear()
+        assert len(s.plan_cache) == 0 and s.plan_cache.full_len() == 0
