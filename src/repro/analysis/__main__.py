@@ -1,25 +1,48 @@
 """CLI entry point: ``python -m repro.analysis [paths...]``.
 
-Walks the given files/directories, applies the lock-discipline and
-plan-contract rules to every ``*.py`` file and the generated-code
-rules to every ``*.gensrc`` file (captured kernel sources, used by the
-regression fixtures), prints one ``path:line: RULE message`` line per
-finding, and exits nonzero if anything was found.
+Walks the given files/directories and runs every rule family:
 
-``--self-check`` (on by default) additionally compiles a set of
-representative expression kernels through :mod:`repro.codegen`, which
-runs the CG rules on the real emitter output — a cheap end-to-end
-guarantee that the shipped emitters satisfy their own contract.
+* per-file: lock discipline (LD), plan contracts (PC) on ``*.py``;
+  generated-code rules (CG) on ``*.gensrc`` kernel captures;
+* whole-program (one shared parse of every ``*.py`` file): lock
+  ordering (LO), exception taxonomy (ET), cancellation-poll coverage
+  (CP), fault-site cross-checks (FS), process-boundary escapes (XP).
+
+Output is one ``path:line: RULE message`` line per finding (or a JSON
+document with ``--format json``), exit nonzero if anything was found.
+
+* ``--select`` / ``--ignore`` filter by rule id or family prefix
+  (``--select ET,LO`` or ``--ignore CP001``);
+* ``--baseline FILE`` suppresses grandfathered findings; every entry
+  needs a justification comment and stale entries are reported;
+* ``--self-check`` (on by default) compiles representative expression
+  kernels through :mod:`repro.codegen`, running the CG rules on real
+  emitter output.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
-from repro.analysis import codegen_rules, lockcheck, plancheck
+from repro.analysis import (
+    cancelcheck,
+    codegen_rules,
+    escapecheck,
+    lockcheck,
+    lockgraph,
+    plancheck,
+    sitecheck,
+    taxonomy,
+)
+from repro.analysis.baseline import Baseline, load_baseline
+from repro.analysis.program import Program
 from repro.analysis.report import RULES, Violation
+
+#: Whole-program rule families, run over one shared parse.
+PROGRAM_CHECKS = (lockgraph, taxonomy, cancelcheck, sitecheck, escapecheck)
 
 
 def iter_source_files(paths: list[str]) -> list[Path]:
@@ -34,14 +57,32 @@ def iter_source_files(paths: list[str]) -> list[Path]:
     return files
 
 
-def check_paths(paths: list[str]) -> list[Violation]:
+def _matches(rule: str, patterns: list[str]) -> bool:
+    return any(rule == p or rule.startswith(p) for p in patterns)
+
+
+def check_paths(
+    paths: list[str],
+    select: list[str] | None = None,
+    ignore: list[str] | None = None,
+) -> list[Violation]:
     violations: list[Violation] = []
+    py_files: list[Path] = []
     for path in iter_source_files(paths):
         if path.suffix == ".gensrc":
             violations.extend(codegen_rules.check_file(path))
             continue
+        py_files.append(path)
         violations.extend(lockcheck.check_file(path))
         violations.extend(plancheck.check_file(path))
+    if py_files:
+        program = Program.load(py_files)
+        for family in PROGRAM_CHECKS:
+            violations.extend(family.check_program(program))
+    if select:
+        violations = [v for v in violations if _matches(v.rule, select)]
+    if ignore:
+        violations = [v for v in violations if not _matches(v.rule, ignore)]
     violations.sort(key=lambda v: (v.path, v.line, v.rule))
     return violations
 
@@ -75,16 +116,27 @@ def self_check() -> list[str]:
             build()
         except CodegenError as exc:
             errors.append(f"self-check kernel {label!r} failed validation: {exc}")
-        except Exception as exc:  # pragma: no cover - unexpected breakage
+        # The self-check *reports* breakage instead of crashing the CLI;
+        # nothing is absorbed — every failure fails the run.
+        except Exception as exc:  # lint: allow[ET001] -- reported as a failing check, exits nonzero
             errors.append(f"self-check kernel {label!r} raised {exc!r}")
     return errors
+
+
+def _split_rules(raw: str | None) -> list[str] | None:
+    if raw is None:
+        return None
+    return [part.strip() for part in raw.split(",") if part.strip()]
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Project-specific static analysis (lock discipline, "
-        "plan contracts, generated-code rules).",
+        description="Project-specific static analysis: file-local rules "
+        "(lock discipline, plan contracts, generated code) plus the "
+        "whole-program contract families (lock ordering, exception "
+        "taxonomy, cancellation polls, fault sites, process-boundary "
+        "escapes).",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"],
@@ -92,6 +144,23 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json: machine-readable, for CI)",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule ids or family prefixes to run "
+        "(e.g. ET,LO001)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="RULES",
+        help="comma-separated rule ids or family prefixes to skip",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="baseline file of justified, grandfathered findings",
     )
     parser.add_argument(
         "--no-self-check", action="store_true",
@@ -105,19 +174,54 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     files = iter_source_files(args.paths)
-    violations = check_paths(args.paths)
-    for violation in violations:
-        print(violation.render())
+    violations = check_paths(
+        args.paths, _split_rules(args.select), _split_rules(args.ignore)
+    )
+
+    stale: list[str] = []
+    baseline_errors: list[str] = []
+    if args.baseline:
+        baseline: Baseline = load_baseline(args.baseline)
+        baseline_errors = list(baseline.errors)
+        violations, stale = baseline.apply(violations)
 
     errors: list[str] = []
     if not args.no_self_check:
         errors = self_check()
+
+    if args.format == "json":
+        print(json.dumps(
+            {
+                "files_checked": len(files),
+                "violations": [
+                    {
+                        "rule": v.rule,
+                        "path": v.path,
+                        "line": v.line,
+                        "message": v.message,
+                    }
+                    for v in violations
+                ],
+                "baseline_errors": baseline_errors,
+                "stale_baseline": stale,
+                "self_check_failures": errors,
+            },
+            indent=2,
+        ))
+    else:
+        for violation in violations:
+            print(violation.render())
+        for error in baseline_errors:
+            print(error)
+        for warning in stale:
+            print(warning)
         for error in errors:
             print(error)
 
-    if violations or errors:
+    if violations or errors or baseline_errors:
         print(
             f"repro.analysis: {len(violations)} violation(s), "
+            f"{len(baseline_errors)} baseline error(s), "
             f"{len(errors)} self-check failure(s)",
             file=sys.stderr,
         )

@@ -1,0 +1,114 @@
+"""Violation baseline: grandfathered findings with mandatory reasons.
+
+A baseline file lets a rule land before every pre-existing finding is
+fixed — but unlike the usual "ratchet file" it refuses silent entries:
+every line must say *why* the violation is intentional. Format (one
+entry per line, ``#`` opens the justification):
+
+    ET002 src/repro/engine/scheduler.py:585  # central retry policy re-raises
+
+* ``RULE path`` suppresses every finding of that rule in the file;
+* ``RULE path:line`` suppresses only the finding on that line;
+* a missing or empty justification is an **error**, not a suppression;
+* entries that no longer match any finding are reported as stale so
+  the baseline shrinks instead of fossilizing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.report import RULES, Violation
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    line: int | None          # None = whole file
+    justification: str
+    source_line: int          # line in the baseline file itself
+
+    def matches(self, violation: Violation) -> bool:
+        if violation.rule != self.rule:
+            return False
+        if violation.path.replace("\\", "/") != self.path:
+            return False
+        return self.line is None or violation.line == self.line
+
+
+@dataclass
+class Baseline:
+    entries: list[BaselineEntry]
+    errors: list[str]
+
+    def apply(
+        self, violations: list[Violation]
+    ) -> tuple[list[Violation], list[str]]:
+        """(surviving violations, stale-entry warnings)."""
+        kept: list[Violation] = []
+        hit: set[BaselineEntry] = set()
+        for violation in violations:
+            entry = next(
+                (e for e in self.entries if e.matches(violation)), None
+            )
+            if entry is None:
+                kept.append(violation)
+            else:
+                hit.add(entry)
+        stale = [
+            f"baseline:{e.source_line}: stale entry {e.rule} {e.path}"
+            + (f":{e.line}" if e.line is not None else "")
+            + " (no longer found; remove it)"
+            for e in self.entries
+            if e not in hit
+        ]
+        return kept, stale
+
+
+def parse_baseline(text: str, name: str = "baseline") -> Baseline:
+    entries: list[BaselineEntry] = []
+    errors: list[str] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        body, _, justification = line.partition("#")
+        justification = justification.strip()
+        parts = body.split()
+        if len(parts) != 2:
+            errors.append(
+                f"{name}:{lineno}: expected 'RULE path[:line]  # why', "
+                f"got {raw!r}"
+            )
+            continue
+        rule, location = parts
+        if rule not in RULES:
+            errors.append(f"{name}:{lineno}: unknown rule id {rule!r}")
+            continue
+        if not justification:
+            errors.append(
+                f"{name}:{lineno}: baseline entry for {rule} has no "
+                "justification (append '# <why this is intentional>')"
+            )
+            continue
+        path, _, line_part = location.rpartition(":")
+        if path and line_part.isdigit():
+            entries.append(
+                BaselineEntry(rule, path.replace("\\", "/"),
+                              int(line_part), justification, lineno)
+            )
+        else:
+            entries.append(
+                BaselineEntry(rule, location.replace("\\", "/"), None,
+                              justification, lineno)
+            )
+    return Baseline(entries, errors)
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    path = Path(path)
+    if not path.exists():
+        return Baseline([], [f"baseline file {path} does not exist"])
+    return parse_baseline(path.read_text(encoding="utf-8"), str(path))

@@ -71,7 +71,7 @@ _BANNED_NODES: tuple[tuple[type[ast.AST], str], ...] = (
 def _unparse(node: ast.AST) -> str:
     try:
         return ast.unparse(node)
-    except Exception:  # pragma: no cover - unparse is total on parsed trees
+    except ValueError:  # pragma: no cover - unparse is total on parsed trees
         return f"<{type(node).__name__}>"
 
 

@@ -102,7 +102,7 @@ class DeterministicInterleaver:
             self._park(worker)  # initial park: driver controls the start
             try:
                 thunk()
-            except BaseException as exc:  # noqa: BLE001 - reported to caller
+            except BaseException as exc:  # lint: allow[ET002] -- captured into worker.error; run() re-raises it
                 worker.error = exc
             finally:
                 with self._cond:

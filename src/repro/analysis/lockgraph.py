@@ -1,0 +1,474 @@
+"""Whole-program lock-ordering analysis (rules LO001–LO003).
+
+The engine now nests locks across layers: ``create_index`` runs a
+builder under the :class:`~repro.index.registry.BitmapIndexRegistry`
+lock, the builder takes each partition's append lock, and the per-
+partition bitmap index records rows under its own lock — a three-level
+chain crossing three modules. A second chain anywhere that acquires
+the same locks in the *opposite* order is a deadlock that no tier-1
+test reliably produces. This module builds the global acquisition
+graph and reports:
+
+* **LO001** — a cycle in the acquisition graph: lock A is held while
+  acquiring B somewhere, and B while acquiring A somewhere else;
+* **LO002** — re-acquisition of a lock the method already holds, when
+  the lock is known to be a plain (non-reentrant) ``threading.Lock``;
+* **LO003** — a ``# requires-lock: X`` method that acquires ``self.X``
+  itself (directly or through a one-level callee): the annotation says
+  the caller holds it, so the acquisition self-deadlocks.
+
+Lock identity and edge discovery (deliberately approximate, tuned for
+zero false positives on this codebase):
+
+* ``with self.X:`` inside class ``C`` is the lock node ``C.X``; when
+  ``__init__`` assigns ``self.attr = OtherClass(...)`` the path
+  ``self.attr.Y`` resolves to ``OtherClass.Y`` (the BlockManager →
+  CacheStats nesting); module-level locks become ``module:<name>``;
+* a ``# requires-lock: X`` method starts with ``C.X`` held;
+* holding L and calling ``self.m()`` adds edges from L to every lock
+  ``m`` acquires; calling ``obj.m()`` resolves ``m`` by name when
+  exactly one class in the program defines a lock-acquiring method of
+  that name; a lambda argument passed to such a callee contributes the
+  locks *it* acquires (through its own calls) as edges from the
+  callee's locks — the ``registry.acquire(store, ordinal, builder)``
+  pattern;
+* closures are analyzed with an empty held set (they may run after the
+  enclosing ``with`` released the lock), exactly like the LD rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.program import ParsedModule, Program
+from repro.analysis.report import Violation
+
+#: Constructors that create *reentrant* synchronization objects —
+#: re-acquiring one of these while held is legal, so LO002 skips them.
+_REENTRANT = frozenset({"RLock", "Condition"})
+#: Constructors that create any lock-like object (for lock-kind facts).
+_LOCK_FACTORIES = frozenset({"Lock", "RLock", "Condition", "Semaphore",
+                             "BoundedSemaphore", "Event"})
+#: Method names that usually belong to builtin containers / stdlib
+#: objects (``list.append``, ``dict.update``, ``set.add`` …). A call
+#: like ``self._pointers.append(x)`` must **not** resolve by unique
+#: name to a program class that happens to define ``append`` — that
+#: conflation invents cross-object edges and phantom cycles.
+_AMBIENT_METHODS = frozenset(
+    {"append", "extend", "insert", "remove", "pop", "popitem", "clear",
+     "update", "add", "discard", "setdefault", "get", "items", "keys",
+     "values", "sort", "reverse", "count", "index", "copy", "join",
+     "split", "strip", "close", "write", "read", "flush", "put",
+     "result", "cancel", "done", "appendleft", "popleft"}
+)
+
+
+def _lock_kind(value: ast.expr) -> str | None:
+    """``threading.Lock()`` → ``"Lock"``; ``Condition(...)`` →
+    ``"Condition"``; anything else → None."""
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    name = None
+    if isinstance(func, ast.Attribute):
+        name = func.attr
+    elif isinstance(func, ast.Name):
+        name = func.id
+    if name in _LOCK_FACTORIES:
+        return name
+    # dataclasses.field(default_factory=threading.Lock)
+    if name == "field":
+        for kw in value.keywords:
+            if kw.arg == "default_factory":
+                inner = kw.value
+                if isinstance(inner, ast.Attribute) and inner.attr in _LOCK_FACTORIES:
+                    return inner.attr
+                if isinstance(inner, ast.Name) and inner.id in _LOCK_FACTORIES:
+                    return inner.id
+    return None
+
+
+def _attr_path(node: ast.expr) -> list[str] | None:
+    """``self.a.b`` → ``["self", "a", "b"]``; non-attribute → None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+@dataclass
+class _Acquisition:
+    lock: str
+    lineno: int
+    held: frozenset[str]
+
+
+@dataclass
+class _CallSite:
+    """A call made while locks were held."""
+
+    method: str           # bare callee name
+    on_self: bool
+    lineno: int
+    held: frozenset[str]
+    lambda_callees: tuple[str, ...] = ()   # names called inside lambda args
+
+
+@dataclass
+class _MethodFacts:
+    qualname: str          # Class.method
+    cls: str
+    name: str
+    module: ParsedModule
+    lineno: int
+    requires: str | None   # lock attr from # requires-lock
+    acquisitions: list[_Acquisition] = field(default_factory=list)
+    calls: list[_CallSite] = field(default_factory=list)
+
+    @property
+    def acquired_locks(self) -> frozenset[str]:
+        return frozenset(a.lock for a in self.acquisitions)
+
+
+class _ClassScanner(ast.NodeVisitor):
+    """Collects per-method lock facts for one class."""
+
+    def __init__(self, module: ParsedModule, cls: ast.ClassDef,
+                 classes: set[str], module_locks: set[str] | None = None):
+        self.module = module
+        self.cls = cls
+        self.classes = classes
+        #: Module-level names bound to lock objects in this module; a
+        #: ``with <name>:`` on anything else (a local alias) is ignored
+        #: rather than conflated into a global node.
+        self.module_locks = module_locks or set()
+        #: attr name → kind (for locks created in this class).
+        self.lock_kinds: dict[str, str] = {}
+        #: attr name → program class it is an instance of.
+        self.attr_types: dict[str, str] = {}
+        self.methods: list[_MethodFacts] = []
+        self._collect_attrs()
+        self._collect_methods()
+
+    # -- declaration pass ------------------------------------------------
+
+    def _collect_attrs(self) -> None:
+        for stmt in self.cls.body:
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                value = stmt.value
+                targets = (
+                    stmt.targets if isinstance(stmt, ast.Assign)
+                    else [stmt.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name) and value is not None:
+                        self._note_attr(target.id, value)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for node in ast.walk(stmt):
+                    if not isinstance(node, ast.Assign):
+                        continue
+                    for target in node.targets:
+                        path = _attr_path(target)
+                        if path and len(path) == 2 and path[0] == "self":
+                            if node.value is not None:
+                                self._note_attr(path[1], node.value)
+
+    def _note_attr(self, attr: str, value: ast.expr) -> None:
+        kind = _lock_kind(value)
+        if kind is not None:
+            self.lock_kinds.setdefault(attr, kind)
+            return
+        if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+            if value.func.id in self.classes:
+                self.attr_types.setdefault(attr, value.func.id)
+
+    # -- method pass -----------------------------------------------------
+
+    def _collect_methods(self) -> None:
+        for stmt in self.cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            ann = self.module.annotations.get(stmt.lineno)
+            requires = ann[1] if ann and ann[0] == "requires-lock" else None
+            facts = _MethodFacts(
+                qualname=f"{self.cls.name}.{stmt.name}",
+                cls=self.cls.name,
+                name=stmt.name,
+                module=self.module,
+                lineno=stmt.lineno,
+                requires=requires,
+            )
+            held: frozenset[str] = frozenset(
+                {self._lock_id(["self", requires])} if requires else set()
+            )
+            for child in stmt.body:
+                self._walk(child, held, facts)
+            self.methods.append(facts)
+
+    def _lock_id(self, path: list[str] | None) -> str | None:
+        """Resolve an attribute path used as a lock to a global id."""
+        if path is None:
+            return None
+        if path[0] == "self":
+            if len(path) == 2:
+                return f"{self.cls.name}.{path[1]}"
+            if len(path) == 3:
+                owner = self.attr_types.get(path[1])
+                if owner is not None:
+                    return f"{owner}.{path[2]}"
+                return f"{self.cls.name}.{path[1]}.{path[2]}"
+            return None
+        if len(path) == 1 and path[0] in self.module_locks:
+            return f"module:{self.module.path}:{path[0]}"
+        return None
+
+    def _walk(self, node: ast.AST, held: frozenset[str],
+              facts: _MethodFacts) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = set(held)
+            for item in node.items:
+                lock = self._lock_id(_attr_path(item.context_expr))
+                if lock is not None:
+                    facts.acquisitions.append(
+                        _Acquisition(lock, node.lineno, frozenset(acquired))
+                    )
+                    acquired.add(lock)
+                else:
+                    self._walk(item.context_expr, held, facts)
+            for child in node.body:
+                self._walk(child, frozenset(acquired), facts)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # Closure: may run after the enclosing with released.
+            body = node.body if isinstance(node.body, list) else [node.body]
+            for child in body:
+                self._walk(child, frozenset(), facts)
+            return
+        if isinstance(node, ast.Call):
+            self._note_call(node, held, facts)
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, held, facts)
+
+    def _note_call(self, node: ast.Call, held: frozenset[str],
+                   facts: _MethodFacts) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        receiver = func.value
+        on_self = isinstance(receiver, ast.Name) and receiver.id == "self"
+        lambda_callees: list[str] = []
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if isinstance(arg, ast.Lambda):
+                for sub in ast.walk(arg):
+                    if isinstance(sub, ast.Call) and isinstance(
+                        sub.func, ast.Attribute
+                    ):
+                        lambda_callees.append(sub.func.attr)
+        facts.calls.append(
+            _CallSite(
+                method=func.attr,
+                on_self=on_self,
+                lineno=node.lineno,
+                held=held,
+                lambda_callees=tuple(lambda_callees),
+            )
+        )
+
+
+@dataclass
+class _Edge:
+    src: str
+    dst: str
+    path: str
+    lineno: int
+    why: str
+
+
+class LockGraph:
+    """The global acquisition graph plus the facts that built it."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.methods: list[_MethodFacts] = []
+        #: Class.method → facts.
+        self.by_qualname: dict[str, _MethodFacts] = {}
+        #: bare method name → facts of every lock-acquiring definition.
+        self.acquirers_by_name: dict[str, list[_MethodFacts]] = {}
+        #: lock id → kind ("Lock" / "RLock" / ...).
+        self.lock_kinds: dict[str, str] = {}
+        self.edges: list[_Edge] = []
+        self._build()
+
+    # -- construction ----------------------------------------------------
+
+    def _build(self) -> None:
+        class_names: set[str] = set()
+        for module in self.program:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    class_names.add(node.name)
+        scanners: list[_ClassScanner] = []
+        for module in self.program:
+            module_locks = {
+                target.id
+                for stmt in module.tree.body
+                if isinstance(stmt, ast.Assign)
+                and _lock_kind(stmt.value) is not None
+                for target in stmt.targets
+                if isinstance(target, ast.Name)
+            }
+            for node in module.tree.body:
+                if isinstance(node, ast.ClassDef):
+                    scanner = _ClassScanner(module, node, class_names,
+                                            module_locks)
+                    scanners.append(scanner)
+                    for attr, kind in scanner.lock_kinds.items():
+                        self.lock_kinds[f"{node.name}.{attr}"] = kind
+        for scanner in scanners:
+            for facts in scanner.methods:
+                self.methods.append(facts)
+                self.by_qualname[facts.qualname] = facts
+                if facts.acquisitions:
+                    self.acquirers_by_name.setdefault(facts.name, []).append(
+                        facts
+                    )
+        # Direct nesting edges.
+        for facts in self.methods:
+            for acq in facts.acquisitions:
+                for held in acq.held:
+                    self._edge(held, acq.lock, facts, acq.lineno,
+                               f"{facts.qualname} nests the acquisitions")
+        # One-level call edges (self calls, unique-name calls, lambdas).
+        for facts in self.methods:
+            for call in facts.calls:
+                callee = self._resolve(facts, call)
+                if callee is None:
+                    continue
+                for held in call.held:
+                    for lock in sorted(callee.acquired_locks):
+                        self._edge(
+                            held, lock, facts, call.lineno,
+                            f"{facts.qualname} calls "
+                            f"{callee.qualname} while holding",
+                        )
+                # Locks the callee holds while running a lambda argument:
+                # whatever the lambda's own callees acquire nests inside.
+                if call.lambda_callees and callee.acquired_locks:
+                    for inner_name in call.lambda_callees:
+                        inner = self._unique_acquirer(inner_name)
+                        if inner is None:
+                            continue
+                        for outer in sorted(callee.acquired_locks):
+                            for lock in sorted(inner.acquired_locks):
+                                self._edge(
+                                    outer, lock, facts, call.lineno,
+                                    f"lambda passed to {callee.qualname} "
+                                    f"calls {inner.qualname}",
+                                )
+
+    def _resolve(self, caller: _MethodFacts,
+                 call: _CallSite) -> _MethodFacts | None:
+        if call.on_self:
+            return self.by_qualname.get(f"{caller.cls}.{call.method}")
+        return self._unique_acquirer(call.method)
+
+    def _unique_acquirer(self, name: str) -> _MethodFacts | None:
+        if name in _AMBIENT_METHODS:
+            return None
+        candidates = self.acquirers_by_name.get(name, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def _edge(self, src: str, dst: str, facts: _MethodFacts, lineno: int,
+              why: str) -> None:
+        if src == dst:
+            return  # re-acquisition, LO002's business
+        self.edges.append(_Edge(src, dst, facts.module.path, lineno, why))
+
+    # -- cycle detection -------------------------------------------------
+
+    def cycles(self) -> list[list[_Edge]]:
+        """Every elementary cycle, as the edge list that closes it."""
+        adjacency: dict[str, list[_Edge]] = {}
+        for edge in self.edges:
+            adjacency.setdefault(edge.src, []).append(edge)
+        seen_cycles: set[frozenset[str]] = set()
+        found: list[list[_Edge]] = []
+
+        def dfs(node: str, path: list[_Edge], on_path: dict[str, int]) -> None:
+            for edge in adjacency.get(node, []):
+                if edge.dst in on_path:
+                    cycle = path[on_path[edge.dst]:] + [edge]
+                    key = frozenset(e.src for e in cycle)
+                    if key not in seen_cycles:
+                        seen_cycles.add(key)
+                        found.append(cycle)
+                    continue
+                on_path[edge.dst] = len(path) + 1
+                dfs(edge.dst, path + [edge], on_path)
+                del on_path[edge.dst]
+
+        for start in sorted(adjacency):
+            dfs(start, [], {start: 0})
+        return found
+
+
+def check_program(program: Program) -> list[Violation]:
+    graph = LockGraph(program)
+    violations: list[Violation] = []
+
+    # LO001 — acquisition cycles.
+    for cycle in graph.cycles():
+        order = " -> ".join([e.src for e in cycle] + [cycle[0].src])
+        anchor = cycle[0]
+        module = program.find(anchor.path) or program.modules[0]
+        module.report(
+            violations, "LO001", anchor.lineno,
+            f"lock-order cycle {order} ({anchor.why})",
+        )
+
+    for facts in graph.methods:
+        # LO002 — re-acquiring a held non-reentrant lock.
+        for acq in facts.acquisitions:
+            if acq.lock not in acq.held:
+                continue
+            kind = graph.lock_kinds.get(acq.lock)
+            if kind is None or kind in _REENTRANT:
+                continue
+            facts.module.report(
+                violations, "LO002", acq.lineno,
+                f"{facts.qualname} re-acquires held non-reentrant lock "
+                f"{acq.lock} (threading.{kind})",
+            )
+        # LO003 — requires-lock method acquiring its own lock.
+        if facts.requires is None:
+            continue
+        own = f"{facts.cls}.{facts.requires}"
+        for acq in facts.acquisitions:
+            if acq.lock == own:
+                facts.module.report(
+                    violations, "LO003", acq.lineno,
+                    f"{facts.qualname} is annotated requires-lock: "
+                    f"{facts.requires} but acquires self.{facts.requires} "
+                    "itself",
+                )
+        for call in facts.calls:
+            callee = graph.by_qualname.get(f"{facts.cls}.{call.method}") \
+                if call.on_self else None
+            if callee is None or callee is facts:
+                continue
+            if own in callee.acquired_locks:
+                facts.module.report(
+                    violations, "LO003", call.lineno,
+                    f"{facts.qualname} (requires-lock: {facts.requires}) "
+                    f"calls {callee.qualname}, which acquires "
+                    f"self.{facts.requires}",
+                )
+    return violations

@@ -1,0 +1,193 @@
+"""Whole-program facts shared by the cross-module rule families.
+
+The PR 4 analyzers (lock discipline, plan contracts, generated-code
+rules) are file-local: each file is parsed, checked, and forgotten.
+The contract families added on top of them — lock ordering (LO),
+exception taxonomy (ET), cancellation-poll coverage (CP), fault-site
+cross-checks (FS), and process-boundary escape analysis (XP) — need
+facts *across* modules: the global lock-acquisition graph, the
+scheduler's transient-retry set, the fault-site registry, the codec's
+shipped classes. This module provides the single-parse pass they
+share:
+
+* :class:`ParsedModule` — one source file parsed once: AST, raw lines,
+  the PR 4 ``guarded-by`` / ``requires-lock`` annotations, ``# lint:
+  allow[...]`` suppressions (with their justifications), and the
+  ``# analysis: <marker>`` obligations introduced by this pass;
+* :class:`Program` — the collection of parsed modules plus the lookup
+  helpers rule families use (module by path suffix, marker queries).
+
+Suppression contract for the new families: an inline allow for an
+``LO``/``ET``/``CP``/``FS``/``XP`` rule **must** carry a justification
+(``# lint: allow[ET002] -- ships the error to the driver``). An allow
+without one does not suppress — intentional exceptions must say why,
+in the code, where the next reader needs it.
+
+Marker comments (machine-readable obligations, not suppressions):
+
+* ``# analysis: poll-obligated`` — on its own line: the whole module is
+  poll-obligated (CP rules apply); on a ``class`` line: only that
+  class's methods are;
+* ``# analysis: worker-side`` — the module (or class) runs inside
+  worker processes: XP002/XP003 apply;
+* ``# analysis: shipped`` — on a ``class`` line: instances cross the
+  process boundary through the task codec: XP001 applies.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.report import Violation
+
+_ANNOT_RE = re.compile(
+    r"#\s*(guarded-by|requires-lock):\s*([A-Za-z_][A-Za-z0-9_]*)"
+)
+_ALLOW_RE = re.compile(
+    r"#\s*lint:\s*allow\[([A-Z0-9_, ]+)\](?:\s*--\s*(\S.*))?"
+)
+_MARKER_RE = re.compile(r"#\s*analysis:\s*([a-z-]+)")
+
+#: Rule families introduced by the whole-program pass. Their inline
+#: allows require a justification; the PR 4 families keep the original
+#: bare ``# lint: allow[LD001]`` form.
+PROGRAM_FAMILIES = ("LO", "ET", "CP", "FS", "XP")
+
+KNOWN_MARKERS = frozenset({"poll-obligated", "worker-side", "shipped"})
+
+
+@dataclass(frozen=True)
+class Allow:
+    """One ``# lint: allow[...]`` comment."""
+
+    rules: frozenset[str]
+    justification: str | None
+
+    def suppresses(self, rule: str) -> bool:
+        if rule not in self.rules:
+            return False
+        if rule[:2] in PROGRAM_FAMILIES and not self.justification:
+            return False
+        return True
+
+
+@dataclass
+class ParsedModule:
+    """One source file, parsed once and annotated for every family."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    #: line → (kind, lock) from ``guarded-by`` / ``requires-lock``.
+    annotations: dict[int, tuple[str, str]] = field(default_factory=dict)
+    #: line → allow entry.
+    allows: dict[int, Allow] = field(default_factory=dict)
+    #: line → marker names on that line.
+    markers: dict[int, set[str]] = field(default_factory=dict)
+
+    # -- markers ---------------------------------------------------------
+
+    def module_marked(self, marker: str) -> bool:
+        """True when ``marker`` appears on a standalone comment line
+        (whole-module obligation)."""
+        for lineno, names in self.markers.items():
+            if marker not in names:
+                continue
+            text = self.lines[lineno - 1].lstrip()
+            if text.startswith("#"):
+                return True
+        return False
+
+    def marked_classes(self, marker: str) -> set[str]:
+        """Names of classes whose ``class`` line carries ``marker``."""
+        found: set[str] = set()
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.ClassDef) and marker in self.markers.get(
+                node.lineno, ()
+            ):
+                found.add(node.name)
+        return found
+
+    # -- reporting -------------------------------------------------------
+
+    def report(
+        self,
+        out: list[Violation],
+        rule: str,
+        lineno: int,
+        message: str,
+    ) -> None:
+        """Append a violation unless a valid allow suppresses it."""
+        allow = self.allows.get(lineno)
+        if allow is not None and allow.suppresses(rule):
+            return
+        out.append(Violation(rule, self.path, lineno, message))
+
+
+def parse_module(path: str, source: str) -> ParsedModule:
+    tree = ast.parse(source)
+    lines = source.splitlines()
+    annotations: dict[int, tuple[str, str]] = {}
+    allows: dict[int, Allow] = {}
+    markers: dict[int, set[str]] = {}
+    for lineno, line in enumerate(lines, start=1):
+        m = _ANNOT_RE.search(line)
+        if m:
+            annotations[lineno] = (m.group(1), m.group(2))
+        m = _ALLOW_RE.search(line)
+        if m:
+            rules = frozenset(
+                r.strip() for r in m.group(1).split(",") if r.strip()
+            )
+            justification = m.group(2).strip() if m.group(2) else None
+            allows[lineno] = Allow(rules, justification)
+        m = _MARKER_RE.search(line)
+        if m and m.group(1) in KNOWN_MARKERS:
+            markers.setdefault(lineno, set()).add(m.group(1))
+    return ParsedModule(
+        path=path,
+        source=source,
+        tree=tree,
+        lines=lines,
+        annotations=annotations,
+        allows=allows,
+        markers=markers,
+    )
+
+
+class Program:
+    """The parsed modules of one analysis run."""
+
+    def __init__(self, modules: list[ParsedModule]):
+        self.modules = modules
+        self._by_suffix: dict[str, ParsedModule] = {}
+        for module in modules:
+            normalized = module.path.replace("\\", "/")
+            self._by_suffix[normalized] = module
+
+    @classmethod
+    def load(cls, paths: list[str | Path]) -> "Program":
+        modules = []
+        for path in paths:
+            path = Path(path)
+            modules.append(
+                parse_module(str(path), path.read_text(encoding="utf-8"))
+            )
+        return cls(modules)
+
+    def find(self, suffix: str) -> ParsedModule | None:
+        """The module whose normalized path ends with ``suffix``."""
+        for path, module in self._by_suffix.items():
+            if path.endswith(suffix):
+                return module
+        return None
+
+    def __iter__(self):
+        return iter(self.modules)
+
+    def __len__(self) -> int:
+        return len(self.modules)

@@ -8,7 +8,12 @@ catalogue, and the test suite all key off it. Rule families:
 * ``LD*`` — lock discipline (guarded-by / requires-lock annotations);
 * ``PC*`` — physical-plan contracts (partitioning + EXPLAIN markers);
 * ``CG*`` — generated-code rules (validated on the emitted AST);
-* ``SZ*`` — runtime sanitizers (write-poisoned sealed state).
+* ``SZ*`` — runtime sanitizers (write-poisoned sealed state);
+* ``LO*`` — whole-program lock-ordering analysis (deadlock cycles);
+* ``ET*`` — exception-taxonomy discipline (fail-stop vs transient);
+* ``CP*`` — cancellation-poll coverage in poll-obligated modules;
+* ``FS*`` — fault-site registry cross-checks;
+* ``XP*`` — process-boundary escape analysis (codec-shipped state).
 """
 
 from __future__ import annotations
@@ -32,6 +37,21 @@ RULES: dict[str, str] = {
     "CG004": "generated kernel contains a banned construct",
     "SZ001": "mutation of a sealed zone map",
     "SZ002": "sealed row-batch region modified (CRC seal mismatch)",
+    "LO001": "lock-acquisition cycle (potential deadlock)",
+    "LO002": "re-acquisition of a held non-reentrant lock (self-deadlock)",
+    "LO003": "requires-lock method acquires the lock it already holds",
+    "ET001": "broad except absorbs fail-stop errors without re-raising",
+    "ET002": "except BaseException can absorb SimulatedCrash",
+    "ET003": "broad except re-raises only conditionally (fail-stop leak)",
+    "ET004": "scheduler transient-retry set names a fail-stop class",
+    "CP001": "partition-scale loop in poll-obligated code never polls "
+    "cancellation",
+    "CP002": "poll-obligated module contains no cancellation poll at all",
+    "FS001": "injection site literal not registered in faults.SITES",
+    "FS002": "registered fault site unreachable from any call site",
+    "XP001": "codec-shipped class carries a lock/thread/file handle",
+    "XP002": "worker-side code mutates a shared-memory view",
+    "XP003": "worker-side code calls a driver-only singleton",
 }
 
 

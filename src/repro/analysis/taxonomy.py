@@ -1,0 +1,259 @@
+"""Exception-taxonomy discipline (rules ET001–ET004).
+
+The error hierarchy encodes a deliberate split (DESIGN.md §7): library
+errors derive from :class:`~repro.errors.ReproError` and may be
+absorbed by retry / fallback / supervision layers, while the
+**fail-stop** classes are deliberately *not* ``ReproError`` —
+``SanitizerError`` (invariant violation), ``RecoveryError`` (durable
+state unrestorable), ``QueryCancelledError`` (cooperative stop), and
+``SimulatedCrash`` (``BaseException``: an injected ``kill -9``). A
+``except Exception:`` that returns a fallback value can silently heal
+a sanitizer trip; that is precisely the bug class these rules exist to
+keep out:
+
+* **ET001** — an ``except Exception:`` / bare ``except:`` handler with
+  no ``raise`` at all, and no preceding guard handler that re-raises
+  the fail-stop classes. The blessed guard is
+  ``except FAIL_STOP: raise`` (or an explicit tuple covering both
+  ``SanitizerError`` and ``RecoveryError``);
+* **ET002** — an ``except BaseException:`` handler without an
+  unconditional top-level re-raise: it can absorb ``SimulatedCrash``,
+  which models a process death no supervision layer may catch;
+* **ET003** — a broad handler whose every ``raise`` sits behind a
+  condition: on the other path the fail-stop error is absorbed (the
+  planner-strategy-fallback shape);
+* **ET004** — whole-program cross-check: every class named in the
+  scheduler's transient-retry classification must be genuinely
+  transient — naming a fail-stop class there would convert an
+  invariant violation into a retry storm.
+
+A handler that *unconditionally* raises at its top level passes: both
+the bare ``raise`` and wrap-and-raise (``raise TaskError(...) from
+exc``) preserve the failure; the taxonomy only forbids absorption.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.program import ParsedModule, Program
+from repro.analysis.report import Violation
+
+#: The fail-stop classes (kept in sync with ``repro.errors.FAIL_STOP``;
+#: the names are what the AST can see).
+FAILSTOP_NAMES = frozenset(
+    {"SanitizerError", "RecoveryError", "QueryCancelledError"}
+)
+#: Name of the blessed re-raise tuple in ``repro.errors``.
+FAILSTOP_TUPLE = "FAIL_STOP"
+
+#: Builtin exception classes legitimately transient (I/O flakes).
+_TRANSIENT_BUILTINS = frozenset(
+    {"ConnectionError", "TimeoutError", "OSError", "InterruptedError",
+     "BrokenPipeError", "EOFError"}
+)
+
+
+def _handler_names(handler: ast.ExceptHandler) -> set[str]:
+    """The class names a handler catches (empty set = bare except)."""
+    node = handler.type
+    if node is None:
+        return set()
+    nodes = node.elts if isinstance(node, ast.Tuple) else [node]
+    names: set[str] = set()
+    for item in nodes:
+        if isinstance(item, ast.Name):
+            names.add(item.id)
+        elif isinstance(item, ast.Attribute):
+            names.add(item.attr)
+    return names
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    return "Exception" in _handler_names(handler)
+
+
+def _catches_base(handler: ast.ExceptHandler) -> bool:
+    return "BaseException" in _handler_names(handler)
+
+
+def _raises(handler: ast.ExceptHandler) -> tuple[bool, bool]:
+    """(has any raise, has an unconditional top-level raise).
+
+    Nested function bodies are pruned: a ``raise`` inside a closure
+    does not re-raise the caught exception.
+    """
+    any_raise = False
+
+    def scan(node: ast.AST) -> None:
+        nonlocal any_raise
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                continue
+            if isinstance(child, ast.Raise):
+                any_raise = True
+            scan(child)
+
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Raise):
+            any_raise = True
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        scan(stmt)
+    top_level = any(isinstance(stmt, ast.Raise) for stmt in handler.body)
+    return any_raise, top_level
+
+
+def _is_failstop_guard(handler: ast.ExceptHandler) -> bool:
+    """A preceding handler that catches the fail-stop classes and
+    immediately re-raises — the blessed pattern that licenses a broad
+    handler after it."""
+    names = _handler_names(handler)
+    covers = FAILSTOP_TUPLE in names or (
+        "SanitizerError" in names and "RecoveryError" in names
+    )
+    if not covers:
+        return False
+    return any(isinstance(stmt, ast.Raise) for stmt in handler.body)
+
+
+def _check_handlers(module: ParsedModule, out: list[Violation]) -> None:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Try):
+            continue
+        guarded = False
+        for handler in node.handlers:
+            if _is_failstop_guard(handler):
+                guarded = True
+                continue
+            if _catches_base(handler):
+                _any, top = _raises(handler)
+                if not top:
+                    module.report(
+                        out, "ET002", handler.lineno,
+                        "except BaseException without an unconditional "
+                        "re-raise can absorb SimulatedCrash",
+                    )
+                continue
+            if not _is_broad(handler):
+                continue
+            any_raise, top = _raises(handler)
+            if top or guarded:
+                continue
+            if not any_raise:
+                module.report(
+                    out, "ET001", handler.lineno,
+                    "broad except never re-raises; SanitizerError / "
+                    "RecoveryError would be absorbed (guard with "
+                    "`except FAIL_STOP: raise` or narrow the catch)",
+                )
+            else:
+                module.report(
+                    out, "ET003", handler.lineno,
+                    "broad except re-raises only conditionally; the "
+                    "other path absorbs fail-stop errors (guard with "
+                    "`except FAIL_STOP: raise`)",
+                )
+
+
+def _class_hierarchy(errors_module: ParsedModule | None) -> dict[str, set[str]]:
+    """class name → base names, from ``repro/errors.py`` when present."""
+    bases: dict[str, set[str]] = {}
+    if errors_module is None:
+        return bases
+    for node in errors_module.tree.body:
+        if isinstance(node, ast.ClassDef):
+            bases[node.name] = {
+                b.id for b in node.bases if isinstance(b, ast.Name)
+            }
+    return bases
+
+
+def _transient_names(module: ParsedModule) -> list[tuple[str, int]]:
+    """Class names the scheduler's transient classification mentions.
+
+    Looks inside any function named ``_find_transient`` (and any
+    module-level ``_TRANSIENT*`` tuple) for ``isinstance(x, (...))``
+    tuples and tuple literals of names.
+    """
+    found: list[tuple[str, int]] = []
+
+    def harvest(node: ast.expr, lineno: int) -> None:
+        items = node.elts if isinstance(node, ast.Tuple) else [node]
+        for item in items:
+            if isinstance(item, ast.Name):
+                found.append((item.id, lineno))
+            elif isinstance(item, ast.Attribute):
+                found.append((item.attr, lineno))
+
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and (
+            node.name == "_find_transient"
+        ):
+            for sub in ast.walk(node):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Name)
+                    and sub.func.id == "isinstance"
+                    and len(sub.args) == 2
+                ):
+                    harvest(sub.args[1], sub.lineno)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id.startswith(
+                    "_TRANSIENT"
+                ):
+                    harvest(node.value, node.lineno)
+    return found
+
+
+def _check_retry_set(program: Program, module: ParsedModule,
+                     out: list[Violation]) -> None:
+    names = _transient_names(module)
+    if not names:
+        return
+    hierarchy = _class_hierarchy(program.find("repro/errors.py"))
+
+    def is_failstop(name: str) -> bool:
+        if name in FAILSTOP_NAMES or name == "SimulatedCrash":
+            return True
+        seen = set()
+        frontier = {name}
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for base in hierarchy.get(current, ()):
+                if base in FAILSTOP_NAMES or base == "SimulatedCrash":
+                    return True
+                frontier.add(base)
+        return False
+
+    for name, lineno in names:
+        if is_failstop(name):
+            module.report(
+                out, "ET004", lineno,
+                f"transient-retry set names fail-stop class {name}: an "
+                "invariant violation would be retried instead of "
+                "surfacing",
+            )
+            continue
+        known = name in hierarchy or name in _TRANSIENT_BUILTINS
+        if hierarchy and not known:
+            module.report(
+                out, "ET004", lineno,
+                f"transient-retry set names {name}, which is neither a "
+                "repro.errors class nor a transient builtin",
+            )
+
+
+def check_program(program: Program) -> list[Violation]:
+    violations: list[Violation] = []
+    for module in program:
+        _check_handlers(module, violations)
+        _check_retry_set(program, module, violations)
+    return violations

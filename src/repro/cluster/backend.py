@@ -33,6 +33,7 @@ from __future__ import annotations
 import multiprocessing
 import threading
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeout
 from queue import SimpleQueue
 from typing import Any, Callable
 
@@ -44,7 +45,7 @@ from repro.cluster.worker import (
     encode_cancel_reason,
     worker_main,
 )
-from repro.errors import EngineError, WorkerLostError
+from repro.errors import FAIL_STOP, EngineError, WorkerLostError
 from repro.faults import NULL_INJECTOR, FaultInjector
 from repro.serving.context import QueryContext, current_query
 
@@ -52,6 +53,27 @@ from repro.serving.context import QueryContext, current_query
 _STOP = object()
 #: Grace period for a worker to exit after MSG_STOP before SIGTERM.
 _JOIN_TIMEOUT_S = 2.0
+#: Cancellation-poll period while waiting on a dispatched task.
+_RESULT_TICK_S = 0.05
+
+
+def _await_result(box: Future, query: QueryContext | None) -> Any:
+    """Wait for a dispatched task's result, polling cancellation.
+
+    ``box.result()`` with no timeout would pin the calling thread until
+    the worker replies — a cancelled or deadline-expired query could
+    not unwind until its in-flight task finished. Waking every tick to
+    poll keeps the driver's cancellation latency bounded by
+    ``_RESULT_TICK_S`` regardless of task length; the task itself keeps
+    running worker-side until its own poll (the worker mirrors the
+    cancel flag), but the driver stops burning a slot on it.
+    """
+    while True:
+        try:
+            return box.result(timeout=_RESULT_TICK_S)
+        except FutureTimeout:
+            if query is not None:
+                query.check()
 
 
 class ExecutorBackend:
@@ -175,7 +197,7 @@ class ProcessBackend(ExecutorBackend):
     def _dispatch_loop(self, slot: _WorkerSlot) -> None:
         """Per-worker dispatcher: serialise envelopes down the pipe, one
         in flight at a time, respawning the worker on death."""
-        while True:
+        while True:  # lint: allow[CP001] -- slot pump outlives any one query; run_task's result wait polls
             item = slot.queue.get()
             if item is _STOP:
                 try:
@@ -215,6 +237,8 @@ class ProcessBackend(ExecutorBackend):
                 continue
             try:
                 status, payload_obj, deltas = loads_reply(raw)
+            except FAIL_STOP:
+                raise
             except Exception as exc:  # noqa: BLE001 - defensive decode
                 box.set_exception(
                     EngineError(f"undecodable worker reply: {exc!r}")
@@ -253,6 +277,8 @@ class ProcessBackend(ExecutorBackend):
             }
             try:
                 payload = MSG_TASK + self._codec.dumps_envelope(envelope)
+            except FAIL_STOP:
+                raise
             except Exception:  # noqa: BLE001 - exotic closures degrade
                 self._bump("codec_fallbacks")
                 return task(split)
@@ -260,7 +286,7 @@ class ProcessBackend(ExecutorBackend):
         box: Future = Future()
         slot.queue.put((payload, box))
         self._bump("tasks_dispatched")
-        return box.result()
+        return _await_result(box, current_query())
 
     @staticmethod
     def _query_info(query: QueryContext | None) -> dict[str, Any] | None:

@@ -34,6 +34,7 @@ import struct
 import types
 from typing import Any
 
+from repro.errors import FAIL_STOP
 from repro.serialize import PICKLE_PROTOCOL
 
 
@@ -223,6 +224,8 @@ def dumps_reply(status: str, payload: Any, deltas: list) -> bytes:
     payload itself refuses to pickle."""
     try:
         return pickle.dumps((status, payload, deltas), protocol=PICKLE_PROTOCOL)
+    except FAIL_STOP:
+        raise
     except Exception:  # noqa: BLE001 - any pickling failure
         from repro.errors import EngineError
 

@@ -206,7 +206,7 @@ def worker_main(conn, worker_id: int, config, cancel_flag) -> None:
                     if token is not None:
                         deactivate(token)
                 reply = dumps_reply("ok", result, ctx.collect_deltas())
-            except BaseException as exc:  # noqa: BLE001 - shipped to driver
+            except BaseException as exc:  # lint: allow[ET002] -- exception is the reply; the driver re-raises it
                 reply = dumps_reply("err", exc, ctx.collect_deltas())
             try:
                 conn.send_bytes(reply)

@@ -41,7 +41,7 @@ from typing import Any, Callable, Iterable, Iterator, Sequence
 import logging
 
 from repro.analysis.codegen_rules import validate_generated_source
-from repro.errors import CodegenError
+from repro.errors import FAIL_STOP, CodegenError
 from repro.sql import expressions as E
 
 logger = logging.getLogger("repro.codegen")
@@ -525,6 +525,8 @@ def predicate_fn(
             fn = compile_predicate(expr)
             _note_compiled()
             return fn
+        except FAIL_STOP:
+            raise
         except Exception as exc:  # noqa: BLE001 - any compile error falls back
             _note_fallback("predicate", expr, exc)
     return expr.eval
@@ -537,6 +539,8 @@ def value_fn(expr: E.Expression, enabled: bool = True) -> Callable[[tuple], Any]
             fn = compile_value(expr)
             _note_compiled()
             return fn
+        except FAIL_STOP:
+            raise
         except Exception as exc:  # noqa: BLE001
             _note_fallback("value", expr, exc)
     return expr.eval
@@ -550,6 +554,8 @@ def projection_fn(
             fn = compile_projection(exprs)
             _note_compiled()
             return fn
+        except FAIL_STOP:
+            raise
         except Exception as exc:  # noqa: BLE001
             _note_fallback("projection", exprs, exc)
     bound = list(exprs)
@@ -566,6 +572,8 @@ def key_fn(
             fn = compile_key_extractor(exprs, null_to_none)
             _note_compiled()
             return fn
+        except FAIL_STOP:
+            raise
         except Exception as exc:  # noqa: BLE001
             _note_fallback("key", exprs, exc)
     bound = list(exprs)
@@ -590,6 +598,8 @@ def try_filter_project_kernel(
         kernel = compile_filter_project_kernel(condition, projections)
         _note_compiled()
         return kernel
+    except FAIL_STOP:
+        raise
     except Exception as exc:  # noqa: BLE001
         _note_fallback("fused", (condition, projections), exc)
         return None

@@ -32,7 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.durability.wal import WALWriter
 
 
-class PartitionSnapshot:
+class PartitionSnapshot:  # analysis: shipped
     """A consistent, immutable view of a partition at one version."""
 
     __slots__ = (

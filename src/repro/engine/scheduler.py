@@ -582,7 +582,7 @@ class DAGScheduler:
                 query.check()
             try:
                 return task(split)
-            except BaseException as exc:  # noqa: BLE001 - central retry policy
+            except BaseException as exc:  # lint: allow[ET002] -- _on_task_failure re-raises every non-transient class
                 self._on_task_failure(exc, split, job, stage_id, failures)
                 delay = self._backoff(failures.attempts)
                 if delay:
@@ -634,7 +634,7 @@ class DAGScheduler:
             fut = self._pool.submit(attempt, split, delay)
             inflight[fut] = (split, speculative, time.monotonic())
 
-        for s in splits:
+        for s in splits:  # lint: allow[CP001] -- nonblocking enqueue; the wait loop below polls every tick
             submit(s)
 
         try:
@@ -654,7 +654,7 @@ class DAGScheduler:
                         value = fut.result()
                     except _StageAborted:
                         continue
-                    except BaseException as exc:  # noqa: BLE001
+                    except BaseException as exc:  # lint: allow[ET002] -- routed to _on_task_failure, which re-raises non-transients
                         if speculative:
                             # The original attempt still owns the split;
                             # a crashed speculative copy is just noise.

@@ -315,3 +315,12 @@ class SanitizerError(Exception):
     def __init__(self, rule: str, message: str):
         self.rule = rule
         super().__init__(f"[{rule}] {message}")
+
+
+#: The fail-stop classes: failures no recovery layer may absorb. Any
+#: ``except Exception`` that sits on a retry / fallback / supervision
+#: path must be preceded by the blessed guard ``except FAIL_STOP:
+#: raise`` (enforced by ``repro.analysis`` rules ET001–ET003).
+#: ``SimulatedCrash`` is not listed because it derives from
+#: ``BaseException`` — ``except Exception`` cannot catch it.
+FAIL_STOP = (QueryCancelledError, RecoveryError, SanitizerError)

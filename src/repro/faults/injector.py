@@ -60,6 +60,13 @@ SITES = (
     "serving.breaker_probe",
     # cluster backend: a worker process dies (os._exit) mid-dispatch
     "cluster.worker_crash",
+    # circuit-breaker guard labels: consulted by serving.breaker(...)
+    # on every guarded call rather than drawn as fault probabilities.
+    # Registered so the FS rules can cross-check every site literal in
+    # the tree against this tuple — a typo'd guard label would
+    # otherwise silently split breaker state.
+    "index.fallback",
+    "wal.fsync",
 )
 
 

@@ -52,7 +52,7 @@ def iter_bits(bits: int) -> Iterator[int]:
         bits ^= low
 
 
-class BitmapColumnView:
+class BitmapColumnView:  # analysis: shipped
     """An immutable snapshot of one partition's bitmaps for one column.
 
     Captured under the partition append lock, so ``row_count`` equals

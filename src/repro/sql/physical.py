@@ -22,6 +22,7 @@ from repro.engine.partitioner import HashPartitioner
 from repro.engine.rdd import RDD, ParallelCollectionRDD
 from repro.errors import PlanningError
 from repro.index.bitmap import iter_bits
+from repro.serving.context import check_cancelled
 from repro.sql.expressions import (
     AggregateExpression,
     Alias,
@@ -1141,7 +1142,15 @@ class _BitmapFetchRDD(RDD):
         columns = self.columns
 
         def fetch() -> Iterator[tuple]:
+            n = 0
             for position in iter_bits(bits):
+                # A dense selection over a large partition walks millions
+                # of bits without touching a chunk boundary; poll every
+                # 1024 rows so a cancelled query stops fetching instead
+                # of materialising the rest of the selection.
+                if not (n & 1023):
+                    check_cancelled()
+                n += 1
                 _prev, payload = batches.read(pointers[position])
                 if columns is None:
                     yield codec.decode(payload)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Sequence
 
-from repro.errors import PlanningError
+from repro.errors import FAIL_STOP, PlanningError
 from repro.sql.expressions import (
     Attribute,
     EqualTo,
@@ -154,6 +154,11 @@ class Planner:
         for position, strategy in enumerate(self.strategies):
             try:
                 physical = strategy(logical, self)
+            except FAIL_STOP:
+                # Cancellation / sanitizer / recovery failures are
+                # not a strategy miss; trying the next strategy
+                # would mask them.
+                raise
             except Exception as exc:
                 if position == last:
                     raise

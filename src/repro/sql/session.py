@@ -13,7 +13,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 from repro.config import Config
 from repro.engine.context import EngineContext
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, ReproError
 from repro.sql.analysis import Analyzer
 from repro.sql.dataframe import DataFrame
 from repro.sql.expressions import Expression
@@ -301,7 +301,8 @@ class Session:
 
         try:
             attrs = plan.output()
-        except Exception:  # noqa: BLE001 - child not resolvable yet
+        except (ReproError, AttributeError, TypeError):
+            # Child not resolvable yet; fail-stop errors propagate.
             return expr
 
         def resolve(node: "Expression") -> "Expression":

@@ -1,0 +1,24 @@
+"""Seeded cancellation-poll violations (regression fixture).
+
+The module declares itself poll-obligated but never polls: the drain
+loop below can outlive any deadline. The analyzer must report CP001
+and CP002 here (nonzero exit).
+"""
+# analysis: poll-obligated
+
+import time
+
+
+def drain(pending_batches):
+    done = []
+    for batch in pending_batches:  # CP001: partition-scale, never polls
+        done.append(batch.flush())
+        time.sleep(0.01)
+    return done
+
+
+def pump(queue):
+    while True:  # CP001: unbounded loop, no poll, blocking callee
+        item = queue.get()
+        if item is None:
+            return

@@ -1,0 +1,28 @@
+"""Seeded process-boundary escapes (regression fixture).
+
+A shipped class smuggles a lock across the codec boundary; worker-side
+code mutates a shared view and resolves a driver singleton. The
+analyzer must report XP001, XP002, and XP003 here (nonzero exit).
+"""
+# analysis: worker-side
+
+import threading
+
+from repro.index.registry import bitmap_registry
+
+
+class ShippedState:  # analysis: shipped
+    def __init__(self, rows):
+        self.rows = rows
+        self._lock = threading.Lock()  # XP001: dead replica worker-side
+
+
+def merge_into_view(snapshot_view, rows):
+    for row in rows:
+        snapshot_view.append(row)  # XP002: shared views are read-only
+    snapshot_view.sealed = True  # XP002: attribute write on a view
+
+
+def lookup(store, ordinal):
+    registry = bitmap_registry()  # XP003: driver-only singleton
+    return registry.snapshot()

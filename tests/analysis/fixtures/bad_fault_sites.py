@@ -1,0 +1,14 @@
+"""Seeded fault-site violations (regression fixture).
+
+The injection calls below name sites that ``repro.faults.SITES`` does
+not register — exactly the typo class FS001 exists to catch: the fault
+would silently never fire. The analyzer must report FS001 here
+(nonzero exit).
+"""
+
+
+def risky_read(injector, serving):
+    injector.maybe_fail("disk.raed.short")  # FS001: typo'd site
+    breaker = serving.breaker("index.fallbock")  # FS001: typo'd label
+    with breaker:
+        return b""

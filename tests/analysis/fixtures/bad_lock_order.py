@@ -1,0 +1,34 @@
+"""Seeded lock-ordering violations (regression fixture, never imported).
+
+Two methods acquire the same pair of locks in opposite orders — the
+classic AB/BA deadlock — plus a re-acquisition of a plain Lock and a
+``requires-lock`` method that takes its own lock. The analyzer must
+report LO001, LO002, and LO003 here (nonzero exit).
+"""
+
+import threading
+
+
+class Ledger:
+    def __init__(self):
+        self._accounts = threading.Lock()
+        self._audit = threading.Lock()
+
+    def post(self):
+        with self._accounts:
+            with self._audit:  # LO001: accounts -> audit
+                pass
+
+    def reconcile(self):
+        with self._audit:
+            with self._accounts:  # LO001: audit -> accounts (cycle!)
+                pass
+
+    def double_lock(self):
+        with self._accounts:
+            with self._accounts:  # LO002: re-acquiring a plain Lock
+                pass
+
+    def _flush(self):  # requires-lock: _audit
+        with self._audit:  # LO003: caller already holds it
+            pass

@@ -1,0 +1,39 @@
+"""Seeded exception-taxonomy violations (regression fixture).
+
+Every handler below absorbs a fail-stop error in a way the ET rules
+forbid; the retry classification names a sanitizer trip. The analyzer
+must report ET001, ET002, ET003, and ET004 here (nonzero exit).
+"""
+
+from repro.errors import SanitizerError
+
+
+def swallow(task):
+    try:
+        return task()
+    except Exception:  # ET001: no raise, no fail-stop guard
+        return None
+
+
+def absorb_crash(task):
+    try:
+        return task()
+    except BaseException:  # ET002: SimulatedCrash can be absorbed
+        return None
+
+
+def retry_forever(task, attempts):
+    for attempt in range(attempts):
+        try:
+            return task()
+        except Exception:  # ET003: re-raises only on the last attempt
+            if attempt == attempts - 1:
+                raise
+    return None
+
+
+def _find_transient(exc):
+    # ET004: a sanitizer trip is an invariant violation, never transient.
+    if isinstance(exc, (ConnectionError, SanitizerError)):
+        return exc
+    return None

@@ -1,0 +1,66 @@
+"""The justified-baseline contract: suppression needs a reason."""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import load_baseline, parse_baseline
+from repro.analysis.report import Violation
+
+
+def v(rule, path, line):
+    return Violation(rule, path, line, "msg")
+
+
+class TestParse:
+    def test_file_and_line_entries(self):
+        baseline = parse_baseline(
+            "# header comment\n"
+            "\n"
+            "ET002 src/a.py  # central retry policy re-raises\n"
+            "CP001 src/b.py:17  # bounded walk\n"
+        )
+        assert baseline.errors == []
+        assert [(e.rule, e.path, e.line) for e in baseline.entries] == [
+            ("ET002", "src/a.py", None),
+            ("CP001", "src/b.py", 17),
+        ]
+
+    def test_missing_justification_is_an_error(self):
+        baseline = parse_baseline("ET002 src/a.py\n")
+        assert baseline.entries == []
+        assert len(baseline.errors) == 1
+        assert "justification" in baseline.errors[0]
+
+    def test_unknown_rule_is_an_error(self):
+        baseline = parse_baseline("ZZ999 src/a.py  # why\n")
+        assert baseline.entries == []
+        assert "unknown rule" in baseline.errors[0]
+
+    def test_malformed_line_is_an_error(self):
+        baseline = parse_baseline("ET002 src/a.py extra  # why\n")
+        assert baseline.entries == []
+        assert "expected" in baseline.errors[0]
+
+
+class TestApply:
+    def test_matching_entries_suppress(self):
+        baseline = parse_baseline(
+            "ET002 src/a.py  # reason\nCP001 src/b.py:17  # reason\n"
+        )
+        kept, stale = baseline.apply(
+            [v("ET002", "src/a.py", 3), v("CP001", "src/b.py", 17),
+             v("CP001", "src/b.py", 99)]
+        )
+        assert [(x.rule, x.line) for x in kept] == [("CP001", 99)]
+        assert stale == []
+
+    def test_unmatched_entries_are_stale(self):
+        baseline = parse_baseline("FS001 src/gone.py  # was a typo\n")
+        kept, stale = baseline.apply([v("ET001", "src/a.py", 1)])
+        assert len(kept) == 1
+        assert len(stale) == 1
+        assert "stale" in stale[0]
+
+
+def test_missing_file_is_an_error(tmp_path):
+    baseline = load_baseline(tmp_path / "nope.txt")
+    assert baseline.errors and "does not exist" in baseline.errors[0]

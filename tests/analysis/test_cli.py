@@ -32,6 +32,11 @@ def test_each_fixture_exits_nonzero_with_rule_and_location():
         "bad_lock_discipline.py": ("LD001", "LD002", "LD003", "LD004"),
         "bad_plan_contract.py": ("PC001", "PC002", "PC003", "PC004", "PC005"),
         "bad_kernel.gensrc": ("CG001", "CG003", "CG004"),
+        "bad_lock_order.py": ("LO001", "LO002", "LO003"),
+        "bad_taxonomy.py": ("ET001", "ET002", "ET003", "ET004"),
+        "bad_cancellation.py": ("CP001", "CP002"),
+        "bad_fault_sites.py": ("FS001",),
+        "bad_escape.py": ("XP001", "XP002", "XP003"),
     }
     for name, rules in expectations.items():
         result = run_cli(str(FIXTURES / name), "--no-self-check")
@@ -56,3 +61,64 @@ def test_self_check_compiles_real_kernels():
     # Restrict paths to an empty-but-valid target: only the self-check runs.
     result = run_cli("src/repro/analysis/report.py")
     assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_json_format_is_machine_readable():
+    import json
+
+    result = run_cli(
+        str(FIXTURES / "bad_taxonomy.py"), "--format", "json", "--no-self-check"
+    )
+    assert result.returncode == 1
+    doc = json.loads(result.stdout)
+    assert doc["files_checked"] == 1
+    assert doc["baseline_errors"] == []
+    assert doc["self_check_failures"] == []
+    rules = {v["rule"] for v in doc["violations"]}
+    assert {"ET001", "ET002", "ET003", "ET004"} <= rules
+    for violation in doc["violations"]:
+        assert set(violation) == {"rule", "path", "line", "message"}
+        assert isinstance(violation["line"], int)
+
+
+def test_select_and_ignore_filter_by_rule_or_family():
+    fixture = str(FIXTURES / "bad_taxonomy.py")
+    only_et002 = run_cli(fixture, "--select", "ET002", "--no-self-check")
+    assert "ET002" in only_et002.stdout
+    assert "ET001" not in only_et002.stdout
+    ignored = run_cli(fixture, "--ignore", "ET", "--no-self-check")
+    assert ignored.returncode == 0, ignored.stdout
+    family = run_cli(fixture, "--select", "ET", "--no-self-check")
+    assert {"ET001", "ET002", "ET003", "ET004"} <= {
+        line.split()[1] for line in family.stdout.strip().splitlines()
+    }
+
+
+def test_baseline_suppresses_with_justification_only(tmp_path):
+    # Relative path: baseline entries match the reported path verbatim.
+    fixture = "tests/analysis/fixtures/bad_fault_sites.py"
+    good = tmp_path / "baseline.txt"
+    good.write_text(
+        "FS001 tests/analysis/fixtures/bad_fault_sites.py  # seeded fixture\n",
+        encoding="utf-8",
+    )
+    result = run_cli(fixture, "--baseline", str(good), "--no-self-check")
+    assert result.returncode == 0, result.stdout
+    bad = tmp_path / "bad_baseline.txt"
+    bad.write_text(
+        "FS001 tests/analysis/fixtures/bad_fault_sites.py\n", encoding="utf-8"
+    )
+    result = run_cli(fixture, "--baseline", str(bad), "--no-self-check")
+    assert result.returncode == 1
+    assert "justification" in result.stdout
+
+
+def test_stale_baseline_entries_are_reported(tmp_path):
+    baseline = tmp_path / "baseline.txt"
+    baseline.write_text("ET001 src/no/such/file.py  # long gone\n", encoding="utf-8")
+    result = run_cli(
+        "src/repro/analysis/report.py", "--baseline", str(baseline),
+        "--no-self-check",
+    )
+    assert result.returncode == 0, result.stdout
+    assert "stale" in result.stdout

@@ -1,0 +1,45 @@
+"""The interpreted fallback must not absorb fail-stop errors.
+
+``predicate_fn`` / ``projection_fn`` degrade to interpreted evaluation
+on *any* compile failure by design — but a ``SanitizerError`` raised
+mid-compile is not a compile failure, it is an invariant violation
+that the fallback would silently heal. Regression for the ET001
+findings at the five fallback handlers.
+"""
+
+import pytest
+
+import repro.codegen.compiler as compiler
+from repro.errors import CodegenError, SanitizerError
+from repro.sql import expressions as E
+from repro.sql.types import IntegerType
+
+AGE = E.BoundReference(0, IntegerType(), "age")
+
+
+def test_sanitizer_error_propagates_through_predicate_fallback(monkeypatch):
+    def tripping(expr):
+        raise SanitizerError("CG_STATE", "seeded invariant trip")
+
+    monkeypatch.setattr(compiler, "compile_predicate", tripping)
+    with pytest.raises(SanitizerError):
+        compiler.predicate_fn(E.IsNotNull(AGE))
+
+
+def test_codegen_error_still_degrades_to_interpreter(monkeypatch):
+    def unsupported(expr):
+        raise CodegenError("cannot compile: seeded")
+
+    monkeypatch.setattr(compiler, "compile_predicate", unsupported)
+    fn = compiler.predicate_fn(E.IsNotNull(AGE))
+    assert fn((5,)) is True
+    assert fn((None,)) is False
+
+
+def test_sanitizer_error_propagates_through_fused_kernel(monkeypatch):
+    def tripping(condition, projections):
+        raise SanitizerError("CG_STATE", "seeded invariant trip")
+
+    monkeypatch.setattr(compiler, "compile_filter_project_kernel", tripping)
+    with pytest.raises(SanitizerError):
+        compiler.try_filter_project_kernel(E.IsNotNull(AGE), [AGE])

@@ -1,0 +1,27 @@
+"""The fault-site registry is the single source of truth (FS001/FS002).
+
+The circuit-breaker guard labels predated their registration: the
+labels worked, but nothing cross-checked them, so a typo'd label would
+have silently split breaker state. They are registered now, and the
+static analyzer (``repro.analysis`` FS rules) keeps every site literal
+in the tree honest against this tuple.
+"""
+
+from repro.faults.injector import SITES
+
+
+def test_breaker_guard_labels_are_registered():
+    assert "index.fallback" in SITES
+    assert "wal.fsync" in SITES
+    assert "shuffle.fetch" in SITES  # shared: fetch faults + breaker guard
+
+
+def test_sites_are_unique():
+    assert len(SITES) == len(set(SITES))
+
+
+def test_injector_seeds_one_stream_per_registered_site():
+    from repro.faults.injector import FaultInjector, FaultProfile
+
+    injector = FaultInjector(FaultProfile(seed=7))
+    assert set(injector._rngs) == set(SITES)

@@ -1,0 +1,34 @@
+"""Strategy fallback must not absorb fail-stop errors.
+
+The planner tries strategies in order and treats a raising strategy as
+advisory — but only for *library* errors. A ``SanitizerError`` (or any
+``FAIL_STOP`` class) escaping a strategy is an invariant violation:
+falling through to the next strategy would plan the query on top of
+corrupt state. Regression for the ET003 finding at the strategy loop.
+"""
+
+import pytest
+
+from repro.errors import SanitizerError
+
+
+def _install(session, strategy):
+    session.extensions.inject_planner_strategy(strategy)
+    session._rebuild_pipeline()
+
+
+def test_sanitizer_error_aborts_planning(session, people_df):
+    def tripping(plan, planner):
+        raise SanitizerError("ZONE_SEAL", "seeded invariant trip")
+
+    _install(session, tripping)
+    with pytest.raises(SanitizerError):
+        people_df.collect()
+
+
+def test_advisory_strategy_errors_still_fall_through(session, people_df):
+    def flaky(plan, planner):
+        raise ValueError("buggy extension strategy")
+
+    _install(session, flaky)
+    assert len(people_df.collect()) == 5  # basic strategy still plans
