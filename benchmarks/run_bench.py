@@ -1427,6 +1427,156 @@ def check_pr8(result: dict) -> int:
     return 1 if failures else 0
 
 
+# ----------------------------------------------------------------------
+# PR10 suite: driver stall under injected hangs — heartbeats vs
+# rpc-deadline-only detection
+# ----------------------------------------------------------------------
+
+#: Per-query shuffle over 40 keys; exact aggregate proves fenced
+#: respawn + lineage recompute never lost or duplicated a row.
+PR10_DATA = [(i % 40, i) for i in range(600)]
+PR10_EXPECTED: dict[int, int] = {}
+for _k, _v in PR10_DATA:
+    PR10_EXPECTED[_k] = PR10_EXPECTED.get(_k, 0) + _v
+
+#: The two detection variants under the identical hang schedule.
+PR10_VARIANTS = {
+    # Tight heartbeat: the monitor fences a hung worker in ~0.35 s.
+    "heartbeats": dict(
+        heartbeat_interval=0.02, heartbeat_timeout=0.35, rpc_deadline=None
+    ),
+    # No heartbeats: only the per-RPC deadline backstop (2 s) catches
+    # the hang — this is the stall floor the monitor is beating.
+    "deadline_only": dict(
+        heartbeat_interval=0.0, rpc_deadline=2.0
+    ),
+}
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _pr10_config(seed: int, overrides: dict) -> Config:
+    import dataclasses as _dc
+
+    from repro.faults import FaultSchedule
+
+    config = Config(
+        executors=2,
+        executor_threads=2,
+        default_parallelism=4,
+        shuffle_partitions=4,
+        **overrides,
+    )
+    # Every map split's *first* attempt hangs its worker whole; the
+    # retries and the reduce stage (higher attempt ordinals — the
+    # per-split counter spans the job) run clean. Each query therefore
+    # contains a fixed number of gray failures regardless of seed, and
+    # the latency distribution isolates pure detection time.
+    return _dc.replace(
+        config,
+        fault_schedule=FaultSchedule(seed=seed, hang_p=1.0, attempt_cap=1),
+    )
+
+
+def run_pr10(scale: float, rounds: int, seed: int) -> dict:
+    from repro.engine.context import EngineContext
+
+    queries = max(4, int(rounds * max(scale, 0.1)))
+    variants: dict[str, dict] = {}
+    for name, overrides in PR10_VARIANTS.items():
+        samples: list[float] = []
+        correct = True
+        with EngineContext(_pr10_config(seed, overrides)) as ctx:
+            for _ in range(queries):
+                start = time.perf_counter()
+                result = dict(
+                    ctx.parallelize(PR10_DATA, 4)
+                    .reduce_by_key(lambda a, b: a + b)
+                    .collect()
+                )
+                samples.append((time.perf_counter() - start) * 1000.0)
+                correct = correct and result == PR10_EXPECTED
+            stats = ctx.backend.stats()
+            trace = ctx.fault_injector.schedule_trace()
+        variants[name] = {
+            "queries": queries,
+            "stall_p50_ms": round(_percentile(samples, 0.5), 1),
+            "stall_p99_ms": round(_percentile(samples, 0.99), 1),
+            "stall_max_ms": round(max(samples), 1),
+            "correct": correct,
+            "hangs_injected": stats["hangs_injected"],
+            "heartbeat_fences": stats["heartbeat_fences"],
+            "rpc_timeouts": stats["rpc_timeouts"],
+            "schedule_fires": len(trace),
+            "backend_stats": stats,
+        }
+        print(
+            f"{name:14s} p50 {variants[name]['stall_p50_ms']:8.1f} ms   "
+            f"p99 {variants[name]['stall_p99_ms']:8.1f} ms   "
+            f"hangs {stats['hangs_injected']}   "
+            f"fences {stats['heartbeat_fences']}   "
+            f"rpc timeouts {stats['rpc_timeouts']}"
+        )
+    heart = variants["heartbeats"]["stall_p99_ms"]
+    deadline = variants["deadline_only"]["stall_p99_ms"]
+    return {
+        "meta": {
+            "bench": "PR10 gray-failure liveness: heartbeat vs deadline-only "
+            "stall under injected hangs",
+            "scale": scale,
+            "rows": len(PR10_DATA),
+            "rounds": rounds,
+            "queries_per_variant": queries,
+            "seed": seed,
+            "python": sys.version.split()[0],
+        },
+        "variants": variants,
+        "p99_stall_ratio": round(deadline / heart, 3) if heart > 0 else None,
+    }
+
+
+def check_pr10(result: dict) -> int:
+    """Nonzero when the liveness evidence is missing.
+
+    Hardware-independent criteria: both variants return the exact
+    aggregate under injected hangs; the hang schedule actually fired in
+    both; the heartbeat variant detected via fences, the deadline-only
+    variant via RPC timeouts; and the heartbeat p99 stall beats the
+    deadline-only p99 (detection at ``heartbeat_timeout``, not at
+    ``rpc_deadline``)."""
+    failures = []
+    for name, entry in result["variants"].items():
+        if not entry["correct"]:
+            failures.append(f"{name}: results diverged under injected hangs")
+        if entry["hangs_injected"] == 0:
+            failures.append(f"{name}: the hang schedule never fired")
+    heart = result["variants"]["heartbeats"]
+    deadline = result["variants"]["deadline_only"]
+    if heart["heartbeat_fences"] == 0:
+        failures.append("heartbeats variant never fenced a hung worker")
+    if deadline["rpc_timeouts"] == 0:
+        failures.append("deadline_only variant never hit the RPC deadline")
+    if heart["stall_p99_ms"] >= deadline["stall_p99_ms"]:
+        failures.append(
+            f"heartbeat p99 stall {heart['stall_p99_ms']} ms is not below "
+            f"deadline-only {deadline['stall_p99_ms']} ms"
+        )
+    for failure in failures:
+        print(f"REGRESSION: {failure}", file=sys.stderr)
+    if not failures:
+        print(
+            f"check ok: p99 stall {heart['stall_p99_ms']} ms with "
+            f"heartbeats vs {deadline['stall_p99_ms']} ms deadline-only "
+            f"({result['p99_stall_ratio']}x), results exact under "
+            f"{heart['hangs_injected']}+{deadline['hangs_injected']} hangs"
+        )
+    return 1 if failures else 0
+
+
 #: First line of the schema section in figures.txt — run_bench refreshes
 #: everything from this marker on; the pytest bench suite (conftest.py)
 #: preserves it when rewriting the figure tables above it.
@@ -1738,6 +1888,45 @@ pruning counters, any path's rows diverge, sharing failed to amortize
 (builds != 1), or — on full-scale figures — bitmap-AND misses the
 hardware-scaled floor (>=3x vs both rivals on multi-core hosts, >=2x
 on 1 core).
+
+==== BENCH_PR10.json schema ====
+Written by benchmarks/run_bench.py --suite pr10 to BENCH_PR10.json at
+the repo root. Driver stall under injected whole-worker hangs
+(cluster.hang schedule, every map split's first attempt), comparing
+the two gray-failure detectors on identical schedules.
+
+{
+  "meta": {
+    "bench", "scale", "rows", "rounds", "queries_per_variant", "seed",
+    "python", "hostname", "platform", "cpu_model", "cpu_count"
+  },
+  "variants": {
+    <variant>: {     # heartbeats (interval 0.02 s, timeout 0.35 s)
+                     # | deadline_only (no beats, rpc_deadline 2 s)
+      "queries":          measured queries,
+      "stall_p50_ms":     median end-to-end query latency,
+      "stall_p99_ms":     p99 query latency (the stall headline:
+                          bounded by heartbeat_timeout with beats on,
+                          by rpc_deadline without),
+      "stall_max_ms":     worst query,
+      "correct":          true iff every query returned the exact
+                          aggregate (fenced respawn + lineage recompute
+                          lost and duplicated nothing),
+      "hangs_injected":   cluster.hang directives shipped,
+      "heartbeat_fences": monitor verdicts (0 for deadline_only),
+      "rpc_timeouts":     deadline expiries (0 for heartbeats),
+      "schedule_fires":   total schedule draws that fired,
+      "backend_stats":    full ProcessBackend counter dump
+    }
+  },
+  "p99_stall_ratio": deadline_only p99 / heartbeats p99
+}
+
+Regenerate: python benchmarks/run_bench.py --suite pr10 [--scale F]
+[--rounds N] [--seed N] [--out PATH] [--check]. --check exits nonzero
+if either variant returned a wrong aggregate, the hang schedule never
+fired, the heartbeat variant never fenced, the deadline variant never
+timed out, or the heartbeat p99 stall fails to beat deadline-only.
 """
 )
 
@@ -1824,13 +2013,15 @@ def run(scale: float, rounds: int, seed: int) -> dict:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--suite",
-                        choices=("pr2", "pr3", "pr5", "pr6", "pr7", "pr8"),
+                        choices=("pr2", "pr3", "pr5", "pr6", "pr7", "pr8",
+                                 "pr10"),
                         default="pr2",
                         help="pr2: codegen A/B; pr3: zone-map/adaptive A/B; "
                              "pr5: durability overhead + cold recovery; "
                              "pr6: closed-loop concurrent serving; "
                              "pr7: multi-process executors vs in-process; "
-                             "pr8: bitmap indexes vs cTrie/pruned scan")
+                             "pr8: bitmap indexes vs cTrie/pruned scan; "
+                             "pr10: hung-worker stall, heartbeat vs deadline")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="row-count multiplier (1.0 = %d rows)" % BASE_ROWS)
     parser.add_argument("--rounds", type=int, default=5,
@@ -1854,6 +2045,8 @@ def main(argv: list[str] | None = None) -> int:
         result = run_pr7(args.scale, args.rounds, args.seed)
     elif args.suite == "pr8":
         result = run_pr8(args.scale, args.rounds, args.seed)
+    elif args.suite == "pr10":
+        result = run_pr10(args.scale, args.rounds, args.seed)
     else:
         result = run(args.scale, args.rounds, args.seed)
     # Every suite's figures carry the producing hardware: --check
@@ -1875,6 +2068,8 @@ def main(argv: list[str] | None = None) -> int:
             return check_pr7(result)
         if args.suite == "pr8":
             return check_pr8(result)
+        if args.suite == "pr10":
+            return check_pr10(result)
         speedup = result["ops"]["filter_project"]["speedup"]
         if speedup is None or speedup < 1.0:
             print(

@@ -40,6 +40,7 @@ POLL_OBLIGATED = (
     "engine/scheduler.py",
     "engine/shuffle.py",
     "cluster/backend.py",
+    "cluster/liveness.py",
     "cluster/shuffle.py",
     "codegen/compiler.py",
 )

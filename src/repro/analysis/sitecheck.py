@@ -34,7 +34,14 @@ from repro.faults.injector import SITES
 
 #: Injector methods whose first argument names a site.
 _INJECTOR_METHODS = frozenset(
-    {"maybe_fail", "maybe_crash", "maybe_delay", "should_fire", "choose"}
+    {
+        "maybe_fail",
+        "maybe_crash",
+        "maybe_delay",
+        "should_fire",
+        "should_fire_at",
+        "choose",
+    }
 )
 
 

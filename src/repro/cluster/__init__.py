@@ -3,22 +3,39 @@
 Enabled by ``Config(executors=N)`` (or ``REPRO_EXECUTORS=N``); the
 default ``executors=0`` keeps the engine fully in-process with plans
 and results bit-identical to every prior release. See DESIGN.md §13
-for the process model.
+for the process model and §16 for the gray-failure hardening —
+heartbeats (:mod:`repro.cluster.liveness`), per-RPC deadlines, fenced
+respawn, and worker-local WAL replay
+(:mod:`repro.cluster.walship`).
 """
 
 from repro.cluster.backend import ExecutorBackend, LocalBackend, ProcessBackend
+from repro.cluster.liveness import HeartbeatMonitor, beat_loop
 from repro.cluster.shm import DriverShipStore, WorkerShipCache
 from repro.cluster.shuffle import ClusterShuffleManager, WorkerShuffleClient
-from repro.cluster.spill import MapStatus, SpillMapWriter
+from repro.cluster.spill import (
+    DRIVER_IDENTITY,
+    MapStatus,
+    SpillMapWriter,
+    set_worker_identity,
+    worker_identity,
+)
+from repro.cluster.walship import WorkerWalCache
 
 __all__ = [
     "ClusterShuffleManager",
+    "DRIVER_IDENTITY",
     "DriverShipStore",
     "ExecutorBackend",
+    "HeartbeatMonitor",
     "LocalBackend",
     "MapStatus",
     "ProcessBackend",
     "SpillMapWriter",
     "WorkerShipCache",
     "WorkerShuffleClient",
+    "WorkerWalCache",
+    "beat_loop",
+    "set_worker_identity",
+    "worker_identity",
 ]

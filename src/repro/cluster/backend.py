@@ -30,14 +30,18 @@ flag through a :class:`~repro.cluster.worker.SharedFlagToken`.
 
 from __future__ import annotations
 
+import glob
 import multiprocessing
+import os
 import threading
+import time
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeout
 from queue import SimpleQueue
 from typing import Any, Callable
 
 from repro.cluster.codec import TaskCodec, loads_reply
+from repro.cluster.liveness import HeartbeatMonitor
 from repro.cluster.worker import (
     MSG_CRASH,
     MSG_STOP,
@@ -45,7 +49,13 @@ from repro.cluster.worker import (
     encode_cancel_reason,
     worker_main,
 )
-from repro.errors import FAIL_STOP, EngineError, WorkerLostError
+from repro.errors import (
+    FAIL_STOP,
+    ClusterTimeoutError,
+    EngineError,
+    WalReplayError,
+    WorkerLostError,
+)
 from repro.faults import NULL_INJECTOR, FaultInjector
 from repro.serving.context import QueryContext, current_query
 
@@ -79,8 +89,14 @@ def _await_result(box: Future, query: QueryContext | None) -> Any:
 class ExecutorBackend:
     """Where task attempts run; the scheduler calls only this surface."""
 
-    def run_task(self, task: Callable[[int], Any], split: int) -> Any:
+    def run_task(
+        self, task: Callable[[int], Any], split: int, prefer_healthy: bool = False
+    ) -> Any:
         raise NotImplementedError
+
+    def suspect_slots(self) -> frozenset[int]:
+        """Executor slots a liveness layer currently distrusts."""
+        return frozenset()
 
     def begin_job(self, query: QueryContext | None) -> None:
         """Called under the scheduler's job lock before a job starts."""
@@ -98,20 +114,32 @@ class ExecutorBackend:
 class LocalBackend(ExecutorBackend):
     """In-process execution: exactly the pre-cluster engine."""
 
-    def run_task(self, task: Callable[[int], Any], split: int) -> Any:
+    def run_task(
+        self, task: Callable[[int], Any], split: int, prefer_healthy: bool = False
+    ) -> Any:
         return task(split)
 
 
 class _WorkerSlot:
     """One worker process plus its driver-side plumbing."""
 
-    __slots__ = ("slot_id", "generation", "process", "conn", "queue", "thread", "pid")
+    __slots__ = (
+        "slot_id",
+        "generation",
+        "process",
+        "conn",
+        "beat_conn",
+        "queue",
+        "thread",
+        "pid",
+    )
 
     def __init__(self, slot_id: int) -> None:
         self.slot_id = slot_id
         self.generation = 0
         self.process = None
         self.conn = None
+        self.beat_conn = None
         self.queue: SimpleQueue = SimpleQueue()
         self.thread: threading.Thread | None = None
         self.pid: int | None = None
@@ -152,8 +180,30 @@ class ProcessBackend(ExecutorBackend):
             "codec_fallbacks": 0,
             "workers_lost": 0,
             "crashes_injected": 0,
+            "heartbeat_fences": 0,
+            "rpc_timeouts": 0,
+            "stale_replies_dropped": 0,
+            "hangs_injected": 0,
+            "delays_injected": 0,
+            "drops_injected": 0,
+            "wal_replay_fallbacks": 0,
         }
+        #: Fence verdicts per (slot_id, generation): why a generation
+        #: was killed. Consumed by the dispatcher's death path to pick
+        #: ClusterTimeoutError over WorkerLostError.
+        self._fence_reasons: dict[tuple[int, int], str] = {}  # guarded-by: _lock
+        #: Per-split dispatch attempt counters for schedule draws
+        #: (reset at each job so schedules replay per job, not per run).
+        self._attempts: dict[int, int] = {}  # guarded-by: _lock
         self._stopped = False
+        self._monitor: HeartbeatMonitor | None = None
+        if config.heartbeat_interval > 0:
+            self._monitor = HeartbeatMonitor(
+                config.heartbeat_interval,
+                config.heartbeat_timeout,
+                self._on_heartbeat_dead,
+                self._injector,
+            )
         self._slots = [_WorkerSlot(i) for i in range(num_workers)]
         for slot in self._slots:
             self._spawn(slot)
@@ -164,35 +214,91 @@ class ProcessBackend(ExecutorBackend):
                 daemon=True,
             )
             slot.thread.start()
+        if self._monitor is not None:
+            self._monitor.start()
 
     @staticmethod
     def _strip_config(config):
         """The config workers fork with: no nested executors, no fault
-        profile (fault draws happen at dispatch on the driver so seeded
-        site streams advance exactly once per logical event)."""
+        profile and no fault schedule (fault draws happen at dispatch on
+        the driver so seeded site streams advance exactly once per
+        logical event — workers only *obey* shipped directives)."""
         import dataclasses
 
-        return dataclasses.replace(config, executors=0, faults=None)
+        return dataclasses.replace(
+            config, executors=0, faults=None, fault_schedule=None
+        )
 
     # -- process lifecycle ---------------------------------------------
 
     def _spawn(self, slot: _WorkerSlot) -> int:
         parent_conn, child_conn = self._mp.Pipe(duplex=True)
+        # Dedicated beat channel (worker → driver), separate from the
+        # task pipe so beats flow while a long task is computing.
+        beat_recv, beat_send = self._mp.Pipe(duplex=False)
         slot.generation += 1
         process = self._mp.Process(
             target=worker_main,
-            args=(child_conn, slot.slot_id, self._worker_config, self._flag),
+            args=(
+                child_conn,
+                slot.slot_id,
+                self._worker_config,
+                self._flag,
+                beat_send,
+                slot.generation,
+            ),
             name=f"repro-worker-{slot.slot_id}-g{slot.generation}",
             daemon=True,
         )
         process.start()
-        # Close the driver's copy of the child end: worker death then
+        # Close the driver's copy of the child ends: worker death then
         # surfaces as EOF on the very next recv instead of a hang.
         child_conn.close()
+        beat_send.close()
         slot.process = process
         slot.conn = parent_conn
+        slot.beat_conn = beat_recv
         slot.pid = process.pid
+        if self._monitor is not None:
+            self._monitor.register(
+                slot.slot_id, slot.generation, beat_recv, process.pid
+            )
         return slot.generation
+
+    def _on_heartbeat_dead(self, slot_id: int, generation: int, pid: int) -> None:
+        """Monitor verdict: record the fence and bump the counter. The
+        monitor already SIGKILLed the pid; the resulting pipe EOF drives
+        the dispatcher's single death path, which consumes the recorded
+        reason and raises ClusterTimeoutError instead of WorkerLostError."""
+        self._note_fence(slot_id, generation, "heartbeat")
+        self._bump("heartbeat_fences")
+
+    def _note_fence(self, slot_id: int, generation: int, reason: str) -> None:
+        with self._lock:
+            self._fence_reasons.setdefault((slot_id, generation), reason)
+        # Zombie output written by this generation — already committed
+        # or still in flight — must never feed a reduce task.
+        self._shuffles.note_fenced(slot_id, generation)
+
+    def _pop_fence(self, slot_id: int, generation: int) -> str | None:
+        with self._lock:
+            return self._fence_reasons.pop((slot_id, generation), None)
+
+    def _reap_spill_files(self, pid: int) -> int:
+        """Delete every spill file a dead pid left behind — including
+        uncommitted ones no MapStatus ever pointed at (a kill can land
+        between file write and commit)."""
+        spill_root = getattr(self._shuffles, "spill_root", None)
+        if not spill_root or pid < 0:
+            return 0
+        reaped = 0
+        for path in glob.glob(os.path.join(spill_root, f"*_p{pid}_*.bin")):
+            try:
+                os.unlink(path)
+                reaped += 1
+            except OSError:
+                pass
+        return reaped
 
     def _dispatch_loop(self, slot: _WorkerSlot) -> None:
         """Per-worker dispatcher: serialise envelopes down the pipe, one
@@ -208,9 +314,10 @@ class ProcessBackend(ExecutorBackend):
             payload, box = item
             try:
                 slot.conn.send_bytes(payload)
-                raw = slot.conn.recv_bytes()
+                raw = self._recv_reply(slot)
             except (EOFError, OSError, BrokenPipeError):
                 dead_pid = slot.pid or -1
+                dead_generation = slot.generation
                 try:
                     slot.conn.close()
                 except OSError:
@@ -220,23 +327,35 @@ class ProcessBackend(ExecutorBackend):
                         EngineError("executor backend stopped mid-task")
                     )
                     return
+                # Fence the dead generation *before* respawn: a zombie
+                # reply already decoded on another thread, or a spill
+                # file committed late, must not outlive the verdict.
+                self._shuffles.note_fenced(slot.slot_id, dead_generation)
+                fence_reason = self._pop_fence(slot.slot_id, dead_generation)
                 generation = self._spawn(slot)
                 # Invalidate *before* failing the attempt: the retry
                 # must observe the missing map outputs, not stale
                 # statuses pointing at deleted spill files.
                 lost = self._shuffles.handle_worker_death(dead_pid)
+                self._reap_spill_files(dead_pid)
                 self._bump("workers_lost")
-                box.set_exception(
-                    WorkerLostError(
-                        slot.slot_id,
-                        generation,
-                        f"pid {dead_pid} died mid-task; "
-                        f"{lost} map outputs invalidated",
-                    )
+                detail = (
+                    f"pid {dead_pid} died mid-task; "
+                    f"{lost} map outputs invalidated"
                 )
+                if fence_reason is not None:
+                    box.set_exception(
+                        ClusterTimeoutError(
+                            slot.slot_id, dead_generation, fence_reason, detail
+                        )
+                    )
+                else:
+                    box.set_exception(
+                        WorkerLostError(slot.slot_id, generation, detail)
+                    )
                 continue
             try:
-                status, payload_obj, deltas = loads_reply(raw)
+                status, payload_obj, deltas, reply_generation = loads_reply(raw)
             except FAIL_STOP:
                 raise
             except Exception as exc:  # noqa: BLE001 - defensive decode
@@ -244,11 +363,63 @@ class ProcessBackend(ExecutorBackend):
                     EngineError(f"undecodable worker reply: {exc!r}")
                 )
                 continue
+            if reply_generation != slot.generation:
+                # Structural fencing (one pipe per generation) makes
+                # this near-impossible, but a stamped zombie answer is
+                # dropped, never trusted. The task pipe is now out of
+                # sync, so the generation is fenced and killed; the EOF
+                # path respawns it cleanly.
+                self._bump("stale_replies_dropped")
+                self._note_fence(slot.slot_id, slot.generation, "stale-reply")
+                self._kill_slot(slot)
+                slot.queue.put(item)
+                continue
+            if status == "err" and isinstance(payload_obj, WalReplayError):
+                # Worker-local replay cannot reproduce this snapshot:
+                # gate the partition back onto the shm path so the
+                # retried task re-pickles with a segment token.
+                self._ship.disable_wal_ship(
+                    (payload_obj.store_dir, payload_obj.partition_index)
+                )
+                self._bump("wal_replay_fallbacks")
             self._replay_deltas(deltas)
             if status == "ok":
                 box.set_result(payload_obj)
             else:
                 box.set_exception(payload_obj)
+
+    def _recv_reply(self, slot: _WorkerSlot) -> bytes:
+        """Receive one reply, enforcing the per-RPC deadline.
+
+        With no deadline configured this is a plain blocking receive
+        (a heartbeat fence still breaks it: the monitor's SIGKILL turns
+        the block into EOF). With a deadline, the wait polls in ticks;
+        on expiry the slot is fenced with reason ``rpc-deadline`` and
+        killed, and the read returns through the EOF path — one death
+        path for every failure mode.
+        """
+        deadline = self._config.rpc_deadline
+        if deadline is None:
+            return slot.conn.recv_bytes()
+        start = time.monotonic()
+        while not slot.conn.poll(_RESULT_TICK_S):  # lint: allow[CP001] -- bounded by rpc_deadline; cancellation is polled by run_task's _await_result
+            if time.monotonic() - start >= deadline:
+                self._bump("rpc_timeouts")
+                self._note_fence(slot.slot_id, slot.generation, "rpc-deadline")
+                self._kill_slot(slot)
+                # A reply racing in *after* the verdict is zombie data:
+                # never read it — the death path closes this pipe.
+                raise EOFError(
+                    f"rpc deadline ({deadline}s) expired on "
+                    f"slot {slot.slot_id}"
+                )
+        return slot.conn.recv_bytes()
+
+    @staticmethod
+    def _kill_slot(slot: _WorkerSlot) -> None:
+        process = slot.process
+        if process is not None and process.is_alive():
+            process.kill()
 
     def _replay_deltas(self, deltas: list) -> None:
         """Fold worker-side accumulator adds into the driver objects."""
@@ -261,7 +432,9 @@ class ProcessBackend(ExecutorBackend):
 
     # -- backend surface ------------------------------------------------
 
-    def run_task(self, task: Callable[[int], Any], split: int) -> Any:
+    def run_task(
+        self, task: Callable[[int], Any], split: int, prefer_healthy: bool = False
+    ) -> Any:
         if self._injector.should_fire("cluster.worker_crash"):
             # A crash directive instead of the task: the worker hard-
             # exits, the dispatcher raises WorkerLostError, and the
@@ -275,6 +448,7 @@ class ProcessBackend(ExecutorBackend):
                 "query": self._query_info(current_query()),
                 "plan": self._shuffles.export_plan(),
             }
+            self._draw_chaos(envelope, split)
             try:
                 payload = MSG_TASK + self._codec.dumps_envelope(envelope)
             except FAIL_STOP:
@@ -282,11 +456,59 @@ class ProcessBackend(ExecutorBackend):
             except Exception:  # noqa: BLE001 - exotic closures degrade
                 self._bump("codec_fallbacks")
                 return task(split)
-        slot = self._slots[split % len(self._slots)]
+        slot = self._pick_slot(split, prefer_healthy)
         box: Future = Future()
         slot.queue.put((payload, box))
         self._bump("tasks_dispatched")
         return _await_result(box, current_query())
+
+    def _pick_slot(self, split: int, prefer_healthy: bool) -> _WorkerSlot:
+        slot = self._slots[split % len(self._slots)]
+        if not prefer_healthy or self._monitor is None or len(self._slots) < 2:
+            return slot
+        suspects = self._monitor.suspect_slots()
+        if slot.slot_id not in suspects:
+            return slot
+        # Speculative attempt racing a SUSPECT slot: route it to the
+        # first healthy slot so the backup does not queue behind the
+        # very straggler it is meant to beat.
+        for other in self._slots:
+            if other.slot_id not in suspects:
+                return other
+        return slot
+
+    def _draw_chaos(self, envelope: dict, split: int) -> None:
+        """Draw the gray-failure schedule for this dispatch (driver-side
+        so a run's schedule replays bit-identically from its seed) and
+        ship the winning directive in the envelope. Sites are mutually
+        exclusive per dispatch — a worker cannot hang *and* drop."""
+        injector = self._injector
+        if injector.schedule is None:
+            return
+        with self._lock:
+            attempt = self._attempts.get(split, 0)
+            self._attempts[split] = attempt + 1
+        if injector.should_fire_at("cluster.hang", split, attempt):
+            envelope["chaos"] = "hang"
+            self._bump("hangs_injected")
+        elif injector.should_fire_at("cluster.drop", split, attempt):
+            envelope["chaos"] = "drop"
+            self._bump("drops_injected")
+        elif injector.should_fire_at("cluster.delay", split, attempt):
+            envelope["chaos"] = "delay"
+            envelope["chaos_delay_s"] = injector.schedule.delay_s
+            self._bump("delays_injected")
+
+    def suspect_slots(self) -> frozenset[int]:
+        """Slots the heartbeat monitor currently distrusts (speculation
+        input for the scheduler)."""
+        if self._monitor is None:
+            return frozenset()
+        return self._monitor.suspect_slots()
+
+    def slot_for_split(self, split: int) -> int:
+        """The slot that owns a split under static partition ownership."""
+        return split % len(self._slots)
 
     @staticmethod
     def _query_info(query: QueryContext | None) -> dict[str, Any] | None:
@@ -305,6 +527,11 @@ class ProcessBackend(ExecutorBackend):
         # One job at a time (scheduler job lock), so a single shared
         # flag and a single mirrored token are sound.
         self._flag.value = 0
+        with self._lock:
+            # Schedule draws are keyed (site, split, attempt) *per job*:
+            # the same job replayed from the same seed sees the same
+            # directives regardless of what ran before it.
+            self._attempts.clear()
         if query is None:
             return
         flag = self._flag
@@ -328,12 +555,20 @@ class ProcessBackend(ExecutorBackend):
             counters = dict(self._counters)
         counters["workers"] = len(self._slots)
         counters["generations"] = sum(s.generation for s in self._slots)
+        if self._monitor is not None:
+            for key, value in self._monitor.stats().items():
+                if key != "heartbeat_fences":  # backend counts fences itself
+                    counters[key] = value
         return counters
 
     def stop(self) -> None:
         if self._stopped:
             return
         self._stopped = True
+        # Monitor first: a fence verdict mid-shutdown would race the
+        # orderly MSG_STOP path below.
+        if self._monitor is not None:
+            self._monitor.stop()
         for slot in self._slots:
             slot.queue.put(_STOP)
         for slot in self._slots:
@@ -343,14 +578,26 @@ class ProcessBackend(ExecutorBackend):
             process = slot.process
             if process is None:
                 continue
+            # Escalate until the process is actually gone: join →
+            # SIGTERM → SIGKILL. A worker wedged in a hang directive (or
+            # a real gray failure) ignores everything short of the kill,
+            # and a leaked zombie holds its shm attachments forever.
             process.join(timeout=_JOIN_TIMEOUT_S)
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=_JOIN_TIMEOUT_S)
-            try:
-                slot.conn.close()
-            except OSError:
-                pass
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=_JOIN_TIMEOUT_S)
+            for conn in (slot.conn, slot.beat_conn):
+                if conn is None:
+                    continue
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            if slot.pid is not None:
+                self._reap_spill_files(slot.pid)
         self._ship.close()
 
     def _bump(self, counter: str) -> None:

@@ -127,6 +127,17 @@ class TaskPickler(pickle.Pickler):
             # exactly once per logical event.
             return ("injector",)
         if isinstance(obj, PartitionSnapshot):
+            # Durable partitions ship as a WAL reference when possible:
+            # the worker rebuilds the snapshot locally from its shard's
+            # checkpoint + WAL (no segment, no snapshot re-ship after a
+            # respawn). A prior replay failure gates the partition back
+            # onto the shm path.
+            ref = getattr(obj.partition, "durable_ref", None)
+            if ref is not None and self._ship.allows_wal_ship(ref):
+                return (
+                    "wal",
+                    (ref[0], ref[1], obj.row_count, obj.watermark),
+                )
             return ("ship", self._ship.token_for_snapshot(obj))
         if isinstance(obj, (BaseRelation, Broadcast)):
             return ("ship", self._ship.token_for_object(obj))
@@ -194,6 +205,11 @@ class TaskUnpickler(pickle.Unpickler):
             return NULL_INJECTOR
         if kind == "ship":
             return self._worker.ship_cache.load(pid[1])
+        if kind == "wal":
+            store_dir, pindex, row_count, watermark = pid[1]
+            return self._worker.wal_cache.load(
+                store_dir, pindex, row_count, watermark
+            )
         if kind == "acc":
             return self._worker.accumulator_proxy(pid[1])
         raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
@@ -219,11 +235,17 @@ def loads_envelope(data: bytes, worker_context) -> dict:
     return TaskUnpickler(io.BytesIO(data), worker_context).load()
 
 
-def dumps_reply(status: str, payload: Any, deltas: list) -> bytes:
+def dumps_reply(
+    status: str, payload: Any, deltas: list, generation: int = 0
+) -> bytes:
     """Worker → driver reply; falls back to a repr-only error when the
-    payload itself refuses to pickle."""
+    payload itself refuses to pickle. ``generation`` stamps the reply
+    with the worker's spawn generation so the dispatcher can fence a
+    zombie's late answer."""
     try:
-        return pickle.dumps((status, payload, deltas), protocol=PICKLE_PROTOCOL)
+        return pickle.dumps(
+            (status, payload, deltas, generation), protocol=PICKLE_PROTOCOL
+        )
     except FAIL_STOP:
         raise
     except Exception:  # noqa: BLE001 - any pickling failure
@@ -237,8 +259,10 @@ def dumps_reply(status: str, payload: Any, deltas: list) -> bytes:
             substitute = EngineError(
                 f"worker task result was unpicklable: {type(payload).__name__}"
             )
-        return pickle.dumps(("err", substitute, deltas), protocol=PICKLE_PROTOCOL)
+        return pickle.dumps(
+            ("err", substitute, deltas, generation), protocol=PICKLE_PROTOCOL
+        )
 
 
-def loads_reply(data: bytes) -> tuple[str, Any, list]:
+def loads_reply(data: bytes) -> tuple[str, Any, list, int]:
     return pickle.loads(data)

@@ -40,13 +40,22 @@ class _ClusterShuffleState:
 class ClusterShuffleManager(ShuffleManager):
     """Spill-file map-output registry for the process backend."""
 
-    def __init__(self, spill_root: str, injector=None) -> None:
+    def __init__(
+        self, spill_root: str, injector=None, rpc_max_retries: int = 2
+    ) -> None:
         super().__init__(injector)
         # Re-bind the base class's registry lock so the (per-class)
         # lock-discipline analyzer can resolve the annotations below.
         self._lock = self._lock
         self.spill_root = spill_root
+        self.rpc_max_retries = rpc_max_retries
         self._states: dict[int, _ClusterShuffleState] = {}  # guarded-by: _lock
+        #: Fenced (slot, generation) pairs: map outputs written by these
+        #: are zombie data — a worker declared dead may have flushed a
+        #: spill file (and its reply may still be in flight) after the
+        #: verdict. Commits from fenced generations are rejected.
+        self._fenced: set[tuple[int, int]] = set()  # guarded-by: _lock
+        self.stale_commits_rejected = 0  # guarded-by: _lock
 
     # -- registry surface (scheduler-facing) ---------------------------
 
@@ -69,16 +78,47 @@ class ClusterShuffleManager(ShuffleManager):
             map_side_combine=dep.map_side_combine,
         )
 
+    def note_fenced(self, slot: int, generation: int) -> None:
+        """Record a fenced (slot, generation): any map output stamped
+        with it — whether already committed or still riding a late
+        reply — is zombie data and must never feed a reduce task."""
+        doomed: list[MapStatus] = []
+        with self._lock:
+            self._fenced.add((slot, generation))
+            for state in self._states.values():
+                victims = [
+                    i
+                    for i, s in state.statuses.items()
+                    if s.slot == slot and s.generation == generation
+                ]
+                for i in victims:
+                    doomed.append(state.statuses.pop(i))
+                self.lost_map_outputs += len(victims)
+        for status in doomed:
+            _unlink_quiet(status.path)
+
     def commit_map_outputs(
         self, shuffle_id: int, statuses: list[MapStatus | None]
     ) -> None:
+        stale: list[MapStatus] = []
         with self._lock:
             state = self._states.get(shuffle_id)
             if state is None:
                 raise EngineError(f"shuffle {shuffle_id} was never registered")
             for status in statuses:
-                if status is not None:
-                    state.statuses[status.map_index] = status
+                if status is None:
+                    continue
+                # Driver-side writes (slot < 0, codec-fallback in-process
+                # map tasks) can never be fenced; worker writes are
+                # checked against the fence table so a zombie's output
+                # committed *after* its verdict is rejected.
+                if status.slot >= 0 and (status.slot, status.generation) in self._fenced:
+                    self.stale_commits_rejected += 1
+                    stale.append(status)
+                    continue
+                state.statuses[status.map_index] = status
+        for status in stale:
+            _unlink_quiet(status.path)
 
     def fetch(self, shuffle_id: int, reduce_index: int) -> Iterator[tuple[Any, Any]]:
         """Driver-side fetch (inline single-split reduce stages)."""
@@ -104,7 +144,7 @@ class ClusterShuffleManager(ShuffleManager):
                     f"shuffle {shuffle_id} incomplete: {missing} map outputs missing",
                 )
             statuses = [state.statuses[i] for i in sorted(state.statuses)]
-        return _drain(statuses, reduce_index)
+        return _drain(statuses, reduce_index, self.rpc_max_retries)
 
     def reduce_sizes(self, shuffle_id: int) -> list[tuple[int, int]] | None:
         with self._lock:
@@ -146,7 +186,11 @@ class ClusterShuffleManager(ShuffleManager):
                 for status in state.statuses.values()
                 for rows, _est in status.sizes
             )
-            return {"shuffles": len(self._states), "records": records}
+            return {
+                "shuffles": len(self._states),
+                "records": records,
+                "stale_commits_rejected": self.stale_commits_rejected,
+            }
 
     # -- cluster-only surface ------------------------------------------
 
@@ -193,8 +237,9 @@ class WorkerShuffleClient:
     locking; the plan is replaced at each task dispatch.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, rpc_max_retries: int = 2) -> None:
         self._plan: dict[int, dict[str, Any]] = {}
+        self._rpc_max_retries = rpc_max_retries
 
     def install_plan(self, plan: dict[int, dict[str, Any]]) -> None:
         self._plan = plan
@@ -214,17 +259,17 @@ class WorkerShuffleClient:
                 f"shuffle {shuffle_id} incomplete: {missing} map outputs missing",
             )
         statuses = [statuses_by_map[i] for i in sorted(statuses_by_map)]
-        return _drain(statuses, reduce_index)
+        return _drain(statuses, reduce_index, self._rpc_max_retries)
 
 
 def _drain(
-    statuses: list[MapStatus], reduce_index: int
+    statuses: list[MapStatus], reduce_index: int, max_retries: int = 2
 ) -> Iterator[tuple[Any, Any]]:
     for status in statuses:
         # Cooperative cancellation poll once per map bucket, matching
         # the in-memory manager's drain loop.
         check_cancelled()
-        yield from read_bucket(status, reduce_index)
+        yield from read_bucket(status, reduce_index, max_retries)
 
 
 def _unlink_quiet(path: str) -> None:

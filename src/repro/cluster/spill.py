@@ -20,6 +20,7 @@ from __future__ import annotations
 import itertools
 import os
 import pickle
+import time
 from dataclasses import dataclass
 from typing import Any, Iterable
 
@@ -28,6 +29,26 @@ from repro.errors import FetchFailedError
 from repro.serialize import PICKLE_PROTOCOL
 
 _spill_seq = itertools.count()
+
+#: Base of the spill-read retry backoff (attempt n sleeps n * base).
+_READ_BACKOFF_S = 0.005
+
+#: This process's (slot, generation) identity, stamped into every
+#: MapStatus it writes. Workers set it at spawn; the driver keeps the
+#: default — a negative slot marks driver-side writes (codec-fallback
+#: in-process map tasks), which the fencing machinery exempts.
+DRIVER_IDENTITY = (-1, 0)
+_worker_identity = DRIVER_IDENTITY
+
+
+def set_worker_identity(slot: int, generation: int) -> None:
+    """Install this worker process's fencing identity (worker_main)."""
+    global _worker_identity
+    _worker_identity = (slot, generation)
+
+
+def worker_identity() -> tuple[int, int]:
+    return _worker_identity
 
 
 @dataclass(frozen=True)
@@ -43,6 +64,11 @@ class MapStatus:
     sizes: tuple[tuple[int, int], ...]
     #: pid of the writing process; dead-worker invalidation key.
     pid: int
+    #: Fencing identity of the writer: worker slot (-1 = driver-side)
+    #: and slot generation. A status whose (slot, generation) was
+    #: fenced before commit is stale zombie output and is rejected.
+    slot: int = -1
+    generation: int = 0
 
 
 def _bucket_size(bucket: list[Any]) -> tuple[int, int]:
@@ -92,12 +118,15 @@ class SpillMapWriter:
             for key, value in records:
                 appends[partition_of(key)]((key, value))
         sizes = tuple(_bucket_size(bucket) for bucket in buckets)
-        # Unique per (map attempt, process): a speculative duplicate or
-        # retried attempt never clobbers a file a reduce task may
-        # already be reading.
+        slot, generation = _worker_identity
+        # Unique per (map attempt, process, generation): a speculative
+        # duplicate, a retried attempt, or a fenced zombie's leftover
+        # never clobbers a file a reduce task may already be reading —
+        # and the generation in the name lets the reaper tell a live
+        # slot's files from a fenced generation's.
         name = (
             f"s{self.shuffle_id}_m{map_index}_"
-            f"p{os.getpid()}_{next(_spill_seq)}.bin"
+            f"p{os.getpid()}_g{generation}_{next(_spill_seq)}.bin"
         )
         path = os.path.join(self.root, name)
         offsets = []
@@ -115,24 +144,48 @@ class SpillMapWriter:
             tuple(offsets),
             sizes,
             os.getpid(),
+            slot,
+            generation,
         )
 
 
-def read_bucket(status: MapStatus, reduce_index: int) -> list[Any]:
-    """Read one bucket region; any I/O problem is a fetch failure (the
-    file died with its worker, or was invalidated under us)."""
+def read_bucket(
+    status: MapStatus, reduce_index: int, max_retries: int = 2
+) -> list[Any]:
+    """Read one bucket region with bounded retry/backoff.
+
+    A transient FS hiccup (EINTR, a momentarily unavailable page)
+    heals on a short backoff; a file that died with its worker keeps
+    failing and surfaces as a fetch failure after ``max_retries``
+    extra attempts — the scheduler then repairs it through lineage
+    recomputation. A *missing* file never retries: deletion is how
+    invalidation works, so absence is definitive, not transient.
+    """
     offset, length = status.offsets[reduce_index]
-    try:
-        with open(status.path, "rb") as fh:
-            fh.seek(offset)
-            blob = fh.read(length)
-        if len(blob) != length:
-            raise OSError("short read")
-        return pickle.loads(blob)
-    except (OSError, pickle.UnpicklingError, EOFError) as exc:
-        raise FetchFailedError(
-            status.shuffle_id,
-            status.map_index,
-            f"shuffle {status.shuffle_id}: map output {status.map_index} "
-            f"unreadable ({exc})",
-        ) from None
+    attempt = 0
+    while True:
+        try:
+            with open(status.path, "rb") as fh:
+                fh.seek(offset)
+                blob = fh.read(length)
+            if len(blob) != length:
+                raise OSError("short read")
+            return pickle.loads(blob)
+        except FileNotFoundError as exc:
+            raise FetchFailedError(
+                status.shuffle_id,
+                status.map_index,
+                f"shuffle {status.shuffle_id}: map output {status.map_index} "
+                f"unreadable ({exc})",
+            ) from None
+        except (OSError, pickle.UnpicklingError, EOFError) as exc:
+            attempt += 1
+            if attempt > max_retries:
+                raise FetchFailedError(
+                    status.shuffle_id,
+                    status.map_index,
+                    f"shuffle {status.shuffle_id}: map output "
+                    f"{status.map_index} unreadable after {attempt} "
+                    f"attempt(s) ({exc})",
+                ) from None
+            time.sleep(_READ_BACKOFF_S * attempt)

@@ -23,10 +23,14 @@ epoch across processes on Linux (CLOCK_MONOTONIC is system-wide).
 from __future__ import annotations
 
 import os
+import threading
+import time
 from typing import Any
 
 from repro.cluster.codec import dumps_reply, loads_envelope
+from repro.cluster.liveness import beat_loop
 from repro.cluster.shuffle import WorkerShuffleClient
+from repro.cluster.spill import set_worker_identity
 from repro.engine.cache import BlockManager
 from repro.errors import EngineError
 from repro.faults import NULL_INJECTOR
@@ -111,6 +115,7 @@ class WorkerContext:
 
     def __init__(self, worker_id: int, config, cancel_flag) -> None:
         from repro.cluster.shm import WorkerShipCache
+        from repro.cluster.walship import WorkerWalCache
         from repro.stats import PruningMetrics
 
         self.worker_id = worker_id
@@ -118,8 +123,9 @@ class WorkerContext:
         self.cancel_flag = cancel_flag
         self.fault_injector = NULL_INJECTOR
         self.block_manager = BlockManager(config.cache_capacity_bytes)
-        self.shuffle_manager = WorkerShuffleClient()
+        self.shuffle_manager = WorkerShuffleClient(config.rpc_max_retries)
         self.ship_cache = WorkerShipCache()
+        self.wal_cache = WorkerWalCache(config)
         self.pruning_metrics = PruningMetrics()
         self.serving = None
         self._task_accumulators: dict[int, _AccumulatorProxy] = {}
@@ -176,9 +182,33 @@ def _make_query_context(info: dict, cancel_flag) -> QueryContext:
     return query
 
 
-def worker_main(conn, worker_id: int, config, cancel_flag) -> None:
+def worker_main(
+    conn,
+    worker_id: int,
+    config,
+    cancel_flag,
+    beat_conn=None,
+    generation: int = 0,
+) -> None:
     """The worker loop (runs as the forked process's main)."""
     ctx = WorkerContext(worker_id, config, cancel_flag)
+    # Every spill file this process writes carries its fencing identity.
+    set_worker_identity(worker_id, generation)
+    beat_pause = threading.Event()
+    beat_stop = threading.Event()
+    if beat_conn is not None and config.heartbeat_interval > 0:
+        threading.Thread(
+            target=beat_loop,
+            args=(
+                beat_conn,
+                generation,
+                config.heartbeat_interval,
+                beat_pause,
+                beat_stop,
+            ),
+            name=f"repro-beat-{worker_id}",
+            daemon=True,
+        ).start()
     try:
         while True:
             try:
@@ -195,6 +225,21 @@ def worker_main(conn, worker_id: int, config, cancel_flag) -> None:
             try:
                 ctx.begin_task()
                 envelope = loads_envelope(body, ctx)
+                chaos = envelope.get("chaos")
+                if chaos == "hang":
+                    # Whole-worker freeze: beats stop, compute stops.
+                    # The heartbeat monitor fences and SIGKILLs us; the
+                    # sleep bound only caps the blast radius if it does
+                    # not (heartbeats disabled).
+                    beat_pause.set()
+                    time.sleep(  # lint: allow[CP001] -- injected gray failure; process is killed by the monitor
+                        max(config.heartbeat_timeout * 4.0, 1.0)
+                    )
+                    beat_pause.clear()
+                    continue
+                if chaos == "delay":
+                    # Straggler, not a failure: beats keep flowing.
+                    time.sleep(envelope.get("chaos_delay_s", 0.05))
                 ctx.install_plan(envelope.get("plan") or {})
                 info = envelope.get("query")
                 token = None
@@ -205,12 +250,18 @@ def worker_main(conn, worker_id: int, config, cancel_flag) -> None:
                 finally:
                     if token is not None:
                         deactivate(token)
-                reply = dumps_reply("ok", result, ctx.collect_deltas())
+                if chaos == "drop":
+                    # Compute then stay silent — the reply is dropped on
+                    # the floor. Beats continue, so only the per-RPC
+                    # deadline (not the heartbeat) can fence us.
+                    continue
+                reply = dumps_reply("ok", result, ctx.collect_deltas(), generation)
             except BaseException as exc:  # lint: allow[ET002] -- exception is the reply; the driver re-raises it
-                reply = dumps_reply("err", exc, ctx.collect_deltas())
+                reply = dumps_reply("err", exc, ctx.collect_deltas(), generation)
             try:
                 conn.send_bytes(reply)
             except (BrokenPipeError, OSError):
                 break
     finally:
+        beat_stop.set()
         ctx.ship_cache.close()

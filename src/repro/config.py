@@ -31,7 +31,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.errors import CapacityError, ConfigError
-from repro.faults import FaultProfile
+from repro.faults import FaultProfile, FaultSchedule
 
 #: Spellings accepted by :func:`_env_flag`. Every ``REPRO_*`` boolean
 #: flag parses through the same sets, so ``REPRO_SANITIZERS=true`` and
@@ -276,6 +276,34 @@ class Config:
     #: Directory for cluster shuffle spill files; ``None`` uses a
     #: session-scoped temporary directory removed at ``stop()``.
     cluster_spill_dir: str | None = None
+    #: Seconds between worker→driver heartbeats. ``0`` disables the
+    #: liveness monitor entirely (pre-PR-10 behavior: a hung worker is
+    #: only caught by ``rpc_deadline``, or never).
+    heartbeat_interval: float = 0.05
+    #: A worker slot whose last beat is older than this is declared
+    #: dead and fenced: its generation is killed, its map outputs are
+    #: rejected, and the slot respawns. Must exceed
+    #: ``heartbeat_interval`` (several beats must fit in the window).
+    #: Halfway to the timeout the slot turns *suspect*, which feeds
+    #: speculative execution.
+    heartbeat_timeout: float = 2.0
+    #: Per-RPC deadline in seconds for a dispatched cluster task:
+    #: a worker that neither replies nor dies within this window is
+    #: fenced and the attempt fails with
+    #: :class:`~repro.errors.ClusterTimeoutError` (transient).
+    #: ``None`` disables the deadline — a task may legitimately run
+    #: arbitrarily long; heartbeats still catch *hung* workers.
+    rpc_deadline: float | None = None
+    #: Bounded retries for one shuffle spill-file read before it is
+    #: reported as a :class:`~repro.errors.FetchFailedError` (each
+    #: retry backs off briefly; transient FS hiccups heal, a file that
+    #: died with its worker still fails fast).
+    rpc_max_retries: int = 2
+    #: Deterministic gray-failure schedule (hang/delay/drop/heartbeat-
+    #: miss draws keyed by seed, site, split, and attempt); ``None``
+    #: disables. Driver-side only: workers fork with it stripped, the
+    #: driver makes every draw so replays are bit-identical.
+    fault_schedule: "FaultSchedule | None" = None
     #: Analyzed+optimized logical plans memoized per session, keyed by
     #: a parameterized plan fingerprint (literal values slotted out).
     #: ``0`` disables the plan cache entirely.
@@ -371,6 +399,24 @@ class Config:
         )
         require("executors", 0 <= self.executors <= 64, "in [0, 64]")
         require("plan_cache_size", self.plan_cache_size >= 0, ">= 0")
+        require(
+            "heartbeat_interval", self.heartbeat_interval >= 0, ">= 0 (0 disables)"
+        )
+        if self.heartbeat_interval > 0 and not (
+            self.heartbeat_timeout > self.heartbeat_interval
+        ):
+            raise ConfigError(
+                "heartbeat_timeout must exceed heartbeat_interval "
+                f"(several beats must fit in the window), got "
+                f"{self.heartbeat_timeout!r} <= {self.heartbeat_interval!r}"
+            )
+        require("heartbeat_timeout", self.heartbeat_timeout > 0, "positive")
+        require(
+            "rpc_deadline",
+            self.rpc_deadline is None or self.rpc_deadline > 0,
+            "positive (or None)",
+        )
+        require("rpc_max_retries", self.rpc_max_retries >= 0, ">= 0")
 
     def with_options(self, **changes: Any) -> "Config":
         """Return a copy of this config with the given fields replaced."""

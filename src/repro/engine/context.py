@@ -44,7 +44,9 @@ class EngineContext:
         self.config = config or Config()
         # One seeded injector per context: engine, shuffle, and indexed
         # operators all draw from the same reproducible fault streams.
-        self.fault_injector = FaultInjector(self.config.faults)
+        self.fault_injector = FaultInjector(
+            self.config.faults, self.config.fault_schedule
+        )
         self._spill_root: str | None = None
         self._owns_spill_root = False
         if self.config.executors > 0:
@@ -60,7 +62,9 @@ class EngineContext:
                 self._spill_root = tempfile.mkdtemp(prefix="repro-spill-")
                 self._owns_spill_root = True
             self.shuffle_manager: ShuffleManager = ClusterShuffleManager(
-                self._spill_root, self.fault_injector
+                self._spill_root,
+                self.fault_injector,
+                self.config.rpc_max_retries,
             )
             self.ship_store = DriverShipStore()
             self.backend = ProcessBackend(

@@ -52,6 +52,7 @@ from repro.engine.rdd import RDD, ShuffleDependencyEdge
 from repro.engine.shuffle import ShuffleDependency, ShuffleManager
 from repro.errors import (
     CircuitOpenError,
+    ClusterTimeoutError,
     DurabilityError,
     FetchFailedError,
     InjectedFault,
@@ -98,6 +99,7 @@ def _find_transient(exc: BaseException | None) -> BaseException | None:
                 FetchFailedError,
                 DurabilityError,
                 WorkerLostError,
+                ClusterTimeoutError,
                 ConnectionError,
                 TimeoutError,
                 OSError,
@@ -185,6 +187,9 @@ class _TaskFailures:
 
     crashes: int = 0
     fetches: int = 0
+    #: Cluster RPC faults (lost or fenced workers) among the crashes —
+    #: the subset the ``cluster.rpc`` breaker accounts.
+    rpc_faults: int = 0
 
     @property
     def attempts(self) -> int:
@@ -216,6 +221,7 @@ class SchedulerMetrics:
     speculative_wins: int = 0  # guarded-by: _lock
     stage_timeouts: int = 0  # guarded-by: _lock
     workers_lost: int = 0  # guarded-by: _lock
+    cluster_timeouts: int = 0  # guarded-by: _lock
     plan_cache_hits: int = 0  # guarded-by: _lock
     plan_cache_misses: int = 0  # guarded-by: _lock
     plan_cache_full_hits: int = 0  # guarded-by: _lock
@@ -256,6 +262,7 @@ class SchedulerMetrics:
                     "speculative_wins",
                     "stage_timeouts",
                     "workers_lost",
+                    "cluster_timeouts",
                     "plan_cache_hits",
                     "plan_cache_misses",
                     "plan_cache_full_hits",
@@ -581,7 +588,9 @@ class DAGScheduler:
             if query is not None:
                 query.check()
             try:
-                return task(split)
+                value = task(split)
+                self._note_retry_success(failures)
+                return value
             except BaseException as exc:  # lint: allow[ET002] -- _on_task_failure re-raises every non-transient class
                 self._on_task_failure(exc, split, job, stage_id, failures)
                 delay = self._backoff(failures.attempts)
@@ -616,22 +625,24 @@ class DAGScheduler:
         # sinks — keep working regardless of backend.
         backend = self._backend
 
-        def attempt(split: int, delay: float) -> Any:
+        def attempt(split: int, delay: float, prefer_healthy: bool) -> Any:
             if delay:
                 time.sleep(delay)
             if abort.is_set():
                 raise _StageAborted()
             if query is None:
-                return backend.run_task(task, split)
+                return backend.run_task(task, split, prefer_healthy)
             token = activate(query)
             try:
                 query.check()
-                return backend.run_task(task, split)
+                return backend.run_task(task, split, prefer_healthy)
             finally:
                 deactivate(token)
 
         def submit(split: int, delay: float = 0.0, speculative: bool = False) -> None:
-            fut = self._pool.submit(attempt, split, delay)
+            # Speculative copies route around SUSPECT slots: a backup
+            # queued behind the very straggler it races is useless.
+            fut = self._pool.submit(attempt, split, delay, speculative)
             inflight[fut] = (split, speculative, time.monotonic())
 
         for s in splits:  # lint: allow[CP001] -- nonblocking enqueue; the wait loop below polls every tick
@@ -666,11 +677,15 @@ class DAGScheduler:
                         continue
                     results[split] = value
                     durations.append(now - started)
+                    self._note_retry_success(failures[split])
                     if speculative:
                         self.metrics.bump("speculative_wins")
                 if cfg.speculation:
                     self._maybe_speculate(
                         len(splits), results, inflight, speculated, durations, submit, now
+                    )
+                    self._speculate_suspects(
+                        results, inflight, speculated, submit
                     )
         except BaseException:
             # Doomed stage: stop burning the pool. Queued attempts are
@@ -705,6 +720,37 @@ class DAGScheduler:
                 speculated.add(split)
                 self.metrics.bump("speculative_tasks")
                 submit(split, speculative=True)
+
+    def _speculate_suspects(
+        self,
+        results: dict[int, Any],
+        inflight: dict[Future, tuple[int, bool, float]],
+        speculated: set[int],
+        submit: Callable[..., None],
+    ) -> None:
+        """Liveness-driven speculation: a task in flight on a slot the
+        heartbeat monitor already distrusts gets its backup immediately,
+        without waiting for the duration-quantile heuristic — the
+        monitor's SUSPECT verdict *is* the straggler signal."""
+        suspects = self._backend.suspect_slots()
+        if not suspects:
+            return
+        slot_for = getattr(self._backend, "slot_for_split", None)
+        if slot_for is None:
+            return
+        for split, speculative, _started in list(inflight.values()):
+            if speculative or split in results or split in speculated:
+                continue
+            if slot_for(split) in suspects:
+                speculated.add(split)
+                self.metrics.bump("speculative_tasks")
+                submit(split, speculative=True)
+
+    def _note_retry_success(self, failures: _TaskFailures) -> None:
+        """A split that previously failed on a cluster RPC fault just
+        completed: the respawn healed it, so the breaker resets."""
+        if failures.rpc_faults and self.serving is not None:
+            self.serving.breaker("cluster.rpc").record_success()
 
     # ------------------------------------------------------------------
     # Failure policy
@@ -758,6 +804,24 @@ class DAGScheduler:
         transient = _find_transient(exc)
         if isinstance(transient, WorkerLostError):
             self.metrics.bump("workers_lost")
+        if isinstance(transient, ClusterTimeoutError):
+            self.metrics.bump("cluster_timeouts")
+        if isinstance(transient, (WorkerLostError, ClusterTimeoutError)):
+            failures.rpc_faults += 1
+            breaker = None if self.serving is None else self.serving.breaker(
+                "cluster.rpc"
+            )
+            if breaker is not None:
+                breaker.record_failure()
+                if not breaker.allow():
+                    # Workers dying or timing out faster than respawn
+                    # can heal: fast-fail instead of feeding more tasks
+                    # into a flapping cluster.
+                    raise RetryExhaustedError(
+                        f"stage {stage_id}, partition {split}",
+                        failures.attempts + 1,
+                        CircuitOpenError("cluster.rpc", breaker.retry_after()),
+                    ) from exc
         if transient is None and not self._config.retry_all_errors:
             raise exc
         budget = self._config.task_max_retries

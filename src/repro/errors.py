@@ -125,6 +125,36 @@ class WorkerLostError(EngineError):
         return (type(self), (self.worker_id, self.generation))
 
 
+class ClusterTimeoutError(EngineError):
+    """A cluster RPC or heartbeat deadline expired on a gray worker.
+
+    The gray-failure analogue of :class:`WorkerLostError`: the worker
+    process did not die cleanly — it hung, stalled, or silently dropped
+    a reply — so the driver *fenced* it (declared its generation dead
+    and killed the process) after ``Config.heartbeat_timeout`` missed
+    beats or a ``Config.rpc_deadline`` expiry. **Transient**: the slot
+    respawns at a new generation and the scheduler retries the attempt;
+    lineage recomputation covers any map outputs fenced with it.
+    ``reason`` names the detector (``"heartbeat"`` or
+    ``"rpc-deadline"``).
+    """
+
+    def __init__(
+        self, worker_id: int, generation: int, reason: str, detail: str = ""
+    ):
+        self.worker_id = worker_id
+        self.generation = generation
+        self.reason = reason
+        suffix = f": {detail}" if detail else ""
+        super().__init__(
+            f"worker {worker_id} (generation {generation}) fenced by "
+            f"{reason}{suffix}"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.worker_id, self.generation, self.reason))
+
+
 class StageTimeoutError(EngineError):
     """A stage exceeded its configured deadline (``Config.stage_timeout_s``)."""
 
@@ -269,6 +299,30 @@ class DurabilityError(ReproError):
     broker fault: the in-memory state is still intact and the
     operation may be retried.
     """
+
+
+class WalReplayError(DurabilityError):
+    """A worker-local WAL replay could not reproduce the driver's
+    snapshot (checkpoint raced past it, a WAL epoch was garbage-
+    collected mid-read, or the rebuilt watermark diverged).
+
+    **Transient** (it is a :class:`DurabilityError`): the driver's
+    durable state is intact — only this worker's local rebuild missed.
+    The dispatcher disables WAL-shipping for the partition and the
+    scheduler's retry re-ships the snapshot through shared memory.
+    """
+
+    def __init__(self, store_dir: str, partition_index: int, detail: str):
+        self.store_dir = store_dir
+        self.partition_index = partition_index
+        self.detail = detail
+        super().__init__(
+            f"worker WAL replay of {store_dir!r} partition "
+            f"{partition_index} failed: {detail}"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.store_dir, self.partition_index, self.detail))
 
 
 class RecoveryError(Exception):

@@ -4,6 +4,9 @@ One seeded :class:`FaultInjector` per engine context drives every
 injection site — task crashes, stragglers, shuffle-fetch loss, broker
 delivery failures, and index-probe failures — so a chaotic run can be
 replayed exactly from its seed. See :mod:`repro.faults.injector`.
+Gray-failure *schedules* (hangs, delays, dropped replies, heartbeat
+loss, keyed-hash draws replayed bit-identically) live in
+:mod:`repro.faults.schedule`.
 """
 
 from repro.faults.injector import (
@@ -16,14 +19,24 @@ from repro.faults.injector import (
     durability_chaos_profile,
     serving_chaos_profile,
 )
+from repro.faults.schedule import (
+    SCHEDULE_SITES,
+    FaultSchedule,
+    gray_failure_schedule,
+    keyed_uniform,
+)
 
 __all__ = [
     "FaultInjector",
     "FaultProfile",
+    "FaultSchedule",
     "chaos_profile",
     "cluster_chaos_profile",
     "durability_chaos_profile",
+    "gray_failure_schedule",
+    "keyed_uniform",
     "serving_chaos_profile",
     "NULL_INJECTOR",
+    "SCHEDULE_SITES",
     "SITES",
 ]

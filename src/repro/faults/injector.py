@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Any, Sequence
 
 from repro.errors import InjectedFault, SimulatedCrash
+from repro.faults.schedule import FaultSchedule
 
 #: Injection sites recognised by the engine. Anything else is legal
 #: (the injector is generic) but these are the ones wired in. Naming
@@ -60,6 +61,15 @@ SITES = (
     "serving.breaker_probe",
     # cluster backend: a worker process dies (os._exit) mid-dispatch
     "cluster.worker_crash",
+    # cluster gray failures: schedule-driven (FaultSchedule keyed-hash
+    # draws via should_fire_at, not profile streams). hang freezes the
+    # worker whole (heartbeat-detected), delay stalls it, drop swallows
+    # the reply while beats continue (rpc-deadline-detected),
+    # heartbeat_miss discards one generation's beats driver-side.
+    "cluster.hang",
+    "cluster.delay",
+    "cluster.drop",
+    "cluster.heartbeat_miss",
     # circuit-breaker guard labels: consulted by serving.breaker(...)
     # on every guarded call rather than drawn as fault probabilities.
     # Registered so the FS rules can cross-check every site literal in
@@ -67,6 +77,7 @@ SITES = (
     # otherwise silently split breaker state.
     "index.fallback",
     "wal.fsync",
+    "cluster.rpc",
 )
 
 
@@ -252,11 +263,23 @@ class FaultInjector:
     a lock, and fire counts are exposed through :meth:`stats`.
     """
 
-    def __init__(self, profile: FaultProfile | None = None):
+    def __init__(
+        self,
+        profile: FaultProfile | None = None,
+        schedule: "FaultSchedule | None" = None,
+    ):
         self.profile = profile
+        #: Optional gray-failure schedule (keyed-hash draws; see
+        #: :mod:`repro.faults.schedule`). Independent of the profile:
+        #: a session may run either or both.
+        self.schedule = schedule
         self._lock = threading.Lock()
         self._rngs: dict[str, random.Random] = {}
         self._fired: dict[str, int] = {}
+        #: Fired schedule events, for replay comparison. Sorted on
+        #: read, so two runs with different thread interleavings (which
+        #: *record* in different orders) still compare equal.
+        self._schedule_trace: list[tuple[str, int, int]] = []  # guarded-by: _lock
         if profile is not None:
             for site in SITES:
                 # str-seeding is stable across processes (hashlib-based),
@@ -267,7 +290,27 @@ class FaultInjector:
 
     @property
     def enabled(self) -> bool:
-        return self.profile is not None
+        return self.profile is not None or self.schedule is not None
+
+    def should_fire_at(self, site: str, split: int, attempt: int) -> bool:
+        """Schedule draw for one logical event: a pure keyed hash of
+        ``(seed, site, split, attempt)``, so the outcome is independent
+        of thread interleaving and bit-identical on replay. Fired
+        events are recorded for trace comparison."""
+        schedule = self.schedule
+        if schedule is None:
+            return False
+        fired = schedule.should_fire(site, split, attempt)
+        if fired:
+            with self._lock:
+                self._schedule_trace.append((site, split, attempt))
+                self._fired[site] = self._fired.get(site, 0) + 1
+        return fired
+
+    def schedule_trace(self) -> list[tuple[str, int, int]]:
+        """Every fired schedule event so far, sorted (order-free)."""
+        with self._lock:
+            return sorted(self._schedule_trace)
 
     def should_fire(self, site: str) -> bool:
         """Draw from the site's stream; True when a fault should occur."""

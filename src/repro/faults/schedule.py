@@ -1,0 +1,143 @@
+"""Deterministic gray-failure schedules (the PR 10 chaos harness).
+
+The per-site RNG *streams* of :class:`~repro.faults.injector.
+FaultInjector` are deterministic per site, but the order in which
+concurrent dispatch threads consume one stream depends on thread
+interleaving — good enough for "same seed, same fault *count*", not
+for bit-identical replay of *which* task attempt was hit.
+
+A :class:`FaultSchedule` removes the stream entirely: every draw is a
+**pure keyed hash** of ``(seed, site, split, attempt)``. Whether the
+dispatch of split 3's attempt 0 hangs is a mathematical function of
+the schedule, independent of how the thread pool interleaved it with
+split 5 — so a replay with the same seed fires the exact same faults
+at the exact same logical events, and two runs' recorded traces
+compare equal element for element.
+
+``attempt_cap`` bounds firing to the first N attempts of each
+``(site, split)`` (default 1: only attempt 0 can be hit), which
+guarantees retry progress the way ``max_fires_per_site`` does for
+profiles — a retried attempt always runs clean.
+
+Sites (all driver-side draws; the directive ships in the envelope):
+
+* ``cluster.hang``  — the worker freezes whole (beats stop too); the
+  heartbeat monitor must detect and fence it within
+  ``Config.heartbeat_timeout``;
+* ``cluster.delay`` — the worker stalls ``delay_s`` then completes (a
+  straggler, not a failure: results must still be exact);
+* ``cluster.drop``  — the worker computes but never replies while its
+  beats continue (a *partially-responsive* gray worker: only the
+  ``Config.rpc_deadline`` backstop can catch it);
+* ``cluster.heartbeat_miss`` — driver-side: the monitor discards every
+  beat of one ``(slot, generation)``, simulating a lossy beat channel;
+  the worker is healthy but gets fenced anyway, so the run proves
+  fencing never loses or duplicates rows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+#: Sites a schedule may arm; draws for anything else never fire.
+SCHEDULE_SITES = (
+    "cluster.hang",
+    "cluster.delay",
+    "cluster.drop",
+    "cluster.heartbeat_miss",
+)
+
+_HASH_DENOM = float(1 << 64)
+
+
+def keyed_uniform(seed: int, site: str, split: int, attempt: int) -> float:
+    """The deterministic U[0,1) draw for one logical event.
+
+    SHA-256 of the event key, reduced to 64 bits — stable across
+    processes, platforms, and Python hash randomization.
+    """
+    digest = hashlib.sha256(
+        f"{seed}:{site}:{split}:{attempt}".encode("ascii")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / _HASH_DENOM
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Seeded per-site probabilities for keyed gray-failure draws.
+
+    Travels inside :class:`~repro.config.Config` (driver-side only;
+    the worker fork strips it so every draw happens exactly once, on
+    the driver, at dispatch).
+    """
+
+    #: Seed folded into every keyed draw. Same seed → same schedule.
+    seed: int = 0
+    #: P(a dispatched attempt's worker hangs whole — beats stop).
+    hang_p: float = 0.0
+    #: P(a dispatched attempt stalls ``delay_s`` before completing).
+    delay_p: float = 0.0
+    #: P(a dispatched attempt's reply is dropped — beats continue).
+    drop_p: float = 0.0
+    #: P(one spawned (slot, generation)'s beats are discarded driver-
+    #: side; drawn once per spawn with ``generation - 1`` as the
+    #: attempt ordinal, so the default cap deafens only first spawns).
+    heartbeat_miss_p: float = 0.0
+    #: Stall duration of a ``cluster.delay`` fire, in seconds.
+    delay_s: float = 0.05
+    #: Fire only on the first N attempts of each (site, split); the
+    #: default 1 means retries always run clean, so every schedule
+    #: makes progress.
+    attempt_cap: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("hang_p", "delay_p", "drop_p", "heartbeat_miss_p"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be non-negative")
+        if self.attempt_cap < 1:
+            raise ValueError("attempt_cap must be >= 1")
+
+    def probability(self, site: str) -> float:
+        return {
+            "cluster.hang": self.hang_p,
+            "cluster.delay": self.delay_p,
+            "cluster.drop": self.drop_p,
+            "cluster.heartbeat_miss": self.heartbeat_miss_p,
+        }.get(site, 0.0)
+
+    def should_fire(self, site: str, split: int, attempt: int) -> bool:
+        """Pure function of the event key: no state, no stream."""
+        if attempt >= self.attempt_cap:
+            return False
+        p = self.probability(site)
+        if p <= 0.0:
+            return False
+        return keyed_uniform(self.seed, site, split, attempt) < p
+
+
+def gray_failure_schedule(seed: int = 1337) -> FaultSchedule:
+    """The standard gray-failure mix for the 20-seed acceptance sweep:
+    hangs, delays, and dropped replies each moderate, plus occasional
+    driver-side beat loss — every detector (heartbeat monitor, RPC
+    deadline) gets exercised, while the attempt cap keeps each seeded
+    run convergent."""
+    return FaultSchedule(
+        seed=seed,
+        hang_p=0.12,
+        delay_p=0.2,
+        drop_p=0.12,
+        heartbeat_miss_p=0.1,
+        delay_s=0.03,
+    )
+
+
+__all__ = [
+    "SCHEDULE_SITES",
+    "FaultSchedule",
+    "gray_failure_schedule",
+    "keyed_uniform",
+]

@@ -102,18 +102,21 @@ def test_accumulator_becomes_write_only_proxy(ship):
 
 
 def test_reply_falls_back_on_unpicklable_payload():
-    status, payload, deltas = loads_reply(
-        dumps_reply("ok", threading.Lock(), [(1, [2])])
+    status, payload, deltas, generation = loads_reply(
+        dumps_reply("ok", threading.Lock(), [(1, [2])], 3)
     )
     assert status == "err"
     assert isinstance(payload, EngineError)
     assert "unpicklable" in str(payload)
     assert deltas == [(1, [2])]  # deltas survive the substitution
+    assert generation == 3  # the fencing stamp survives too
 
 
 def test_reply_ok_roundtrip():
-    status, payload, deltas = loads_reply(dumps_reply("ok", [1, 2, 3], []))
-    assert (status, payload, deltas) == ("ok", [1, 2, 3], [])
+    status, payload, deltas, generation = loads_reply(
+        dumps_reply("ok", [1, 2, 3], [], 2)
+    )
+    assert (status, payload, deltas, generation) == ("ok", [1, 2, 3], [], 2)
 
 
 def test_ship_store_publishes_once(ship):

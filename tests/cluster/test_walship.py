@@ -1,0 +1,237 @@
+"""Worker-local WAL replay: ``("wal", ...)`` tokens rebuild the exact
+MVCC snapshot from checkpoint + WAL instead of a shipped shm segment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.codec import TaskCodec, loads_envelope
+from repro.cluster.shm import DriverShipStore, WorkerShipCache
+from repro.cluster.walship import WorkerWalCache
+from repro.core import create_index
+from repro.errors import DurabilityError, WalReplayError
+from tests.durability.conftest import durable_config, make_session, state_dir  # noqa: F401
+
+SCHEMA = [("id", "long"), ("name", "string")]
+
+
+def build(session, rows, name="t"):
+    df = session.create_dataframe(rows, SCHEMA)
+    return create_index(df, "id", durable_name=name)
+
+
+def some_rows(n, base=0):
+    return [(base + i, f"v{base + i}") for i in range(n)]
+
+
+def _nonempty_shard(indexed):
+    """(partition, snapshot) of the first shard that holds rows."""
+    for partition in indexed.store.partitions:
+        snap = partition.snapshot()
+        if snap.row_count:
+            return partition, snap
+    raise AssertionError("no shard holds rows")
+
+
+class TestCacheRebuild:
+    def test_wal_only_rebuild_matches_driver_snapshot(self, make_session):
+        session = make_session()
+        indexed = build(session, some_rows(40))
+        partition, snap = _nonempty_shard(indexed)
+        assert partition.durable_ref is not None
+        cache = WorkerWalCache(session.config)
+        rebuilt = cache.load(*partition.durable_ref, snap.row_count, snap.watermark)
+        assert rebuilt.row_count == snap.row_count
+        assert rebuilt.watermark == snap.watermark
+        assert sorted(rebuilt.trie.to_dict()) == sorted(snap.trie.to_dict())
+        assert cache.rows_replayed == snap.row_count
+
+    def test_checkpoint_plus_wal_rebuild(self, make_session):
+        session = make_session()
+        indexed = build(session, some_rows(20))
+        session.durability.store("t").checkpoint()
+        indexed.append_rows(some_rows(15, base=100))
+        partition, snap = _nonempty_shard(indexed)
+        cache = WorkerWalCache(session.config)
+        rebuilt = cache.load(*partition.durable_ref, snap.row_count, snap.watermark)
+        assert rebuilt.watermark == snap.watermark
+        assert sorted(rebuilt.trie.to_dict()) == sorted(snap.trie.to_dict())
+        # Only the post-checkpoint tail came from the log.
+        assert 0 < cache.rows_replayed < snap.row_count
+
+    def test_incremental_replay_appends_only_the_delta(self, make_session):
+        session = make_session()
+        indexed = build(session, some_rows(30))
+        partition, first = _nonempty_shard(indexed)
+        cache = WorkerWalCache(session.config)
+        cache.load(*partition.durable_ref, first.row_count, first.watermark)
+        replayed_before = cache.rows_replayed
+
+        indexed.append_rows(some_rows(30, base=500))
+        second = partition.snapshot()
+        rebuilt = cache.load(
+            *partition.durable_ref, second.row_count, second.watermark
+        )
+        assert rebuilt.watermark == second.watermark
+        delta = cache.rows_replayed - replayed_before
+        assert delta == second.row_count - first.row_count
+
+        # MVCC: the older cached snapshot is still servable, bit-exact.
+        again = cache.load(*partition.durable_ref, first.row_count, first.watermark)
+        assert again.row_count == first.row_count
+        assert again.watermark == first.watermark
+
+    def test_snapshot_cache_hit_is_identity(self, make_session):
+        session = make_session()
+        indexed = build(session, some_rows(10))
+        partition, snap = _nonempty_shard(indexed)
+        cache = WorkerWalCache(session.config)
+        a = cache.load(*partition.durable_ref, snap.row_count, snap.watermark)
+        b = cache.load(*partition.durable_ref, snap.row_count, snap.watermark)
+        assert a is b
+        assert cache.replays == 1
+
+
+class TestReplayFailures:
+    def test_impossible_row_count_is_wal_replay_error(self, make_session):
+        session = make_session()
+        indexed = build(session, some_rows(10))
+        partition, snap = _nonempty_shard(indexed)
+        cache = WorkerWalCache(session.config)
+        with pytest.raises(WalReplayError) as err:
+            cache.load(
+                *partition.durable_ref, snap.row_count + 999, snap.watermark
+            )
+        assert "WAL holds only" in str(err.value)
+
+    def test_checkpoint_ahead_of_snapshot_is_wal_replay_error(self, make_session):
+        """A checkpoint cut *past* the requested MVCC version cannot be
+        unwound — the durable state no longer reproduces it."""
+        session = make_session()
+        indexed = build(session, some_rows(10))
+        partition, old = _nonempty_shard(indexed)
+        indexed.append_rows(some_rows(10, base=300))
+        session.durability.store("t").checkpoint()
+        cache = WorkerWalCache(session.config)
+        with pytest.raises(WalReplayError) as err:
+            cache.load(*partition.durable_ref, old.row_count, old.watermark)
+        assert "checkpoint already holds" in str(err.value)
+
+    def test_missing_store_is_wal_replay_error(self, make_session, tmp_path):
+        session = make_session()
+        cache = WorkerWalCache(session.config)
+        with pytest.raises(WalReplayError):
+            cache.load(str(tmp_path / "nowhere"), 0, 5, (0, 5))
+
+    def test_wal_replay_error_is_transient_durability_error(self):
+        err = WalReplayError("/x", 3, "torn")
+        assert isinstance(err, DurabilityError)
+        from repro.engine.scheduler import _find_transient
+        assert _find_transient(err) is err
+
+
+class TestCodecIntegration:
+    def test_durable_snapshot_ships_as_wal_token(self, make_session):
+        session = make_session()
+        indexed = build(session, some_rows(25))
+        partition, snap = _nonempty_shard(indexed)
+        ship = DriverShipStore()
+        codec = TaskCodec(ship)
+        worker = _FakeWalWorker(session.config)
+        try:
+            payload = loads_envelope(
+                codec.dumps_envelope({"snap": snap}), worker
+            )
+            rebuilt = payload["snap"]
+            assert rebuilt.row_count == snap.row_count
+            assert rebuilt.watermark == snap.watermark
+            assert worker.wal_cache.replays == 1
+            # No shm segment was published for the snapshot.
+            assert len(ship._segments) == 0
+        finally:
+            worker.ship_cache.close()
+            ship.close()
+
+    def test_disable_wal_ship_falls_back_to_shm(self, make_session):
+        session = make_session()
+        indexed = build(session, some_rows(25))
+        partition, snap = _nonempty_shard(indexed)
+        ship = DriverShipStore()
+        assert ship.allows_wal_ship(partition.durable_ref)
+        ship.disable_wal_ship(partition.durable_ref)
+        assert not ship.allows_wal_ship(partition.durable_ref)
+        codec = TaskCodec(ship)
+        worker = _FakeWalWorker(session.config)
+        try:
+            payload = loads_envelope(
+                codec.dumps_envelope({"snap": snap}), worker
+            )
+            rebuilt = payload["snap"]
+            assert rebuilt.row_count == snap.row_count
+            assert worker.wal_cache.replays == 0  # shm path, not replay
+            assert len(ship._segments) > 0
+        finally:
+            worker.ship_cache.close()
+            ship.close()
+
+    def test_non_durable_snapshot_still_ships_shm(self, session):
+        """No durable_ref → the classic segment path, untouched."""
+        from repro.core import enable_indexing
+
+        enable_indexing(session)
+        df = session.create_dataframe(some_rows(10), SCHEMA)
+        indexed = create_index(df, "id")
+        partition, snap = _nonempty_shard(indexed)
+        assert getattr(partition, "durable_ref", None) is None
+        ship = DriverShipStore()
+        codec = TaskCodec(ship)
+        worker = _FakeWalWorker(session.config)
+        try:
+            payload = loads_envelope(
+                codec.dumps_envelope({"snap": snap}), worker
+            )
+            assert payload["snap"].row_count == snap.row_count
+            assert len(ship._segments) > 0
+        finally:
+            worker.ship_cache.close()
+            ship.close()
+
+
+class _FakeWalWorker:
+    """The surface TaskUnpickler.persistent_load resolves, wal included."""
+
+    def __init__(self, config) -> None:
+        self.ship_cache = WorkerShipCache()
+        self.wal_cache = WorkerWalCache(config)
+
+    def accumulator_proxy(self, accumulator_id):  # pragma: no cover
+        raise AssertionError("no accumulators in these envelopes")
+
+
+class TestEndToEndDurableCluster:
+    def test_durable_lookup_on_cluster_backend(self, state_dir):
+        """A multi-process session over a durable table: the worker
+        rebuilds shards from the WAL, and lookups are exact."""
+        from repro.sql.session import Session
+
+        config = durable_config(
+            state_dir,
+            executors=2,
+            default_parallelism=4,
+            shuffle_partitions=4,
+        )
+        session = Session(config)
+        try:
+            indexed = build(session, some_rows(60))
+            assert indexed.count() == 60
+            assert indexed.get_rows_local(7) == [(7, "v7")]
+            # A planned query ships the shards — as wal tokens, rebuilt
+            # worker-side from checkpoint + WAL, never as shm segments.
+            rows = sorted(
+                tuple(r) for r in indexed.get_rows(7).collect()
+            )
+            assert rows == [(7, "v7")]
+            stats = session.ctx.backend.stats()
+            assert stats["wal_replay_fallbacks"] == 0
+        finally:
+            session.stop()

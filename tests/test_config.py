@@ -159,3 +159,48 @@ class TestServingKnobs:
 
         with pytest.raises(ConfigError, match="serving_queue_timeout_s"):
             Config(serving_queue_timeout_s=-2)
+
+
+class TestClusterLivenessKnobs:
+    def test_defaults_are_valid(self):
+        config = Config()
+        assert config.heartbeat_interval > 0
+        assert config.heartbeat_timeout > config.heartbeat_interval
+        assert config.rpc_deadline is None
+        assert config.rpc_max_retries >= 0
+        assert config.fault_schedule is None
+
+    def test_zero_interval_disables_heartbeats(self):
+        assert Config(heartbeat_interval=0.0).heartbeat_interval == 0.0
+
+    def test_rejects_bad_liveness_knobs(self):
+        from repro.errors import ConfigError
+
+        bad = [
+            dict(heartbeat_interval=-0.1),
+            dict(heartbeat_timeout=0.0),
+            dict(heartbeat_timeout=-1.0),
+            # several beats must fit inside the timeout window
+            dict(heartbeat_interval=1.0, heartbeat_timeout=0.5),
+            dict(heartbeat_interval=1.0, heartbeat_timeout=1.0),
+            dict(rpc_deadline=0.0),
+            dict(rpc_deadline=-2.0),
+            dict(rpc_max_retries=-1),
+        ]
+        for overrides in bad:
+            with pytest.raises(ConfigError):
+                Config(**overrides)
+
+    def test_error_names_the_liveness_knob(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="heartbeat_timeout"):
+            Config(heartbeat_interval=1.0, heartbeat_timeout=0.25)
+        with pytest.raises(ConfigError, match="rpc_deadline"):
+            Config(rpc_deadline=0)
+
+    def test_fault_schedule_travels_in_config(self):
+        from repro.faults import FaultSchedule
+
+        schedule = FaultSchedule(seed=9, hang_p=0.5)
+        assert Config(fault_schedule=schedule).fault_schedule is schedule
